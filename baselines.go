@@ -1,0 +1,38 @@
+package sigtable
+
+import (
+	"sigtable/internal/invindex"
+	"sigtable/internal/seqscan"
+)
+
+// Baselines the paper compares against. The inverted index is §5.1's
+// comparator; the sequential scan is the ground-truth oracle used by
+// the accuracy experiments.
+
+// InvertedIndex is the item → TID-postings baseline.
+type InvertedIndex = invindex.Index
+
+// InvertedIndexOptions configures the baseline's simulated base-table
+// layout.
+type InvertedIndexOptions = invindex.Options
+
+// InvertedAccessStats reports how much of the database a query through
+// the inverted index must touch (Table 1's metric plus the
+// page-scattering effect).
+type InvertedAccessStats = invindex.AccessStats
+
+// BuildInvertedIndex constructs the inverted-index baseline.
+func BuildInvertedIndex(d *Dataset, opt InvertedIndexOptions) *InvertedIndex {
+	return invindex.Build(d, opt)
+}
+
+// ScanNearest runs the brute-force oracle: the exact nearest
+// transaction under f by scanning everything.
+func ScanNearest(d *Dataset, target Transaction, f SimilarityFunc) (TID, float64) {
+	return seqscan.Nearest(d, target, f)
+}
+
+// ScanKNearest is the brute-force exact k-NN.
+func ScanKNearest(d *Dataset, target Transaction, f SimilarityFunc, k int) []Candidate {
+	return seqscan.KNearest(d, target, f, k)
+}

@@ -1,0 +1,52 @@
+package sigtable
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// BatchQuery answers many k-NN queries concurrently with a worker pool.
+// Queries are read-only on the index, so this is safe as long as no
+// Insert/Delete runs concurrently. Results are returned in target
+// order; the first error aborts the batch.
+//
+// parallelism <= 0 selects GOMAXPROCS workers.
+func (ix *Index) BatchQuery(targets []Transaction, f SimilarityFunc, opt QueryOptions, parallelism int) ([]Result, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(targets) {
+		parallelism = len(targets)
+	}
+	if len(targets) == 0 {
+		return nil, nil
+	}
+
+	results := make([]Result, len(targets))
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	work := make(chan int)
+
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i], errs[i] = ix.Query(targets[i], f, opt)
+			}
+		}()
+	}
+	for i := range targets {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sigtable: batch query %d: %w", i, err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,144 @@
+package sigtable
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestBatchQueryMatchesSequential(t *testing.T) {
+	data := testDataset(t, 4000, 11)
+	idx, err := BuildIndex(data, IndexOptions{SignatureCardinality: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(GeneratorConfig{UniverseSize: 200, NumItemsets: 300, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := g.Queries(40)
+
+	batch, err := idx.BatchQuery(targets, Cosine{}, QueryOptions{K: 3}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(targets) {
+		t.Fatalf("got %d results", len(batch))
+	}
+	for i, target := range targets {
+		seq, err := idx.Query(target, Cosine{}, QueryOptions{K: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range seq.Neighbors {
+			if batch[i].Neighbors[j].Value != seq.Neighbors[j].Value {
+				t.Fatalf("query %d: batch %v vs sequential %v", i, batch[i].Neighbors, seq.Neighbors)
+			}
+		}
+	}
+}
+
+func TestBatchQueryDiskModeConcurrent(t *testing.T) {
+	// Exercises the atomic I/O counters and locked buffer pool under
+	// concurrency (run with -race to verify).
+	data := testDataset(t, 3000, 13)
+	idx, err := BuildIndex(data, IndexOptions{
+		SignatureCardinality: 8,
+		PageSize:             512,
+		BufferPoolPages:      32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(GeneratorConfig{UniverseSize: 200, NumItemsets: 300, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := g.Queries(32)
+	results, err := idx.BatchQuery(targets, Jaccard{}, QueryOptions{K: 2}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		_, want := ScanNearest(data, targets[i], Jaccard{})
+		if res.Neighbors[0].Value != want {
+			t.Fatalf("query %d: %v, oracle %v", i, res.Neighbors[0].Value, want)
+		}
+	}
+}
+
+func TestBatchQueryEmptyAndErrors(t *testing.T) {
+	data := testDataset(t, 500, 15)
+	idx, err := BuildIndex(data, IndexOptions{SignatureCardinality: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := idx.BatchQuery(nil, Jaccard{}, QueryOptions{}, 4)
+	if err != nil || res != nil {
+		t.Fatalf("empty batch: %v, %v", res, err)
+	}
+	if _, err := idx.BatchQuery([]Transaction{NewTransaction(1)}, Jaccard{}, QueryOptions{K: -1}, 4); err == nil {
+		t.Fatal("invalid options not propagated from batch")
+	}
+}
+
+func TestIndexPersistRoundTripPublic(t *testing.T) {
+	data := testDataset(t, 2000, 16)
+	idx, err := BuildIndex(data, IndexOptions{SignatureCardinality: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadIndex(&buf, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := data.Get(3)
+	a, _, err := idx.Nearest(target, Dice{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := loaded.Nearest(target, Dice{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("loaded index nearest %d, original %d", b, a)
+	}
+}
+
+func TestDynamicUpdatePublic(t *testing.T) {
+	data := testDataset(t, 1000, 17)
+	idx, err := BuildIndex(data, IndexOptions{SignatureCardinality: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	novel := NewTransaction(5, 55, 105, 155)
+	id := idx.Insert(novel)
+	if idx.Live() != 1001 {
+		t.Fatalf("Live = %d", idx.Live())
+	}
+	_, v, err := idx.Nearest(novel, Jaccard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Fatalf("inserted not found: %v", v)
+	}
+	if !idx.Delete(id) {
+		t.Fatal("delete failed")
+	}
+	if idx.Live() != 1000 {
+		t.Fatalf("Live after delete = %d", idx.Live())
+	}
+	fresh, err := idx.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Len() != 1000 {
+		t.Fatalf("rebuilt Len = %d", fresh.Len())
+	}
+}

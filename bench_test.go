@@ -1,0 +1,321 @@
+package sigtable
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (§5) at laptop scale, plus the ablations DESIGN.md
+// lists and micro-benchmarks of the index against its baselines.
+//
+//	go test -bench=. -benchmem            # quick scale
+//	go run ./cmd/sigbench -full           # the paper's scale
+//
+// Each figure/table benchmark prints the regenerated series once (the
+// same rows the paper plots) and reports its headline number as a
+// custom metric.
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"sigtable/internal/experiments"
+	"sigtable/internal/gen"
+	"sigtable/internal/simfun"
+)
+
+var printedOnce sync.Map
+
+// printOnce emits a regenerated figure exactly once per benchmark name,
+// no matter how many iterations the benchmark runs.
+func printOnce(name, out string) {
+	if _, loaded := printedOnce.LoadOrStore(name, true); !loaded {
+		fmt.Fprintf(os.Stderr, "\n%s\n", out)
+	}
+}
+
+func benchScale() experiments.Scale { return experiments.QuickScale() }
+
+func paperConfig() gen.Config { return gen.Config{}.Defaults() } // T10.I6, N=1000, L=2000
+
+// --- Figures 6, 9, 12: pruning efficiency vs database size ---
+
+func benchPruningFigure(b *testing.B, fig int, f simfun.Func) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.PruningVsDBSize(paperConfig(), sc, f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b.Name(), experiments.RenderPruning(fig, f.Name(), pts))
+		// Headline: pruning at the largest D and K.
+		b.ReportMetric(pts[len(pts)-1].Pruning, "pruning%")
+	}
+}
+
+func BenchmarkFig06PruningVsDBSizeHamming(b *testing.B) {
+	benchPruningFigure(b, 6, simfun.Hamming{})
+}
+
+func BenchmarkFig09PruningVsDBSizeRatio(b *testing.B) {
+	benchPruningFigure(b, 9, simfun.MatchHammingRatio{})
+}
+
+func BenchmarkFig12PruningVsDBSizeCosine(b *testing.B) {
+	benchPruningFigure(b, 12, simfun.Cosine{})
+}
+
+// --- Figures 7, 10, 13: accuracy vs early-termination level ---
+
+func benchAccuracyFigure(b *testing.B, fig int, f simfun.Func) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.AccuracyVsTermination(paperConfig(), sc, f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b.Name(), experiments.RenderAccuracy(fig, f.Name(), pts))
+		b.ReportMetric(pts[len(pts)-1].Accuracy, "acc%@2%")
+	}
+}
+
+func BenchmarkFig07AccuracyVsTerminationHamming(b *testing.B) {
+	benchAccuracyFigure(b, 7, simfun.Hamming{})
+}
+
+func BenchmarkFig10AccuracyVsTerminationRatio(b *testing.B) {
+	benchAccuracyFigure(b, 10, simfun.MatchHammingRatio{})
+}
+
+func BenchmarkFig13AccuracyVsTerminationCosine(b *testing.B) {
+	benchAccuracyFigure(b, 13, simfun.Cosine{})
+}
+
+// --- Figures 8, 11, 14: accuracy vs average transaction size ---
+
+func benchTxnSizeFigure(b *testing.B, fig int, f simfun.Func) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.AccuracyVsTxnSize(paperConfig(), sc, f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b.Name(), experiments.RenderTxnSize(fig, f.Name(), pts))
+		b.ReportMetric(pts[0].Accuracy-pts[len(pts)-1].Accuracy, "accdrop%")
+	}
+}
+
+func BenchmarkFig08AccuracyVsTxnSizeHamming(b *testing.B) {
+	benchTxnSizeFigure(b, 8, simfun.Hamming{})
+}
+
+func BenchmarkFig11AccuracyVsTxnSizeRatio(b *testing.B) {
+	benchTxnSizeFigure(b, 11, simfun.MatchHammingRatio{})
+}
+
+func BenchmarkFig14AccuracyVsTxnSizeCosine(b *testing.B) {
+	benchTxnSizeFigure(b, 14, simfun.Cosine{})
+}
+
+// --- Table 1: inverted-index access fractions ---
+
+func BenchmarkTable1InvertedIndexAccess(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(paperConfig(), sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b.Name(), experiments.RenderTable1(rows))
+		b.ReportMetric(rows[len(rows)-1].PctAccessed, "accessed%@T15")
+	}
+}
+
+// --- Ablations (DESIGN.md) ---
+
+func BenchmarkAblationActivation(b *testing.B) {
+	sc := benchScale()
+	cfg := paperConfig()
+	cfg.AvgTxnSize = 15 // dense data, where footnote 4 says r > 1 helps
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.AblationActivation(cfg, sc, []int{1, 2, 3}, simfun.Hamming{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := "Ablation: activation threshold r (T15.I6, hamming)\n"
+		bestAcc := pts[0].Accuracy
+		for _, p := range pts {
+			out += fmt.Sprintf("%8s r=%d  pruning %6.2f%%  accuracy@%0.f%% %6.2f%%\n",
+				"", p.R, p.Pruning, 100*sc.Termination, p.Accuracy)
+			if p.Accuracy > bestAcc {
+				bestAcc = p.Accuracy
+			}
+		}
+		printOnce(b.Name(), out)
+		// Footnote 4's claim: some r > 1 beats r = 1 on dense data.
+		b.ReportMetric(bestAcc-pts[0].Accuracy, "Δacc%best-r")
+	}
+}
+
+func BenchmarkAblationSortCriterion(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.AblationSortCriterion(paperConfig(), sc, simfun.MatchHammingRatio{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		names := map[int]string{0: "optimistic-bound", 1: "coord-similarity"}
+		out := "Ablation: entry sort criterion (T10.I6, match/hamming)\n"
+		for _, p := range pts {
+			out += fmt.Sprintf("%8s %-18s accuracy %6.2f%%  pruning %6.2f%%\n",
+				"", names[int(p.SortBy)], p.Accuracy, p.Pruning)
+		}
+		printOnce(b.Name(), out)
+		b.ReportMetric(pts[0].Accuracy, "acc%bound")
+	}
+}
+
+func BenchmarkAblationPartition(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.AblationPartition(paperConfig(), sc, simfun.Cosine{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := "Ablation: item partition strategy (T10.I6, cosine)\n"
+		for _, p := range pts {
+			out += fmt.Sprintf("%8s %-16s pruning %6.2f%%\n", "", p.Strategy, p.Pruning)
+		}
+		printOnce(b.Name(), out)
+		b.ReportMetric(pts[0].Pruning-pts[1].Pruning, "Δpruning%")
+	}
+}
+
+func BenchmarkAblationK(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.AblationK(paperConfig(), sc, []int{8, 11, 13, 15, 18}, simfun.Hamming{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := "Ablation: signature cardinality K (T10.I6, hamming)\n"
+		for _, p := range pts {
+			out += fmt.Sprintf("%8s K=%-3d entries %-6d pruning %6.2f%%\n", "", p.K, p.Entries, p.Pruning)
+		}
+		printOnce(b.Name(), out)
+		b.ReportMetric(pts[len(pts)-1].Pruning, "pruning%@K18")
+	}
+}
+
+// --- Micro-benchmarks: per-query latency against the baselines ---
+
+type microFixture struct {
+	data    *Dataset
+	idx     *Index
+	inv     *InvertedIndex
+	queries []Transaction
+}
+
+var microOnce sync.Once
+var micro microFixture
+
+func microSetup(b *testing.B) *microFixture {
+	microOnce.Do(func() {
+		g, err := NewGenerator(GeneratorConfig{Seed: 77})
+		if err != nil {
+			b.Fatal(err)
+		}
+		micro.data = g.Dataset(50000)
+		micro.idx, err = BuildIndex(micro.data, IndexOptions{SignatureCardinality: 15})
+		if err != nil {
+			b.Fatal(err)
+		}
+		micro.inv = BuildInvertedIndex(micro.data, InvertedIndexOptions{})
+		micro.queries = g.Queries(256)
+	})
+	return &micro
+}
+
+func BenchmarkQuerySignatureTableNN(b *testing.B) {
+	m := microSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.idx.Query(m.queries[i%len(m.queries)], Cosine{}, QueryOptions{K: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuerySignatureTableNNEarly2pct(b *testing.B) {
+	m := microSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.idx.Query(m.queries[i%len(m.queries)], Cosine{}, QueryOptions{K: 1, MaxScanFraction: 0.02}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuerySeqscanNN(b *testing.B) {
+	m := microSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ScanNearest(m.data, m.queries[i%len(m.queries)], Cosine{})
+	}
+}
+
+func BenchmarkQueryInvertedIndexNN(b *testing.B) {
+	m := microSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.inv.KNearest(m.queries[i%len(m.queries)], Cosine{}, 1)
+	}
+}
+
+func BenchmarkQueryRange(b *testing.B) {
+	m := microSetup(b)
+	constraints := []RangeConstraint{
+		{F: MatchSimilarity{}, Threshold: 4},
+		{F: HammingSimilarity{}, Threshold: 1.0 / 11},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.idx.RangeQuery(m.queries[i%len(m.queries)], constraints); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryMultiTarget(b *testing.B) {
+	m := microSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		targets := []Transaction{
+			m.queries[i%len(m.queries)],
+			m.queries[(i+1)%len(m.queries)],
+			m.queries[(i+2)%len(m.queries)],
+		}
+		if _, err := m.idx.MultiQuery(targets, Jaccard{}, QueryOptions{K: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexBuild(b *testing.B) {
+	g, err := NewGenerator(GeneratorConfig{Seed: 78})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := g.Dataset(20000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildIndex(data, IndexOptions{SignatureCardinality: 15}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Command sigbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	sigbench [-full] [-fig N] [-table N] [-queries N] [-seed S]
+//
+// Without -fig/-table it runs everything. -full switches from the quick
+// laptop scale to the paper's scale (D up to 800K; slow).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"sigtable/internal/experiments"
+	"sigtable/internal/gen"
+	"sigtable/internal/simfun"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run at the paper's scale (slow)")
+	fig := flag.Int("fig", 0, "regenerate a single figure (6..14)")
+	table := flag.Int("table", 0, "regenerate a single table (1)")
+	queries := flag.Int("queries", 0, "override queries per data point")
+	seed := flag.Int64("seed", 0, "override the data generation seed")
+	plot := flag.Bool("plot", false, "append an ASCII line chart to each figure")
+	csvDir := flag.String("csv", "", "also write each result as CSV into this directory")
+	compare := flag.Bool("compare", false, "run the access-method latency comparison instead of figures")
+	flag.Parse()
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "sigbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	sc := experiments.QuickScale()
+	if *full {
+		sc = experiments.FullScale()
+	}
+	if *queries > 0 {
+		sc.Queries = *queries
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+	cfg := gen.Config{}.Defaults() // T10.I6, N=1000, L=2000
+
+	run := func(what string, f func() (string, error)) {
+		start := time.Now()
+		out, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sigbench: %s: %v\n", what, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("  [%s took %v]\n\n", what, time.Since(start).Round(time.Millisecond))
+	}
+
+	writeCSV := func(name, content string) {
+		if *csvDir == "" {
+			return
+		}
+		path := filepath.Join(*csvDir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "sigbench: writing %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  wrote %s\n", path)
+	}
+	runFigure := func(n int) {
+		run(fmt.Sprintf("figure %d", n), func() (string, error) {
+			if *plot {
+				return experiments.FigurePlot(n, cfg, sc)
+			}
+			return experiments.Figure(n, cfg, sc)
+		})
+		if *csvDir != "" {
+			// The workload cache makes the recomputation cheap.
+			content, err := experiments.FigureCSV(n, cfg, sc)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sigbench: figure %d csv: %v\n", n, err)
+				os.Exit(1)
+			}
+			writeCSV(fmt.Sprintf("fig%02d.csv", n), content)
+		}
+	}
+	runTable1 := func() {
+		run("table 1", func() (string, error) {
+			rows, err := experiments.Table1(cfg, sc)
+			if err != nil {
+				return "", err
+			}
+			if *csvDir != "" {
+				writeCSV("table1.csv", experiments.Table1CSV(rows))
+			}
+			return experiments.RenderTable1(rows), nil
+		})
+	}
+
+	runLatency := func() {
+		run("access-method comparison", func() (string, error) {
+			pts, err := experiments.LatencyComparison(cfg, sc, simfun.Cosine{})
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderLatency("cosine", pts), nil
+		})
+	}
+
+	switch {
+	case *compare:
+		runLatency()
+	case *fig != 0:
+		runFigure(*fig)
+	case *table == 1:
+		runTable1()
+	case *table != 0:
+		fmt.Fprintf(os.Stderr, "sigbench: no table %d (the paper has only Table 1)\n", *table)
+		os.Exit(2)
+	default:
+		runTable1()
+		for n := 6; n <= 14; n++ {
+			runFigure(n)
+		}
+	}
+}

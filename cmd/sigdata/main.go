@@ -1,0 +1,145 @@
+// Command sigdata generates synthetic market-basket datasets with the
+// paper's §5 method and inspects existing dataset files.
+//
+// Generate:
+//
+//	sigdata -out baskets.dat -n 100000 -t 10 -i 6 [-universe 1000] [-itemsets 2000] [-seed 1]
+//
+// Inspect:
+//
+//	sigdata -in baskets.dat [-head 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sigtable/internal/gen"
+	"sigtable/internal/txn"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", "", "write a generated dataset to this file")
+		in       = flag.String("in", "", "inspect an existing dataset file")
+		n        = flag.Int("n", 100000, "number of transactions to generate")
+		t        = flag.Float64("t", 10, "average transaction size (paper's T)")
+		i        = flag.Float64("i", 6, "average potentially-large-itemset size (paper's I)")
+		universe = flag.Int("universe", 1000, "number of distinct items")
+		itemsets = flag.Int("itemsets", 2000, "number of potentially large itemsets (paper's L)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		head     = flag.Int("head", 5, "transactions to print when inspecting")
+		format   = flag.String("format", "binary", "file format: binary|fimi")
+	)
+	flag.Parse()
+
+	if *format != "binary" && *format != "fimi" {
+		fatal("unknown -format %q (want binary or fimi)", *format)
+	}
+	fimi := *format == "fimi"
+	switch {
+	case *out != "" && *in != "":
+		convert(*in, *out, fimi, *head)
+	case *out != "":
+		generate(*out, *n, *t, *i, *universe, *itemsets, *seed, fimi)
+	case *in != "":
+		inspect(*in, fimi, *head)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// convert reads -in (auto-detecting binary vs FIMI) and writes -out in
+// the format given by -format.
+func convert(inPath, outPath string, outFIMI bool, head int) {
+	d := load(inPath)
+	f, err := os.Create(outPath)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	if outFIMI {
+		err = d.WriteFIMI(f)
+	} else {
+		_, err = d.WriteTo(f)
+	}
+	if err != nil {
+		fatal("writing %s: %v", outPath, err)
+	}
+	if err := f.Close(); err != nil {
+		fatal("closing %s: %v", outPath, err)
+	}
+	fmt.Printf("converted %s -> %s (%d transactions)\n", inPath, outPath, d.Len())
+}
+
+// load reads a dataset file, trying the binary format first and
+// falling back to FIMI text.
+func load(path string) *txn.Dataset {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	if d, err := txn.ReadDataset(f); err == nil {
+		return d
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		fatal("%v", err)
+	}
+	d, err := txn.ReadFIMI(f, 0)
+	if err != nil {
+		fatal("reading %s (neither binary nor FIMI): %v", path, err)
+	}
+	return d
+}
+
+func generate(path string, n int, t, i float64, universe, itemsets int, seed int64, fimi bool) {
+	cfg := gen.Config{
+		UniverseSize:   universe,
+		NumItemsets:    itemsets,
+		AvgTxnSize:     t,
+		AvgItemsetSize: i,
+		Seed:           seed,
+	}
+	g, err := gen.New(cfg)
+	if err != nil {
+		fatal("%v", err)
+	}
+	d := g.Dataset(n)
+
+	f, err := os.Create(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	if fimi {
+		err = d.WriteFIMI(f)
+	} else {
+		_, err = d.WriteTo(f)
+	}
+	if err != nil {
+		fatal("writing %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		fatal("closing %s: %v", path, err)
+	}
+	info, _ := os.Stat(path)
+	fmt.Printf("wrote %s: %s, %d transactions, avg size %.2f, %d bytes\n",
+		path, g.Config().Name(n), d.Len(), d.AvgLen(), info.Size())
+}
+
+func inspect(path string, _ bool, head int) {
+	d := load(path)
+	fmt.Printf("%s: %d transactions over %d items, avg size %.2f\n",
+		path, d.Len(), d.UniverseSize(), d.AvgLen())
+	for i := 0; i < head && i < d.Len(); i++ {
+		fmt.Printf("  #%d %v\n", i, d.Get(txn.TID(i)))
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "sigdata: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+// Command sigserver serves similarity queries over a dataset through
+// an HTTP JSON API.
+//
+//	sigserver -data baskets.dat [-addr :8080] [-K 15] [-r 1]
+//
+// Endpoints (see internal/server for bodies):
+//
+//	GET  /stats
+//	POST /query /range /multi /insert /delete /explain
+//
+// Example:
+//
+//	curl -s localhost:8080/query -d '{"items":[3,17,42],"f":"cosine","k":5}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"sigtable"
+	"sigtable/internal/server"
+)
+
+func main() {
+	var (
+		dataPath = flag.String("data", "", "dataset file (binary or FIMI)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		kCard    = flag.Int("K", 15, "signature cardinality")
+		r        = flag.Int("r", 1, "activation threshold")
+	)
+	flag.Parse()
+	if *dataPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*dataPath)
+	if err != nil {
+		log.Fatalf("sigserver: %v", err)
+	}
+	data, err := sigtable.ReadDataset(f)
+	if err != nil {
+		if _, serr := f.Seek(0, 0); serr == nil {
+			data, err = sigtable.ReadFIMI(f, 0)
+		}
+	}
+	f.Close()
+	if err != nil {
+		log.Fatalf("sigserver: reading %s: %v", *dataPath, err)
+	}
+
+	start := time.Now()
+	idx, err := sigtable.BuildIndex(data, sigtable.IndexOptions{
+		SignatureCardinality: *kCard,
+		ActivationThreshold:  *r,
+	})
+	if err != nil {
+		log.Fatalf("sigserver: building index: %v", err)
+	}
+	fmt.Printf("sigserver: indexed %d transactions (K=%d, %d entries) in %v; listening on %s\n",
+		idx.Len(), idx.K(), idx.NumEntries(), time.Since(start).Round(time.Millisecond), *addr)
+
+	srv := server.New(idx, data)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

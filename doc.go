@@ -1,0 +1,26 @@
+// Package sigtable is a similarity index for market basket data,
+// implementing the signature table of Aggarwal, Wolf & Yu, "A New
+// Method for Similarity Indexing of Market Basket Data" (SIGMOD 1999).
+//
+// A transaction is a sparse set of items from a universe of hundreds or
+// thousands. The index partitions the universe into K correlated item
+// groups ("signatures") mined from the data, maps every transaction to
+// the K-bit pattern of signatures it activates (its "supercoordinate"),
+// and answers nearest-neighbor, k-NN, range and multi-target similarity
+// queries by branch and bound over the occupied supercoordinates.
+//
+// The similarity function is supplied at query time, not at build time:
+// any f(x, y) of the match count x and hamming distance y that is
+// non-decreasing in x and non-increasing in y is supported. Hamming
+// distance, match/hamming ratio, cosine, Jaccard and Dice are built in;
+// custom functions can be vetted with CheckMonotone.
+//
+// # Quick start
+//
+//	data := ... // *sigtable.Dataset
+//	idx, err := sigtable.BuildIndex(data, sigtable.IndexOptions{SignatureCardinality: 15})
+//	res, err := idx.Query(target, sigtable.Cosine{}, sigtable.QueryOptions{K: 10})
+//
+// See examples/ for runnable programs and DESIGN.md for the mapping
+// from the paper's sections to packages.
+package sigtable

@@ -1,0 +1,98 @@
+// Persistence and maintenance: save a dataset and its index to disk,
+// load them back, keep serving queries while inserting and deleting
+// transactions, and compact with Rebuild.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"sigtable"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "sigtable-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	dataPath := filepath.Join(dir, "baskets.dat")
+	indexPath := filepath.Join(dir, "baskets.idx")
+
+	// Build and persist.
+	g, err := sigtable.NewGenerator(sigtable.GeneratorConfig{Seed: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	data := g.Dataset(30000)
+	idx, err := sigtable.BuildIndex(data, sigtable.IndexOptions{SignatureCardinality: 14})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := writeFile(dataPath, func(f *os.File) error { _, err := data.WriteTo(f); return err }); err != nil {
+		log.Fatal(err)
+	}
+	if err := writeFile(indexPath, func(f *os.File) error { _, err := idx.WriteTo(f); return err }); err != nil {
+		log.Fatal(err)
+	}
+	di, _ := os.Stat(dataPath)
+	ii, _ := os.Stat(indexPath)
+	fmt.Printf("persisted %d baskets: data %dKB, index %dKB\n", data.Len(), di.Size()/1024, ii.Size()/1024)
+
+	// Load into a fresh process-worth of state.
+	loadedData, err := readDataset(dataPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(indexPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := sigtable.ReadIndex(f, loadedData)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded index: K=%d, %d entries, %d baskets\n", loaded.K(), loaded.NumEntries(), loaded.Len())
+
+	// Live maintenance: a new customer basket arrives...
+	novel := sigtable.NewTransaction(11, 99, 303, 808)
+	id := loaded.Insert(novel)
+	if _, v, _ := loaded.Nearest(novel, sigtable.Jaccard{}); v == 1 {
+		fmt.Printf("inserted basket #%d is immediately queryable (exact match found)\n", id)
+	}
+
+	// ... and an old one is redacted.
+	loaded.Delete(100)
+	fmt.Printf("after one insert and one delete: %d live baskets\n", loaded.Live())
+
+	// Compact before persisting again.
+	compacted, err := loaded.Rebuild()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rebuilt: %d baskets, %d entries\n", compacted.Len(), compacted.NumEntries())
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readDataset(path string) (*sigtable.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return sigtable.ReadDataset(f)
+}

@@ -1,0 +1,83 @@
+// Recommender: the paper's motivating application — peer
+// recommendations from similarity in buying behaviour. For a customer's
+// basket, find the k most similar historical baskets under the
+// match/hamming-ratio similarity, then rank the items those peers
+// bought that the customer has not.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"sigtable"
+)
+
+func main() {
+	g, err := sigtable.NewGenerator(sigtable.GeneratorConfig{AvgTxnSize: 12, Seed: 99})
+	if err != nil {
+		log.Fatal(err)
+	}
+	data := g.Dataset(80000)
+
+	idx, err := sigtable.BuildIndex(data, sigtable.IndexOptions{SignatureCardinality: 15})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A live basket: take a generated one so it follows real buying
+	// patterns.
+	customer := g.Dataset(1).Get(0)
+	fmt.Printf("customer basket: %v\n\n", customer)
+
+	// 25 peers under x/(1+y): rewards overlap, punishes divergence.
+	const peers = 25
+	res, err := idx.Query(customer, sigtable.MatchHammingRatio{}, sigtable.QueryOptions{
+		K: peers,
+		// A recommender can trade exactness for latency: scan at most
+		// 2% of history. res.Certified reports whether the answer
+		// happens to be provably exact anyway.
+		MaxScanFraction: 0.02,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Vote: each peer contributes its similarity as weight to every
+	// item it bought that the customer lacks.
+	votes := make(map[sigtable.Item]float64)
+	for _, peer := range res.Neighbors {
+		basket := data.Get(peer.TID)
+		for _, item := range basket {
+			if !customer.Contains(item) {
+				votes[item] += peer.Value
+			}
+		}
+	}
+	type rec struct {
+		item  sigtable.Item
+		score float64
+	}
+	recs := make([]rec, 0, len(votes))
+	for item, score := range votes {
+		recs = append(recs, rec{item, score})
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].score != recs[j].score {
+			return recs[i].score > recs[j].score
+		}
+		return recs[i].item < recs[j].item
+	})
+
+	fmt.Printf("top peers (of %d found, scanning %.1f%% of %d baskets, certified exact: %v):\n",
+		len(res.Neighbors), 100*float64(res.Scanned)/float64(data.Len()), data.Len(), res.Certified)
+	for i := 0; i < 5 && i < len(res.Neighbors); i++ {
+		p := res.Neighbors[i]
+		fmt.Printf("  #%d similarity %.3f: %v\n", p.TID, p.Value, data.Get(p.TID))
+	}
+
+	fmt.Println("\nrecommended items:")
+	for i := 0; i < 8 && i < len(recs); i++ {
+		fmt.Printf("  item %4d  (peer weight %.3f)\n", recs[i].item, recs[i].score)
+	}
+}

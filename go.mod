@@ -1,0 +1,3 @@
+module sigtable
+
+go 1.22

@@ -1,0 +1,145 @@
+// Package bitset provides a dense bitset used for signature membership
+// masks and supercoordinates with arbitrary signature cardinality.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Set is a fixed-capacity bitset. The zero value is unusable; create
+// one with New.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns a set able to hold bits [0, n).
+func New(n int) *Set {
+	if n < 0 {
+		panic(fmt.Sprintf("bitset.New: negative size %d", n))
+	}
+	return &Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len reports the capacity of the set in bits.
+func (s *Set) Len() int { return s.n }
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0, %d)", i, s.n))
+	}
+}
+
+// Set turns bit i on.
+func (s *Set) Set(i int) {
+	s.check(i)
+	s.words[i/64] |= 1 << (i % 64)
+}
+
+// Clear turns bit i off.
+func (s *Set) Clear(i int) {
+	s.check(i)
+	s.words[i/64] &^= 1 << (i % 64)
+}
+
+// Test reports whether bit i is on.
+func (s *Set) Test(i int) bool {
+	s.check(i)
+	return s.words[i/64]&(1<<(i%64)) != 0
+}
+
+// Count reports the number of bits that are on.
+func (s *Set) Count() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Reset turns every bit off.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+// Equal reports whether s and t have identical capacity and bits.
+func (s *Set) Equal(t *Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IntersectCount reports |s ∩ t|. Sets must have equal capacity.
+func (s *Set) IntersectCount(t *Set) int {
+	if s.n != t.n {
+		panic("bitset: IntersectCount on sets of different capacity")
+	}
+	n := 0
+	for i := range s.words {
+		n += bits.OnesCount64(s.words[i] & t.words[i])
+	}
+	return n
+}
+
+// Or sets s to s ∪ t. Sets must have equal capacity.
+func (s *Set) Or(t *Set) {
+	if s.n != t.n {
+		panic("bitset: Or on sets of different capacity")
+	}
+	for i := range s.words {
+		s.words[i] |= t.words[i]
+	}
+}
+
+// NextSet returns the index of the first set bit at or after i, or -1
+// if there is none.
+func (s *Set) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	for i < s.n {
+		w := s.words[i/64] >> (i % 64)
+		if w != 0 {
+			j := i + bits.TrailingZeros64(w)
+			if j >= s.n {
+				return -1
+			}
+			return j
+		}
+		i = (i/64 + 1) * 64
+	}
+	return -1
+}
+
+// String renders set bits as "[1 5 9]".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	first := true
+	for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) {
+		if !first {
+			b.WriteByte(' ')
+		}
+		fmt.Fprint(&b, i)
+		first = false
+	}
+	b.WriteByte(']')
+	return b.String()
+}

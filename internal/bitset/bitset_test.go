@@ -1,0 +1,144 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSetClearTest(t *testing.T) {
+	s := New(130) // spans three words
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Test(i) {
+			t.Fatalf("fresh set has bit %d", i)
+		}
+		s.Set(i)
+		if !s.Test(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	s.Clear(64)
+	if s.Test(64) {
+		t.Fatal("bit 64 not cleared")
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count after clear = %d", got)
+	}
+}
+
+func TestBoundsPanic(t *testing.T) {
+	s := New(10)
+	for _, fn := range []func(){
+		func() { s.Set(10) },
+		func() { s.Test(-1) },
+		func() { s.Clear(10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range access did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	s := New(200)
+	for _, i := range []int{3, 64, 190} {
+		s.Set(i)
+	}
+	var got []int
+	for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) {
+		got = append(got, i)
+	}
+	want := []int{3, 64, 190}
+	if len(got) != len(want) {
+		t.Fatalf("NextSet walk = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("NextSet walk = %v, want %v", got, want)
+		}
+	}
+	if s.NextSet(191) != -1 {
+		t.Fatal("NextSet past last bit should be -1")
+	}
+}
+
+func TestCloneEqualReset(t *testing.T) {
+	s := New(70)
+	s.Set(5)
+	s.Set(69)
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Set(6)
+	if s.Equal(c) {
+		t.Fatal("clone shares storage")
+	}
+	s.Reset()
+	if s.Count() != 0 {
+		t.Fatal("Reset left bits set")
+	}
+	if s.Equal(New(71)) {
+		t.Fatal("sets of different capacity compared equal")
+	}
+}
+
+func TestIntersectCountAndOr(t *testing.T) {
+	a, b := New(100), New(100)
+	for _, i := range []int{1, 50, 99} {
+		a.Set(i)
+	}
+	for _, i := range []int{50, 99, 3} {
+		b.Set(i)
+	}
+	if got := a.IntersectCount(b); got != 2 {
+		t.Fatalf("IntersectCount = %d, want 2", got)
+	}
+	a.Or(b)
+	if got := a.Count(); got != 4 {
+		t.Fatalf("Count after Or = %d, want 4", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New(10)
+	s.Set(1)
+	s.Set(7)
+	if got := s.String(); got != "[1 7]" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// TestAgainstMapReference drives random operations against a map-based
+// reference implementation.
+func TestAgainstMapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 300
+	s := New(n)
+	ref := make(map[int]bool)
+	for op := 0; op < 5000; op++ {
+		i := rng.Intn(n)
+		switch rng.Intn(3) {
+		case 0:
+			s.Set(i)
+			ref[i] = true
+		case 1:
+			s.Clear(i)
+			delete(ref, i)
+		case 2:
+			if s.Test(i) != ref[i] {
+				t.Fatalf("op %d: Test(%d) = %v, ref %v", op, i, s.Test(i), ref[i])
+			}
+		}
+	}
+	if s.Count() != len(ref) {
+		t.Fatalf("Count = %d, ref %d", s.Count(), len(ref))
+	}
+}

@@ -1,0 +1,83 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// fromMask builds a Set of capacity n from a bit mask, for quick-check
+// style properties over small sets.
+func fromMask(n int, mask uint64) *Set {
+	s := New(n)
+	for i := 0; i < n && i < 64; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			s.Set(i)
+		}
+	}
+	return s
+}
+
+func popcount(mask uint64, n int) int {
+	c := 0
+	for i := 0; i < n && i < 64; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			c++
+		}
+	}
+	return c
+}
+
+func TestQuickCountMatchesPopcount(t *testing.T) {
+	f := func(mask uint64) bool {
+		return fromMask(50, mask).Count() == popcount(mask, 50)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIntersectCountMatchesAnd(t *testing.T) {
+	f := func(a, b uint64) bool {
+		sa, sb := fromMask(60, a), fromMask(60, b)
+		return sa.IntersectCount(sb) == popcount(a&b, 60)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickOrMatchesUnion(t *testing.T) {
+	f := func(a, b uint64) bool {
+		sa, sb := fromMask(60, a), fromMask(60, b)
+		sa.Or(sb)
+		return sa.Count() == popcount(a|b, 60)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNextSetEnumeratesExactly(t *testing.T) {
+	f := func(mask uint64) bool {
+		s := fromMask(64, mask)
+		var got uint64
+		for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) {
+			got |= 1 << uint(i)
+		}
+		return got == mask
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCloneEqual(t *testing.T) {
+	f := func(mask uint64) bool {
+		s := fromMask(64, mask)
+		return s.Equal(s.Clone())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,206 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"sigtable/internal/mining"
+	"sigtable/internal/txn"
+)
+
+// part is a growing signature candidate: a set of items with its mass.
+type part struct {
+	items []txn.Item
+	mass  float64
+}
+
+// CriticalMass partitions the item universe into signatures by
+// single-linkage clustering:
+//
+//  1. Every item starts as its own component; component mass is the sum
+//     of member item supports.
+//  2. Edges (frequent 2-itemsets) are added in order of increasing
+//     distance — distance is the inverse of pair support, so the most
+//     correlated pairs merge first.
+//  3. Whenever a component's mass reaches criticalMass (a fraction of
+//     the total support mass), the component is frozen and becomes a
+//     signature; its items take no further part in merging.
+//  4. Components remaining when the edges are exhausted become
+//     signatures as-is; isolated leftover items are packed into the
+//     lightest remaining signatures so every item is covered.
+//
+// itemSupports[i] is item i's support fraction; pairs are the frequent
+// 2-itemsets sorted by decreasing support (as mining.FrequentPairs
+// returns them). criticalMass is relative: a component freezes when its
+// mass exceeds criticalMass × (total mass).
+func CriticalMass(itemSupports []float64, pairs []mining.Pair, criticalMass float64) [][]txn.Item {
+	if criticalMass <= 0 || criticalMass > 1 {
+		panic(fmt.Sprintf("cluster.CriticalMass: threshold %v outside (0, 1]", criticalMass))
+	}
+	parts := criticalMassParts(itemSupports, pairs, criticalMass)
+	out := make([][]txn.Item, len(parts))
+	for i, p := range parts {
+		sortItems(p.items)
+		out[i] = p.items
+	}
+	return out
+}
+
+func criticalMassParts(itemSupports []float64, pairs []mining.Pair, criticalMass float64) []part {
+	n := len(itemSupports)
+	total := 0.0
+	for _, s := range itemSupports {
+		total += s
+	}
+	if total == 0 {
+		// No support information at all: fall back to one big part.
+		all := make([]txn.Item, n)
+		for i := range all {
+			all[i] = txn.Item(i)
+		}
+		return []part{{items: all}}
+	}
+	threshold := criticalMass * total
+
+	uf := newUnionFind(itemSupports)
+	frozen := make([]bool, n) // indexed by component root at freeze time
+	var parts []part
+
+	freeze := func(root int) {
+		members := make([]txn.Item, 0, uf.size[root])
+		for i := 0; i < n; i++ {
+			if !frozen[i] && uf.find(i) == root {
+				members = append(members, txn.Item(i))
+				frozen[i] = true
+			}
+		}
+		parts = append(parts, part{items: members, mass: uf.mass[root]})
+	}
+
+	// Pairs arrive sorted by decreasing support = increasing distance.
+	for _, e := range pairs {
+		a, b := int(e.A), int(e.B)
+		if frozen[a] || frozen[b] {
+			continue
+		}
+		root := uf.union(a, b)
+		if uf.mass[root] >= threshold {
+			freeze(root)
+		}
+	}
+
+	// Whatever survives the edge stream becomes signatures as-is.
+	seen := make(map[int]bool)
+	for i := 0; i < n; i++ {
+		if frozen[i] {
+			continue
+		}
+		root := uf.find(i)
+		if seen[root] {
+			continue
+		}
+		seen[root] = true
+		freeze(root)
+	}
+	return parts
+}
+
+// Exact partitions the universe into exactly k signatures. It runs the
+// critical-mass pass with threshold 1/k, then merges the lightest
+// leftover parts (there are usually many isolated rare items) or splits
+// the heaviest parts until exactly k remain. This is how the
+// experiments pin K to 13, 14 or 15 as the paper does.
+func Exact(itemSupports []float64, pairs []mining.Pair, k int) ([][]txn.Item, error) {
+	n := len(itemSupports)
+	if k <= 0 {
+		return nil, fmt.Errorf("cluster.Exact: k=%d must be positive", k)
+	}
+	if k > n {
+		return nil, fmt.Errorf("cluster.Exact: k=%d exceeds universe size %d", k, n)
+	}
+
+	parts := criticalMassParts(itemSupports, pairs, 1/float64(k))
+
+	// Merge lightest parts until at most k remain.
+	for len(parts) > k {
+		sort.Slice(parts, func(i, j int) bool { return parts[i].mass > parts[j].mass })
+		a, b := len(parts)-2, len(parts)-1
+		parts[a].items = append(parts[a].items, parts[b].items...)
+		parts[a].mass += parts[b].mass
+		parts = parts[:b]
+	}
+
+	// Split heaviest splittable parts until exactly k.
+	for len(parts) < k {
+		sort.Slice(parts, func(i, j int) bool { return parts[i].mass > parts[j].mass })
+		split := -1
+		for i, p := range parts {
+			if len(p.items) >= 2 {
+				split = i
+				break
+			}
+		}
+		if split < 0 {
+			return nil, fmt.Errorf("cluster.Exact: cannot reach k=%d parts with %d items", k, n)
+		}
+		left, right := splitBalanced(parts[split], itemSupports)
+		parts[split] = left
+		parts = append(parts, right)
+	}
+
+	out := make([][]txn.Item, len(parts))
+	for i, p := range parts {
+		sortItems(p.items)
+		out[i] = p.items
+	}
+	return out, nil
+}
+
+// splitBalanced divides a part into two halves of near-equal mass by
+// greedy longest-processing-time assignment.
+func splitBalanced(p part, itemSupports []float64) (part, part) {
+	items := append([]txn.Item(nil), p.items...)
+	sort.Slice(items, func(i, j int) bool {
+		return itemSupports[items[i]] > itemSupports[items[j]]
+	})
+	var a, b part
+	for _, it := range items {
+		if a.mass <= b.mass {
+			a.items = append(a.items, it)
+			a.mass += itemSupports[it]
+		} else {
+			b.items = append(b.items, it)
+			b.mass += itemSupports[it]
+		}
+	}
+	if len(a.items) == 0 {
+		a.items, b.items = b.items[:1], b.items[1:]
+	}
+	if len(b.items) == 0 {
+		b.items, a.items = a.items[:1], a.items[1:]
+	}
+	return a, b
+}
+
+// Random partitions the universe into k random, size-balanced parts.
+// It ignores correlations entirely and exists as the ablation baseline
+// for the correlated single-linkage partition.
+func Random(universeSize, k int, rng *rand.Rand) ([][]txn.Item, error) {
+	if k <= 0 || k > universeSize {
+		return nil, fmt.Errorf("cluster.Random: k=%d invalid for universe %d", k, universeSize)
+	}
+	perm := rng.Perm(universeSize)
+	out := make([][]txn.Item, k)
+	for i, p := range perm {
+		out[i%k] = append(out[i%k], txn.Item(p))
+	}
+	for i := range out {
+		sortItems(out[i])
+	}
+	return out, nil
+}
+
+func sortItems(s []txn.Item) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

@@ -1,0 +1,221 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"sigtable/internal/mining"
+	"sigtable/internal/txn"
+)
+
+// checkPartition asserts sets partition {0..universe-1} with non-empty
+// parts.
+func checkPartition(t *testing.T, universe int, sets [][]txn.Item) {
+	t.Helper()
+	seen := make([]bool, universe)
+	for j, set := range sets {
+		if len(set) == 0 {
+			t.Fatalf("signature %d is empty", j)
+		}
+		for _, it := range set {
+			if int(it) >= universe {
+				t.Fatalf("item %d outside universe", it)
+			}
+			if seen[it] {
+				t.Fatalf("item %d in two signatures", it)
+			}
+			seen[it] = true
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("item %d not covered", i)
+		}
+	}
+}
+
+func uniformSupports(n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = 0.1
+	}
+	return s
+}
+
+func TestCriticalMassPartitions(t *testing.T) {
+	// Two obvious clusters: {0..4} heavily co-occurring, {5..9} too,
+	// no cross edges.
+	supports := uniformSupports(10)
+	var pairs []mining.Pair
+	for i := 0; i < 4; i++ {
+		pairs = append(pairs, mining.Pair{A: txn.Item(i), B: txn.Item(i + 1), Support: 0.5})
+	}
+	for i := 5; i < 9; i++ {
+		pairs = append(pairs, mining.Pair{A: txn.Item(i), B: txn.Item(i + 1), Support: 0.5})
+	}
+	sets := CriticalMass(supports, pairs, 0.5)
+	checkPartition(t, 10, sets)
+	if len(sets) != 2 {
+		t.Fatalf("got %d signatures: %v", len(sets), sets)
+	}
+	// Each signature must be exactly one of the clusters.
+	for _, set := range sets {
+		lo := set[0] < 5
+		for _, it := range set {
+			if (it < 5) != lo {
+				t.Fatalf("signature mixes clusters: %v", set)
+			}
+		}
+	}
+}
+
+func TestCriticalMassFreezesEarly(t *testing.T) {
+	// A chain 0-1-2-3 with threshold forcing a freeze after two items:
+	// strongest edges first.
+	supports := uniformSupports(4)
+	pairs := []mining.Pair{
+		{A: 0, B: 1, Support: 0.9},
+		{A: 1, B: 2, Support: 0.8},
+		{A: 2, B: 3, Support: 0.7},
+	}
+	sets := CriticalMass(supports, pairs, 0.5) // freeze at mass 0.2 of 0.4 total
+	checkPartition(t, 4, sets)
+	if len(sets) != 2 {
+		t.Fatalf("got %d signatures: %v", len(sets), sets)
+	}
+}
+
+func TestCriticalMassRejectsBadThreshold(t *testing.T) {
+	for _, cm := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("threshold %v accepted", cm)
+				}
+			}()
+			CriticalMass(uniformSupports(3), nil, cm)
+		}()
+	}
+}
+
+func TestCriticalMassZeroSupports(t *testing.T) {
+	sets := CriticalMass(make([]float64, 6), nil, 0.5)
+	checkPartition(t, 6, sets)
+}
+
+func TestExactReturnsExactlyK(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{10, 50, 300} {
+		supports := make([]float64, n)
+		for i := range supports {
+			supports[i] = rng.Float64() * 0.1
+		}
+		var pairs []mining.Pair
+		for e := 0; e < n; e++ {
+			pairs = append(pairs, mining.Pair{
+				A:       txn.Item(rng.Intn(n)),
+				B:       txn.Item(rng.Intn(n)),
+				Support: rng.Float64(),
+			})
+		}
+		// Drop self-loops.
+		valid := pairs[:0]
+		for _, p := range pairs {
+			if p.A != p.B {
+				valid = append(valid, p)
+			}
+		}
+		for _, k := range []int{1, 2, 7, n} {
+			sets, err := Exact(supports, valid, k)
+			if err != nil {
+				t.Fatalf("n=%d k=%d: %v", n, k, err)
+			}
+			if len(sets) != k {
+				t.Fatalf("n=%d k=%d: got %d parts", n, k, len(sets))
+			}
+			checkPartition(t, n, sets)
+		}
+	}
+}
+
+func TestExactErrors(t *testing.T) {
+	if _, err := Exact(uniformSupports(5), nil, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Exact(uniformSupports(5), nil, 6); err == nil {
+		t.Error("k > universe accepted")
+	}
+}
+
+func TestExactGroupsCorrelatedItems(t *testing.T) {
+	// Three strongly correlated triples; k=3 must recover them.
+	supports := uniformSupports(9)
+	var pairs []mining.Pair
+	for c := 0; c < 3; c++ {
+		base := txn.Item(3 * c)
+		pairs = append(pairs,
+			mining.Pair{A: base, B: base + 1, Support: 0.9},
+			mining.Pair{A: base + 1, B: base + 2, Support: 0.9},
+		)
+	}
+	sets, err := Exact(supports, pairs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, 9, sets)
+	for _, set := range sets {
+		if len(set) != 3 {
+			t.Fatalf("expected triples, got %v", sets)
+		}
+		c := set[0] / 3
+		for _, it := range set {
+			if it/3 != c {
+				t.Fatalf("signature mixes correlated triples: %v", sets)
+			}
+		}
+	}
+}
+
+func TestRandomPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sets, err := Random(100, 7, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 7 {
+		t.Fatalf("got %d parts", len(sets))
+	}
+	checkPartition(t, 100, sets)
+	// Balanced to within one.
+	for _, s := range sets {
+		if len(s) < 100/7 || len(s) > 100/7+1 {
+			t.Fatalf("unbalanced random part of size %d", len(s))
+		}
+	}
+	if _, err := Random(5, 9, rng); err == nil {
+		t.Error("k > universe accepted")
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	u := newUnionFind([]float64{1, 2, 3, 4})
+	if u.find(0) == u.find(1) {
+		t.Fatal("fresh elements joined")
+	}
+	r := u.union(0, 1)
+	if u.find(0) != u.find(1) || u.find(0) != r {
+		t.Fatal("union failed")
+	}
+	if got := u.componentMass(1); got != 3 {
+		t.Fatalf("mass = %v, want 3", got)
+	}
+	r2 := u.union(0, 1) // idempotent
+	if r2 != r || u.componentMass(0) != 3 {
+		t.Fatal("repeated union changed state")
+	}
+	u.union(2, 3)
+	u.union(0, 3)
+	if got := u.componentMass(2); got != 10 {
+		t.Fatalf("mass = %v, want 10", got)
+	}
+}

@@ -1,0 +1,55 @@
+// Package cluster implements the single-linkage clustering used to
+// partition the item universe into signatures (paper §3.1): a greedy
+// minimum-spanning-tree (Kruskal) pass over the 2-itemset co-occurrence
+// graph, peeling off connected components whose mass (sum of member
+// item supports) reaches a critical-mass threshold.
+package cluster
+
+// unionFind is a weighted union-find with path compression, augmented
+// with a per-component mass.
+type unionFind struct {
+	parent []int
+	size   []int
+	mass   []float64
+}
+
+func newUnionFind(masses []float64) *unionFind {
+	n := len(masses)
+	u := &unionFind{
+		parent: make([]int, n),
+		size:   make([]int, n),
+		mass:   make([]float64, n),
+	}
+	for i := range u.parent {
+		u.parent[i] = i
+		u.size[i] = 1
+		u.mass[i] = masses[i]
+	}
+	return u
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+// union merges the components of a and b and returns the new root.
+// If already joined it returns the shared root.
+func (u *unionFind) union(a, b int) int {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return ra
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+	u.mass[ra] += u.mass[rb]
+	return ra
+}
+
+func (u *unionFind) componentMass(x int) float64 { return u.mass[u.find(x)] }

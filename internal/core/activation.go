@@ -1,0 +1,46 @@
+package core
+
+import (
+	"sigtable/internal/signature"
+	"sigtable/internal/txn"
+)
+
+// RecommendActivation suggests an activation threshold r for a dataset
+// and partition, operationalizing the paper's footnote 4: for longer
+// transactions, higher thresholds perform better because at r = 1 a
+// dense transaction activates most signatures, crowding the table's
+// heavy coordinates and flattening the bounds.
+//
+// The heuristic picks the smallest r whose average activation count
+// (over a sample) is at most half the signature cardinality, keeping
+// supercoordinates sparse enough to discriminate. r = 1 is returned
+// for typical sparse baskets; denser data gets 2 or more.
+func RecommendActivation(data *txn.Dataset, part *signature.Partition, sample int) int {
+	n := data.Len()
+	if sample <= 0 || sample > n {
+		sample = n
+	}
+	if sample == 0 {
+		return 1
+	}
+	k := part.K()
+	target := float64(k) / 2
+
+	maxR := 4
+	counts := make([]float64, maxR+1) // counts[r] = total activations at threshold r
+	overlaps := make([]int, k)
+	for i := 0; i < sample; i++ {
+		part.Overlaps(data.Get(txn.TID(i)), overlaps)
+		for _, c := range overlaps {
+			for r := 1; r <= maxR && r <= c; r++ {
+				counts[r]++
+			}
+		}
+	}
+	for r := 1; r <= maxR; r++ {
+		if counts[r]/float64(sample) <= target {
+			return r
+		}
+	}
+	return maxR
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sigtable/internal/txn"
+)
+
+// denseDataset builds transactions that touch most of the universe, so
+// every signature is activated several times at r = 1.
+func denseDataset(rng *rand.Rand, n, universe, txnLen int) *txn.Dataset {
+	d := txn.NewDataset(universe)
+	for i := 0; i < n; i++ {
+		items := make([]txn.Item, 0, txnLen)
+		for len(items) < txnLen {
+			items = append(items, txn.Item(rng.Intn(universe)))
+		}
+		d.Append(txn.New(items...))
+	}
+	return d
+}
+
+func TestRecommendActivationSparseData(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Sparse: 3-item baskets over 100 items, 10 signatures — a basket
+	// activates at most 3 of 10 signatures.
+	d := denseDataset(rng, 200, 100, 3)
+	part := randomPartition(t, rng, 100, 10)
+	if r := RecommendActivation(d, part, 0); r != 1 {
+		t.Fatalf("sparse data recommended r=%d, want 1", r)
+	}
+}
+
+func TestRecommendActivationDenseData(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Dense: 40-item baskets over 50 items, 5 signatures — at r = 1
+	// every basket activates everything.
+	d := denseDataset(rng, 200, 50, 40)
+	part := randomPartition(t, rng, 50, 5)
+	r := RecommendActivation(d, part, 0)
+	if r <= 1 {
+		t.Fatalf("dense data recommended r=%d, want > 1", r)
+	}
+	// The recommendation must actually spread the table: entries at the
+	// recommended r are at least as numerous as at r = 1... (the
+	// recomputed coordinates discriminate, rather than all-ones).
+	t1 := buildTestTable(t, d, part, BuildOptions{ActivationThreshold: 1})
+	tr := buildTestTable(t, d, part, BuildOptions{ActivationThreshold: r})
+	if t1.NumEntries() == 1 && tr.NumEntries() == 1 {
+		t.Fatal("recommended threshold did not discriminate at all")
+	}
+}
+
+func TestRecommendActivationEmptyAndSampled(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	part := randomPartition(t, rng, 20, 4)
+	empty := txn.NewDataset(20)
+	if r := RecommendActivation(empty, part, 0); r != 1 {
+		t.Fatalf("empty dataset recommended r=%d", r)
+	}
+	d := denseDataset(rng, 500, 20, 5)
+	full := RecommendActivation(d, part, 0)
+	sampled := RecommendActivation(d, part, 100)
+	if full < 1 || sampled < 1 {
+		t.Fatal("invalid recommendation")
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math/bits"
+
+	"sigtable/internal/signature"
+	"sigtable/internal/simfun"
+)
+
+// Bounds holds the per-entry optimistic statistics of §4.1: MatchOpt is
+// an upper bound on the match count x, and DistOpt a lower bound on the
+// hamming distance y, between the target and *every* transaction
+// indexed by the entry.
+type Bounds struct {
+	MatchOpt int
+	DistOpt  int
+}
+
+// bounder precomputes the target-dependent pieces of the bound
+// computation so evaluating an entry costs O(K).
+type bounder struct {
+	overlaps []int // r_j = |target ∩ S_j|
+	r        int   // activation threshold
+	// Precomputed totals for the all-bits-set baseline let the per-entry
+	// loop touch only signatures, which is already O(K); kept simple.
+}
+
+func (t *Table) newBounder(overlaps []int) *bounder {
+	return &bounder{overlaps: overlaps, r: t.r}
+}
+
+// bounds computes FindOptimisticMatch and FindOptimisticDist for the
+// supercoordinate c (paper §4.1):
+//
+//   - b_j = 0: the entry's transactions have at most r-1 items of S_j,
+//     so at most min(r-1, r_j) of the target's S_j items can match, and
+//     at least max(0, r_j-r+1) of them must be mismatches.
+//   - b_j = 1: the entry's transactions have at least r items of S_j;
+//     all r_j target items may match, and if r_j < r the transaction
+//     must own at least r - r_j items the target lacks.
+func (b *bounder) bounds(c signature.Coord) Bounds {
+	var out Bounds
+	r := b.r
+	for j, rj := range b.overlaps {
+		if c&(1<<uint(j)) != 0 {
+			out.MatchOpt += rj
+			if rj < r {
+				out.DistOpt += r - rj
+			}
+		} else {
+			if rj < r-1 {
+				out.MatchOpt += rj
+			} else {
+				out.MatchOpt += r - 1
+			}
+			if d := rj - r + 1; d > 0 {
+				out.DistOpt += d
+			}
+		}
+	}
+	return out
+}
+
+// OptimisticBound computes f(M_opt, D_opt) for the target against one
+// entry — the paper's FindOptimisticBound. f must already be bound to
+// the target if it is TargetAware.
+func (t *Table) OptimisticBound(target []int, e *Entry, f simfun.Func) float64 {
+	b := t.newBounder(target)
+	bd := b.bounds(e.Coord)
+	return f.Score(bd.MatchOpt, bd.DistOpt)
+}
+
+// coordSimilarity scores the alternative entry ordering the paper
+// discusses in §4: apply f to the supercoordinates themselves, with
+// x = |B0 ∩ Bi| and y = |B0 Δ Bi| over activation bits.
+func coordSimilarity(f simfun.Func, target, entry signature.Coord) float64 {
+	x := bits.OnesCount64(target & entry)
+	y := bits.OnesCount64(target ^ entry)
+	return f.Score(x, y)
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sigtable/internal/signature"
+	"sigtable/internal/simfun"
+	"sigtable/internal/txn"
+)
+
+// TestBoundsHandComputed pins §4.1's formulas on a worked example.
+// Universe {0..9}, signatures S0={0..4}, S1={5..9}, r=2.
+// Target {0,1,5}: r_0 = 2, r_1 = 1.
+func TestBoundsHandComputed(t *testing.T) {
+	b := &bounder{overlaps: []int{2, 1}, r: 2}
+
+	cases := []struct {
+		coord     signature.Coord
+		wantMatch int
+		wantDist  int
+	}{
+		// b = 00: S0 contributes min(r-1, r_0)=1 match, max(0, 2-2+1)=1 dist;
+		//         S1 contributes min(1, 1)=1 match, max(0, 1-2+1)=0 dist.
+		{0b00, 2, 1},
+		// b = 01 (S0 active): S0 gives r_0=2 match, r_0>=r so 0 dist;
+		//         S1 inactive: 1 match, 0 dist.
+		{0b01, 3, 0},
+		// b = 10 (S1 active): S0 inactive: 1 match, 1 dist;
+		//         S1 active: r_1=1 match, max(0, r-r_1)=1 dist.
+		{0b10, 2, 2},
+		// b = 11: S0: 2 match 0 dist; S1: 1 match, 1 dist.
+		{0b11, 3, 1},
+	}
+	for _, tc := range cases {
+		got := b.bounds(tc.coord)
+		if got.MatchOpt != tc.wantMatch || got.DistOpt != tc.wantDist {
+			t.Errorf("bounds(%02b) = {M:%d D:%d}, want {M:%d D:%d}",
+				tc.coord, got.MatchOpt, got.DistOpt, tc.wantMatch, tc.wantDist)
+		}
+	}
+}
+
+// TestBoundSoundness is DESIGN.md invariant 2: for every entry B and
+// every transaction S indexed by B, M_opt >= match(S, T) and
+// D_opt <= hamming(S, T), hence f(M_opt, D_opt) >= f(match, hamming)
+// for every monotone f.
+func TestBoundSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 15; trial++ {
+		universe := 20 + rng.Intn(40)
+		d := randomDataset(rng, 300, universe)
+		k := 3 + rng.Intn(6)
+		part := randomPartition(t, rng, universe, k)
+		r := 1 + rng.Intn(3)
+		table := buildTestTable(t, d, part, BuildOptions{ActivationThreshold: r})
+
+		for q := 0; q < 10; q++ {
+			target := randomTarget(rng, universe)
+			overlaps := part.Overlaps(target, nil)
+			b := table.newBounder(overlaps)
+			for _, e := range table.Entries() {
+				bd := b.bounds(e.Coord)
+				table.scanEntry(e, func(id txn.TID, tr txn.Transaction) bool {
+					x, y := txn.MatchHamming(target, tr)
+					if x > bd.MatchOpt {
+						t.Fatalf("trial %d r=%d: match %d exceeds M_opt %d (target %v, txn %v, coord %b)",
+							trial, r, x, bd.MatchOpt, target, tr, e.Coord)
+					}
+					if y < bd.DistOpt {
+						t.Fatalf("trial %d r=%d: hamming %d below D_opt %d (target %v, txn %v, coord %b)",
+							trial, r, y, bd.DistOpt, target, tr, e.Coord)
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// TestOptimisticBoundDominatesSimilarity composes bound soundness with
+// Lemma 2.1 for every built-in similarity function.
+func TestOptimisticBoundDominatesSimilarity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := randomDataset(rng, 400, 30)
+	part := randomPartition(t, rng, 30, 5)
+	table := buildTestTable(t, d, part, BuildOptions{ActivationThreshold: 2})
+
+	for q := 0; q < 20; q++ {
+		target := randomTarget(rng, 30)
+		overlaps := part.Overlaps(target, nil)
+		for _, f0 := range allSimFuncs() {
+			f := f0
+			if ta, ok := f.(simfun.TargetAware); ok {
+				f = ta.Bind(target)
+			}
+			for _, e := range table.Entries() {
+				opt := table.OptimisticBound(overlaps, e, f)
+				table.scanEntry(e, func(id txn.TID, tr txn.Transaction) bool {
+					if got := simfun.Evaluate(f, target, tr); got > opt+1e-9 {
+						t.Fatalf("%s: similarity %v exceeds optimistic bound %v (entry %b)",
+							f.Name(), got, opt, e.Coord)
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// TestBoundExactForOwnCoordinate: the target's own supercoordinate must
+// bound distance at <= the distance to a duplicate of the target, i.e.
+// D_opt = 0 and M_opt >= |target| when the target itself is indexed.
+func TestBoundTightForDuplicate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := randomDataset(rng, 100, 25)
+	target := d.Get(17)
+	part := randomPartition(t, rng, 25, 4)
+	table := buildTestTable(t, d, part, BuildOptions{})
+
+	overlaps := part.Overlaps(target, nil)
+	coord := part.Coord(target, 1)
+	b := table.newBounder(overlaps)
+	bd := b.bounds(coord)
+	if bd.DistOpt != 0 {
+		t.Fatalf("D_opt for own coordinate = %d, want 0", bd.DistOpt)
+	}
+	if bd.MatchOpt < target.Len() {
+		t.Fatalf("M_opt %d below |target| %d", bd.MatchOpt, target.Len())
+	}
+}
+
+func TestCoordSimilarity(t *testing.T) {
+	f := simfun.Jaccard{}
+	// coords 0b0110 vs 0b0011: intersection 1 bit, xor 2 bits.
+	got := coordSimilarity(f, 0b0110, 0b0011)
+	want := f.Score(1, 2)
+	if got != want {
+		t.Fatalf("coordSimilarity = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sigtable/internal/cluster"
+	"sigtable/internal/signature"
+	"sigtable/internal/simfun"
+	"sigtable/internal/txn"
+)
+
+// Shared test fixtures.
+
+// randomDataset builds a dataset with planted correlation: items are
+// drawn from a handful of overlapping "pattern" groups so signature
+// partitioning has structure to find.
+func randomDataset(rng *rand.Rand, n, universe int) *txn.Dataset {
+	d := txn.NewDataset(universe)
+	numPatterns := 5 + universe/10
+	patterns := make([][]txn.Item, numPatterns)
+	for i := range patterns {
+		size := 2 + rng.Intn(5)
+		items := make([]txn.Item, size)
+		for j := range items {
+			items[j] = txn.Item(rng.Intn(universe))
+		}
+		patterns[i] = items
+	}
+	for i := 0; i < n; i++ {
+		var items []txn.Item
+		for len(items) < 1+rng.Intn(8) {
+			p := patterns[rng.Intn(numPatterns)]
+			items = append(items, p[rng.Intn(len(p))])
+		}
+		d.Append(txn.New(items...))
+	}
+	return d
+}
+
+// randomPartition splits the universe into k random signatures.
+func randomPartition(t testing.TB, rng *rand.Rand, universe, k int) *signature.Partition {
+	t.Helper()
+	sets, err := cluster.Random(universe, k, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := signature.NewPartition(universe, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return part
+}
+
+func buildTestTable(t testing.TB, d *txn.Dataset, part *signature.Partition, opt BuildOptions) *Table {
+	t.Helper()
+	table, err := Build(d, part, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return table
+}
+
+func randomTarget(rng *rand.Rand, universe int) txn.Transaction {
+	items := make([]txn.Item, 1+rng.Intn(8))
+	for j := range items {
+		items[j] = txn.Item(rng.Intn(universe))
+	}
+	return txn.New(items...)
+}
+
+func allSimFuncs() []simfun.Func {
+	return []simfun.Func{
+		simfun.Hamming{},
+		simfun.Match{},
+		simfun.MatchHammingRatio{},
+		simfun.Cosine{},
+		simfun.Jaccard{},
+		simfun.Dice{},
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"sigtable/internal/signature"
+)
+
+// TestEntryQueuePopOrder: popping the hand-rolled heap must yield
+// exactly the (sort desc, tie desc, coord asc) order a full sort would.
+func TestEntryQueuePopOrder(t *testing.T) {
+	prop := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%120 + 1
+		entries := make([]*Entry, n)
+		q := make(entryQueue, n)
+		ref := make([]rankedEntry, n)
+		for i := 0; i < n; i++ {
+			entries[i] = &Entry{Coord: signature.Coord(i)}
+			re := rankedEntry{
+				e:    entries[i],
+				opt:  float64(rng.Intn(5)),
+				sort: float64(rng.Intn(5)),
+				tie:  float64(rng.Intn(3)),
+			}
+			q[i] = re
+			ref[i] = re
+		}
+		q.heapify()
+
+		sort.Slice(ref, func(i, j int) bool {
+			if ref[i].sort != ref[j].sort {
+				return ref[i].sort > ref[j].sort
+			}
+			if ref[i].tie != ref[j].tie {
+				return ref[i].tie > ref[j].tie
+			}
+			return ref[i].e.Coord < ref[j].e.Coord
+		})
+		for i := 0; q.Len() > 0; i++ {
+			got := q.popMax()
+			want := ref[i]
+			if got.sort != want.sort || got.tie != want.tie || got.e.Coord != want.e.Coord {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

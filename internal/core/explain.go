@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sigtable/internal/signature"
+	"sigtable/internal/simfun"
+	"sigtable/internal/txn"
+)
+
+// EntryBound is one row of an Explain: how a signature table entry
+// bounds a particular target under a particular similarity function.
+type EntryBound struct {
+	Coord    signature.Coord
+	Count    int
+	MatchOpt int
+	DistOpt  int
+	Bound    float64
+}
+
+// Explanation describes how a query would unfold: the target's
+// activation profile and the per-entry optimistic bounds in visiting
+// order.
+type Explanation struct {
+	TargetCoord signature.Coord
+	Overlaps    []int // r_j per signature
+	Entries     []EntryBound
+}
+
+// Explain computes the bound landscape for a target under f without
+// scanning any transactions. It is the debugging/tuning companion to
+// Query: entries at the top are visited first; a good index shows a
+// steep bound drop-off (most entries prunable once one strong
+// candidate is found).
+func (t *Table) Explain(target txn.Transaction, f simfun.Func) Explanation {
+	if ta, ok := f.(simfun.TargetAware); ok {
+		f = ta.Bind(target)
+	}
+	overlaps := t.part.Overlaps(target, nil)
+	b := t.newBounder(overlaps)
+
+	ex := Explanation{
+		TargetCoord: signature.CoordOfOverlaps(overlaps, t.r),
+		Overlaps:    overlaps,
+		Entries:     make([]EntryBound, len(t.entries)),
+	}
+	for i, e := range t.entries {
+		bd := b.bounds(e.Coord)
+		ex.Entries[i] = EntryBound{
+			Coord:    e.Coord,
+			Count:    e.Count,
+			MatchOpt: bd.MatchOpt,
+			DistOpt:  bd.DistOpt,
+			Bound:    f.Score(bd.MatchOpt, bd.DistOpt),
+		}
+	}
+	sort.Slice(ex.Entries, func(i, j int) bool {
+		if ex.Entries[i].Bound != ex.Entries[j].Bound {
+			return ex.Entries[i].Bound > ex.Entries[j].Bound
+		}
+		return ex.Entries[i].Coord < ex.Entries[j].Coord
+	})
+	return ex
+}
+
+// String renders the explanation's head (top 10 entries) for human
+// consumption.
+func (ex Explanation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "target coord %#x, overlaps %v\n", ex.TargetCoord, ex.Overlaps)
+	fmt.Fprintf(&b, "%18s %8s %6s %6s %10s\n", "coord", "txns", "M_opt", "D_opt", "bound")
+	for i, e := range ex.Entries {
+		if i == 10 {
+			fmt.Fprintf(&b, "... and %d more entries\n", len(ex.Entries)-10)
+			break
+		}
+		fmt.Fprintf(&b, "%#18x %8d %6d %6d %10.4f\n", e.Coord, e.Count, e.MatchOpt, e.DistOpt, e.Bound)
+	}
+	return b.String()
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzReadTable: corrupt index files must be rejected with an error,
+// never a panic, and never load into a table that disagrees with its
+// dataset.
+func FuzzReadTable(f *testing.F) {
+	rng := rand.New(rand.NewSource(1))
+	d := randomDataset(rng, 60, 20)
+	part := randomPartition(f, rng, 20, 4)
+	table, err := Build(d, part, BuildOptions{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := table.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("not an index"))
+	// A single-bit corruption of the valid file.
+	corrupt := append([]byte(nil), buf.Bytes()...)
+	if len(corrupt) > 30 {
+		corrupt[30] ^= 0x40
+	}
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		loaded, err := ReadTable(bytes.NewReader(raw), d)
+		if err != nil {
+			return
+		}
+		// Anything that loads must be internally consistent.
+		total := 0
+		for _, e := range loaded.Entries() {
+			total += e.Count
+			for _, id := range loaded.TIDs(e) {
+				if int(id) >= d.Len() {
+					t.Fatalf("entry references TID %d beyond dataset", id)
+				}
+			}
+		}
+		if total != d.Len() {
+			t.Fatalf("loaded table indexes %d of %d transactions", total, d.Len())
+		}
+	})
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+
+	"sigtable/internal/signature"
+	"sigtable/internal/simfun"
+	"sigtable/internal/txn"
+)
+
+// MultiQuery runs the multi-target variant of §4.3: find the k
+// transactions maximizing the *average* similarity to a set of targets
+// under f. The optimistic bound of an entry is the average of its
+// per-target optimistic bounds, which upper-bounds the average
+// similarity of every indexed transaction, so branch-and-bound pruning
+// carries over unchanged.
+func (t *Table) MultiQuery(targets []txn.Transaction, f simfun.Func, opt QueryOptions) (Result, error) {
+	if len(targets) == 0 {
+		return Result{}, fmt.Errorf("core: multi-target query needs at least one target")
+	}
+	opt, budget, err := opt.normalized(t.live)
+	if err != nil {
+		return Result{}, err
+	}
+	if t.live == 0 {
+		return Result{Certified: true}, nil
+	}
+
+	// Bind per target, precompute per-target overlaps and coordinates.
+	fs := make([]simfun.Func, len(targets))
+	bounders := make([]*bounder, len(targets))
+	coords := make([]signature.Coord, len(targets))
+	for i, tgt := range targets {
+		fi := f
+		if ta, ok := f.(simfun.TargetAware); ok {
+			fi = ta.Bind(tgt)
+		}
+		fs[i] = fi
+		bounders[i] = t.newBounder(t.part.Overlaps(tgt, nil))
+		coords[i] = t.part.Coord(tgt, t.r)
+	}
+	invN := 1 / float64(len(targets))
+
+	q := make(entryQueue, len(t.entries))
+	for i, e := range t.entries {
+		optSum, simSum := 0.0, 0.0
+		for j := range targets {
+			bd := bounders[j].bounds(e.Coord)
+			optSum += fs[j].Score(bd.MatchOpt, bd.DistOpt)
+			simSum += coordSimilarity(fs[j], coords[j], e.Coord)
+		}
+		avgOpt, avgSim := optSum*invN, simSum*invN
+		key := avgOpt
+		if opt.SortBy == ByCoordSimilarity {
+			key = avgSim
+		}
+		q[i] = rankedEntry{e: e, opt: avgOpt, sort: key, tie: avgSim}
+	}
+	q.heapify()
+
+	res := t.runSearch(q, opt.K, budget, opt.SortBy, func(tr txn.Transaction) float64 {
+		sum := 0.0
+		for i, tgt := range targets {
+			x, y := txn.MatchHamming(tgt, tr)
+			sum += fs[i].Score(x, y)
+		}
+		return sum * invN
+	})
+	return res, nil
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sigtable/internal/simfun"
+	"sigtable/internal/topk"
+	"sigtable/internal/txn"
+)
+
+// bruteMultiKNN is the oracle: average similarity across targets,
+// scanned exhaustively.
+func bruteMultiKNN(d *txn.Dataset, targets []txn.Transaction, f simfun.Func, k int) []topk.Candidate {
+	fs := make([]simfun.Func, len(targets))
+	for i, tgt := range targets {
+		fi := f
+		if ta, ok := f.(simfun.TargetAware); ok {
+			fi = ta.Bind(tgt)
+		}
+		fs[i] = fi
+	}
+	best := topk.New(k)
+	for i, tr := range d.All() {
+		sum := 0.0
+		for j, tgt := range targets {
+			x, y := txn.MatchHamming(tgt, tr)
+			sum += fs[j].Score(x, y)
+		}
+		best.Offer(txn.TID(i), sum/float64(len(targets)))
+	}
+	return best.Results()
+}
+
+// TestMultiQueryMatchesBruteForce: complete-run multi-target search is
+// exact for every similarity function and target-set size.
+func TestMultiQueryMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 8; trial++ {
+		universe := 20 + rng.Intn(30)
+		d := randomDataset(rng, 300, universe)
+		part := randomPartition(t, rng, universe, 3+rng.Intn(5))
+		table := buildTestTable(t, d, part, BuildOptions{})
+
+		for _, numTargets := range []int{1, 2, 4} {
+			targets := make([]txn.Transaction, numTargets)
+			for i := range targets {
+				targets[i] = randomTarget(rng, universe)
+			}
+			for _, f := range allSimFuncs() {
+				res, err := table.MultiQuery(targets, f, QueryOptions{K: 3})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := bruteMultiKNN(d, targets, f, 3)
+				if len(res.Neighbors) != len(want) {
+					t.Fatalf("%s: %d neighbors, want %d", f.Name(), len(res.Neighbors), len(want))
+				}
+				for i := range want {
+					if math.Abs(res.Neighbors[i].Value-want[i].Value) > 1e-12 {
+						t.Fatalf("trial %d %s (%d targets): value[%d] = %v, want %v",
+							trial, f.Name(), numTargets, i, res.Neighbors[i].Value, want[i].Value)
+					}
+				}
+				if !res.Certified {
+					t.Fatalf("%s: complete multi-target run not certified", f.Name())
+				}
+			}
+		}
+	}
+}
+
+// TestMultiQuerySingleTargetEqualsQuery: with one target, MultiQuery
+// must agree with Query.
+func TestMultiQuerySingleTargetEqualsQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := randomDataset(rng, 300, 25)
+	table := buildTestTable(t, d, randomPartition(t, rng, 25, 4), BuildOptions{})
+
+	for q := 0; q < 10; q++ {
+		target := randomTarget(rng, 25)
+		for _, f := range allSimFuncs() {
+			single, err := table.Query(target, f, QueryOptions{K: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			multi, err := table.MultiQuery([]txn.Transaction{target}, f, QueryOptions{K: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range single.Neighbors {
+				if single.Neighbors[i].Value != multi.Neighbors[i].Value {
+					t.Fatalf("%s: single %v vs multi %v", f.Name(), single.Neighbors, multi.Neighbors)
+				}
+			}
+		}
+	}
+}
+
+func TestMultiQueryValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := randomDataset(rng, 50, 20)
+	table := buildTestTable(t, d, randomPartition(t, rng, 20, 3), BuildOptions{})
+	if _, err := table.MultiQuery(nil, simfun.Match{}, QueryOptions{}); err == nil {
+		t.Error("empty target set accepted")
+	}
+	if _, err := table.MultiQuery([]txn.Transaction{txn.New(1)}, simfun.Match{}, QueryOptions{K: -1}); err == nil {
+		t.Error("negative k accepted")
+	}
+}
+
+// TestMultiQueryEarlyTermination mirrors the single-target budget
+// semantics.
+func TestMultiQueryEarlyTermination(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := randomDataset(rng, 800, 30)
+	table := buildTestTable(t, d, randomPartition(t, rng, 30, 5), BuildOptions{})
+
+	targets := []txn.Transaction{randomTarget(rng, 30), randomTarget(rng, 30)}
+	res, err := table.MultiQuery(targets, simfun.Jaccard{}, QueryOptions{K: 2, MaxScanFraction: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scanned > int(math.Ceil(0.01*800)) {
+		t.Fatalf("scanned %d over budget", res.Scanned)
+	}
+	want := bruteMultiKNN(d, targets, simfun.Jaccard{}, 2)
+	if res.Certified && res.Neighbors[0].Value != want[0].Value {
+		t.Fatalf("certified early answer %v != optimum %v", res.Neighbors[0].Value, want[0].Value)
+	}
+}
+
+// TestMultiQuerySortCriteriaAgree: both orders yield the exact answer.
+func TestMultiQuerySortCriteriaAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := randomDataset(rng, 300, 25)
+	table := buildTestTable(t, d, randomPartition(t, rng, 25, 4), BuildOptions{})
+	targets := []txn.Transaction{randomTarget(rng, 25), randomTarget(rng, 25), randomTarget(rng, 25)}
+
+	a, err := table.MultiQuery(targets, simfun.Dice{}, QueryOptions{K: 4, SortBy: ByOptimisticBound})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := table.MultiQuery(targets, simfun.Dice{}, QueryOptions{K: 4, SortBy: ByCoordSimilarity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Neighbors {
+		if a.Neighbors[i].Value != b.Neighbors[i].Value {
+			t.Fatalf("sort criteria disagree: %v vs %v", a.Neighbors, b.Neighbors)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"sigtable/internal/signature"
+	"sigtable/internal/txn"
+)
+
+// computeCoords evaluates every transaction's supercoordinate,
+// fanning the work across workers when the dataset is large enough for
+// the goroutine overhead to pay off.
+func computeCoords(data *txn.Dataset, part *signature.Partition, r, parallelism int) []signature.Coord {
+	n := data.Len()
+	coords := make([]signature.Coord, n)
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	const minChunk = 4096
+	if parallelism == 1 || n < 2*minChunk {
+		for i, tr := range data.All() {
+			coords[i] = part.Coord(tr, r)
+		}
+		return coords
+	}
+
+	chunk := (n + parallelism - 1) / parallelism
+	if chunk < minChunk {
+		chunk = minChunk
+	}
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				coords[i] = part.Coord(data.Get(txn.TID(i)), r)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return coords
+}

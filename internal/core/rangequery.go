@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sigtable/internal/simfun"
+	"sigtable/internal/txn"
+)
+
+// RangeConstraint is one conjunct of a range query: similarity under F
+// must be at least Threshold.
+type RangeConstraint struct {
+	F         simfun.Func
+	Threshold float64
+}
+
+// RangeResult reports the matching transactions and the query's cost.
+type RangeResult struct {
+	// TIDs are the transactions satisfying every constraint, in
+	// increasing TID order.
+	TIDs []txn.TID
+	// Scanned counts similarity evaluations; EntriesPruned counts
+	// entries excluded by their optimistic bounds.
+	Scanned        int
+	EntriesScanned int
+	EntriesPruned  int
+	PagesRead      int64
+}
+
+// RangeQuery finds all transactions whose similarity to the target is
+// at least t_i under every function f_i (§4.3). An entry is pruned as
+// soon as any constraint's optimistic bound falls below its threshold:
+// no transaction inside can satisfy that conjunct.
+func (t *Table) RangeQuery(target txn.Transaction, constraints []RangeConstraint) (RangeResult, error) {
+	if len(constraints) == 0 {
+		return RangeResult{}, fmt.Errorf("core: range query needs at least one constraint")
+	}
+	fs := make([]simfun.Func, len(constraints))
+	for i, c := range constraints {
+		f := c.F
+		if f == nil {
+			return RangeResult{}, fmt.Errorf("core: constraint %d has nil similarity function", i)
+		}
+		if ta, ok := f.(simfun.TargetAware); ok {
+			f = ta.Bind(target)
+		}
+		fs[i] = f
+	}
+
+	overlaps := t.part.Overlaps(target, nil)
+	b := t.newBounder(overlaps)
+
+	var res RangeResult
+	var startReads int64
+	if t.store != nil {
+		startReads = t.store.Stats().Reads
+	}
+
+	for _, e := range t.entries {
+		bd := b.bounds(e.Coord)
+		pruned := false
+		for i, f := range fs {
+			if f.Score(bd.MatchOpt, bd.DistOpt) < constraints[i].Threshold {
+				pruned = true
+				break
+			}
+		}
+		if pruned {
+			res.EntriesPruned++
+			continue
+		}
+		res.EntriesScanned++
+		t.scanEntry(e, func(id txn.TID, tr txn.Transaction) bool {
+			res.Scanned++
+			x, y := txn.MatchHamming(target, tr)
+			for i, f := range fs {
+				if f.Score(x, y) < constraints[i].Threshold {
+					return true
+				}
+			}
+			res.TIDs = append(res.TIDs, id)
+			return true
+		})
+	}
+
+	sort.Slice(res.TIDs, func(i, j int) bool { return res.TIDs[i] < res.TIDs[j] })
+	if t.store != nil {
+		res.PagesRead = t.store.Stats().Reads - startReads
+	}
+	return res, nil
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sigtable/internal/seqscan"
+	"sigtable/internal/simfun"
+	"sigtable/internal/txn"
+)
+
+// TestRangeQueryMatchesSeqscan: the index's range query must return
+// exactly the brute-force answer for single and conjunctive
+// constraints.
+func TestRangeQueryMatchesSeqscan(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 8; trial++ {
+		universe := 20 + rng.Intn(30)
+		d := randomDataset(rng, 300, universe)
+		part := randomPartition(t, rng, universe, 3+rng.Intn(5))
+		table := buildTestTable(t, d, part, BuildOptions{ActivationThreshold: 1 + rng.Intn(2)})
+
+		for q := 0; q < 8; q++ {
+			target := randomTarget(rng, universe)
+			constraintSets := [][]RangeConstraint{
+				{{F: simfun.Match{}, Threshold: float64(1 + rng.Intn(4))}},
+				{{F: simfun.Jaccard{}, Threshold: 0.2 + rng.Float64()*0.5}},
+				{
+					{F: simfun.Match{}, Threshold: 2},
+					{F: simfun.Hamming{}, Threshold: 1.0 / float64(1+5+rng.Intn(10))},
+				},
+				{
+					{F: simfun.Cosine{}, Threshold: 0.3},
+					{F: simfun.Dice{}, Threshold: 0.3},
+				},
+			}
+			for ci, cs := range constraintSets {
+				res, err := table.RangeQuery(target, cs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fs := make([]simfun.Func, len(cs))
+				ths := make([]float64, len(cs))
+				for i, c := range cs {
+					fs[i] = c.F
+					ths[i] = c.Threshold
+				}
+				want := seqscan.Range(d, target, fs, ths)
+				if len(res.TIDs) != len(want) {
+					t.Fatalf("trial %d constraint set %d: %d matches, want %d (target %v)",
+						trial, ci, len(res.TIDs), len(want), target)
+				}
+				for i := range want {
+					if res.TIDs[i] != want[i] {
+						t.Fatalf("trial %d: TIDs %v, want %v", trial, res.TIDs, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRangeQueryValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := randomDataset(rng, 50, 20)
+	table := buildTestTable(t, d, randomPartition(t, rng, 20, 3), BuildOptions{})
+
+	if _, err := table.RangeQuery(txn.New(1), nil); err == nil {
+		t.Error("empty constraints accepted")
+	}
+	if _, err := table.RangeQuery(txn.New(1), []RangeConstraint{{F: nil, Threshold: 1}}); err == nil {
+		t.Error("nil similarity function accepted")
+	}
+}
+
+// TestRangeQueryPrunes: a threshold no transaction reaches must prune
+// entries rather than scan everything.
+func TestRangeQueryPrunes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := randomDataset(rng, 500, 30)
+	table := buildTestTable(t, d, randomPartition(t, rng, 30, 6), BuildOptions{})
+
+	res, err := table.RangeQuery(randomTarget(rng, 30), []RangeConstraint{
+		{F: simfun.Match{}, Threshold: 1000}, // unattainable
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TIDs) != 0 {
+		t.Fatalf("impossible threshold matched %d transactions", len(res.TIDs))
+	}
+	if res.Scanned != 0 {
+		t.Fatalf("impossible threshold still scanned %d transactions", res.Scanned)
+	}
+	if res.EntriesPruned != table.NumEntries() {
+		t.Fatalf("pruned %d of %d entries", res.EntriesPruned, table.NumEntries())
+	}
+}

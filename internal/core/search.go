@@ -1,0 +1,306 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"sigtable/internal/signature"
+	"sigtable/internal/simfun"
+	"sigtable/internal/topk"
+	"sigtable/internal/txn"
+)
+
+// SortCriterion selects the order in which signature table entries are
+// visited (paper §4 discusses both).
+type SortCriterion int
+
+const (
+	// ByOptimisticBound visits entries in decreasing optimistic-bound
+	// order — the paper's default. With this order the search can stop
+	// at the first prunable entry, since all later entries bound lower.
+	ByOptimisticBound SortCriterion = iota
+	// ByCoordSimilarity orders entries by the similarity function
+	// applied to the supercoordinates themselves, the alternative the
+	// paper suggests as a better proxy for average-case similarity.
+	// Optimistic bounds still drive pruning.
+	ByCoordSimilarity
+)
+
+// QueryOptions tunes a branch-and-bound search.
+type QueryOptions struct {
+	// K is the number of neighbors to return (default 1).
+	K int
+	// MaxScanFraction, in (0, 1], enables early termination after
+	// examining that fraction of the database's transactions (§4.2).
+	// Zero runs to completion.
+	MaxScanFraction float64
+	// SortBy selects the entry visiting order.
+	SortBy SortCriterion
+}
+
+func (o QueryOptions) normalized(n int) (QueryOptions, int, error) {
+	if o.K == 0 {
+		o.K = 1
+	}
+	if o.K < 0 {
+		return o, 0, fmt.Errorf("core: k=%d must be positive", o.K)
+	}
+	budget := n
+	if o.MaxScanFraction != 0 {
+		if o.MaxScanFraction < 0 || o.MaxScanFraction > 1 {
+			return o, 0, fmt.Errorf("core: scan fraction %v outside (0, 1]", o.MaxScanFraction)
+		}
+		budget = int(math.Ceil(o.MaxScanFraction * float64(n)))
+		if budget < 1 {
+			budget = 1
+		}
+	}
+	return o, budget, nil
+}
+
+// Result reports a query's answer and its cost.
+type Result struct {
+	// Neighbors are the best candidates found, sorted by decreasing
+	// similarity.
+	Neighbors []topk.Candidate
+	// Scanned is the number of transactions whose similarity was
+	// evaluated.
+	Scanned int
+	// EntriesScanned and EntriesPruned partition the occupied entries
+	// that were resolved; entries skipped by early termination are in
+	// neither count.
+	EntriesScanned int
+	EntriesPruned  int
+	// PagesRead counts simulated disk pages fetched (disk mode only).
+	// It is derived from the store's global counters, so it is only
+	// meaningful when queries do not run concurrently.
+	PagesRead int64
+	// Certified reports that the result is provably exact: every
+	// unexplored entry's optimistic bound is at most the k-th best
+	// value found (§4.2's quality guarantee). Always true when the
+	// search ran to completion.
+	Certified bool
+	// BestPossible is an upper bound on the value of any transaction in
+	// the database (max of the achieved value and all unexplored
+	// optimistic bounds); with early termination it quantifies how far
+	// from optimal the answer can be.
+	BestPossible float64
+}
+
+// PruningEfficiency is the paper's headline metric: the percentage of
+// the database not examined, when the query ran to completion.
+func (r Result) PruningEfficiency(n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return 100 * (1 - float64(r.Scanned)/float64(n))
+}
+
+// rankedEntry is an entry with its query-time ordering and pruning
+// keys.
+type rankedEntry struct {
+	e    *Entry
+	opt  float64 // optimistic bound, always used for pruning
+	sort float64 // ordering key (== opt for ByOptimisticBound)
+	tie  float64 // supercoordinate similarity, breaks sort-key ties
+}
+
+// entryQueue is a max-heap of rankedEntry, ordered by (sort, tie,
+// coord). Most queries prune after visiting a small prefix of the
+// order, so lazily popping a heap beats fully sorting all occupied
+// entries (the dominant cost at scale). The heap is hand-rolled rather
+// than container/heap to keep pops allocation-free.
+type entryQueue []rankedEntry
+
+func (q entryQueue) Len() int { return len(q) }
+
+func (q entryQueue) before(i, j int) bool {
+	if q[i].sort != q[j].sort {
+		return q[i].sort > q[j].sort
+	}
+	// Optimistic bounds tie in droves (hamming yields few distinct
+	// D_opt values, and every superset of the target's coordinate
+	// bounds at distance 0). Among ties, visit the entry whose
+	// activation pattern most resembles the target's first: its
+	// transactions are the likeliest close matches, which raises the
+	// pessimistic bound early and drives both pruning and
+	// early-termination accuracy.
+	if q[i].tie != q[j].tie {
+		return q[i].tie > q[j].tie
+	}
+	return q[i].e.Coord < q[j].e.Coord
+}
+
+// init heapifies the slice in O(n).
+func (q entryQueue) heapify() {
+	for i := len(q)/2 - 1; i >= 0; i-- {
+		q.siftDown(i)
+	}
+}
+
+func (q entryQueue) siftDown(i int) {
+	n := len(q)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && q.before(l, best) {
+			best = l
+		}
+		if r < n && q.before(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		q[i], q[best] = q[best], q[i]
+		i = best
+	}
+}
+
+// popMax removes and returns the front entry.
+func (q *entryQueue) popMax() rankedEntry {
+	old := *q
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*q = old[:n]
+	(*q).siftDown(0)
+	return top
+}
+
+// rankEntries computes bounds for all entries and heapifies them in
+// visiting order.
+func (t *Table) rankEntries(f simfun.Func, overlaps []int, targetCoord signature.Coord, by SortCriterion) entryQueue {
+	b := t.newBounder(overlaps)
+	q := make(entryQueue, len(t.entries))
+	for i, e := range t.entries {
+		bd := b.bounds(e.Coord)
+		opt := f.Score(bd.MatchOpt, bd.DistOpt)
+		sim := coordSimilarity(f, targetCoord, e.Coord)
+		key := opt
+		if by == ByCoordSimilarity {
+			key = sim
+		}
+		q[i] = rankedEntry{e: e, opt: opt, sort: key, tie: sim}
+	}
+	q.heapify()
+	return q
+}
+
+// runSearch drives the branch-and-bound loop of Figure 3 over a
+// heapified entry order: pop the most promising entry, prune it if its
+// optimistic bound cannot beat the k-th best found, otherwise scan its
+// transactions through score.
+func (t *Table) runSearch(q entryQueue, k, budget int, sortBy SortCriterion, score func(tr txn.Transaction) float64) Result {
+	var res Result
+	var startReads int64
+	if t.store != nil {
+		startReads = t.store.Stats().Reads
+	}
+
+	best := topk.New(k)
+	partialOpt := math.Inf(-1) // bound of an entry cut short by termination
+
+	for q.Len() > 0 {
+		re := q.popMax()
+		if threshold, full := best.Threshold(); full && re.opt <= threshold {
+			if sortBy == ByOptimisticBound {
+				// Ordered by bound: everything still queued is
+				// prunable too.
+				res.EntriesPruned += 1 + q.Len()
+				q = q[:0]
+				break
+			}
+			res.EntriesPruned++
+			continue
+		}
+		res.EntriesScanned++
+		stop := false
+		inEntry := 0
+		t.scanEntry(re.e, func(id txn.TID, tr txn.Transaction) bool {
+			best.Offer(id, score(tr))
+			res.Scanned++
+			inEntry++
+			if res.Scanned >= budget {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			// The budget ran out inside this entry; any unexamined
+			// transactions are still bounded by its optimistic bound.
+			if inEntry < re.e.Count {
+				partialOpt = re.opt
+			}
+			break
+		}
+	}
+
+	// Optimality certificate over whatever was not resolved.
+	maxRemaining := partialOpt
+	if q.Len() > 0 {
+		if sortBy == ByOptimisticBound {
+			// Heap order is by bound: the root dominates the rest.
+			if q[0].opt > maxRemaining {
+				maxRemaining = q[0].opt
+			}
+		} else {
+			for _, re := range q {
+				if re.opt > maxRemaining {
+					maxRemaining = re.opt
+				}
+			}
+		}
+	}
+
+	res.Neighbors = best.Results()
+	threshold, full := best.Threshold()
+	res.Certified = full && (math.IsInf(maxRemaining, -1) || maxRemaining <= threshold)
+	res.BestPossible = maxRemaining
+	if len(res.Neighbors) > 0 && res.Neighbors[0].Value > res.BestPossible {
+		res.BestPossible = res.Neighbors[0].Value
+	}
+	if t.store != nil {
+		res.PagesRead = t.store.Stats().Reads - startReads
+	}
+	return res
+}
+
+// Query runs the branch-and-bound similarity search of Figure 3 for a
+// target transaction under similarity function f.
+func (t *Table) Query(target txn.Transaction, f simfun.Func, opt QueryOptions) (Result, error) {
+	opt, budget, err := opt.normalized(t.live)
+	if err != nil {
+		return Result{}, err
+	}
+	if t.live == 0 {
+		return Result{Certified: true}, nil
+	}
+	if ta, ok := f.(simfun.TargetAware); ok {
+		f = ta.Bind(target)
+	}
+
+	overlaps := t.part.Overlaps(target, nil)
+	targetCoord := signature.CoordOfOverlaps(overlaps, t.r)
+	q := t.rankEntries(f, overlaps, targetCoord, opt.SortBy)
+
+	res := t.runSearch(q, opt.K, budget, opt.SortBy, func(tr txn.Transaction) float64 {
+		x, y := txn.MatchHamming(target, tr)
+		return f.Score(x, y)
+	})
+	return res, nil
+}
+
+// Nearest is shorthand for a run-to-completion single-nearest-neighbor
+// query.
+func (t *Table) Nearest(target txn.Transaction, f simfun.Func) (txn.TID, float64, error) {
+	res, err := t.Query(target, f, QueryOptions{K: 1})
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(res.Neighbors) == 0 {
+		return 0, 0, fmt.Errorf("core: empty table")
+	}
+	return res.Neighbors[0].TID, res.Neighbors[0].Value, nil
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sigtable/internal/seqscan"
+	"sigtable/internal/simfun"
+	"sigtable/internal/txn"
+)
+
+// TestBranchAndBoundMatchesSeqscan is DESIGN.md invariant 3: the
+// run-to-completion search returns the sequential-scan optimum value
+// for every similarity function, random datasets, partitions and
+// activation thresholds.
+func TestBranchAndBoundMatchesSeqscan(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 12; trial++ {
+		universe := 15 + rng.Intn(40)
+		d := randomDataset(rng, 200+rng.Intn(400), universe)
+		part := randomPartition(t, rng, universe, 2+rng.Intn(7))
+		r := 1 + rng.Intn(2)
+		table := buildTestTable(t, d, part, BuildOptions{ActivationThreshold: r})
+
+		for q := 0; q < 6; q++ {
+			target := randomTarget(rng, universe)
+			for _, f := range allSimFuncs() {
+				res, err := table.Query(target, f, QueryOptions{K: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, want := seqscan.Nearest(d, target, f)
+				if len(res.Neighbors) != 1 {
+					t.Fatalf("%s: got %d neighbors", f.Name(), len(res.Neighbors))
+				}
+				if got := res.Neighbors[0].Value; got != want {
+					t.Fatalf("trial %d, %s: B&B value %v, seqscan %v (target %v)",
+						trial, f.Name(), got, want, target)
+				}
+				if !res.Certified {
+					t.Fatalf("%s: complete run not certified", f.Name())
+				}
+			}
+		}
+	}
+}
+
+// TestKNNMatchesSeqscan extends exactness to k > 1: the multiset of the
+// top-k values must agree.
+func TestKNNMatchesSeqscan(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := randomDataset(rng, 500, 30)
+	part := randomPartition(t, rng, 30, 5)
+	table := buildTestTable(t, d, part, BuildOptions{})
+
+	for q := 0; q < 10; q++ {
+		target := randomTarget(rng, 30)
+		for _, k := range []int{1, 3, 10, 25} {
+			for _, f := range allSimFuncs() {
+				res, err := table.Query(target, f, QueryOptions{K: k})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := seqscan.KNearest(d, target, f, k)
+				if len(res.Neighbors) != len(want) {
+					t.Fatalf("%s k=%d: %d neighbors, want %d", f.Name(), k, len(res.Neighbors), len(want))
+				}
+				for i := range want {
+					if res.Neighbors[i].Value != want[i].Value {
+						t.Fatalf("%s k=%d: value[%d] = %v, want %v",
+							f.Name(), k, i, res.Neighbors[i].Value, want[i].Value)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSortCriteriaAgree: both entry orders must produce the same exact
+// answer on complete runs.
+func TestSortCriteriaAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := randomDataset(rng, 400, 30)
+	part := randomPartition(t, rng, 30, 5)
+	table := buildTestTable(t, d, part, BuildOptions{})
+
+	for q := 0; q < 10; q++ {
+		target := randomTarget(rng, 30)
+		for _, f := range allSimFuncs() {
+			a, err := table.Query(target, f, QueryOptions{K: 3, SortBy: ByOptimisticBound})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := table.Query(target, f, QueryOptions{K: 3, SortBy: ByCoordSimilarity})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range a.Neighbors {
+				if a.Neighbors[i].Value != b.Neighbors[i].Value {
+					t.Fatalf("%s: sort criteria disagree: %v vs %v", f.Name(), a.Neighbors, b.Neighbors)
+				}
+			}
+			if !b.Certified {
+				t.Fatalf("%s: coord-similarity complete run not certified", f.Name())
+			}
+		}
+	}
+}
+
+// TestEarlyTerminationBudget: the scan must stop within the budget, and
+// a certified result must equal the true optimum (invariant 4).
+func TestEarlyTerminationBudgetAndCertificate(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := randomDataset(rng, 1000, 40)
+	part := randomPartition(t, rng, 40, 6)
+	table := buildTestTable(t, d, part, BuildOptions{})
+
+	for q := 0; q < 15; q++ {
+		target := randomTarget(rng, 40)
+		for _, frac := range []float64{0.002, 0.01, 0.05, 0.2} {
+			for _, f := range allSimFuncs() {
+				res, err := table.Query(target, f, QueryOptions{K: 1, MaxScanFraction: frac})
+				if err != nil {
+					t.Fatal(err)
+				}
+				budget := int(math.Ceil(frac * float64(d.Len())))
+				if res.Scanned > budget {
+					t.Fatalf("scanned %d > budget %d", res.Scanned, budget)
+				}
+				_, want := seqscan.Nearest(d, target, f)
+				got := res.Neighbors[0].Value
+				if res.Certified && got != want {
+					t.Fatalf("%s frac=%v: certified result %v != optimum %v", f.Name(), frac, got, want)
+				}
+				if got > want {
+					t.Fatalf("%s: found value %v above optimum %v (impossible)", f.Name(), got, want)
+				}
+				// BestPossible must dominate the optimum.
+				if res.BestPossible < want-1e-9 {
+					t.Fatalf("%s: BestPossible %v below optimum %v", f.Name(), res.BestPossible, want)
+				}
+			}
+		}
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := randomDataset(rng, 50, 20)
+	table := buildTestTable(t, d, randomPartition(t, rng, 20, 3), BuildOptions{})
+	target := txn.New(1, 2)
+
+	if _, err := table.Query(target, simfun.Match{}, QueryOptions{K: -2}); err == nil {
+		t.Error("negative k accepted")
+	}
+	if _, err := table.Query(target, simfun.Match{}, QueryOptions{MaxScanFraction: 1.5}); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+	if _, err := table.Query(target, simfun.Match{}, QueryOptions{MaxScanFraction: -0.1}); err == nil {
+		t.Error("negative fraction accepted")
+	}
+}
+
+func TestQueryEmptyTable(t *testing.T) {
+	d := txn.NewDataset(10)
+	d.Append(txn.New(1)) // Build requires non-empty; query the slice view
+	rng := rand.New(rand.NewSource(6))
+	table := buildTestTable(t, d.Slice(0, 0), randomPartition(t, rng, 10, 2), BuildOptions{})
+	res, err := table.Query(txn.New(1), simfun.Match{}, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Neighbors) != 0 || !res.Certified {
+		t.Fatalf("res = %+v", res)
+	}
+	if _, _, err := table.Nearest(txn.New(1), simfun.Match{}); err == nil {
+		t.Error("Nearest on empty table should error")
+	}
+}
+
+func TestNearestShorthand(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := randomDataset(rng, 200, 25)
+	table := buildTestTable(t, d, randomPartition(t, rng, 25, 4), BuildOptions{})
+	target := d.Get(42)
+	tid, v, err := table.Nearest(target, simfun.Jaccard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 || !d.Get(tid).Equal(target) {
+		t.Fatalf("Nearest = (%d, %v)", tid, v)
+	}
+}
+
+// TestPruningImprovesWithK reproduces the paper's memory-availability
+// trend in miniature: on correlated data, more signatures => finer
+// partition => at least comparable pruning.
+func TestDiskModeCountsPages(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d := randomDataset(rng, 600, 30)
+	part := randomPartition(t, rng, 30, 5)
+	table := buildTestTable(t, d, part, BuildOptions{PageSize: 256})
+
+	res, err := table.Query(randomTarget(rng, 30), simfun.Jaccard{}, QueryOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PagesRead <= 0 {
+		t.Fatalf("PagesRead = %d, want > 0", res.PagesRead)
+	}
+	// Early termination should read fewer pages.
+	table.Store().ResetStats()
+	resEarly, err := table.Query(randomTarget(rng, 30), simfun.Jaccard{}, QueryOptions{K: 1, MaxScanFraction: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resEarly.PagesRead > res.PagesRead && resEarly.Scanned >= res.Scanned {
+		t.Fatalf("early termination read more pages: %d vs %d", resEarly.PagesRead, res.PagesRead)
+	}
+}
+
+// TestResultAccounting: scanned + pruned entry partition must cover all
+// entries on complete runs, and PruningEfficiency must be consistent.
+func TestResultAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	d := randomDataset(rng, 500, 30)
+	part := randomPartition(t, rng, 30, 5)
+	table := buildTestTable(t, d, part, BuildOptions{})
+
+	for q := 0; q < 10; q++ {
+		res, err := table.Query(randomTarget(rng, 30), simfun.MatchHammingRatio{}, QueryOptions{K: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.EntriesScanned+res.EntriesPruned != table.NumEntries() {
+			t.Fatalf("entries scanned %d + pruned %d != %d",
+				res.EntriesScanned, res.EntriesPruned, table.NumEntries())
+		}
+		want := 100 * (1 - float64(res.Scanned)/float64(d.Len()))
+		if got := res.PruningEfficiency(d.Len()); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("PruningEfficiency = %v, want %v", got, want)
+		}
+	}
+}

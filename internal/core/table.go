@@ -1,0 +1,225 @@
+// Package core implements the paper's primary contribution: the
+// signature table (§3) and the branch-and-bound similarity search that
+// runs over it (§4).
+//
+// A Table partitions a dataset by supercoordinate — the K-bit
+// activation pattern of each transaction over a signature partition of
+// the item universe. Queries compute, per occupied supercoordinate,
+// optimistic bounds on the match count and hamming distance to the
+// target; by Lemma 2.1 these yield an upper bound on any monotone
+// similarity function f(x, y), enabling best-first search with pruning.
+// Construction never looks at the similarity function: f is supplied at
+// query time.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sigtable/internal/pager"
+	"sigtable/internal/signature"
+	"sigtable/internal/txn"
+)
+
+// Entry is one occupied supercoordinate: the set of transactions whose
+// activation pattern equals Coord. Transactions live either in memory
+// (TIDs) or on simulated disk pages (List), mirroring the paper's
+// memory-resident table with disk-resident transaction lists.
+type Entry struct {
+	Coord signature.Coord
+	Count int
+
+	tids []txn.TID  // memory mode
+	list pager.List // disk mode
+}
+
+// TIDs returns the entry's live transaction ids. In disk mode this
+// decodes the pages (counting I/O); prefer scanEntry during search.
+func (t *Table) TIDs(e *Entry) []txn.TID {
+	out := make([]txn.TID, 0, e.Count)
+	t.scanEntry(e, func(id txn.TID, _ txn.Transaction) bool {
+		out = append(out, id)
+		return true
+	})
+	return out
+}
+
+// BuildOptions configures table construction.
+type BuildOptions struct {
+	// ActivationThreshold is the paper's r: a transaction activates a
+	// signature when it shares at least r items with it. 0 selects the
+	// paper's default of 1.
+	ActivationThreshold int
+	// PageSize, when positive, stores each entry's transaction list on
+	// simulated disk pages of this many bytes and counts page I/O
+	// during queries. Zero keeps transaction lists in memory (the
+	// dataset itself is the backing store).
+	PageSize int
+	// BufferPoolPages, when positive with PageSize, routes page reads
+	// through an LRU pool of this capacity.
+	BufferPoolPages int
+	// Parallelism bounds the goroutines used to compute transaction
+	// supercoordinates during the build. 0 selects GOMAXPROCS; 1 forces
+	// a serial build.
+	Parallelism int
+}
+
+// Table is the signature table index over one dataset.
+type Table struct {
+	part    *signature.Partition
+	r       int
+	data    *txn.Dataset
+	entries []*Entry // occupied supercoordinates only
+	byCoord map[signature.Coord]*Entry
+	store   *pager.Store // nil in memory mode
+	live    int          // non-deleted transactions
+	deleted []bool       // tombstones by TID; nil until the first Delete
+}
+
+// Build constructs the signature table for a dataset over a given
+// signature partition. The partition's universe must match the
+// dataset's.
+func Build(data *txn.Dataset, part *signature.Partition, opt BuildOptions) (*Table, error) {
+	if part.UniverseSize() != data.UniverseSize() {
+		return nil, fmt.Errorf("core: partition universe %d != dataset universe %d",
+			part.UniverseSize(), data.UniverseSize())
+	}
+	r := opt.ActivationThreshold
+	if r == 0 {
+		r = 1
+	}
+	if r < 1 {
+		return nil, fmt.Errorf("core: activation threshold %d must be >= 1", r)
+	}
+
+	t := &Table{
+		part:    part,
+		r:       r,
+		data:    data,
+		byCoord: make(map[signature.Coord]*Entry),
+		live:    data.Len(),
+	}
+
+	coords := computeCoords(data, part, r, opt.Parallelism)
+	for i, c := range coords {
+		e := t.byCoord[c]
+		if e == nil {
+			e = &Entry{Coord: c}
+			t.byCoord[c] = e
+			t.entries = append(t.entries, e)
+		}
+		e.tids = append(e.tids, txn.TID(i))
+		e.Count++
+	}
+
+	// Deterministic entry order independent of insertion.
+	sort.Slice(t.entries, func(i, j int) bool { return t.entries[i].Coord < t.entries[j].Coord })
+
+	if opt.PageSize > 0 {
+		t.store = pager.NewStore(opt.PageSize)
+		if opt.BufferPoolPages > 0 {
+			t.store.AttachPool(opt.BufferPoolPages)
+		}
+		for _, e := range t.entries {
+			txns := make([]txn.Transaction, len(e.tids))
+			for j, id := range e.tids {
+				txns[j] = data.Get(id)
+			}
+			list, err := t.store.WriteList(e.tids, txns)
+			if err != nil {
+				return nil, fmt.Errorf("core: writing entry %#x: %w", e.Coord, err)
+			}
+			e.list = list
+			e.tids = nil // transactions now live on "disk"
+		}
+	}
+	return t, nil
+}
+
+// Partition returns the signature partition the table was built over.
+func (t *Table) Partition() *signature.Partition { return t.part }
+
+// ActivationThreshold returns the paper's r used at build time.
+func (t *Table) ActivationThreshold() int { return t.r }
+
+// Dataset returns the indexed dataset.
+func (t *Table) Dataset() *txn.Dataset { return t.data }
+
+// K reports the signature cardinality.
+func (t *Table) K() int { return t.part.K() }
+
+// Len reports the number of indexed transactions.
+func (t *Table) Len() int { return t.data.Len() }
+
+// NumEntries reports the number of occupied supercoordinates (out of
+// the conceptual 2^K table cells).
+func (t *Table) NumEntries() int { return len(t.entries) }
+
+// Entries returns the occupied entries in coordinate order (read-only).
+func (t *Table) Entries() []*Entry { return t.entries }
+
+// Store exposes the simulated disk store, or nil in memory mode.
+func (t *Table) Store() *pager.Store { return t.store }
+
+// scanEntry visits each live transaction of an entry. Returning false
+// stops early. In disk mode this reads (and counts) pages, then visits
+// the in-memory overflow of post-build inserts.
+func (t *Table) scanEntry(e *Entry, fn func(id txn.TID, tr txn.Transaction) bool) {
+	stopped := false
+	visit := func(id txn.TID, tr txn.Transaction) bool {
+		if t.deleted != nil && t.deleted[id] {
+			return true
+		}
+		if !fn(id, tr) {
+			stopped = true
+			return false
+		}
+		return true
+	}
+	if t.store != nil {
+		if err := t.store.ScanList(e.list, visit); err != nil {
+			// Lists are written by Build from validated data; a decode
+			// failure means internal corruption.
+			panic(fmt.Sprintf("core: corrupt entry %#x: %v", e.Coord, err))
+		}
+		if stopped {
+			return
+		}
+	}
+	for _, id := range e.tids {
+		if !visit(id, t.data.Get(id)) {
+			return
+		}
+	}
+}
+
+// Occupancy summarizes how transactions distribute over entries.
+type Occupancy struct {
+	Entries     int     // occupied supercoordinates
+	Cells       uint64  // 2^K conceptual cells
+	MaxCount    int     // largest entry
+	MeanCount   float64 // average transactions per occupied entry
+	MemoryBytes int     // rough main-memory footprint of the table itself
+}
+
+// Occupancy computes distribution statistics for diagnostics and the
+// memory-availability experiments.
+func (t *Table) Occupancy() Occupancy {
+	o := Occupancy{
+		Entries: len(t.entries),
+		Cells:   1 << uint(t.part.K()),
+	}
+	total := 0
+	for _, e := range t.entries {
+		total += e.Count
+		if e.Count > o.MaxCount {
+			o.MaxCount = e.Count
+		}
+	}
+	if len(t.entries) > 0 {
+		o.MeanCount = float64(total) / float64(len(t.entries))
+	}
+	// Each entry: coord (8) + count (8) + slice/list header (~24).
+	o.MemoryBytes = len(t.entries) * 40
+	return o
+}

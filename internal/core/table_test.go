@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sigtable/internal/signature"
+	"sigtable/internal/txn"
+)
+
+func TestBuildPartitionsEveryTransaction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := randomDataset(rng, 500, 40)
+	part := randomPartition(t, rng, 40, 6)
+	table := buildTestTable(t, d, part, BuildOptions{})
+
+	seen := make([]bool, d.Len())
+	total := 0
+	for _, e := range table.Entries() {
+		tids := table.TIDs(e)
+		if len(tids) != e.Count {
+			t.Fatalf("entry %#x: Count=%d but %d TIDs", e.Coord, e.Count, len(tids))
+		}
+		for _, id := range tids {
+			if seen[id] {
+				t.Fatalf("TID %d indexed twice", id)
+			}
+			seen[id] = true
+			total++
+			// Consistency: the transaction's recomputed coordinate must
+			// match the entry's.
+			if got := part.Coord(d.Get(id), table.ActivationThreshold()); got != e.Coord {
+				t.Fatalf("TID %d: coord %b stored under entry %b", id, got, e.Coord)
+			}
+		}
+	}
+	if total != d.Len() {
+		t.Fatalf("entries index %d of %d transactions", total, d.Len())
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := randomDataset(rng, 10, 40)
+	part := randomPartition(t, rng, 40, 4)
+
+	if _, err := Build(d, part, BuildOptions{ActivationThreshold: -1}); err == nil {
+		t.Error("negative activation threshold accepted")
+	}
+
+	other := randomPartition(t, rng, 50, 4)
+	if _, err := Build(d, other, BuildOptions{}); err == nil {
+		t.Error("mismatched universe accepted")
+	}
+}
+
+func TestBuildDefaultActivation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := randomDataset(rng, 10, 20)
+	table := buildTestTable(t, d, randomPartition(t, rng, 20, 3), BuildOptions{})
+	if table.ActivationThreshold() != 1 {
+		t.Fatalf("default r = %d", table.ActivationThreshold())
+	}
+}
+
+func TestDiskModeEqualsMemoryMode(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := randomDataset(rng, 800, 50)
+	part := randomPartition(t, rng, 50, 7)
+
+	mem := buildTestTable(t, d, part, BuildOptions{})
+	disk := buildTestTable(t, d, part, BuildOptions{PageSize: 256})
+
+	if mem.NumEntries() != disk.NumEntries() {
+		t.Fatalf("entry counts differ: %d vs %d", mem.NumEntries(), disk.NumEntries())
+	}
+	for i, e := range mem.Entries() {
+		de := disk.Entries()[i]
+		if e.Coord != de.Coord || e.Count != de.Count {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, e, de)
+		}
+		// Disk scan must reproduce the same transactions.
+		var fromDisk []txn.Transaction
+		disk.scanEntry(de, func(id txn.TID, tr txn.Transaction) bool {
+			fromDisk = append(fromDisk, tr)
+			return true
+		})
+		var fromMem []txn.Transaction
+		mem.scanEntry(e, func(id txn.TID, tr txn.Transaction) bool {
+			fromMem = append(fromMem, tr)
+			return true
+		})
+		if len(fromDisk) != len(fromMem) {
+			t.Fatalf("entry %d scan lengths differ", i)
+		}
+		for j := range fromDisk {
+			if !fromDisk[j].Equal(fromMem[j]) {
+				t.Fatalf("entry %d record %d differs", i, j)
+			}
+		}
+	}
+	if disk.Store() == nil || disk.Store().NumPages() == 0 {
+		t.Fatal("disk mode allocated no pages")
+	}
+}
+
+func TestActivationThresholdCoarsens(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := randomDataset(rng, 2000, 30)
+	part := randomPartition(t, rng, 30, 4)
+
+	t1 := buildTestTable(t, d, part, BuildOptions{ActivationThreshold: 1})
+	t3 := buildTestTable(t, d, part, BuildOptions{ActivationThreshold: 3})
+	// Higher r clears bits, concentrating mass in fewer, lower coords.
+	if t3.NumEntries() > t1.NumEntries() {
+		t.Fatalf("r=3 produced more entries (%d) than r=1 (%d)", t3.NumEntries(), t1.NumEntries())
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	d := txn.NewDataset(4)
+	d.Append(txn.New(0))
+	d.Append(txn.New(0))
+	d.Append(txn.New(1))
+	sets := [][]txn.Item{{0}, {1}, {2}, {3}}
+	part, err := signature.NewPartition(4, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := buildTestTable(t, d, part, BuildOptions{})
+	o := table.Occupancy()
+	if o.Entries != 2 || o.Cells != 16 {
+		t.Fatalf("occupancy = %+v", o)
+	}
+	if o.MaxCount != 2 || o.MeanCount != 1.5 {
+		t.Fatalf("occupancy = %+v", o)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d := randomDataset(rng, 50, 20)
+	part := randomPartition(t, rng, 20, 4)
+	table := buildTestTable(t, d, part, BuildOptions{})
+	if table.K() != 4 || table.Len() != 50 {
+		t.Fatalf("K=%d Len=%d", table.K(), table.Len())
+	}
+	if table.Partition() != part || table.Dataset() != d {
+		t.Fatal("accessors lost identity")
+	}
+}

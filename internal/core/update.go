@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sigtable/internal/txn"
+)
+
+// Dynamic maintenance. The signature table supports incremental
+// inserts and deletes without rebuilding: an insert appends the
+// transaction to the dataset and to its supercoordinate's entry; a
+// delete tombstones the TID. In disk mode inserted transactions live in
+// a per-entry in-memory overflow that scans after the entry's pages
+// (a real system would flush overflows to fresh pages periodically;
+// Rebuild does the equivalent here).
+//
+// Mutations are not safe to run concurrently with queries or each
+// other.
+
+// Insert adds a transaction to the index (and its dataset), returning
+// the assigned TID.
+func (t *Table) Insert(tr txn.Transaction) txn.TID {
+	id := t.data.Append(tr)
+	if t.deleted != nil {
+		t.deleted = append(t.deleted, false)
+	}
+	coord := t.part.Coord(tr, t.r)
+	e := t.byCoord[coord]
+	if e == nil {
+		e = &Entry{Coord: coord}
+		t.byCoord[coord] = e
+		// Keep the entries slice sorted by coordinate.
+		i := sort.Search(len(t.entries), func(i int) bool { return t.entries[i].Coord >= coord })
+		t.entries = append(t.entries, nil)
+		copy(t.entries[i+1:], t.entries[i:])
+		t.entries[i] = e
+	}
+	e.tids = append(e.tids, id) // overflow list in disk mode
+	e.Count++
+	t.live++
+	return id
+}
+
+// Delete tombstones a transaction by TID. It reports whether the TID
+// was present and live. Deleted transactions stop appearing in query
+// results but still occupy dataset and (in disk mode) page space until
+// a Rebuild.
+func (t *Table) Delete(id txn.TID) bool {
+	if int(id) >= t.data.Len() {
+		return false
+	}
+	if t.deleted == nil {
+		t.deleted = make([]bool, t.data.Len())
+	}
+	if t.deleted[id] {
+		return false
+	}
+	t.deleted[id] = true
+	coord := t.part.Coord(t.data.Get(id), t.r)
+	if e := t.byCoord[coord]; e != nil {
+		e.Count--
+	}
+	t.live--
+	return true
+}
+
+// Live reports the number of indexed, non-deleted transactions.
+func (t *Table) Live() int { return t.live }
+
+// IsDeleted reports whether a TID has been tombstoned.
+func (t *Table) IsDeleted(id txn.TID) bool {
+	return t.deleted != nil && int(id) < len(t.deleted) && t.deleted[id]
+}
+
+// Rebuild reconstructs the table over the current live transactions,
+// compacting tombstones and (in disk mode) flushing overflow inserts to
+// pages. TIDs are reassigned densely in the returned table's dataset;
+// the receiver remains valid but stale.
+func (t *Table) Rebuild() (*Table, error) {
+	compact := txn.NewDataset(t.data.UniverseSize())
+	for i, tr := range t.data.All() {
+		if t.deleted != nil && t.deleted[i] {
+			continue
+		}
+		compact.Append(tr)
+	}
+	opt := BuildOptions{ActivationThreshold: t.r}
+	if t.store != nil {
+		opt.PageSize = t.store.PageSize()
+	}
+	nt, err := Build(compact, t.part, opt)
+	if err != nil {
+		return nil, fmt.Errorf("core: rebuild: %w", err)
+	}
+	return nt, nil
+}

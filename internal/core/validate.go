@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sigtable/internal/txn"
+)
+
+// Validate runs a full consistency check over the table, the kind of
+// invariant sweep a storage engine exposes for post-crash or
+// post-migration verification:
+//
+//  1. entries are sorted by coordinate and unique,
+//  2. every live transaction is indexed exactly once, under the
+//     coordinate its items recompute to,
+//  3. per-entry live counts match,
+//  4. the live total matches Live().
+//
+// It returns nil when every invariant holds.
+func (t *Table) Validate() error {
+	seen := make([]bool, t.data.Len())
+	liveTotal := 0
+
+	var prev *Entry
+	for _, e := range t.entries {
+		if prev != nil && prev.Coord >= e.Coord {
+			return fmt.Errorf("core: entries out of order: %#x then %#x", prev.Coord, e.Coord)
+		}
+		prev = e
+		if t.byCoord[e.Coord] != e {
+			return fmt.Errorf("core: entry %#x missing from coordinate map", e.Coord)
+		}
+
+		liveInEntry := 0
+		var scanErr error
+		t.scanEntry(e, func(id txn.TID, tr txn.Transaction) bool {
+			if int(id) >= len(seen) {
+				scanErr = fmt.Errorf("core: entry %#x references TID %d beyond dataset", e.Coord, id)
+				return false
+			}
+			if seen[id] {
+				scanErr = fmt.Errorf("core: TID %d indexed twice", id)
+				return false
+			}
+			seen[id] = true
+			liveInEntry++
+			liveTotal++
+			if got := t.part.Coord(tr, t.r); got != e.Coord {
+				scanErr = fmt.Errorf("core: TID %d has coordinate %#x but is filed under %#x", id, got, e.Coord)
+				return false
+			}
+			if !tr.Equal(t.data.Get(id)) {
+				scanErr = fmt.Errorf("core: TID %d stored transaction differs from dataset", id)
+				return false
+			}
+			return true
+		})
+		if scanErr != nil {
+			return scanErr
+		}
+		if liveInEntry != e.Count {
+			return fmt.Errorf("core: entry %#x holds %d live transactions but Count is %d", e.Coord, liveInEntry, e.Count)
+		}
+	}
+
+	if liveTotal != t.live {
+		return fmt.Errorf("core: entries hold %d live transactions, Live() reports %d", liveTotal, t.live)
+	}
+	for id, ok := range seen {
+		deleted := t.deleted != nil && t.deleted[id]
+		if ok == deleted {
+			return fmt.Errorf("core: TID %d indexed=%v deleted=%v", id, ok, deleted)
+		}
+	}
+	return nil
+}
+
+// HistogramBucket is one row of an occupancy histogram.
+type HistogramBucket struct {
+	// MaxCount is the inclusive upper edge of the bucket (entries with
+	// Count in (previous bucket's MaxCount, MaxCount]).
+	MaxCount int
+	// Entries holds how many occupied supercoordinates fall in the
+	// bucket; Transactions how many transactions they index together.
+	Entries      int
+	Transactions int
+}
+
+// OccupancyHistogram buckets occupied entries by size in powers of two
+// (1, 2, 4, ...). The paper's construction aims for well-spread
+// entries; a heavy tail here signals a poor partition (raise K or the
+// activation threshold).
+func (t *Table) OccupancyHistogram() []HistogramBucket {
+	buckets := map[int]*HistogramBucket{}
+	for _, e := range t.entries {
+		edge := 1
+		for edge < e.Count {
+			edge *= 2
+		}
+		b := buckets[edge]
+		if b == nil {
+			b = &HistogramBucket{MaxCount: edge}
+			buckets[edge] = b
+		}
+		b.Entries++
+		b.Transactions += e.Count
+	}
+	out := make([]HistogramBucket, 0, len(buckets))
+	for _, b := range buckets {
+		out = append(out, *b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].MaxCount < out[j].MaxCount })
+	return out
+}
+
+// FormatHistogram renders an occupancy histogram as aligned text with
+// a proportional bar.
+func FormatHistogram(h []HistogramBucket) string {
+	maxEntries := 0
+	for _, b := range h {
+		if b.Entries > maxEntries {
+			maxEntries = b.Entries
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%12s %10s %14s\n", "entry size", "entries", "transactions")
+	for _, b := range h {
+		bar := ""
+		if maxEntries > 0 {
+			bar = strings.Repeat("#", 1+b.Entries*40/maxEntries)
+		}
+		fmt.Fprintf(&sb, "%12s %10d %14d  %s\n",
+			fmt.Sprintf("<=%d", b.MaxCount), b.Entries, b.Transactions, bar)
+	}
+	return sb.String()
+}

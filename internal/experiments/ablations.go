@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sigtable/internal/cluster"
+	"sigtable/internal/core"
+	"sigtable/internal/gen"
+	"sigtable/internal/seqscan"
+	"sigtable/internal/signature"
+	"sigtable/internal/simfun"
+)
+
+// Ablations for the design choices the paper discusses but does not
+// plot: the activation threshold (footnote 4), the entry sort criterion
+// (§4), the signature cardinality sweep (§5 memory availability), and
+// the value of a correlated partition over a random one (§3.1).
+
+// ActivationPoint reports pruning and accuracy for one activation
+// threshold r.
+type ActivationPoint struct {
+	R        int
+	Pruning  float64 // complete-run pruning efficiency %
+	Accuracy float64 // accuracy % at the scale's Termination
+}
+
+// AblationActivation sweeps the activation threshold on dense data
+// (larger T), where the paper's footnote 4 reports higher thresholds
+// help.
+func AblationActivation(cfg gen.Config, sc Scale, rs []int, f simfun.Func) ([]ActivationPoint, error) {
+	cfg.Seed = sc.Seed
+	w, err := getWorkload(cfg, sc.AccuracyDBSize, sc.Queries)
+	if err != nil {
+		return nil, err
+	}
+	truth := make([]float64, len(w.queries))
+	for i, q := range w.queries {
+		_, v := seqscan.Nearest(w.data, q, f)
+		truth[i] = v
+	}
+	k := sc.Ks[len(sc.Ks)-1]
+
+	var out []ActivationPoint
+	for _, r := range rs {
+		table, err := buildTable(w.data, k, r)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: activation r=%d: %w", r, err)
+		}
+		pruning, hits := 0.0, 0
+		for i, q := range w.queries {
+			full, err := table.Query(q, f, core.QueryOptions{K: 1})
+			if err != nil {
+				return nil, err
+			}
+			pruning += full.PruningEfficiency(w.data.Len())
+			early, err := table.Query(q, f, core.QueryOptions{K: 1, MaxScanFraction: sc.Termination})
+			if err != nil {
+				return nil, err
+			}
+			if len(early.Neighbors) > 0 && valueEq(early.Neighbors[0].Value, truth[i]) {
+				hits++
+			}
+		}
+		out = append(out, ActivationPoint{
+			R:        r,
+			Pruning:  pruning / float64(len(w.queries)),
+			Accuracy: 100 * float64(hits) / float64(len(w.queries)),
+		})
+	}
+	return out, nil
+}
+
+// SortCriterionPoint compares the two entry orders at one termination
+// level.
+type SortCriterionPoint struct {
+	SortBy   core.SortCriterion
+	Accuracy float64
+	Pruning  float64
+}
+
+// AblationSortCriterion contrasts optimistic-bound ordering with
+// supercoordinate-similarity ordering (paper §4's alternative).
+func AblationSortCriterion(cfg gen.Config, sc Scale, f simfun.Func) ([]SortCriterionPoint, error) {
+	cfg.Seed = sc.Seed
+	w, err := getWorkload(cfg, sc.AccuracyDBSize, sc.Queries)
+	if err != nil {
+		return nil, err
+	}
+	truth := make([]float64, len(w.queries))
+	for i, q := range w.queries {
+		_, v := seqscan.Nearest(w.data, q, f)
+		truth[i] = v
+	}
+	table, err := buildTable(w.data, sc.Ks[len(sc.Ks)-1], 1)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []SortCriterionPoint
+	for _, by := range []core.SortCriterion{core.ByOptimisticBound, core.ByCoordSimilarity} {
+		hits, pruning := 0, 0.0
+		for i, q := range w.queries {
+			early, err := table.Query(q, f, core.QueryOptions{K: 1, MaxScanFraction: sc.Termination, SortBy: by})
+			if err != nil {
+				return nil, err
+			}
+			if len(early.Neighbors) > 0 && valueEq(early.Neighbors[0].Value, truth[i]) {
+				hits++
+			}
+			full, err := table.Query(q, f, core.QueryOptions{K: 1, SortBy: by})
+			if err != nil {
+				return nil, err
+			}
+			pruning += full.PruningEfficiency(w.data.Len())
+		}
+		out = append(out, SortCriterionPoint{
+			SortBy:   by,
+			Accuracy: 100 * float64(hits) / float64(len(w.queries)),
+			Pruning:  pruning / float64(len(w.queries)),
+		})
+	}
+	return out, nil
+}
+
+// PartitionPoint compares partitioning strategies.
+type PartitionPoint struct {
+	Strategy string
+	Pruning  float64
+}
+
+// AblationPartition quantifies §3.1's motivation: the correlated
+// single-linkage partition against a random partition of equal K.
+func AblationPartition(cfg gen.Config, sc Scale, f simfun.Func) ([]PartitionPoint, error) {
+	cfg.Seed = sc.Seed
+	w, err := getWorkload(cfg, sc.AccuracyDBSize, sc.Queries)
+	if err != nil {
+		return nil, err
+	}
+	k := sc.Ks[len(sc.Ks)-1]
+
+	correlated, err := buildTable(w.data, k, 1)
+	if err != nil {
+		return nil, err
+	}
+	randSets, err := cluster.Random(w.data.UniverseSize(), k, rand.New(rand.NewSource(sc.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	randPart, err := signature.NewPartition(w.data.UniverseSize(), randSets)
+	if err != nil {
+		return nil, err
+	}
+	random, err := core.Build(w.data, randPart, core.BuildOptions{ActivationThreshold: 1})
+	if err != nil {
+		return nil, err
+	}
+
+	measure := func(table *core.Table) (float64, error) {
+		sum := 0.0
+		for _, q := range w.queries {
+			res, err := table.Query(q, f, core.QueryOptions{K: 1})
+			if err != nil {
+				return 0, err
+			}
+			sum += res.PruningEfficiency(w.data.Len())
+		}
+		return sum / float64(len(w.queries)), nil
+	}
+
+	pc, err := measure(correlated)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := measure(random)
+	if err != nil {
+		return nil, err
+	}
+	return []PartitionPoint{
+		{Strategy: "single-linkage", Pruning: pc},
+		{Strategy: "random", Pruning: pr},
+	}, nil
+}
+
+// KSweepPoint reports pruning for one signature cardinality.
+type KSweepPoint struct {
+	K       int
+	Entries int
+	Pruning float64
+}
+
+// AblationK sweeps the signature cardinality beyond the paper's 13..15
+// to show the memory/pruning trade (paper §5, memory availability).
+func AblationK(cfg gen.Config, sc Scale, ks []int, f simfun.Func) ([]KSweepPoint, error) {
+	cfg.Seed = sc.Seed
+	w, err := getWorkload(cfg, sc.AccuracyDBSize, sc.Queries)
+	if err != nil {
+		return nil, err
+	}
+	var out []KSweepPoint
+	for _, k := range ks {
+		table, err := buildTable(w.data, k, 1)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: K=%d: %w", k, err)
+		}
+		sum := 0.0
+		for _, q := range w.queries {
+			res, err := table.Query(q, f, core.QueryOptions{K: 1})
+			if err != nil {
+				return nil, err
+			}
+			sum += res.PruningEfficiency(w.data.Len())
+		}
+		out = append(out, KSweepPoint{
+			K:       k,
+			Entries: table.NumEntries(),
+			Pruning: sum / float64(len(w.queries)),
+		})
+	}
+	return out, nil
+}

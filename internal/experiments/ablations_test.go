@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"testing"
+
+	"sigtable/internal/core"
+	"sigtable/internal/gen"
+	"sigtable/internal/simfun"
+)
+
+func TestAblationActivation(t *testing.T) {
+	sc := tinyScale()
+	cfg := gen.Config{AvgTxnSize: 12}
+	pts, err := AblationActivation(cfg, sc, []int{1, 2}, simfun.Hamming{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].R != 1 || pts[1].R != 2 {
+		t.Fatalf("points = %+v", pts)
+	}
+	for _, p := range pts {
+		if p.Pruning < 0 || p.Pruning > 100 || p.Accuracy < 0 || p.Accuracy > 100 {
+			t.Fatalf("point out of range: %+v", p)
+		}
+	}
+}
+
+func TestAblationSortCriterion(t *testing.T) {
+	pts, err := AblationSortCriterion(gen.Config{}, tinyScale(), simfun.MatchHammingRatio{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts[0].SortBy != core.ByOptimisticBound || pts[1].SortBy != core.ByCoordSimilarity {
+		t.Fatalf("points = %+v", pts)
+	}
+}
+
+func TestAblationPartition(t *testing.T) {
+	pts, err := AblationPartition(gen.Config{}, tinyScale(), simfun.Cosine{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].Strategy != "single-linkage" || pts[1].Strategy != "random" {
+		t.Fatalf("points = %+v", pts)
+	}
+}
+
+func TestAblationK(t *testing.T) {
+	pts, err := AblationK(gen.Config{}, tinyScale(), []int{4, 8}, simfun.Hamming{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// More signatures can only refine the partition: entry count must
+	// not shrink.
+	if pts[1].Entries < pts[0].Entries {
+		t.Fatalf("K=8 has fewer entries than K=4: %+v", pts)
+	}
+	if pts[0].K != 4 || pts[1].K != 8 {
+		t.Fatalf("points = %+v", pts)
+	}
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+
+	"sigtable/internal/gen"
+)
+
+// CSV export of experiment results, for external plotting pipelines
+// (gnuplot, pandas, spreadsheets). One row per (x, K) point, long
+// format.
+
+func writeCSV(header []string, rows [][]string) string {
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	_ = w.Write(header)
+	_ = w.WriteAll(rows)
+	w.Flush()
+	return buf.String()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+
+// PruningCSV renders a Figure 6/9/12 result as CSV.
+func PruningCSV(pts []PruningPoint) string {
+	rows := make([][]string, len(pts))
+	for i, p := range pts {
+		rows[i] = []string{strconv.Itoa(p.DBSize), strconv.Itoa(p.K), ftoa(p.Pruning)}
+	}
+	return writeCSV([]string{"db_size", "k", "pruning_pct"}, rows)
+}
+
+// AccuracyCSV renders a Figure 7/10/13 result as CSV.
+func AccuracyCSV(pts []AccuracyPoint) string {
+	rows := make([][]string, len(pts))
+	for i, p := range pts {
+		rows[i] = []string{ftoa(p.Termination), strconv.Itoa(p.K), ftoa(p.Accuracy)}
+	}
+	return writeCSV([]string{"termination_fraction", "k", "accuracy_pct"}, rows)
+}
+
+// TxnSizeCSV renders a Figure 8/11/14 result as CSV.
+func TxnSizeCSV(pts []TxnSizePoint) string {
+	rows := make([][]string, len(pts))
+	for i, p := range pts {
+		rows[i] = []string{ftoa(p.AvgTxnSize), strconv.Itoa(p.K), ftoa(p.Accuracy)}
+	}
+	return writeCSV([]string{"avg_txn_size", "k", "accuracy_pct"}, rows)
+}
+
+// Table1CSV renders Table 1 as CSV.
+func Table1CSV(rows []Table1Row) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{ftoa(r.AvgTxnSize), ftoa(r.PctAccessed), ftoa(r.PctPagesTouched)}
+	}
+	return writeCSV([]string{"avg_txn_size", "pct_accessed", "pct_pages_touched"}, out)
+}
+
+// FigureCSV computes a figure and renders it as CSV.
+func FigureCSV(n int, cfg gen.Config, sc Scale) (string, error) {
+	f, err := figureFunc(n)
+	if err != nil {
+		return "", err
+	}
+	switch n {
+	case 6, 9, 12:
+		pts, err := PruningVsDBSize(cfg, sc, f)
+		if err != nil {
+			return "", err
+		}
+		return PruningCSV(pts), nil
+	case 7, 10, 13:
+		pts, err := AccuracyVsTermination(cfg, sc, f)
+		if err != nil {
+			return "", err
+		}
+		return AccuracyCSV(pts), nil
+	default: // 8, 11, 14
+		pts, err := AccuracyVsTxnSize(cfg, sc, f)
+		if err != nil {
+			return "", err
+		}
+		return TxnSizeCSV(pts), nil
+	}
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"sigtable/internal/gen"
+)
+
+func parseCSV(t *testing.T, s string) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(strings.NewReader(s)).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid csv: %v\n%s", err, s)
+	}
+	return rows
+}
+
+func TestPruningCSV(t *testing.T) {
+	out := PruningCSV([]PruningPoint{
+		{DBSize: 1000, K: 13, Pruning: 90.5},
+		{DBSize: 2000, K: 15, Pruning: 95},
+	})
+	rows := parseCSV(t, out)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][0] != "db_size" || rows[1][2] != "90.5" || rows[2][1] != "15" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestAccuracyAndTxnSizeCSV(t *testing.T) {
+	a := parseCSV(t, AccuracyCSV([]AccuracyPoint{{Termination: 0.02, K: 13, Accuracy: 88}}))
+	if a[1][0] != "0.02" || a[1][2] != "88" {
+		t.Fatalf("rows = %v", a)
+	}
+	b := parseCSV(t, TxnSizeCSV([]TxnSizePoint{{AvgTxnSize: 7.5, K: 14, Accuracy: 91}}))
+	if b[1][0] != "7.5" || b[1][1] != "14" {
+		t.Fatalf("rows = %v", b)
+	}
+}
+
+func TestTable1CSV(t *testing.T) {
+	rows := parseCSV(t, Table1CSV([]Table1Row{{AvgTxnSize: 5, PctAccessed: 3.2, PctPagesTouched: 83}}))
+	if rows[1][1] != "3.2" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestFigureCSVDispatch(t *testing.T) {
+	sc := tinyScale()
+	for _, fig := range []int{6, 7, 8} {
+		out, err := FigureCSV(fig, gen.Config{}, sc)
+		if err != nil {
+			t.Fatalf("figure %d: %v", fig, err)
+		}
+		rows := parseCSV(t, out)
+		if len(rows) < 2 {
+			t.Fatalf("figure %d csv too short", fig)
+		}
+	}
+	if _, err := FigureCSV(99, gen.Config{}, sc); err == nil {
+		t.Fatal("figure 99 accepted")
+	}
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"sigtable/internal/gen"
+	"sigtable/internal/simfun"
+)
+
+// tinyScale keeps the unit tests fast while exercising the full grid
+// structure.
+func tinyScale() Scale {
+	return Scale{
+		DBSizes:        []int{500, 1500},
+		AccuracyDBSize: 1500,
+		Queries:        4,
+		Ks:             []int{6, 8},
+		Terminations:   []float64{0.02, 0.1},
+		TxnSizes:       []float64{5, 10},
+		Termination:    0.05,
+		Seed:           1,
+	}
+}
+
+func TestPruningVsDBSizeGrid(t *testing.T) {
+	pts, err := PruningVsDBSize(gen.Config{}, tinyScale(), simfun.Hamming{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 { // 2 sizes × 2 Ks
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.Pruning < 0 || p.Pruning > 100 {
+			t.Fatalf("pruning %v out of range", p.Pruning)
+		}
+	}
+}
+
+func TestAccuracyVsTerminationGrid(t *testing.T) {
+	pts, err := AccuracyVsTermination(gen.Config{}, tinyScale(), simfun.MatchHammingRatio{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 { // 2 terminations × 2 Ks
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.Accuracy < 0 || p.Accuracy > 100 {
+			t.Fatalf("accuracy %v out of range", p.Accuracy)
+		}
+	}
+}
+
+func TestAccuracyVsTxnSizeGrid(t *testing.T) {
+	pts, err := AccuracyVsTxnSize(gen.Config{}, tinyScale(), simfun.Cosine{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 { // 2 txn sizes × 2 Ks
+		t.Fatalf("got %d points", len(pts))
+	}
+}
+
+func TestTable1Rows(t *testing.T) {
+	rows, err := Table1(gen.Config{}, tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// The paper's Table 1: access fraction grows with transaction size.
+	if rows[1].PctAccessed <= rows[0].PctAccessed {
+		t.Fatalf("access %% did not grow with T: %v", rows)
+	}
+	for _, r := range rows {
+		if r.PctAccessed < 0 || r.PctAccessed > 100 || r.PctPagesTouched < r.PctAccessed {
+			t.Fatalf("row %+v implausible", r)
+		}
+	}
+}
+
+func TestFigureDispatch(t *testing.T) {
+	sc := tinyScale()
+	for fig := 6; fig <= 14; fig++ {
+		out, err := Figure(fig, gen.Config{}, sc)
+		if err != nil {
+			t.Fatalf("figure %d: %v", fig, err)
+		}
+		if !strings.Contains(out, "Figure") || len(strings.Split(out, "\n")) < 3 {
+			t.Fatalf("figure %d rendering too short:\n%s", fig, out)
+		}
+	}
+	if _, err := Figure(5, gen.Config{}, sc); err == nil {
+		t.Fatal("figure 5 accepted")
+	}
+	if _, err := Figure(15, gen.Config{}, sc); err == nil {
+		t.Fatal("figure 15 accepted")
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	pr := RenderPruning(6, "hamming", []PruningPoint{
+		{DBSize: 100, K: 13, Pruning: 90},
+		{DBSize: 100, K: 14, Pruning: 92.5},
+	})
+	if !strings.Contains(pr, "K=13") || !strings.Contains(pr, "92.50") {
+		t.Fatalf("RenderPruning:\n%s", pr)
+	}
+	ar := RenderAccuracy(7, "hamming", []AccuracyPoint{{Termination: 0.02, K: 13, Accuracy: 88}})
+	if !strings.Contains(ar, "2.00") || !strings.Contains(ar, "88.00") {
+		t.Fatalf("RenderAccuracy:\n%s", ar)
+	}
+	tr := RenderTxnSize(8, "hamming", []TxnSizePoint{{AvgTxnSize: 10, K: 13, Accuracy: 77}})
+	if !strings.Contains(tr, "10.0") || !strings.Contains(tr, "77.00") {
+		t.Fatalf("RenderTxnSize:\n%s", tr)
+	}
+	t1 := RenderTable1([]Table1Row{{AvgTxnSize: 5, PctAccessed: 33.3, PctPagesTouched: 99}})
+	if !strings.Contains(t1, "33.30") {
+		t.Fatalf("RenderTable1:\n%s", t1)
+	}
+}
+
+func TestScalePresets(t *testing.T) {
+	q, f := QuickScale(), FullScale()
+	if len(q.DBSizes) == 0 || len(f.DBSizes) == 0 {
+		t.Fatal("empty scale presets")
+	}
+	if f.AccuracyDBSize != 800000 {
+		t.Fatalf("FullScale accuracy size = %d, want the paper's 800K", f.AccuracyDBSize)
+	}
+	if q.AccuracyDBSize >= f.AccuracyDBSize {
+		t.Fatal("quick scale not smaller than full scale")
+	}
+}
+
+func TestWorkloadCacheReuse(t *testing.T) {
+	ResetCache()
+	a, err := getWorkload(gen.Config{Seed: 9}, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := getWorkload(gen.Config{Seed: 9}, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("identical workload not cached")
+	}
+	c, err := getWorkload(gen.Config{Seed: 10}, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("different seeds shared a workload")
+	}
+	if got := avgLen(a.queries); got <= 0 {
+		t.Fatalf("avgLen = %v", got)
+	}
+}

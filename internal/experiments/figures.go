@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"sigtable/internal/core"
+	"sigtable/internal/gen"
+	"sigtable/internal/seqscan"
+	"sigtable/internal/simfun"
+	"sigtable/internal/txn"
+)
+
+// valueEq compares similarity values with a tolerance for float noise.
+func valueEq(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// PruningPoint is one point of the Figure 6/9/12 family.
+type PruningPoint struct {
+	DBSize int
+	K      int
+	// Pruning is the percentage of transactions not examined when the
+	// branch and bound runs to completion, averaged over queries.
+	Pruning float64
+}
+
+// PruningVsDBSize regenerates the Figure 6 family for f: pruning
+// efficiency as the database grows, one curve per signature cardinality
+// K. The paper's datasets are T10.I6.Dx; cfg supplies T and I.
+func PruningVsDBSize(cfg gen.Config, sc Scale, f simfun.Func) ([]PruningPoint, error) {
+	cfg.Seed = sc.Seed
+	maxSize := 0
+	for _, n := range sc.DBSizes {
+		if n > maxSize {
+			maxSize = n
+		}
+	}
+	w, err := getWorkload(cfg, maxSize, sc.Queries)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []PruningPoint
+	for _, k := range sc.Ks {
+		for _, n := range sc.DBSizes {
+			data := w.data.Slice(0, n)
+			table, err := buildTable(data, k, 1)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: building table (K=%d, D=%d): %w", k, n, err)
+			}
+			sum := 0.0
+			for _, q := range w.queries {
+				res, err := table.Query(q, f, core.QueryOptions{K: 1})
+				if err != nil {
+					return nil, err
+				}
+				sum += res.PruningEfficiency(n)
+			}
+			out = append(out, PruningPoint{
+				DBSize:  n,
+				K:       k,
+				Pruning: sum / float64(len(w.queries)),
+			})
+		}
+	}
+	return out, nil
+}
+
+// AccuracyPoint is one point of the Figure 7/10/13 family.
+type AccuracyPoint struct {
+	Termination float64 // fraction of the database scanned before stopping
+	K           int
+	// Accuracy is the percentage of queries whose early-terminated
+	// answer matched the true nearest neighbor's similarity value.
+	Accuracy float64
+}
+
+// AccuracyVsTermination regenerates the Figure 7 family for f: how
+// often the true nearest neighbor is found when the search is cut off
+// after scanning a given fraction of the database.
+func AccuracyVsTermination(cfg gen.Config, sc Scale, f simfun.Func) ([]AccuracyPoint, error) {
+	cfg.Seed = sc.Seed
+	w, err := getWorkload(cfg, sc.AccuracyDBSize, sc.Queries)
+	if err != nil {
+		return nil, err
+	}
+
+	// Ground truth once per query.
+	truth := make([]float64, len(w.queries))
+	for i, q := range w.queries {
+		_, v := seqscan.Nearest(w.data, q, f)
+		truth[i] = v
+	}
+
+	var out []AccuracyPoint
+	for _, k := range sc.Ks {
+		table, err := buildTable(w.data, k, 1)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: building table (K=%d): %w", k, err)
+		}
+		for _, term := range sc.Terminations {
+			hits := 0
+			for i, q := range w.queries {
+				res, err := table.Query(q, f, core.QueryOptions{K: 1, MaxScanFraction: term})
+				if err != nil {
+					return nil, err
+				}
+				if len(res.Neighbors) > 0 && valueEq(res.Neighbors[0].Value, truth[i]) {
+					hits++
+				}
+			}
+			out = append(out, AccuracyPoint{
+				Termination: term,
+				K:           k,
+				Accuracy:    100 * float64(hits) / float64(len(w.queries)),
+			})
+		}
+	}
+	return out, nil
+}
+
+// TxnSizePoint is one point of the Figure 8/11/14 family.
+type TxnSizePoint struct {
+	AvgTxnSize float64
+	K          int
+	Accuracy   float64
+}
+
+// AccuracyVsTxnSize regenerates the Figure 8 family for f: accuracy at
+// a fixed early-termination level as transactions grow denser. The
+// paper fixes termination at 2%.
+func AccuracyVsTxnSize(cfg gen.Config, sc Scale, f simfun.Func) ([]TxnSizePoint, error) {
+	var out []TxnSizePoint
+	for _, t := range sc.TxnSizes {
+		tcfg := cfg
+		tcfg.AvgTxnSize = t
+		tcfg.Seed = sc.Seed
+		w, err := getWorkload(tcfg, sc.AccuracyDBSize, sc.Queries)
+		if err != nil {
+			return nil, err
+		}
+		truth := make([]float64, len(w.queries))
+		for i, q := range w.queries {
+			_, v := seqscan.Nearest(w.data, q, f)
+			truth[i] = v
+		}
+		for _, k := range sc.Ks {
+			table, err := buildTable(w.data, k, 1)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: building table (K=%d, T=%g): %w", k, t, err)
+			}
+			hits := 0
+			for i, q := range w.queries {
+				res, err := table.Query(q, f, core.QueryOptions{K: 1, MaxScanFraction: sc.Termination})
+				if err != nil {
+					return nil, err
+				}
+				if len(res.Neighbors) > 0 && valueEq(res.Neighbors[0].Value, truth[i]) {
+					hits++
+				}
+			}
+			out = append(out, TxnSizePoint{
+				AvgTxnSize: t,
+				K:          k,
+				Accuracy:   100 * float64(hits) / float64(len(w.queries)),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Figure dispatches a figure number (6..14) to its family and
+// similarity function, returning rendered text. This is the single
+// entry point cmd/sigbench uses.
+func Figure(n int, cfg gen.Config, sc Scale) (string, error) {
+	return figure(n, cfg, sc, false)
+}
+
+// FigurePlot is Figure with an ASCII line chart appended.
+func FigurePlot(n int, cfg gen.Config, sc Scale) (string, error) {
+	return figure(n, cfg, sc, true)
+}
+
+// figureFunc maps a figure number to the similarity function its
+// column of the paper uses.
+func figureFunc(n int) (simfun.Func, error) {
+	switch n {
+	case 6, 7, 8:
+		return simfun.Hamming{}, nil
+	case 9, 10, 11:
+		return simfun.MatchHammingRatio{}, nil
+	case 12, 13, 14:
+		return simfun.Cosine{}, nil
+	default:
+		return nil, fmt.Errorf("experiments: no figure %d (valid: 6..14)", n)
+	}
+}
+
+func figure(n int, cfg gen.Config, sc Scale, plot bool) (string, error) {
+	f, err := figureFunc(n)
+	if err != nil {
+		return "", err
+	}
+	switch n {
+	case 6, 9, 12:
+		pts, err := PruningVsDBSize(cfg, sc, f)
+		if err != nil {
+			return "", err
+		}
+		out := RenderPruning(n, f.Name(), pts)
+		if plot {
+			out += "\n" + PlotPruning(n, f.Name(), pts)
+		}
+		return out, nil
+	case 7, 10, 13:
+		pts, err := AccuracyVsTermination(cfg, sc, f)
+		if err != nil {
+			return "", err
+		}
+		out := RenderAccuracy(n, f.Name(), pts)
+		if plot {
+			out += "\n" + PlotAccuracy(n, f.Name(), pts)
+		}
+		return out, nil
+	default: // 8, 11, 14
+		pts, err := AccuracyVsTxnSize(cfg, sc, f)
+		if err != nil {
+			return "", err
+		}
+		out := RenderTxnSize(n, f.Name(), pts)
+		if plot {
+			out += "\n" + PlotTxnSize(n, f.Name(), pts)
+		}
+		return out, nil
+	}
+}
+
+// avgLen is a test helper reporting the realized mean transaction size
+// of a workload's query set.
+func avgLen(ts []txn.Transaction) float64 {
+	if len(ts) == 0 {
+		return 0
+	}
+	n := 0
+	for _, t := range ts {
+		n += len(t)
+	}
+	return float64(n) / float64(len(ts))
+}

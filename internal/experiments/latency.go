@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sigtable/internal/core"
+	"sigtable/internal/gen"
+	"sigtable/internal/invindex"
+	"sigtable/internal/seqscan"
+	"sigtable/internal/simfun"
+)
+
+// LatencyPoint compares per-query cost of the three access methods at
+// one database size. Times are averages over the scale's query count.
+type LatencyPoint struct {
+	DBSize int
+	// Per-query wall clock.
+	SigTable     time.Duration
+	SigTable2Pct time.Duration // early termination at 2%
+	SeqScan      time.Duration
+	InvIndex     time.Duration
+	// Work metrics.
+	SigTableScanned float64 // avg transactions evaluated (complete run)
+	InvIndexTouched float64 // avg transactions the postings force
+}
+
+// LatencyComparison measures exact-NN query latency for the signature
+// table (complete and 2%-terminated), the sequential scan, and the
+// inverted index, across database sizes. This is the "who wins"
+// comparison behind the paper's motivation: seqscan degrades linearly,
+// the inverted index with density, the signature table with neither.
+func LatencyComparison(cfg gen.Config, sc Scale, f simfun.Func) ([]LatencyPoint, error) {
+	cfg.Seed = sc.Seed
+	maxSize := 0
+	for _, n := range sc.DBSizes {
+		if n > maxSize {
+			maxSize = n
+		}
+	}
+	w, err := getWorkload(cfg, maxSize, sc.Queries)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []LatencyPoint
+	for _, n := range sc.DBSizes {
+		data := w.data.Slice(0, n)
+		table, err := buildTable(data, sc.Ks[len(sc.Ks)-1], 1)
+		if err != nil {
+			return nil, err
+		}
+		inv := invindex.Build(data, invindex.Options{})
+
+		p := LatencyPoint{DBSize: n}
+		q := float64(len(w.queries))
+
+		start := time.Now()
+		for _, target := range w.queries {
+			res, err := table.Query(target, f, core.QueryOptions{K: 1})
+			if err != nil {
+				return nil, err
+			}
+			p.SigTableScanned += float64(res.Scanned)
+		}
+		p.SigTable = time.Duration(float64(time.Since(start)) / q)
+		p.SigTableScanned /= q
+
+		start = time.Now()
+		for _, target := range w.queries {
+			if _, err := table.Query(target, f, core.QueryOptions{K: 1, MaxScanFraction: 0.02}); err != nil {
+				return nil, err
+			}
+		}
+		p.SigTable2Pct = time.Duration(float64(time.Since(start)) / q)
+
+		start = time.Now()
+		for _, target := range w.queries {
+			seqscan.Nearest(data, target, f)
+		}
+		p.SeqScan = time.Duration(float64(time.Since(start)) / q)
+
+		start = time.Now()
+		for _, target := range w.queries {
+			_, st := inv.KNearest(target, f, 1)
+			p.InvIndexTouched += float64(st.Candidates)
+		}
+		p.InvIndex = time.Duration(float64(time.Since(start)) / q)
+		p.InvIndexTouched /= q
+
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// RenderLatency formats the comparison as aligned text.
+func RenderLatency(funcName string, pts []LatencyPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Access-method comparison: avg per-query latency — %s\n", funcName)
+	fmt.Fprintf(&b, "%10s %12s %12s %12s %12s %14s %14s\n",
+		"db size", "sigtable", "sigtable@2%", "seqscan", "invindex", "sig scanned", "inv touched")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%10d %12s %12s %12s %12s %14.0f %14.0f\n",
+			p.DBSize,
+			p.SigTable.Round(time.Microsecond),
+			p.SigTable2Pct.Round(time.Microsecond),
+			p.SeqScan.Round(time.Microsecond),
+			p.InvIndex.Round(time.Microsecond),
+			p.SigTableScanned, p.InvIndexTouched)
+	}
+	return b.String()
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"sigtable/internal/gen"
+	"sigtable/internal/simfun"
+)
+
+func TestLatencyComparison(t *testing.T) {
+	sc := tinyScale()
+	pts, err := LatencyComparison(gen.Config{}, sc, simfun.Cosine{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(sc.DBSizes) {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.SigTable <= 0 || p.SeqScan <= 0 || p.InvIndex <= 0 || p.SigTable2Pct <= 0 {
+			t.Fatalf("non-positive latency: %+v", p)
+		}
+		if p.SigTableScanned <= 0 || p.SigTableScanned > float64(p.DBSize) {
+			t.Fatalf("implausible scanned count: %+v", p)
+		}
+		if p.InvIndexTouched < 0 || p.InvIndexTouched > float64(p.DBSize) {
+			t.Fatalf("implausible touched count: %+v", p)
+		}
+	}
+	// Work grows with the database for the linear methods.
+	last, first := pts[len(pts)-1], pts[0]
+	if last.InvIndexTouched <= first.InvIndexTouched {
+		t.Fatalf("inverted-index work did not grow with D: %v vs %v",
+			first.InvIndexTouched, last.InvIndexTouched)
+	}
+
+	out := RenderLatency("cosine", pts)
+	if !strings.Contains(out, "sigtable") || !strings.Contains(out, "seqscan") {
+		t.Fatalf("RenderLatency:\n%s", out)
+	}
+}

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ASCII line plots of the figure series, so `sigbench -plot` and
+// EXPERIMENTS.md can show curve shapes without an image pipeline.
+
+// Series is one labelled curve of (x, y) points.
+type Series struct {
+	Label  string
+	X, Y   []float64
+	marker byte
+}
+
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Plot renders the series into a width×height character grid with
+// labelled axes. Y is clamped to [ymin, ymax] when they differ,
+// otherwise auto-scaled with margin.
+func Plot(title, xlabel, ylabel string, series []Series, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	// Axis ranges.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return title + "\n(no data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// A little headroom so curves don't hug the frame.
+	pad := (ymax - ymin) * 0.05
+	ymin -= pad
+	ymax += pad
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	put := func(x, y float64, m byte) {
+		cx := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+		cy := int(math.Round((y - ymin) / (ymax - ymin) * float64(height-1)))
+		row := height - 1 - cy
+		if row >= 0 && row < height && cx >= 0 && cx < width {
+			grid[row][cx] = m
+		}
+	}
+	for si := range series {
+		s := &series[si]
+		s.marker = markers[si%len(markers)]
+		// Connect consecutive points with interpolated marks.
+		order := make([]int, len(s.X))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return s.X[order[a]] < s.X[order[b]] })
+		for oi := 1; oi < len(order); oi++ {
+			a, b := order[oi-1], order[oi]
+			steps := width / max(1, len(order)-1)
+			for t := 0; t <= steps; t++ {
+				frac := float64(t) / float64(max(1, steps))
+				put(s.X[a]+(s.X[b]-s.X[a])*frac, s.Y[a]+(s.Y[b]-s.Y[a])*frac, s.marker)
+			}
+		}
+		for i := range s.X {
+			put(s.X[i], s.Y[i], s.marker)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for i, row := range grid {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%8.4g", ymax)
+		case height - 1:
+			label = fmt.Sprintf("%8.4g", ymin)
+		case height / 2:
+			label = fmt.Sprintf("%8.4g", (ymin+ymax)/2)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, row)
+	}
+	fmt.Fprintf(&b, "%8s  %-*s%*s\n", "", width/2, fmt.Sprintf("%.4g", xmin), width-width/2, fmt.Sprintf("%.4g", xmax))
+	fmt.Fprintf(&b, "%8s  x: %s, y: %s\n", "", xlabel, ylabel)
+	for _, s := range series {
+		fmt.Fprintf(&b, "%8s  %c = %s\n", "", s.marker, s.Label)
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// PlotPruning renders a Figure 6/9/12 family as an ASCII chart.
+func PlotPruning(fig int, funcName string, pts []PruningPoint) string {
+	byK := map[int]*Series{}
+	var ks []int
+	for _, p := range pts {
+		s, ok := byK[p.K]
+		if !ok {
+			s = &Series{Label: fmt.Sprintf("K=%d", p.K)}
+			byK[p.K] = s
+			ks = append(ks, p.K)
+		}
+		s.X = append(s.X, float64(p.DBSize))
+		s.Y = append(s.Y, p.Pruning)
+	}
+	sort.Ints(ks)
+	series := make([]Series, 0, len(ks))
+	for _, k := range ks {
+		series = append(series, *byK[k])
+	}
+	return Plot(
+		fmt.Sprintf("Figure %d: pruning efficiency vs database size (%s)", fig, funcName),
+		"database size", "pruning %", series, 64, 16)
+}
+
+// PlotAccuracy renders a Figure 7/10/13 family as an ASCII chart.
+func PlotAccuracy(fig int, funcName string, pts []AccuracyPoint) string {
+	byK := map[int]*Series{}
+	var ks []int
+	for _, p := range pts {
+		s, ok := byK[p.K]
+		if !ok {
+			s = &Series{Label: fmt.Sprintf("K=%d", p.K)}
+			byK[p.K] = s
+			ks = append(ks, p.K)
+		}
+		s.X = append(s.X, 100*p.Termination)
+		s.Y = append(s.Y, p.Accuracy)
+	}
+	sort.Ints(ks)
+	series := make([]Series, 0, len(ks))
+	for _, k := range ks {
+		series = append(series, *byK[k])
+	}
+	return Plot(
+		fmt.Sprintf("Figure %d: accuracy vs early termination (%s)", fig, funcName),
+		"% of transactions scanned", "accuracy %", series, 64, 16)
+}
+
+// PlotTxnSize renders a Figure 8/11/14 family as an ASCII chart.
+func PlotTxnSize(fig int, funcName string, pts []TxnSizePoint) string {
+	byK := map[int]*Series{}
+	var ks []int
+	for _, p := range pts {
+		s, ok := byK[p.K]
+		if !ok {
+			s = &Series{Label: fmt.Sprintf("K=%d", p.K)}
+			byK[p.K] = s
+			ks = append(ks, p.K)
+		}
+		s.X = append(s.X, p.AvgTxnSize)
+		s.Y = append(s.Y, p.Accuracy)
+	}
+	sort.Ints(ks)
+	series := make([]Series, 0, len(ks))
+	for _, k := range ks {
+		series = append(series, *byK[k])
+	}
+	return Plot(
+		fmt.Sprintf("Figure %d: accuracy vs avg transaction size (%s)", fig, funcName),
+		"average transaction size", "accuracy %", series, 64, 16)
+}

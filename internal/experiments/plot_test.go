@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"sigtable/internal/gen"
+)
+
+func TestPlotBasic(t *testing.T) {
+	out := Plot("test chart", "x", "y", []Series{
+		{Label: "a", X: []float64{0, 1, 2}, Y: []float64{0, 1, 4}},
+		{Label: "b", X: []float64{0, 1, 2}, Y: []float64{4, 2, 0}},
+	}, 40, 10)
+	if !strings.Contains(out, "test chart") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "* = a") || !strings.Contains(out, "o = b") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("missing markers:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Fatalf("plot too short: %d lines", len(lines))
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	out := Plot("empty", "x", "y", nil, 40, 10)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot:\n%s", out)
+	}
+}
+
+func TestPlotDegenerateRanges(t *testing.T) {
+	// Single point: x and y ranges collapse; must not panic or divide
+	// by zero.
+	out := Plot("point", "x", "y", []Series{
+		{Label: "p", X: []float64{5}, Y: []float64{5}},
+	}, 30, 8)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestPlotFamilies(t *testing.T) {
+	pr := PlotPruning(6, "hamming", []PruningPoint{
+		{DBSize: 1000, K: 13, Pruning: 90}, {DBSize: 2000, K: 13, Pruning: 92},
+		{DBSize: 1000, K: 15, Pruning: 93}, {DBSize: 2000, K: 15, Pruning: 95},
+	})
+	if !strings.Contains(pr, "K=13") || !strings.Contains(pr, "K=15") {
+		t.Fatalf("pruning plot legend:\n%s", pr)
+	}
+	ac := PlotAccuracy(7, "hamming", []AccuracyPoint{
+		{Termination: 0.01, K: 13, Accuracy: 80}, {Termination: 0.02, K: 13, Accuracy: 90},
+	})
+	if !strings.Contains(ac, "Figure 7") {
+		t.Fatalf("accuracy plot:\n%s", ac)
+	}
+	ts := PlotTxnSize(8, "hamming", []TxnSizePoint{
+		{AvgTxnSize: 5, K: 13, Accuracy: 95}, {AvgTxnSize: 15, K: 13, Accuracy: 70},
+	})
+	if !strings.Contains(ts, "Figure 8") {
+		t.Fatalf("txn size plot:\n%s", ts)
+	}
+}
+
+func TestFigurePlotDispatch(t *testing.T) {
+	sc := tinyScale()
+	out, err := FigurePlot(6, gen.Config{}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "pruning %") {
+		t.Fatalf("FigurePlot missing chart:\n%s", out)
+	}
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderPruning formats a Figure 6/9/12 result as an aligned text
+// table: one row per database size, one column per K.
+func RenderPruning(fig int, funcName string, pts []PruningPoint) string {
+	sizes, ks := pruningAxes(pts)
+	val := make(map[[2]int]float64, len(pts))
+	for _, p := range pts {
+		val[[2]int{p.DBSize, p.K}] = p.Pruning
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %d: pruning efficiency (%%) vs database size — %s\n", fig, funcName)
+	fmt.Fprintf(&b, "%12s", "db size")
+	for _, k := range ks {
+		fmt.Fprintf(&b, "  %8s", fmt.Sprintf("K=%d", k))
+	}
+	b.WriteByte('\n')
+	for _, n := range sizes {
+		fmt.Fprintf(&b, "%12d", n)
+		for _, k := range ks {
+			fmt.Fprintf(&b, "  %8.2f", val[[2]int{n, k}])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func pruningAxes(pts []PruningPoint) (sizes, ks []int) {
+	seenN, seenK := map[int]bool{}, map[int]bool{}
+	for _, p := range pts {
+		if !seenN[p.DBSize] {
+			seenN[p.DBSize] = true
+			sizes = append(sizes, p.DBSize)
+		}
+		if !seenK[p.K] {
+			seenK[p.K] = true
+			ks = append(ks, p.K)
+		}
+	}
+	sort.Ints(sizes)
+	sort.Ints(ks)
+	return sizes, ks
+}
+
+// RenderAccuracy formats a Figure 7/10/13 result: one row per
+// early-termination level, one column per K.
+func RenderAccuracy(fig int, funcName string, pts []AccuracyPoint) string {
+	var terms []float64
+	var ks []int
+	seenT, seenK := map[float64]bool{}, map[int]bool{}
+	val := make(map[string]float64, len(pts))
+	for _, p := range pts {
+		if !seenT[p.Termination] {
+			seenT[p.Termination] = true
+			terms = append(terms, p.Termination)
+		}
+		if !seenK[p.K] {
+			seenK[p.K] = true
+			ks = append(ks, p.K)
+		}
+		val[fmt.Sprintf("%v|%d", p.Termination, p.K)] = p.Accuracy
+	}
+	sort.Float64s(terms)
+	sort.Ints(ks)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %d: accuracy (%%) vs early-termination level — %s\n", fig, funcName)
+	fmt.Fprintf(&b, "%12s", "scanned %")
+	for _, k := range ks {
+		fmt.Fprintf(&b, "  %8s", fmt.Sprintf("K=%d", k))
+	}
+	b.WriteByte('\n')
+	for _, t := range terms {
+		fmt.Fprintf(&b, "%12.2f", 100*t)
+		for _, k := range ks {
+			fmt.Fprintf(&b, "  %8.2f", val[fmt.Sprintf("%v|%d", t, k)])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderTxnSize formats a Figure 8/11/14 result: one row per average
+// transaction size, one column per K.
+func RenderTxnSize(fig int, funcName string, pts []TxnSizePoint) string {
+	var ts []float64
+	var ks []int
+	seenT, seenK := map[float64]bool{}, map[int]bool{}
+	val := make(map[string]float64, len(pts))
+	for _, p := range pts {
+		if !seenT[p.AvgTxnSize] {
+			seenT[p.AvgTxnSize] = true
+			ts = append(ts, p.AvgTxnSize)
+		}
+		if !seenK[p.K] {
+			seenK[p.K] = true
+			ks = append(ks, p.K)
+		}
+		val[fmt.Sprintf("%v|%d", p.AvgTxnSize, p.K)] = p.Accuracy
+	}
+	sort.Float64s(ts)
+	sort.Ints(ks)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %d: accuracy (%%) at 2%% termination vs avg transaction size — %s\n", fig, funcName)
+	fmt.Fprintf(&b, "%12s", "avg T")
+	for _, k := range ks {
+		fmt.Fprintf(&b, "  %8s", fmt.Sprintf("K=%d", k))
+	}
+	b.WriteByte('\n')
+	for _, t := range ts {
+		fmt.Fprintf(&b, "%12.1f", t)
+		for _, k := range ks {
+			fmt.Fprintf(&b, "  %8.2f", val[fmt.Sprintf("%v|%d", t, k)])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderTable1 formats Table 1 as text.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("Table 1: minimum % of transactions accessed by an inverted index\n")
+	fmt.Fprintf(&b, "%12s  %14s  %16s\n", "avg T", "% accessed", "% pages touched")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%12.1f  %14.2f  %16.2f\n", r.AvgTxnSize, r.PctAccessed, r.PctPagesTouched)
+	}
+	return b.String()
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"sigtable/internal/gen"
+	"sigtable/internal/invindex"
+)
+
+// Table1Row is one row of the paper's Table 1: the minimum fraction of
+// the database an inverted index must access to answer a similarity
+// query, as a function of the average transaction size.
+type Table1Row struct {
+	AvgTxnSize float64
+	// PctAccessed is the average over queries of the fraction of
+	// transactions sharing at least one item with the target, ×100.
+	PctAccessed float64
+	// PctPagesTouched adds the page-scattering effect the paper
+	// describes but does not tabulate: the fraction of base-table pages
+	// holding at least one accessed transaction, ×100.
+	PctPagesTouched float64
+}
+
+// Table1 regenerates Table 1 ("Minimum Percentage of transactions
+// accessed by an inverted index"), sweeping the average transaction
+// size with I and the universe fixed.
+func Table1(cfg gen.Config, sc Scale) ([]Table1Row, error) {
+	var out []Table1Row
+	for _, t := range sc.TxnSizes {
+		tcfg := cfg
+		tcfg.AvgTxnSize = t
+		tcfg.Seed = sc.Seed
+		w, err := getWorkload(tcfg, sc.AccuracyDBSize, sc.Queries)
+		if err != nil {
+			return nil, err
+		}
+		idx := invindex.Build(w.data, invindex.Options{})
+		frac, pages := 0.0, 0.0
+		for _, q := range w.queries {
+			st := idx.Access(q)
+			frac += st.Fraction
+			pages += st.PageFraction
+		}
+		n := float64(len(w.queries))
+		out = append(out, Table1Row{
+			AvgTxnSize:      t,
+			PctAccessed:     100 * frac / n,
+			PctPagesTouched: 100 * pages / n,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,139 @@
+// Package experiments regenerates every table and figure of the
+// paper's empirical section (§5): pruning efficiency vs database size
+// (Figures 6, 9, 12), accuracy vs early-termination level (Figures 7,
+// 10, 13), accuracy vs average transaction size (Figures 8, 11, 14) —
+// each for the hamming, match/hamming-ratio and cosine similarity
+// functions — and the inverted-index access fractions of Table 1. It
+// also provides the ablations DESIGN.md calls out.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"sigtable/internal/cluster"
+	"sigtable/internal/core"
+	"sigtable/internal/gen"
+	"sigtable/internal/mining"
+	"sigtable/internal/signature"
+	"sigtable/internal/txn"
+)
+
+// Scale selects how big the experiment runs are. Quick keeps
+// `go test -bench` fast on a laptop; Full approaches the paper's sizes
+// (D up to 800K).
+type Scale struct {
+	// DBSizes are the database sizes swept by the Figure 6/9/12 family.
+	DBSizes []int
+	// AccuracyDBSize is the fixed database size of the Figure 7/10/13
+	// and 8/11/14 families (the paper uses 800K).
+	AccuracyDBSize int
+	// Queries is the number of query targets per data point.
+	Queries int
+	// Ks are the signature cardinalities plotted as separate curves.
+	Ks []int
+	// Terminations are the early-termination fractions of the Figure
+	// 7/10/13 family (the paper sweeps 0.2%..2%).
+	Terminations []float64
+	// TxnSizes are the average transaction sizes of the Figure 8/11/14
+	// family and Table 1 (the paper sweeps 5..15).
+	TxnSizes []float64
+	// Termination is the fixed early-termination fraction of the
+	// Figure 8/11/14 family (the paper fixes 2%).
+	Termination float64
+	// Seed drives data generation.
+	Seed int64
+}
+
+// QuickScale is sized for `go test -bench=.`: the same sweeps and
+// curve structure as the paper at roughly 1/20 the data volume.
+func QuickScale() Scale {
+	return Scale{
+		DBSizes:        []int{5000, 10000, 20000, 40000},
+		AccuracyDBSize: 40000,
+		Queries:        15,
+		Ks:             []int{13, 14, 15},
+		Terminations:   []float64{0.002, 0.005, 0.01, 0.02},
+		TxnSizes:       []float64{5, 7.5, 10, 12.5, 15},
+		Termination:    0.02,
+		Seed:           42,
+	}
+}
+
+// FullScale reproduces the paper's parameters (slow: minutes per
+// figure).
+func FullScale() Scale {
+	return Scale{
+		DBSizes:        []int{100000, 200000, 400000, 800000},
+		AccuracyDBSize: 800000,
+		Queries:        50,
+		Ks:             []int{13, 14, 15},
+		Terminations:   []float64{0.002, 0.004, 0.006, 0.008, 0.01, 0.015, 0.02},
+		TxnSizes:       []float64{5, 7, 9, 11, 13, 15},
+		Termination:    0.02,
+		Seed:           42,
+	}
+}
+
+// workload is a generated dataset with matching query targets.
+type workload struct {
+	cfg     gen.Config
+	data    *txn.Dataset
+	queries []txn.Transaction
+}
+
+// workloadCache memoizes generated corpora within a process: data
+// generation is deterministic in (config, size), so reuse across
+// figures is sound and saves most of a bench run's time.
+var workloadCache = struct {
+	sync.Mutex
+	m map[string]*workload
+}{m: make(map[string]*workload)}
+
+func getWorkload(cfg gen.Config, dbSize, queries int) (*workload, error) {
+	cfg = cfg.Defaults()
+	key := fmt.Sprintf("%+v|%d|%d", cfg, dbSize, queries)
+	workloadCache.Lock()
+	defer workloadCache.Unlock()
+	if w, ok := workloadCache.m[key]; ok {
+		return w, nil
+	}
+	g, err := gen.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	w := &workload{
+		cfg:     cfg,
+		data:    g.Dataset(dbSize),
+		queries: g.Queries(queries),
+	}
+	workloadCache.m[key] = w
+	return w, nil
+}
+
+// ResetCache discards memoized corpora (tests use it to bound memory).
+func ResetCache() {
+	workloadCache.Lock()
+	defer workloadCache.Unlock()
+	workloadCache.m = make(map[string]*workload)
+}
+
+// buildTable constructs a signature table with an exact-K correlated
+// partition mined from the data, the pipeline the paper describes.
+func buildTable(data *txn.Dataset, k, activation int) (*core.Table, error) {
+	sample := 50000
+	if data.Len() < sample {
+		sample = data.Len()
+	}
+	counts := mining.Count(data, mining.CountOptions{MaxSample: sample, CountPairs: true})
+	pairs := counts.FrequentPairs(0.0005)
+	sets, err := cluster.Exact(counts.ItemSupports(), pairs, k)
+	if err != nil {
+		return nil, err
+	}
+	part, err := signature.NewPartition(data.UniverseSize(), sets)
+	if err != nil {
+		return nil, err
+	}
+	return core.Build(data, part, core.BuildOptions{ActivationThreshold: activation})
+}

@@ -1,0 +1,285 @@
+// Package gen implements the synthetic market-basket data generator the
+// paper uses in its empirical section (§5): the Agrawal–Srikant method
+// ("Fast Algorithms for Mining Association Rules", VLDB 1994) with the
+// paper's stated modifications.
+//
+// The process:
+//
+//  1. Generate L maximal "potentially large itemsets" that capture
+//     tendencies to buy items together. Each itemset's size is
+//     Poisson(I); each successive itemset reuses half of its items from
+//     the previous one and draws the rest uniformly, so itemsets share
+//     items. Each itemset gets a weight drawn from Exp(1).
+//  2. Each transaction's size is Poisson(T). Itemsets are assigned to a
+//     transaction by rolling an L-sided weighted die. If an itemset
+//     does not fit, it is kept in the transaction anyway half the time
+//     and carried to the next transaction the other half.
+//  3. Before an itemset joins a transaction, noise is applied: with a
+//     per-itemset noise level n_I drawn from N(0.5, var 0.1), a
+//     geometric variate G with parameter n_I is drawn and min(G, |I|)
+//     randomly chosen items are dropped.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sigtable/internal/stats"
+	"sigtable/internal/txn"
+)
+
+// Config parameterizes the generator using the paper's notation: a
+// dataset "T10.I6.D100K" has AvgTxnSize 10, AvgItemsetSize 6 and 100000
+// transactions.
+type Config struct {
+	// UniverseSize is the number of distinct items N. The paper speaks
+	// of "hundreds or thousands" of items; 1000 is the default used in
+	// our experiments.
+	UniverseSize int
+	// NumItemsets is L, the number of maximal potentially large
+	// itemsets. The paper fixes L = 2000.
+	NumItemsets int
+	// AvgTxnSize is T, the Poisson mean of transaction sizes.
+	AvgTxnSize float64
+	// AvgItemsetSize is I, the Poisson mean of potentially-large-itemset
+	// sizes.
+	AvgItemsetSize float64
+	// NoiseMean and NoiseVariance parameterize the per-itemset noise
+	// level distribution N(mean, variance). The paper uses (0.5, 0.1).
+	NoiseMean     float64
+	NoiseVariance float64
+	// Seed drives all randomness, making datasets reproducible.
+	Seed int64
+}
+
+// Defaults fills zero fields with the paper's values (N=1000, L=2000,
+// T=10, I=6, noise N(0.5, 0.1)) and returns the completed config.
+func (c Config) Defaults() Config {
+	if c.UniverseSize == 0 {
+		c.UniverseSize = 1000
+	}
+	if c.NumItemsets == 0 {
+		c.NumItemsets = 2000
+	}
+	if c.AvgTxnSize == 0 {
+		c.AvgTxnSize = 10
+	}
+	if c.AvgItemsetSize == 0 {
+		c.AvgItemsetSize = 6
+	}
+	if c.NoiseMean == 0 {
+		c.NoiseMean = 0.5
+	}
+	if c.NoiseVariance == 0 {
+		c.NoiseVariance = 0.1
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.UniverseSize <= 0:
+		return fmt.Errorf("gen: universe size %d must be positive", c.UniverseSize)
+	case c.NumItemsets <= 0:
+		return fmt.Errorf("gen: number of itemsets %d must be positive", c.NumItemsets)
+	case c.AvgTxnSize <= 0:
+		return fmt.Errorf("gen: average transaction size %v must be positive", c.AvgTxnSize)
+	case c.AvgItemsetSize <= 0:
+		return fmt.Errorf("gen: average itemset size %v must be positive", c.AvgItemsetSize)
+	case c.NoiseMean < 0 || c.NoiseMean > 1:
+		return fmt.Errorf("gen: noise mean %v outside [0, 1]", c.NoiseMean)
+	case c.NoiseVariance < 0:
+		return fmt.Errorf("gen: noise variance %v negative", c.NoiseVariance)
+	}
+	return nil
+}
+
+// Name renders the paper's dataset naming for n transactions, e.g.
+// "T10.I6.D100K".
+func (c Config) Name(n int) string {
+	d := fmt.Sprint(n)
+	switch {
+	case n >= 1_000_000 && n%1_000_000 == 0:
+		d = fmt.Sprintf("%dM", n/1_000_000)
+	case n >= 1000 && n%1000 == 0:
+		d = fmt.Sprintf("%dK", n/1000)
+	}
+	return fmt.Sprintf("T%g.I%g.D%s", c.AvgTxnSize, c.AvgItemsetSize, d)
+}
+
+// Generator produces transactions from a fixed set of potentially large
+// itemsets. It is not safe for concurrent use.
+type Generator struct {
+	cfg      Config
+	rng      *rand.Rand
+	itemsets [][]txn.Item // the L potentially large itemsets
+	noise    []float64    // per-itemset noise level n_I
+	die      *stats.AliasTable
+	carry    []txn.Item // itemset fragment deferred to the next transaction
+	scratch  map[txn.Item]struct{}
+}
+
+// New creates a generator. Zero config fields take the paper's
+// defaults.
+func New(cfg Config) (*Generator, error) {
+	cfg = cfg.Defaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		scratch: make(map[txn.Item]struct{}, int(cfg.AvgTxnSize)*4),
+	}
+	g.buildItemsets()
+	return g, nil
+}
+
+// Config returns the (defaulted) configuration in use.
+func (g *Generator) Config() Config { return g.cfg }
+
+// Itemsets exposes the potentially large itemsets, primarily for tests.
+func (g *Generator) Itemsets() [][]txn.Item { return g.itemsets }
+
+func (g *Generator) buildItemsets() {
+	cfg := g.cfg
+	g.itemsets = make([][]txn.Item, cfg.NumItemsets)
+	g.noise = make([]float64, cfg.NumItemsets)
+	weights := make([]float64, cfg.NumItemsets)
+	noiseStd := math.Sqrt(cfg.NoiseVariance)
+
+	var prev []txn.Item
+	for i := range g.itemsets {
+		size := stats.Poisson(g.rng, cfg.AvgItemsetSize)
+		if size < 1 {
+			size = 1
+		}
+		if size > cfg.UniverseSize {
+			size = cfg.UniverseSize
+		}
+
+		set := make(map[txn.Item]struct{}, size)
+		// Half of the items come from the previous itemset, so that
+		// potentially large itemsets often share items (paper §5).
+		if len(prev) > 0 {
+			reuse := size / 2
+			perm := g.rng.Perm(len(prev))
+			for j := 0; j < reuse && j < len(prev); j++ {
+				set[prev[perm[j]]] = struct{}{}
+			}
+		}
+		for len(set) < size {
+			set[txn.Item(g.rng.Intn(cfg.UniverseSize))] = struct{}{}
+		}
+
+		items := make([]txn.Item, 0, len(set))
+		for it := range set {
+			items = append(items, it)
+		}
+		g.itemsets[i] = txn.New(items...)
+		prev = g.itemsets[i]
+
+		weights[i] = stats.Exponential(g.rng, 1)
+		// Noise levels live in (0, 1): they are used as geometric
+		// success probabilities.
+		g.noise[i] = stats.NormalClamped(g.rng, cfg.NoiseMean, noiseStd, 0.01, 0.99)
+	}
+	g.die = stats.NewAliasTable(weights)
+}
+
+// corrupt applies the paper's noise model to itemset idx: draw a
+// geometric variate G with parameter n_I and drop min(G, |I|) randomly
+// chosen items. The returned slice is freshly allocated.
+func (g *Generator) corrupt(idx int) []txn.Item {
+	set := g.itemsets[idx]
+	drop := stats.Geometric(g.rng, g.noise[idx])
+	if drop >= len(set) {
+		return nil
+	}
+	if drop == 0 {
+		out := make([]txn.Item, len(set))
+		copy(out, set)
+		return out
+	}
+	out := make([]txn.Item, len(set))
+	copy(out, set)
+	// Partial Fisher-Yates: move `drop` victims to the tail, keep head.
+	for k := 0; k < drop; k++ {
+		last := len(out) - 1 - k
+		j := g.rng.Intn(last + 1)
+		out[j], out[last] = out[last], out[j]
+	}
+	return out[:len(out)-drop]
+}
+
+// Next generates the next transaction.
+func (g *Generator) Next() txn.Transaction {
+	target := stats.Poisson(g.rng, g.cfg.AvgTxnSize)
+	if target < 1 {
+		target = 1
+	}
+
+	for k := range g.scratch {
+		delete(g.scratch, k)
+	}
+	add := func(items []txn.Item) {
+		for _, it := range items {
+			g.scratch[it] = struct{}{}
+		}
+	}
+
+	if g.carry != nil {
+		add(g.carry)
+		g.carry = nil
+	}
+
+	for len(g.scratch) < target {
+		frag := g.corrupt(g.die.Draw(g.rng))
+		if len(frag) == 0 {
+			continue
+		}
+		if len(g.scratch)+len(frag) <= target {
+			add(frag)
+			continue
+		}
+		// Itemset does not fit: keep it in this transaction half the
+		// time, defer it to the next transaction otherwise (paper §5).
+		if g.rng.Intn(2) == 0 {
+			add(frag)
+		} else {
+			g.carry = frag
+		}
+		break
+	}
+
+	items := make([]txn.Item, 0, len(g.scratch))
+	for it := range g.scratch {
+		items = append(items, it)
+	}
+	if len(items) == 0 {
+		// Degenerate noise can empty a transaction; give it one random
+		// item so every transaction is non-empty.
+		items = append(items, txn.Item(g.rng.Intn(g.cfg.UniverseSize)))
+	}
+	return txn.New(items...)
+}
+
+// Dataset generates n transactions into a fresh Dataset.
+func (g *Generator) Dataset(n int) *txn.Dataset {
+	d := txn.NewDataset(g.cfg.UniverseSize)
+	for i := 0; i < n; i++ {
+		d.Append(g.Next())
+	}
+	return d
+}
+
+// Queries draws n query targets from the same distribution as the data,
+// as the paper's experiments do.
+func (g *Generator) Queries(n int) []txn.Transaction {
+	qs := make([]txn.Transaction, n)
+	for i := range qs {
+		qs[i] = g.Next()
+	}
+	return qs
+}

@@ -1,0 +1,200 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"sigtable/internal/txn"
+)
+
+func mustNew(t *testing.T, cfg Config) *Generator {
+	t.Helper()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestDefaults(t *testing.T) {
+	cfg := Config{}.Defaults()
+	if cfg.UniverseSize != 1000 || cfg.NumItemsets != 2000 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	if cfg.AvgTxnSize != 10 || cfg.AvgItemsetSize != 6 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	if cfg.NoiseMean != 0.5 || cfg.NoiseVariance != 0.1 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{UniverseSize: -5},
+		{NumItemsets: -1},
+		{AvgTxnSize: -3},
+		{AvgItemsetSize: -2},
+		{NoiseMean: 2},
+		{NoiseVariance: -0.1},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	cfg := Config{AvgTxnSize: 10, AvgItemsetSize: 6}.Defaults()
+	for _, tc := range []struct {
+		n    int
+		want string
+	}{
+		{100000, "T10.I6.D100K"},
+		{800000, "T10.I6.D800K"},
+		{2000000, "T10.I6.D2M"},
+		{1234, "T10.I6.D1234"},
+	} {
+		if got := cfg.Name(tc.n); got != tc.want {
+			t.Errorf("Name(%d) = %q, want %q", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := mustNew(t, Config{Seed: 42}).Dataset(500)
+	b := mustNew(t, Config{Seed: 42}).Dataset(500)
+	if a.Len() != b.Len() {
+		t.Fatal("lengths differ")
+	}
+	for i := 0; i < a.Len(); i++ {
+		if !a.Get(txn.TID(i)).Equal(b.Get(txn.TID(i))) {
+			t.Fatalf("transaction %d differs: %v vs %v", i, a.Get(txn.TID(i)), b.Get(txn.TID(i)))
+		}
+	}
+	c := mustNew(t, Config{Seed: 43}).Dataset(500)
+	same := true
+	for i := 0; i < a.Len(); i++ {
+		if !a.Get(txn.TID(i)).Equal(c.Get(txn.TID(i))) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+func TestAvgTransactionSizeTracksT(t *testing.T) {
+	for _, T := range []float64{5, 10, 15} {
+		g := mustNew(t, Config{AvgTxnSize: T, Seed: 7})
+		d := g.Dataset(20000)
+		got := d.AvgLen()
+		// Noise dropping and the fit-half-the-time rule shift the mean;
+		// it must land in the right neighbourhood and order.
+		if math.Abs(got-T) > 0.35*T {
+			t.Errorf("T=%v: realized avg %v", T, got)
+		}
+	}
+}
+
+func TestTransactionsWithinUniverse(t *testing.T) {
+	g := mustNew(t, Config{UniverseSize: 200, Seed: 3})
+	for i := 0; i < 2000; i++ {
+		tr := g.Next()
+		if tr.Len() == 0 {
+			t.Fatal("empty transaction generated")
+		}
+		for _, it := range tr {
+			if int(it) >= 200 {
+				t.Fatalf("item %d outside universe", it)
+			}
+		}
+		for j := 1; j < len(tr); j++ {
+			if tr[j-1] >= tr[j] {
+				t.Fatalf("transaction not strictly sorted: %v", tr)
+			}
+		}
+	}
+}
+
+// TestItemsetsShareItems checks the "half from the previous itemset"
+// chaining: consecutive potentially large itemsets should overlap far
+// more than random pairs would.
+func TestItemsetsShareItems(t *testing.T) {
+	g := mustNew(t, Config{Seed: 11})
+	sets := g.Itemsets()
+	overlapping := 0
+	for i := 1; i < len(sets); i++ {
+		if txn.Match(sets[i-1], sets[i]) > 0 {
+			overlapping++
+		}
+	}
+	frac := float64(overlapping) / float64(len(sets)-1)
+	if frac < 0.5 {
+		t.Fatalf("only %.0f%% of consecutive itemsets share items", 100*frac)
+	}
+}
+
+// TestCorrelationStructure: transactions are built from shared
+// itemsets, so item co-occurrence must be far above the independence
+// baseline for at least some pairs.
+func TestCorrelationStructure(t *testing.T) {
+	g := mustNew(t, Config{Seed: 13})
+	d := g.Dataset(20000)
+
+	itemCount := make([]int, d.UniverseSize())
+	pairCount := make(map[uint64]int)
+	for _, tr := range d.All() {
+		for _, it := range tr {
+			itemCount[it]++
+		}
+		for i := 0; i < len(tr); i++ {
+			for j := i + 1; j < len(tr); j++ {
+				pairCount[uint64(tr[i])<<32|uint64(tr[j])]++
+			}
+		}
+	}
+	n := float64(d.Len())
+	maxLift := 0.0
+	for k, c := range pairCount {
+		a, b := k>>32, k&0xffffffff
+		expect := float64(itemCount[a]) * float64(itemCount[b]) / n
+		if expect < 5 {
+			continue
+		}
+		lift := float64(c) / expect
+		if lift > maxLift {
+			maxLift = lift
+		}
+	}
+	if maxLift < 3 {
+		t.Fatalf("max pair lift %v; generated data shows no correlation structure", maxLift)
+	}
+}
+
+func TestQueries(t *testing.T) {
+	g := mustNew(t, Config{Seed: 17})
+	qs := g.Queries(25)
+	if len(qs) != 25 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for _, q := range qs {
+		if q.Len() == 0 {
+			t.Fatal("empty query transaction")
+		}
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	g, err := New(Config{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}

@@ -1,0 +1,167 @@
+package invindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"sigtable/internal/seqscan"
+	"sigtable/internal/simfun"
+	"sigtable/internal/txn"
+)
+
+func smallDataset() *txn.Dataset {
+	d := txn.NewDataset(6)
+	d.Append(txn.New(0, 1))    // 0
+	d.Append(txn.New(1, 2))    // 1
+	d.Append(txn.New(3))       // 2
+	d.Append(txn.New(0, 2, 4)) // 3
+	return d
+}
+
+func TestPostings(t *testing.T) {
+	idx := Build(smallDataset(), Options{})
+	cases := []struct {
+		item txn.Item
+		want []txn.TID
+	}{
+		{0, []txn.TID{0, 3}},
+		{1, []txn.TID{0, 1}},
+		{2, []txn.TID{1, 3}},
+		{3, []txn.TID{2}},
+		{4, []txn.TID{3}},
+		{5, nil},
+	}
+	for _, tc := range cases {
+		got := idx.Postings(tc.item)
+		if len(got) != len(tc.want) {
+			t.Fatalf("postings(%d) = %v, want %v", tc.item, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("postings(%d) = %v, want %v", tc.item, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestAccessCounts(t *testing.T) {
+	idx := Build(smallDataset(), Options{TxnsPerPage: 2})
+	st := idx.Access(txn.New(0, 3))
+	// Transactions containing 0 or 3: {0, 3, 2} -> 3 of 4.
+	if st.Candidates != 3 {
+		t.Fatalf("Candidates = %d", st.Candidates)
+	}
+	if st.Fraction != 0.75 {
+		t.Fatalf("Fraction = %v", st.Fraction)
+	}
+	// TIDs 0, 2, 3 live on pages {0, 1}: both pages touched.
+	if st.PagesTouched != 2 || st.PageFraction != 1 {
+		t.Fatalf("pages = %d (%v)", st.PagesTouched, st.PageFraction)
+	}
+}
+
+func TestAccessNoOverlap(t *testing.T) {
+	idx := Build(smallDataset(), Options{})
+	st := idx.Access(txn.New(5))
+	if st.Candidates != 0 || st.Fraction != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestKNearestAgreesWithSeqscanForMatchFunctions: for similarity
+// functions where any positive match beats zero matches, the inverted
+// index is exact whenever the best candidate shares an item.
+func TestKNearestAgreesWithSeqscan(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := txn.NewDataset(50)
+	for i := 0; i < 400; i++ {
+		items := make([]txn.Item, 1+rng.Intn(8))
+		for j := range items {
+			items[j] = txn.Item(rng.Intn(50))
+		}
+		d.Append(txn.New(items...))
+	}
+	idx := Build(d, Options{})
+
+	for trial := 0; trial < 50; trial++ {
+		items := make([]txn.Item, 1+rng.Intn(6))
+		for j := range items {
+			items[j] = txn.Item(rng.Intn(50))
+		}
+		target := txn.New(items...)
+		for _, f := range []simfun.Func{simfun.Match{}, simfun.MatchHammingRatio{}, simfun.Cosine{}, simfun.Jaccard{}} {
+			_, wantV := seqscan.Nearest(d, target, f)
+			got, _ := idx.KNearest(target, f, 1)
+			if len(got) == 0 {
+				t.Fatalf("no result for %v", target)
+			}
+			if wantV > 0 && got[0].Value != wantV {
+				t.Fatalf("%s: inverted index value %v, seqscan %v (target %v)",
+					f.Name(), got[0].Value, wantV, target)
+			}
+		}
+	}
+}
+
+func TestKNearestFallbackWhenNoCandidates(t *testing.T) {
+	idx := Build(smallDataset(), Options{})
+	got, st := idx.KNearest(txn.New(5), simfun.Jaccard{}, 2)
+	if len(got) != 2 {
+		t.Fatalf("fallback returned %d results", len(got))
+	}
+	if st.Candidates != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestItemFrequencyOrder(t *testing.T) {
+	idx := Build(smallDataset(), Options{})
+	order := idx.ItemFrequencyOrder()
+	if len(order) != 6 {
+		t.Fatalf("order has %d items", len(order))
+	}
+	// Items 0, 1, 2 all occur twice; ties break by id; then 3, 4 (once), 5 (never).
+	if order[0] != 0 || order[1] != 1 || order[2] != 2 || order[5] != 5 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestBadTxnsPerPagePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative TxnsPerPage accepted")
+		}
+	}()
+	Build(smallDataset(), Options{TxnsPerPage: -1})
+}
+
+// TestAccessGrowsWithTransactionSize reproduces Table 1's mechanism on
+// a micro scale: longer targets touch more postings.
+func TestAccessGrowsWithTransactionSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := txn.NewDataset(100)
+	for i := 0; i < 1000; i++ {
+		items := make([]txn.Item, 1+rng.Intn(10))
+		for j := range items {
+			items[j] = txn.Item(rng.Intn(100))
+		}
+		d.Append(txn.New(items...))
+	}
+	idx := Build(d, Options{})
+
+	avgFraction := func(size int) float64 {
+		sum := 0.0
+		for trial := 0; trial < 30; trial++ {
+			items := make([]txn.Item, size)
+			for j := range items {
+				items[j] = txn.Item(rng.Intn(100))
+			}
+			sum += idx.Access(txn.New(items...)).Fraction
+		}
+		return sum / 30
+	}
+	small, large := avgFraction(2), avgFraction(12)
+	if large <= small {
+		t.Fatalf("access fraction did not grow with target size: %v vs %v", small, large)
+	}
+}

@@ -1,0 +1,118 @@
+package invindex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"sigtable/internal/txn"
+)
+
+// Compressed postings: TID lists are ascending, so they are stored as
+// varint deltas — the standard IR representation. A postings list
+// iterator hides the encoding; Build selects plain or compressed
+// storage via Options.Compress.
+
+// postingsList abstracts plain vs compressed storage.
+type postingsList interface {
+	// len reports the number of TIDs.
+	len() int
+	// iterate calls fn for each TID in ascending order; returning
+	// false stops.
+	iterate(fn func(txn.TID) bool)
+	// sizeBytes estimates the memory footprint.
+	sizeBytes() int
+}
+
+type plainList []txn.TID
+
+func (p plainList) len() int { return len(p) }
+func (p plainList) iterate(fn func(txn.TID) bool) {
+	for _, id := range p {
+		if !fn(id) {
+			return
+		}
+	}
+}
+func (p plainList) sizeBytes() int { return 4 * len(p) }
+
+type compressedList struct {
+	data  []byte
+	count int
+}
+
+func compress(tids []txn.TID) compressedList {
+	var buf [binary.MaxVarintLen64]byte
+	data := make([]byte, 0, len(tids))
+	prev := txn.TID(0)
+	for i, id := range tids {
+		d := id - prev
+		if i == 0 {
+			d = id
+		}
+		n := binary.PutUvarint(buf[:], uint64(d))
+		data = append(data, buf[:n]...)
+		prev = id
+	}
+	return compressedList{data: data, count: len(tids)}
+}
+
+func (c compressedList) len() int { return c.count }
+func (c compressedList) iterate(fn func(txn.TID) bool) {
+	off := 0
+	prev := uint64(0)
+	for i := 0; i < c.count; i++ {
+		d, n := binary.Uvarint(c.data[off:])
+		if n <= 0 {
+			panic(fmt.Sprintf("invindex: corrupt compressed postings at offset %d", off))
+		}
+		off += n
+		prev += d
+		if !fn(txn.TID(prev)) {
+			return
+		}
+	}
+}
+func (c compressedList) sizeBytes() int { return len(c.data) }
+
+// MatchCandidate pairs a TID with its match count against a target.
+type MatchCandidate struct {
+	TID   txn.TID
+	Count int
+}
+
+// MatchAtLeast returns the transactions sharing at least p items with
+// the target, with their match counts, in ascending TID order. This is
+// the one range query an inverted index answers natively (count-merge
+// over the target's postings) and the comparison point for the
+// signature table's more general range queries.
+func (idx *Index) MatchAtLeast(target txn.Transaction, p int) []MatchCandidate {
+	if p < 1 {
+		p = 1
+	}
+	counts := make(map[txn.TID]int)
+	for _, item := range target {
+		idx.list(item).iterate(func(id txn.TID) bool {
+			counts[id]++
+			return true
+		})
+	}
+	out := make([]MatchCandidate, 0, len(counts))
+	for id, c := range counts {
+		if c >= p {
+			out = append(out, MatchCandidate{TID: id, Count: c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TID < out[j].TID })
+	return out
+}
+
+// PostingsBytes estimates the total memory held by postings lists,
+// the quantity compression trades against decode cost.
+func (idx *Index) PostingsBytes() int {
+	total := 0
+	for item := range idx.postings {
+		total += idx.list(txn.Item(item)).sizeBytes()
+	}
+	return total
+}

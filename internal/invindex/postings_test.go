@@ -1,0 +1,150 @@
+package invindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"sigtable/internal/simfun"
+	"sigtable/internal/txn"
+)
+
+func TestCompressedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		tids := make([]txn.TID, n)
+		prev := txn.TID(0)
+		for i := range tids {
+			prev += txn.TID(1 + rng.Intn(1000))
+			tids[i] = prev
+		}
+		c := compress(tids)
+		if c.len() != n {
+			t.Fatalf("len = %d, want %d", c.len(), n)
+		}
+		i := 0
+		c.iterate(func(id txn.TID) bool {
+			if id != tids[i] {
+				t.Fatalf("tid %d = %d, want %d", i, id, tids[i])
+			}
+			i++
+			return true
+		})
+		if i != n {
+			t.Fatalf("iterated %d of %d", i, n)
+		}
+	}
+}
+
+func TestCompressedIterateEarlyStop(t *testing.T) {
+	c := compress([]txn.TID{1, 5, 9})
+	n := 0
+	c.iterate(func(txn.TID) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Fatalf("early stop iterated %d", n)
+	}
+}
+
+// TestCompressedIndexEquivalence: the compressed index must answer
+// every operation identically to the plain one, while using less
+// memory.
+func TestCompressedIndexEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := txn.NewDataset(80)
+	for i := 0; i < 800; i++ {
+		items := make([]txn.Item, 1+rng.Intn(10))
+		for j := range items {
+			items[j] = txn.Item(rng.Intn(80))
+		}
+		d.Append(txn.New(items...))
+	}
+	plain := Build(d, Options{})
+	comp := Build(d, Options{Compress: true})
+
+	if pb, cb := plain.PostingsBytes(), comp.PostingsBytes(); cb >= pb {
+		t.Fatalf("compression did not shrink postings: %d vs %d bytes", cb, pb)
+	}
+
+	for trial := 0; trial < 30; trial++ {
+		items := make([]txn.Item, 1+rng.Intn(6))
+		for j := range items {
+			items[j] = txn.Item(rng.Intn(80))
+		}
+		target := txn.New(items...)
+
+		// Postings decode identically.
+		for _, it := range target {
+			a, b := plain.Postings(it), comp.Postings(it)
+			if len(a) != len(b) {
+				t.Fatalf("postings(%d) lengths differ", it)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("postings(%d) differ at %d", it, i)
+				}
+			}
+		}
+		// Access stats identical.
+		if plain.Access(target) != comp.Access(target) {
+			t.Fatal("Access differs between modes")
+		}
+		// k-NN identical values.
+		pa, _ := plain.KNearest(target, simfun.Jaccard{}, 3)
+		ca, _ := comp.KNearest(target, simfun.Jaccard{}, 3)
+		for i := range pa {
+			if pa[i].Value != ca[i].Value {
+				t.Fatal("KNearest differs between modes")
+			}
+		}
+	}
+}
+
+// TestMatchAtLeast: count-merge must agree with brute force.
+func TestMatchAtLeast(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := txn.NewDataset(40)
+	for i := 0; i < 300; i++ {
+		items := make([]txn.Item, 1+rng.Intn(8))
+		for j := range items {
+			items[j] = txn.Item(rng.Intn(40))
+		}
+		d.Append(txn.New(items...))
+	}
+	for _, compressOpt := range []bool{false, true} {
+		idx := Build(d, Options{Compress: compressOpt})
+		for trial := 0; trial < 20; trial++ {
+			items := make([]txn.Item, 2+rng.Intn(5))
+			for j := range items {
+				items[j] = txn.Item(rng.Intn(40))
+			}
+			target := txn.New(items...)
+			p := 1 + rng.Intn(3)
+
+			got := idx.MatchAtLeast(target, p)
+			var want []MatchCandidate
+			for i := 0; i < d.Len(); i++ {
+				if m := txn.Match(target, d.Get(txn.TID(i))); m >= p {
+					want = append(want, MatchCandidate{TID: txn.TID(i), Count: m})
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("compress=%v p=%d: %d matches, want %d", compressOpt, p, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("compress=%v: match %d = %+v, want %+v", compressOpt, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMatchAtLeastDegenerateP(t *testing.T) {
+	idx := Build(smallDataset(), Options{})
+	if got := idx.MatchAtLeast(txn.New(0), 0); len(got) != 2 {
+		t.Fatalf("p=0 treated as p=1, got %v", got)
+	}
+}

@@ -1,0 +1,195 @@
+package mining
+
+import (
+	"fmt"
+	"sort"
+
+	"sigtable/internal/txn"
+)
+
+// Itemset is a frequent itemset with its support fraction.
+type Itemset struct {
+	Items   txn.Transaction
+	Support float64
+}
+
+// AprioriOptions tunes the frequent-itemset miner.
+type AprioriOptions struct {
+	// MinSupport is the support fraction threshold; itemsets occurring
+	// in fewer than MinSupport × N transactions are pruned.
+	MinSupport float64
+	// MaxLen caps the itemset length explored (0 = unbounded).
+	MaxLen int
+}
+
+// countFunc counts, for each candidate k-itemset, the transactions
+// containing it.
+type countFunc func(d *txn.Dataset, candidates []txn.Transaction, k int) []int
+
+// Apriori mines all frequent itemsets of the dataset using the
+// level-wise algorithm of Agrawal & Srikant (VLDB 1994): frequent
+// k-itemsets are joined to form candidate (k+1)-itemsets, candidates
+// with an infrequent subset are pruned, and the survivors are counted
+// in one pass over the data. Counting uses a first-item prefix index;
+// AprioriHashTree swaps in the original paper's hash tree.
+//
+// Results are sorted by (length, items) for determinism.
+func Apriori(d *txn.Dataset, opt AprioriOptions) ([]Itemset, error) {
+	return aprioriWith(d, opt, countWithPrefixIndex)
+}
+
+func countWithPrefixIndex(d *txn.Dataset, candidates []txn.Transaction, k int) []int {
+	counts := make([]int, len(candidates))
+	byFirst := make(map[txn.Item][]int)
+	for ci, c := range candidates {
+		byFirst[c[0]] = append(byFirst[c[0]], ci)
+	}
+	for i := 0; i < d.Len(); i++ {
+		t := d.Get(txn.TID(i))
+		if len(t) < k {
+			continue
+		}
+		for _, first := range t {
+			for _, ci := range byFirst[first] {
+				if candidates[ci].IsSubset(t) {
+					counts[ci]++
+				}
+			}
+		}
+	}
+	return counts
+}
+
+func aprioriWith(d *txn.Dataset, opt AprioriOptions, count countFunc) ([]Itemset, error) {
+	if opt.MinSupport <= 0 || opt.MinSupport > 1 {
+		return nil, fmt.Errorf("mining: min support %v outside (0, 1]", opt.MinSupport)
+	}
+	n := d.Len()
+	if n == 0 {
+		return nil, nil
+	}
+	minCount := int(opt.MinSupport * float64(n))
+	if minCount < 1 {
+		minCount = 1
+	}
+
+	var result []Itemset
+
+	// Level 1: frequent items.
+	counts := Count(d, CountOptions{})
+	var level []txn.Transaction
+	for i, c := range counts.Item {
+		if c >= minCount {
+			level = append(level, txn.Transaction{txn.Item(i)})
+			result = append(result, Itemset{
+				Items:   txn.Transaction{txn.Item(i)},
+				Support: float64(c) / float64(n),
+			})
+		}
+	}
+
+	for k := 2; len(level) >= 2 && (opt.MaxLen == 0 || k <= opt.MaxLen); k++ {
+		candidates := aprioriGen(level)
+		if len(candidates) == 0 {
+			break
+		}
+		counts := count(d, candidates, k)
+
+		level = level[:0]
+		for ci, c := range candidates {
+			if counts[ci] >= minCount {
+				level = append(level, c)
+				result = append(result, Itemset{
+					Items:   c,
+					Support: float64(counts[ci]) / float64(n),
+				})
+			}
+		}
+	}
+
+	sort.Slice(result, func(i, j int) bool {
+		a, b := result[i].Items, result[j].Items
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		for x := range a {
+			if a[x] != b[x] {
+				return a[x] < b[x]
+			}
+		}
+		return false
+	})
+	return result, nil
+}
+
+// aprioriGen joins frequent k-itemsets sharing a (k-1)-prefix into
+// candidate (k+1)-itemsets and prunes candidates with an infrequent
+// k-subset.
+func aprioriGen(level []txn.Transaction) []txn.Transaction {
+	sort.Slice(level, func(i, j int) bool { return lessItems(level[i], level[j]) })
+
+	frequent := make(map[string]struct{}, len(level))
+	for _, s := range level {
+		frequent[itemsKey(s)] = struct{}{}
+	}
+
+	var out []txn.Transaction
+	for i := 0; i < len(level); i++ {
+		for j := i + 1; j < len(level); j++ {
+			a, b := level[i], level[j]
+			k := len(a)
+			if !samePrefix(a, b, k-1) {
+				break // sorted: later j's share even less prefix
+			}
+			cand := make(txn.Transaction, k+1)
+			copy(cand, a)
+			cand[k] = b[k-1]
+			if cand[k-1] > cand[k] {
+				cand[k-1], cand[k] = cand[k], cand[k-1]
+			}
+			if hasInfrequentSubset(cand, frequent) {
+				continue
+			}
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+func samePrefix(a, b txn.Transaction, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func hasInfrequentSubset(cand txn.Transaction, frequent map[string]struct{}) bool {
+	sub := make(txn.Transaction, len(cand)-1)
+	for skip := range cand {
+		copy(sub, cand[:skip])
+		copy(sub[skip:], cand[skip+1:])
+		if _, ok := frequent[itemsKey(sub)]; !ok {
+			return true
+		}
+	}
+	return false
+}
+
+func itemsKey(t txn.Transaction) string {
+	b := make([]byte, 0, len(t)*4)
+	for _, x := range t {
+		b = append(b, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
+	}
+	return string(b)
+}
+
+func lessItems(a, b txn.Transaction) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,146 @@
+package mining
+
+import (
+	"math/rand"
+	"testing"
+
+	"sigtable/internal/txn"
+)
+
+func TestAprioriHandExample(t *testing.T) {
+	// Classic example: {0,1} and {1,2} frequent at 50%, {0,1,2} not.
+	d := tinyDataset()
+	sets, err := Apriori(d, AprioriOptions{MinSupport: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"{0}":    0.5,
+		"{1}":    0.75,
+		"{2}":    0.5,
+		"{0, 1}": 0.5,
+		"{1, 2}": 0.5,
+	}
+	if len(sets) != len(want) {
+		t.Fatalf("got %d itemsets: %v", len(sets), sets)
+	}
+	for _, s := range sets {
+		if want[s.Items.String()] != s.Support {
+			t.Errorf("itemset %v support %v, want %v", s.Items, s.Support, want[s.Items.String()])
+		}
+	}
+}
+
+func TestAprioriRejectsBadSupport(t *testing.T) {
+	for _, ms := range []float64{0, -0.1, 1.5} {
+		if _, err := Apriori(tinyDataset(), AprioriOptions{MinSupport: ms}); err == nil {
+			t.Errorf("min support %v accepted", ms)
+		}
+	}
+}
+
+func TestAprioriMaxLen(t *testing.T) {
+	sets, err := Apriori(tinyDataset(), AprioriOptions{MinSupport: 0.5, MaxLen: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sets {
+		if s.Items.Len() > 1 {
+			t.Fatalf("MaxLen=1 returned %v", s.Items)
+		}
+	}
+}
+
+func TestAprioriEmptyDataset(t *testing.T) {
+	d := txn.NewDataset(5)
+	sets, err := Apriori(d, AprioriOptions{MinSupport: 0.5})
+	if err != nil || sets != nil {
+		t.Fatalf("got %v, %v", sets, err)
+	}
+}
+
+// bruteForceFrequent enumerates every itemset up to maxLen by recursion
+// and counts exactly.
+func bruteForceFrequent(d *txn.Dataset, minSupport float64, maxLen int) map[string]float64 {
+	n := d.Len()
+	minCount := int(minSupport * float64(n))
+	if minCount < 1 {
+		minCount = 1
+	}
+	out := make(map[string]float64)
+	var rec func(start int, cur txn.Transaction)
+	rec = func(start int, cur txn.Transaction) {
+		if len(cur) > 0 {
+			count := 0
+			for _, tr := range d.All() {
+				if cur.IsSubset(tr) {
+					count++
+				}
+			}
+			if count < minCount {
+				return // supersets can't be frequent either
+			}
+			out[cur.String()] = float64(count) / float64(n)
+		}
+		if len(cur) == maxLen {
+			return
+		}
+		for it := start; it < d.UniverseSize(); it++ {
+			rec(it+1, append(cur, txn.Item(it)))
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+// TestAprioriMatchesBruteForce is the property test: on random small
+// datasets Apriori must return exactly the brute-force frequent sets.
+func TestAprioriMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		d := txn.NewDataset(8)
+		for i := 0; i < 30; i++ {
+			n := 1 + rng.Intn(5)
+			items := make([]txn.Item, n)
+			for j := range items {
+				items[j] = txn.Item(rng.Intn(8))
+			}
+			d.Append(txn.New(items...))
+		}
+		minSupport := 0.1 + rng.Float64()*0.4
+
+		want := bruteForceFrequent(d, minSupport, 8)
+		got, err := Apriori(d, AprioriOptions{MinSupport: minSupport})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (minsup %v): %d itemsets, brute force %d", trial, minSupport, len(got), len(want))
+		}
+		for _, s := range got {
+			if w, ok := want[s.Items.String()]; !ok || w != s.Support {
+				t.Fatalf("trial %d: itemset %v support %v, brute force %v (present: %v)",
+					trial, s.Items, s.Support, w, ok)
+			}
+		}
+	}
+}
+
+func BenchmarkApriori(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	d := txn.NewDataset(50)
+	for i := 0; i < 2000; i++ {
+		items := make([]txn.Item, 1+rng.Intn(8))
+		for j := range items {
+			items[j] = txn.Item(rng.Intn(50))
+		}
+		d.Append(txn.New(items...))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Apriori(d, AprioriOptions{MinSupport: 0.02}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

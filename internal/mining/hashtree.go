@@ -1,0 +1,134 @@
+package mining
+
+import (
+	"sigtable/internal/txn"
+)
+
+// hashTree is the candidate-counting structure of Agrawal & Srikant's
+// Apriori (VLDB 1994, §2.1.2): interior nodes hash on the next item,
+// leaves hold candidate itemsets. Counting a transaction walks the
+// tree once instead of testing every candidate, which is what makes
+// level-wise mining viable when candidate sets are large.
+type hashTree struct {
+	k        int // itemset length stored in this tree
+	root     *hashNode
+	leafCap  int
+	fanout   int
+	counts   []int // per-candidate counts, indexed by insertion order
+	nextID   int
+	maxDepth int
+}
+
+type hashNode struct {
+	children []*hashNode // interior: fanout buckets
+	leaf     []candidate // leaf: candidates
+}
+
+type candidate struct {
+	items txn.Transaction
+	id    int
+}
+
+// newHashTree builds a tree for k-itemsets with the given bucket
+// fanout and leaf split threshold.
+func newHashTree(k int) *hashTree {
+	return &hashTree{
+		k:        k,
+		root:     &hashNode{},
+		leafCap:  8,
+		fanout:   16,
+		maxDepth: k,
+	}
+}
+
+func (t *hashTree) bucket(it txn.Item) int { return int(it) % t.fanout }
+
+// insert adds a candidate and returns its dense id.
+func (t *hashTree) insert(items txn.Transaction) int {
+	id := t.nextID
+	t.nextID++
+	t.counts = append(t.counts, 0)
+	t.insertAt(t.root, 0, candidate{items: items, id: id})
+	return id
+}
+
+func (t *hashTree) insertAt(n *hashNode, depth int, c candidate) {
+	if n.children == nil {
+		n.leaf = append(n.leaf, c)
+		if len(n.leaf) > t.leafCap && depth < t.maxDepth {
+			// Split: redistribute by the item at this depth.
+			n.children = make([]*hashNode, t.fanout)
+			leaf := n.leaf
+			n.leaf = nil
+			for _, lc := range leaf {
+				t.insertAt(n, depth, lc)
+			}
+		}
+		return
+	}
+	b := t.bucket(c.items[depth])
+	if n.children[b] == nil {
+		n.children[b] = &hashNode{}
+	}
+	t.insertAt(n.children[b], depth+1, c)
+}
+
+// countTransaction increments every candidate that is a subset of tr.
+func (t *hashTree) countTransaction(tr txn.Transaction) {
+	if len(tr) < t.k {
+		return
+	}
+	t.walk(t.root, tr, 0, 0)
+}
+
+// walk descends the tree. depth is the tree level (= items consumed);
+// from is the index in tr from which the next item may be chosen.
+func (t *hashTree) walk(n *hashNode, tr txn.Transaction, depth, from int) {
+	if n.children == nil {
+		for _, c := range n.leaf {
+			if c.items.IsSubset(tr) {
+				t.counts[c.id]++
+			}
+		}
+		return
+	}
+	// Choose each remaining transaction item as the depth-th itemset
+	// item; distinct items can hash to the same bucket, so dedupe
+	// buckets visited for efficiency.
+	var visited uint32 // fanout <= 32
+	for i := from; i <= len(tr)-(t.k-depth); i++ {
+		b := t.bucket(tr[i])
+		if visited&(1<<uint(b)) != 0 {
+			continue
+		}
+		// A bucket may be reachable via several items; the subtree walk
+		// re-derives positions from `from`, so visiting once suffices
+		// only if we pass the earliest position. Track per bucket.
+		child := n.children[b]
+		if child == nil {
+			visited |= 1 << uint(b)
+			continue
+		}
+		t.walk(child, tr, depth+1, i+1)
+		visited |= 1 << uint(b)
+	}
+}
+
+// AprioriHashTree mines frequent itemsets exactly like Apriori but
+// counts candidates through a hash tree instead of the prefix-indexed
+// linear scan. Results are identical; the difference is counting cost
+// on large candidate sets.
+func AprioriHashTree(d *txn.Dataset, opt AprioriOptions) ([]Itemset, error) {
+	return aprioriWith(d, opt, countWithHashTree)
+}
+
+func countWithHashTree(d *txn.Dataset, candidates []txn.Transaction, k int) []int {
+	tree := newHashTree(k)
+	for _, c := range candidates {
+		tree.insert(c)
+	}
+	for i := 0; i < d.Len(); i++ {
+		tree.countTransaction(d.Get(txn.TID(i)))
+	}
+	return tree.counts
+}

@@ -1,0 +1,147 @@
+package mining
+
+import (
+	"math/rand"
+	"testing"
+
+	"sigtable/internal/txn"
+)
+
+// TestHashTreeCountsExactly: the tree's counts for a candidate set
+// must equal the naive per-candidate subset counts.
+func TestHashTreeCountsExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		k := 2 + rng.Intn(3)
+		universe := 20 + rng.Intn(20)
+
+		// Random candidate k-itemsets (deduped).
+		seen := map[string]bool{}
+		var candidates []txn.Transaction
+		for len(candidates) < 40 {
+			items := make([]txn.Item, 0, k)
+			for len(items) < k {
+				items = append(items, txn.Item(rng.Intn(universe)))
+			}
+			c := txn.New(items...)
+			if len(c) != k || seen[c.String()] {
+				continue
+			}
+			seen[c.String()] = true
+			candidates = append(candidates, c)
+		}
+
+		d := txn.NewDataset(universe)
+		for i := 0; i < 200; i++ {
+			items := make([]txn.Item, rng.Intn(10))
+			for j := range items {
+				items[j] = txn.Item(rng.Intn(universe))
+			}
+			d.Append(txn.New(items...))
+		}
+
+		got := countWithHashTree(d, candidates, k)
+		want := make([]int, len(candidates))
+		for ci, c := range candidates {
+			for _, tr := range d.All() {
+				if c.IsSubset(tr) {
+					want[ci]++
+				}
+			}
+		}
+		for ci := range candidates {
+			if got[ci] != want[ci] {
+				t.Fatalf("trial %d: candidate %v counted %d, want %d",
+					trial, candidates[ci], got[ci], want[ci])
+			}
+		}
+	}
+}
+
+// TestAprioriHashTreeMatchesApriori: both counting strategies must
+// produce identical frequent itemsets.
+func TestAprioriHashTreeMatchesApriori(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		d := txn.NewDataset(15)
+		for i := 0; i < 80; i++ {
+			items := make([]txn.Item, 1+rng.Intn(6))
+			for j := range items {
+				items[j] = txn.Item(rng.Intn(15))
+			}
+			d.Append(txn.New(items...))
+		}
+		opt := AprioriOptions{MinSupport: 0.05 + rng.Float64()*0.3}
+
+		a, err := Apriori(d, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := AprioriHashTree(d, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: %d vs %d itemsets", trial, len(a), len(b))
+		}
+		for i := range a {
+			if !a[i].Items.Equal(b[i].Items) || a[i].Support != b[i].Support {
+				t.Fatalf("trial %d: itemset %d differs: %v vs %v", trial, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestHashTreeSplits forces leaf splits and deep trees.
+func TestHashTreeSplits(t *testing.T) {
+	tree := newHashTree(3)
+	rng := rand.New(rand.NewSource(3))
+	var candidates []txn.Transaction
+	seen := map[string]bool{}
+	for len(candidates) < 200 {
+		c := txn.New(txn.Item(rng.Intn(30)), txn.Item(rng.Intn(30)), txn.Item(rng.Intn(30)))
+		if len(c) != 3 || seen[c.String()] {
+			continue
+		}
+		seen[c.String()] = true
+		candidates = append(candidates, c)
+		tree.insert(c)
+	}
+	if tree.root.children == nil {
+		t.Fatal("root never split with 200 candidates and leafCap 8")
+	}
+	// Count one transaction containing everything: every candidate
+	// increments.
+	all := make([]txn.Item, 30)
+	for i := range all {
+		all[i] = txn.Item(i)
+	}
+	tree.countTransaction(txn.New(all...))
+	for i, c := range tree.counts {
+		if c != 1 {
+			t.Fatalf("candidate %d counted %d, want 1", i, c)
+		}
+	}
+}
+
+func BenchmarkAprioriPrefixIndex(b *testing.B) { benchApriori(b, Apriori) }
+func BenchmarkAprioriHashTree(b *testing.B)    { benchApriori(b, AprioriHashTree) }
+
+func benchApriori(b *testing.B, mine func(*txn.Dataset, AprioriOptions) ([]Itemset, error)) {
+	rng := rand.New(rand.NewSource(1))
+	d := txn.NewDataset(60)
+	for i := 0; i < 3000; i++ {
+		items := make([]txn.Item, 2+rng.Intn(8))
+		for j := range items {
+			items[j] = txn.Item(rng.Intn(60))
+		}
+		d.Append(txn.New(items...))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mine(d, AprioriOptions{MinSupport: 0.01}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

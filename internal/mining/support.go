@@ -1,0 +1,151 @@
+// Package mining provides the association-rule substrate the signature
+// table construction depends on: single-item and 2-itemset support
+// counting, and a level-wise Apriori frequent-itemset miner.
+//
+// Support is expressed as a fraction of the database (the paper defines
+// the support of an itemset as the percentage of transactions
+// containing it).
+package mining
+
+import (
+	"fmt"
+	"sort"
+
+	"sigtable/internal/txn"
+)
+
+// PairKey packs an item pair (a < b) into a single map key.
+func PairKey(a, b txn.Item) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(a)<<32 | uint64(b)
+}
+
+// UnpackPair is the inverse of PairKey.
+func UnpackPair(k uint64) (a, b txn.Item) {
+	return txn.Item(k >> 32), txn.Item(k & 0xffffffff)
+}
+
+// Pair is a 2-itemset with its support (fraction of transactions).
+type Pair struct {
+	A, B    txn.Item
+	Support float64
+}
+
+// SupportCounts holds the outcome of a counting pass over a dataset.
+type SupportCounts struct {
+	// N is the number of transactions counted.
+	N int
+	// Item[i] is the number of transactions containing item i.
+	Item []int
+	// Pair maps PairKey(a, b) to the number of transactions containing
+	// both a and b. Only pairs that co-occur at least once appear.
+	Pair map[uint64]int
+}
+
+// ItemSupport returns the support fraction of a single item.
+func (s *SupportCounts) ItemSupport(i txn.Item) float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return float64(s.Item[i]) / float64(s.N)
+}
+
+// PairSupport returns the support fraction of the pair {a, b}.
+func (s *SupportCounts) PairSupport(a, b txn.Item) float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return float64(s.Pair[PairKey(a, b)]) / float64(s.N)
+}
+
+// CountOptions tunes the counting pass.
+type CountOptions struct {
+	// MaxSample caps the number of transactions examined (0 = all).
+	// Signature construction only needs support *estimates*, and a
+	// sample keeps index builds fast on multi-hundred-K datasets.
+	MaxSample int
+	// CountPairs enables 2-itemset counting (needed for signature
+	// construction, skippable when only item supports are wanted).
+	CountPairs bool
+}
+
+// Count performs a single pass over the dataset and tallies item (and
+// optionally pair) occurrence counts.
+func Count(d *txn.Dataset, opt CountOptions) *SupportCounts {
+	n := d.Len()
+	if opt.MaxSample > 0 && opt.MaxSample < n {
+		n = opt.MaxSample
+	}
+	s := &SupportCounts{
+		N:    n,
+		Item: make([]int, d.UniverseSize()),
+	}
+	if opt.CountPairs {
+		s.Pair = make(map[uint64]int, 1<<16)
+	}
+	for i := 0; i < n; i++ {
+		t := d.Get(txn.TID(i))
+		for _, it := range t {
+			s.Item[it]++
+		}
+		if !opt.CountPairs {
+			continue
+		}
+		for a := 0; a < len(t); a++ {
+			for b := a + 1; b < len(t); b++ {
+				s.Pair[PairKey(t[a], t[b])]++
+			}
+		}
+	}
+	return s
+}
+
+// FrequentPairs returns all pairs whose support is at least minSupport,
+// sorted by decreasing support (ties broken by item ids for
+// determinism).
+func (s *SupportCounts) FrequentPairs(minSupport float64) []Pair {
+	if s.Pair == nil {
+		panic("mining: FrequentPairs requires counting with CountPairs")
+	}
+	minCount := int(minSupport * float64(s.N))
+	if minCount < 1 {
+		minCount = 1
+	}
+	out := make([]Pair, 0, len(s.Pair))
+	for k, c := range s.Pair {
+		if c < minCount {
+			continue
+		}
+		a, b := UnpackPair(k)
+		out = append(out, Pair{A: a, B: b, Support: float64(c) / float64(s.N)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// ItemSupports returns the per-item support fractions as a dense slice.
+func (s *SupportCounts) ItemSupports() []float64 {
+	out := make([]float64, len(s.Item))
+	if s.N == 0 {
+		return out
+	}
+	for i, c := range s.Item {
+		out[i] = float64(c) / float64(s.N)
+	}
+	return out
+}
+
+// String summarizes the counts for debugging.
+func (s *SupportCounts) String() string {
+	return fmt.Sprintf("mining.SupportCounts{N: %d, items: %d, pairs: %d}", s.N, len(s.Item), len(s.Pair))
+}

@@ -1,0 +1,115 @@
+package mining
+
+import (
+	"testing"
+
+	"sigtable/internal/txn"
+)
+
+// tinyDataset: 4 transactions over 5 items with hand-countable
+// supports.
+func tinyDataset() *txn.Dataset {
+	d := txn.NewDataset(5)
+	d.Append(txn.New(0, 1, 2))
+	d.Append(txn.New(0, 1))
+	d.Append(txn.New(1, 2, 3))
+	d.Append(txn.New(4))
+	return d
+}
+
+func TestPairKeyRoundTrip(t *testing.T) {
+	a, b := UnpackPair(PairKey(7, 3))
+	if a != 3 || b != 7 {
+		t.Fatalf("round trip = (%d, %d)", a, b)
+	}
+	if PairKey(3, 7) != PairKey(7, 3) {
+		t.Fatal("PairKey not order-invariant")
+	}
+}
+
+func TestCountItems(t *testing.T) {
+	s := Count(tinyDataset(), CountOptions{})
+	want := []int{2, 3, 2, 1, 1}
+	for i, w := range want {
+		if s.Item[i] != w {
+			t.Errorf("item %d count = %d, want %d", i, s.Item[i], w)
+		}
+	}
+	if s.N != 4 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if got := s.ItemSupport(1); got != 0.75 {
+		t.Fatalf("ItemSupport(1) = %v", got)
+	}
+	if s.Pair != nil {
+		t.Fatal("pairs counted without CountPairs")
+	}
+}
+
+func TestCountPairs(t *testing.T) {
+	s := Count(tinyDataset(), CountOptions{CountPairs: true})
+	cases := []struct {
+		a, b txn.Item
+		want int
+	}{
+		{0, 1, 2}, {0, 2, 1}, {1, 2, 2}, {1, 3, 1}, {2, 3, 1}, {0, 3, 0}, {0, 4, 0},
+	}
+	for _, tc := range cases {
+		if got := s.Pair[PairKey(tc.a, tc.b)]; got != tc.want {
+			t.Errorf("pair (%d,%d) count = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+	if got := s.PairSupport(0, 1); got != 0.5 {
+		t.Fatalf("PairSupport(0,1) = %v", got)
+	}
+}
+
+func TestCountSampling(t *testing.T) {
+	s := Count(tinyDataset(), CountOptions{MaxSample: 2})
+	if s.N != 2 {
+		t.Fatalf("N = %d, want 2", s.N)
+	}
+	if s.Item[3] != 0 {
+		t.Fatal("sampled count saw beyond sample")
+	}
+}
+
+func TestFrequentPairsOrderingAndThreshold(t *testing.T) {
+	s := Count(tinyDataset(), CountOptions{CountPairs: true})
+	pairs := s.FrequentPairs(0.5) // >= 2 of 4 transactions
+	if len(pairs) != 2 {
+		t.Fatalf("got %d pairs: %v", len(pairs), pairs)
+	}
+	// Both have support 0.5; ties break by item id.
+	if pairs[0].A != 0 || pairs[0].B != 1 || pairs[1].A != 1 || pairs[1].B != 2 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	// Very low threshold returns everything that co-occurs.
+	all := s.FrequentPairs(1e-9)
+	if len(all) != 5 {
+		t.Fatalf("got %d pairs at zero threshold", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Support < all[i].Support {
+			t.Fatal("pairs not sorted by decreasing support")
+		}
+	}
+}
+
+func TestFrequentPairsPanicsWithoutPairCounts(t *testing.T) {
+	s := Count(tinyDataset(), CountOptions{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FrequentPairs without pair counting did not panic")
+		}
+	}()
+	s.FrequentPairs(0.5)
+}
+
+func TestItemSupports(t *testing.T) {
+	s := Count(tinyDataset(), CountOptions{})
+	sup := s.ItemSupports()
+	if sup[1] != 0.75 || sup[4] != 0.25 {
+		t.Fatalf("supports = %v", sup)
+	}
+}

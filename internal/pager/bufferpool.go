@@ -1,0 +1,86 @@
+package pager
+
+import (
+	"container/list"
+	"sync"
+)
+
+// BufferPool is a fixed-capacity LRU page cache. The signature table's
+// hot entries (those rarely pruned) stay resident across queries, as a
+// real database buffer pool would keep them. All methods are safe for
+// concurrent use.
+type BufferPool struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used; values are poolEntry
+	index    map[PageID]*list.Element
+	hits     int64
+	misses   int64
+}
+
+type poolEntry struct {
+	id   PageID
+	data []byte
+}
+
+// NewBufferPool creates a pool holding at most capacity pages.
+func NewBufferPool(capacity int) *BufferPool {
+	if capacity <= 0 {
+		panic("pager.NewBufferPool: capacity must be positive")
+	}
+	return &BufferPool{
+		capacity: capacity,
+		order:    list.New(),
+		index:    make(map[PageID]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached page payload and whether it was present.
+func (p *BufferPool) Get(id PageID) ([]byte, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	el, ok := p.index[id]
+	if !ok {
+		p.misses++
+		return nil, false
+	}
+	p.hits++
+	p.order.MoveToFront(el)
+	return el.Value.(poolEntry).data, true
+}
+
+// Put inserts a page, evicting the least recently used page if full.
+func (p *BufferPool) Put(id PageID, data []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.index[id]; ok {
+		p.order.MoveToFront(el)
+		el.Value = poolEntry{id: id, data: data}
+		return
+	}
+	if p.order.Len() >= p.capacity {
+		back := p.order.Back()
+		p.order.Remove(back)
+		delete(p.index, back.Value.(poolEntry).id)
+	}
+	p.index[id] = p.order.PushFront(poolEntry{id: id, data: data})
+}
+
+// Len reports the number of resident pages.
+func (p *BufferPool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.order.Len()
+}
+
+// HitRate reports the fraction of Gets served from the pool (0 if no
+// Gets yet).
+func (p *BufferPool) HitRate() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := p.hits + p.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(p.hits) / float64(total)
+}

@@ -1,0 +1,60 @@
+package pager
+
+import "testing"
+
+func TestBufferPoolLRUEviction(t *testing.T) {
+	p := NewBufferPool(2)
+	p.Put(1, []byte{1})
+	p.Put(2, []byte{2})
+	if _, ok := p.Get(1); !ok { // 1 becomes MRU
+		t.Fatal("page 1 missing")
+	}
+	p.Put(3, []byte{3}) // evicts 2 (LRU)
+	if _, ok := p.Get(2); ok {
+		t.Fatal("LRU page 2 not evicted")
+	}
+	if _, ok := p.Get(1); !ok {
+		t.Fatal("MRU page 1 evicted")
+	}
+	if _, ok := p.Get(3); !ok {
+		t.Fatal("new page 3 missing")
+	}
+	if p.Len() != 2 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+}
+
+func TestBufferPoolUpdateExisting(t *testing.T) {
+	p := NewBufferPool(2)
+	p.Put(1, []byte{1})
+	p.Put(1, []byte{9})
+	got, ok := p.Get(1)
+	if !ok || got[0] != 9 {
+		t.Fatalf("Get = %v, %v", got, ok)
+	}
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d after re-put", p.Len())
+	}
+}
+
+func TestBufferPoolHitRate(t *testing.T) {
+	p := NewBufferPool(4)
+	if p.HitRate() != 0 {
+		t.Fatal("hit rate before any Get")
+	}
+	p.Put(1, nil)
+	p.Get(1) // hit
+	p.Get(2) // miss
+	if got := p.HitRate(); got != 0.5 {
+		t.Fatalf("HitRate = %v", got)
+	}
+}
+
+func TestBufferPoolCapacityPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity 0 accepted")
+		}
+	}()
+	NewBufferPool(0)
+}

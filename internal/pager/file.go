@@ -1,0 +1,81 @@
+package pager
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// fileBackend stores pages in fixed-size slots of an operating-system
+// file, so the "simulated" disk can be an actual disk. Each slot is
+// pageSize+4 bytes: a little-endian length prefix followed by the
+// payload. Reads seek to id × slot and are serialized by a mutex
+// (the file offset is shared).
+type fileBackend struct {
+	mu       sync.Mutex
+	f        *os.File
+	pageSize int
+	count    int
+}
+
+// NewFileStore creates a store whose pages live in the file at path
+// (truncated if it exists). Close releases the file handle.
+func NewFileStore(path string, pageSize int) (*Store, error) {
+	pageSize = checkPageSize(pageSize)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pager: opening %s: %w", path, err)
+	}
+	return &Store{
+		pageSize: pageSize,
+		back:     &fileBackend{f: f, pageSize: pageSize},
+	}, nil
+}
+
+// Close releases the backing file, if any. Memory-backed stores are
+// no-ops.
+func (s *Store) Close() error {
+	if fb, ok := s.back.(*fileBackend); ok {
+		return fb.f.Close()
+	}
+	return nil
+}
+
+func (b *fileBackend) slotSize() int64 { return int64(b.pageSize) + 4 }
+
+func (b *fileBackend) append(data []byte) (PageID, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	slot := make([]byte, b.slotSize())
+	binary.LittleEndian.PutUint32(slot, uint32(len(data)))
+	copy(slot[4:], data)
+	if _, err := b.f.WriteAt(slot, int64(b.count)*b.slotSize()); err != nil {
+		return 0, fmt.Errorf("pager: writing page %d: %w", b.count, err)
+	}
+	b.count++
+	return PageID(b.count - 1), nil
+}
+
+func (b *fileBackend) read(id PageID) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if int(id) >= b.count {
+		return nil, fmt.Errorf("pager: read of unallocated page %d", id)
+	}
+	slot := make([]byte, b.slotSize())
+	if _, err := b.f.ReadAt(slot, int64(id)*b.slotSize()); err != nil {
+		return nil, fmt.Errorf("pager: reading page %d: %w", id, err)
+	}
+	n := binary.LittleEndian.Uint32(slot)
+	if int(n) > b.pageSize {
+		return nil, fmt.Errorf("pager: page %d declares %d bytes, page size is %d", id, n, b.pageSize)
+	}
+	return slot[4 : 4+n], nil
+}
+
+func (b *fileBackend) numPages() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.count
+}

@@ -1,0 +1,259 @@
+// Package pager simulates the disk layer of the paper's architecture:
+// the signature table lives in main memory, but each entry points to a
+// list of disk pages holding its transactions (paper Figure 1). Since
+// this reproduction has no disk array, the pager provides page-granular
+// storage with I/O accounting — the quantity the paper's pruning
+// efficiency is a proxy for — plus an optional LRU buffer pool.
+//
+// Layout mirrors the paper: pages are dedicated to a single signature
+// table entry, so reading an entry's transaction list is sequential,
+// while the inverted-index baseline's accesses scatter across pages
+// (§5.1's "page scattering effect").
+package pager
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+
+	"sigtable/internal/txn"
+)
+
+// DefaultPageSize is the page size in bytes used when none is given.
+const DefaultPageSize = 4096
+
+// PageID identifies a page within a Store.
+type PageID = uint32
+
+// Stats counts simulated I/O.
+type Stats struct {
+	// Reads is the number of page read requests issued.
+	Reads int64
+	// Misses is the number of reads that went to "disk" (not absorbed
+	// by the buffer pool). Without a buffer pool, Misses == Reads.
+	Misses int64
+	// Writes is the number of pages written.
+	Writes int64
+}
+
+// backend is where page payloads physically live: in memory or in a
+// file.
+type backend interface {
+	append(data []byte) (PageID, error)
+	read(id PageID) ([]byte, error)
+	numPages() int
+}
+
+// Store is an append-only page store with read accounting. Writes
+// (WriteList, AttachPool) must not race with anything; reads
+// (ScanList) may run concurrently once writing is done — the counters
+// are atomic and the buffer pool locks internally. (The file backend
+// serializes reads internally.)
+type Store struct {
+	pageSize int
+	back     backend
+	reads    atomic.Int64
+	misses   atomic.Int64
+	writes   atomic.Int64
+	pool     *BufferPool
+}
+
+// NewStore creates a memory-backed store with the given page size
+// (0 selects DefaultPageSize).
+func NewStore(pageSize int) *Store {
+	return &Store{pageSize: checkPageSize(pageSize), back: &memBackend{}}
+}
+
+func checkPageSize(pageSize int) int {
+	if pageSize == 0 {
+		pageSize = DefaultPageSize
+	}
+	if pageSize < 64 {
+		panic(fmt.Sprintf("pager: page size %d too small", pageSize))
+	}
+	return pageSize
+}
+
+// PageSize reports the configured page size in bytes.
+func (s *Store) PageSize() int { return s.pageSize }
+
+// NumPages reports how many pages have been allocated.
+func (s *Store) NumPages() int { return s.back.numPages() }
+
+// memBackend keeps pages in process memory.
+type memBackend struct {
+	pages [][]byte
+}
+
+func (m *memBackend) append(data []byte) (PageID, error) {
+	page := make([]byte, len(data))
+	copy(page, data)
+	m.pages = append(m.pages, page)
+	return PageID(len(m.pages) - 1), nil
+}
+
+func (m *memBackend) read(id PageID) ([]byte, error) {
+	if int(id) >= len(m.pages) {
+		return nil, fmt.Errorf("pager: read of unallocated page %d", id)
+	}
+	return m.pages[id], nil
+}
+
+func (m *memBackend) numPages() int { return len(m.pages) }
+
+// Stats returns a snapshot of the I/O counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Reads:  s.reads.Load(),
+		Misses: s.misses.Load(),
+		Writes: s.writes.Load(),
+	}
+}
+
+// ResetStats zeroes the I/O counters (buffer pool contents persist).
+func (s *Store) ResetStats() {
+	s.reads.Store(0)
+	s.misses.Store(0)
+	s.writes.Store(0)
+}
+
+// AttachPool routes reads through an LRU buffer pool of the given page
+// capacity; hits do not count as misses. A capacity of 0 detaches the
+// pool.
+func (s *Store) AttachPool(capacity int) {
+	if capacity == 0 {
+		s.pool = nil
+		return
+	}
+	s.pool = NewBufferPool(capacity)
+}
+
+// appendPage allocates a new page containing data (len <= pageSize).
+func (s *Store) appendPage(data []byte) PageID {
+	if len(data) > s.pageSize {
+		panic(fmt.Sprintf("pager: page payload %d exceeds page size %d", len(data), s.pageSize))
+	}
+	id, err := s.back.append(data)
+	if err != nil {
+		panic(fmt.Sprintf("pager: appending page: %v", err))
+	}
+	s.writes.Add(1)
+	return id
+}
+
+// readPage returns a page's payload, counting the access.
+func (s *Store) readPage(id PageID) []byte {
+	s.reads.Add(1)
+	if s.pool != nil {
+		if data, ok := s.pool.Get(id); ok {
+			return data
+		}
+	}
+	s.misses.Add(1)
+	data, err := s.back.read(id)
+	if err != nil {
+		panic(err.Error())
+	}
+	if s.pool != nil {
+		s.pool.Put(id, data)
+	}
+	return data
+}
+
+// List is a handle to a transaction list stored across dedicated pages.
+type List struct {
+	Pages []PageID
+	Count int // number of transactions in the list
+}
+
+// WriteList serializes transactions (with their TIDs) into fresh pages
+// and returns the handle. Encoding per record: uvarint TID, uvarint
+// length, then uvarint item deltas. A record never spans pages; a
+// record larger than the page size is rejected.
+func (s *Store) WriteList(tids []txn.TID, txns []txn.Transaction) (List, error) {
+	if len(tids) != len(txns) {
+		return List{}, fmt.Errorf("pager: %d tids for %d transactions", len(tids), len(txns))
+	}
+	var list List
+	list.Count = len(txns)
+	buf := make([]byte, 0, s.pageSize)
+	rec := make([]byte, 0, 256)
+	var tmp [binary.MaxVarintLen64]byte
+
+	flush := func() {
+		if len(buf) > 0 {
+			list.Pages = append(list.Pages, s.appendPage(buf))
+			buf = buf[:0]
+		}
+	}
+
+	for i, t := range txns {
+		rec = rec[:0]
+		n := binary.PutUvarint(tmp[:], uint64(tids[i]))
+		rec = append(rec, tmp[:n]...)
+		n = binary.PutUvarint(tmp[:], uint64(len(t)))
+		rec = append(rec, tmp[:n]...)
+		prev := txn.Item(0)
+		for j, x := range t {
+			d := x - prev
+			if j == 0 {
+				d = x
+			}
+			n = binary.PutUvarint(tmp[:], uint64(d))
+			rec = append(rec, tmp[:n]...)
+			prev = x
+		}
+		if len(rec) > s.pageSize {
+			return List{}, fmt.Errorf("pager: transaction %d encodes to %d bytes, exceeding page size %d", tids[i], len(rec), s.pageSize)
+		}
+		if len(buf)+len(rec) > s.pageSize {
+			flush()
+		}
+		buf = append(buf, rec...)
+	}
+	flush()
+	return list, nil
+}
+
+// ScanList decodes every transaction of a list, invoking fn for each.
+// Returning false from fn stops the scan early; pages not reached are
+// not read (and not counted). The Transaction passed to fn is freshly
+// allocated and may be retained.
+func (s *Store) ScanList(l List, fn func(id txn.TID, t txn.Transaction) bool) error {
+	remaining := l.Count
+	for _, pid := range l.Pages {
+		data := s.readPage(pid)
+		off := 0
+		for off < len(data) && remaining > 0 {
+			id, n := binary.Uvarint(data[off:])
+			if n <= 0 {
+				return fmt.Errorf("pager: corrupt TID at page %d offset %d", pid, off)
+			}
+			off += n
+			length, n := binary.Uvarint(data[off:])
+			if n <= 0 {
+				return fmt.Errorf("pager: corrupt length at page %d offset %d", pid, off)
+			}
+			off += n
+			t := make(txn.Transaction, length)
+			prev := uint64(0)
+			for j := range t {
+				d, n := binary.Uvarint(data[off:])
+				if n <= 0 {
+					return fmt.Errorf("pager: corrupt item at page %d offset %d", pid, off)
+				}
+				off += n
+				prev += d
+				t[j] = txn.Item(prev)
+			}
+			remaining--
+			if !fn(txn.TID(id), t) {
+				return nil
+			}
+		}
+	}
+	if remaining != 0 {
+		return fmt.Errorf("pager: list declared %d transactions but pages held %d", l.Count, l.Count-remaining)
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+// Package seqscan is the brute-force baseline: evaluate the similarity
+// function against every transaction. It is the ground-truth oracle the
+// accuracy experiments compare against, and the "straightforward
+// solution" whose I/O cost motivates the paper.
+package seqscan
+
+import (
+	"sigtable/internal/simfun"
+	"sigtable/internal/topk"
+	"sigtable/internal/txn"
+)
+
+// Nearest returns the transaction maximizing f against the target,
+// with its value. Ties resolve to the lowest TID. It panics on an
+// empty dataset.
+func Nearest(d *txn.Dataset, target txn.Transaction, f simfun.Func) (txn.TID, float64) {
+	res := KNearest(d, target, f, 1)
+	return res[0].TID, res[0].Value
+}
+
+// KNearest returns the k transactions maximizing f against the target,
+// sorted by decreasing value. If the dataset holds fewer than k
+// transactions, all are returned.
+func KNearest(d *txn.Dataset, target txn.Transaction, f simfun.Func, k int) []topk.Candidate {
+	if ta, ok := f.(simfun.TargetAware); ok {
+		f = ta.Bind(target)
+	}
+	best := topk.New(k)
+	for i, t := range d.All() {
+		x, y := txn.MatchHamming(target, t)
+		best.Offer(txn.TID(i), f.Score(x, y))
+	}
+	return best.Results()
+}
+
+// Range returns every TID whose similarity to the target meets all of
+// the (function, threshold) conjuncts.
+func Range(d *txn.Dataset, target txn.Transaction, fs []simfun.Func, thresholds []float64) []txn.TID {
+	if len(fs) != len(thresholds) {
+		panic("seqscan.Range: functions and thresholds differ in length")
+	}
+	bound := make([]simfun.Func, len(fs))
+	for i, f := range fs {
+		if ta, ok := f.(simfun.TargetAware); ok {
+			f = ta.Bind(target)
+		}
+		bound[i] = f
+	}
+	var out []txn.TID
+	for i, t := range d.All() {
+		x, y := txn.MatchHamming(target, t)
+		ok := true
+		for j, f := range bound {
+			if f.Score(x, y) < thresholds[j] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, txn.TID(i))
+		}
+	}
+	return out
+}

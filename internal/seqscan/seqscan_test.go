@@ -1,0 +1,115 @@
+package seqscan
+
+import (
+	"math/rand"
+	"testing"
+
+	"sigtable/internal/simfun"
+	"sigtable/internal/txn"
+)
+
+func randomDataset(rng *rand.Rand, n, universe int) *txn.Dataset {
+	d := txn.NewDataset(universe)
+	for i := 0; i < n; i++ {
+		items := make([]txn.Item, 1+rng.Intn(8))
+		for j := range items {
+			items[j] = txn.Item(rng.Intn(universe))
+		}
+		d.Append(txn.New(items...))
+	}
+	return d
+}
+
+func TestNearestFindsExactDuplicate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := randomDataset(rng, 100, 40)
+	target := d.Get(37)
+	tid, v := Nearest(d, target, simfun.Jaccard{})
+	if !d.Get(tid).Equal(target) {
+		t.Fatalf("nearest %v, want duplicate of %v", d.Get(tid), target)
+	}
+	if v != 1 {
+		t.Fatalf("value = %v", v)
+	}
+}
+
+func TestKNearestOrderingAndExhaustiveness(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := randomDataset(rng, 60, 30)
+	target := txn.New(1, 2, 3, 4)
+	res := KNearest(d, target, simfun.MatchHammingRatio{}, 10)
+	if len(res) != 10 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i-1].Value < res[i].Value {
+			t.Fatal("results not sorted by decreasing value")
+		}
+	}
+	// The worst returned value must dominate every excluded one.
+	worst := res[len(res)-1].Value
+	in := map[txn.TID]bool{}
+	for _, c := range res {
+		in[c.TID] = true
+	}
+	for i := 0; i < d.Len(); i++ {
+		if in[txn.TID(i)] {
+			continue
+		}
+		if simfun.Evaluate(simfun.MatchHammingRatio{}, target, d.Get(txn.TID(i))) > worst {
+			t.Fatalf("excluded transaction %d beats returned set", i)
+		}
+	}
+}
+
+func TestKNearestSmallDataset(t *testing.T) {
+	d := txn.NewDataset(10)
+	d.Append(txn.New(1))
+	d.Append(txn.New(2))
+	res := KNearest(d, txn.New(1), simfun.Match{}, 5)
+	if len(res) != 2 {
+		t.Fatalf("got %d results from 2-transaction dataset", len(res))
+	}
+}
+
+func TestKNearestBindsTargetAware(t *testing.T) {
+	d := txn.NewDataset(10)
+	d.Append(txn.New(1, 2))
+	d.Append(txn.New(1, 2, 3, 4, 5, 6, 7, 8))
+	target := txn.New(1, 2)
+	res := KNearest(d, target, simfun.Cosine{}, 1)
+	// Cosine must be bound to |target| = 2: the exact duplicate wins.
+	if res[0].TID != 0 {
+		t.Fatalf("cosine picked %d", res[0].TID)
+	}
+	if res[0].Value != 1 {
+		t.Fatalf("cosine value = %v", res[0].Value)
+	}
+}
+
+func TestRange(t *testing.T) {
+	d := txn.NewDataset(10)
+	d.Append(txn.New(1, 2, 3))    // match 3, hamming 0
+	d.Append(txn.New(1, 2, 4))    // match 2, hamming 2
+	d.Append(txn.New(7, 8, 9))    // match 0, hamming 6
+	d.Append(txn.New(1, 2, 3, 4)) // match 3, hamming 1
+	target := txn.New(1, 2, 3)
+
+	got := Range(d, target,
+		[]simfun.Func{simfun.Match{}, simfun.Hamming{}},
+		[]float64{3, 1.0 / (1 + 1)}) // >= 3 matches, hamming <= 1
+	if len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Fatalf("Range = %v", got)
+	}
+}
+
+func TestRangePanicsOnMismatch(t *testing.T) {
+	d := txn.NewDataset(5)
+	d.Append(txn.New(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched constraint slices accepted")
+		}
+	}()
+	Range(d, txn.New(1), []simfun.Func{simfun.Match{}}, nil)
+}

@@ -1,0 +1,352 @@
+// Package server exposes a signature table index over an HTTP JSON
+// API, the deployment shape the paper's peer-recommendation use case
+// implies: one resident index, many concurrent similarity queries,
+// occasional inserts.
+//
+// Endpoints:
+//
+//	GET  /stats                          index statistics
+//	POST /query   {items, f, k, maxScanFraction, sort}
+//	POST /range   {items, constraints: [{f, threshold}]}
+//	POST /multi   {targets, f, k, maxScanFraction}
+//	POST /insert  {items}
+//	POST /delete  {tid}
+//	POST /explain {items, f}
+//
+// Reads run concurrently under an RWMutex; inserts and deletes take
+// the write lock.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"sigtable"
+)
+
+// Server wraps an index with request handling and locking.
+type Server struct {
+	mu   sync.RWMutex
+	idx  *sigtable.Index
+	data *sigtable.Dataset
+}
+
+// New creates a Server around a built index and its dataset.
+func New(idx *sigtable.Index, data *sigtable.Dataset) *Server {
+	return &Server{idx: idx, data: data}
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /range", s.handleRange)
+	mux.HandleFunc("POST /multi", s.handleMulti)
+	mux.HandleFunc("POST /insert", s.handleInsert)
+	mux.HandleFunc("POST /delete", s.handleDelete)
+	mux.HandleFunc("POST /explain", s.handleExplain)
+	return mux
+}
+
+// Neighbor is one k-NN result row.
+type Neighbor struct {
+	TID   sigtable.TID    `json:"tid"`
+	Value float64         `json:"value"`
+	Items []sigtable.Item `json:"items"`
+}
+
+// QueryRequest is the /query body.
+type QueryRequest struct {
+	Items           []sigtable.Item `json:"items"`
+	F               string          `json:"f"`
+	K               int             `json:"k"`
+	MaxScanFraction float64         `json:"maxScanFraction"`
+	Sort            string          `json:"sort"`
+}
+
+// QueryResponse is the /query reply.
+type QueryResponse struct {
+	Neighbors []Neighbor `json:"neighbors"`
+	Scanned   int        `json:"scanned"`
+	Pruning   float64    `json:"pruningPct"`
+	Certified bool       `json:"certified"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) similarity(w http.ResponseWriter, name string) (sigtable.SimilarityFunc, bool) {
+	if name == "" {
+		name = "cosine"
+	}
+	f, err := sigtable.SimilarityByName(name)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return nil, false
+	}
+	return f, true
+}
+
+func (s *Server) sortCriterion(w http.ResponseWriter, name string) (sigtable.SortCriterion, bool) {
+	switch name {
+	case "", "bound":
+		return sigtable.ByOptimisticBound, true
+	case "coord":
+		return sigtable.ByCoordSimilarity, true
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown sort %q (want bound or coord)", name)
+		return 0, false
+	}
+}
+
+func (s *Server) target(w http.ResponseWriter, items []sigtable.Item) (sigtable.Transaction, bool) {
+	if len(items) == 0 {
+		writeErr(w, http.StatusBadRequest, "target has no items")
+		return nil, false
+	}
+	for _, it := range items {
+		if int(it) >= s.data.UniverseSize() {
+			writeErr(w, http.StatusBadRequest, "item %d outside universe of size %d", it, s.data.UniverseSize())
+			return nil, false
+		}
+	}
+	return sigtable.NewTransaction(items...), true
+}
+
+func (s *Server) neighbors(cands []sigtable.Candidate) []Neighbor {
+	out := make([]Neighbor, len(cands))
+	for i, c := range cands {
+		out[i] = Neighbor{TID: c.TID, Value: c.Value, Items: s.data.Get(c.TID)}
+	}
+	return out
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"transactions": s.idx.Len(),
+		"live":         s.idx.Live(),
+		"k":            s.idx.K(),
+		"entries":      s.idx.NumEntries(),
+		"universe":     s.data.UniverseSize(),
+	})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	f, ok := s.similarity(w, req.F)
+	if !ok {
+		return
+	}
+	sortBy, ok := s.sortCriterion(w, req.Sort)
+	if !ok {
+		return
+	}
+	target, ok := s.target(w, req.Items)
+	if !ok {
+		return
+	}
+
+	s.mu.RLock()
+	res, err := s.idx.Query(target, f, sigtable.QueryOptions{
+		K:               req.K,
+		MaxScanFraction: req.MaxScanFraction,
+		SortBy:          sortBy,
+	})
+	var resp QueryResponse
+	if err == nil {
+		resp = QueryResponse{
+			Neighbors: s.neighbors(res.Neighbors),
+			Scanned:   res.Scanned,
+			Pruning:   res.PruningEfficiency(s.idx.Live()),
+			Certified: res.Certified,
+		}
+	}
+	s.mu.RUnlock()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// RangeRequest is the /range body.
+type RangeRequest struct {
+	Items       []sigtable.Item `json:"items"`
+	Constraints []RangeConjunct `json:"constraints"`
+}
+
+// RangeConjunct is one (similarity, threshold) pair.
+type RangeConjunct struct {
+	F         string  `json:"f"`
+	Threshold float64 `json:"threshold"`
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	var req RangeRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	target, ok := s.target(w, req.Items)
+	if !ok {
+		return
+	}
+	constraints := make([]sigtable.RangeConstraint, len(req.Constraints))
+	for i, c := range req.Constraints {
+		f, ok := s.similarity(w, c.F)
+		if !ok {
+			return
+		}
+		constraints[i] = sigtable.RangeConstraint{F: f, Threshold: c.Threshold}
+	}
+
+	s.mu.RLock()
+	res, err := s.idx.RangeQuery(target, constraints)
+	s.mu.RUnlock()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"tids":    res.TIDs,
+		"scanned": res.Scanned,
+	})
+}
+
+// MultiRequest is the /multi body.
+type MultiRequest struct {
+	Targets         [][]sigtable.Item `json:"targets"`
+	F               string            `json:"f"`
+	K               int               `json:"k"`
+	MaxScanFraction float64           `json:"maxScanFraction"`
+}
+
+func (s *Server) handleMulti(w http.ResponseWriter, r *http.Request) {
+	var req MultiRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	f, ok := s.similarity(w, req.F)
+	if !ok {
+		return
+	}
+	targets := make([]sigtable.Transaction, len(req.Targets))
+	for i, items := range req.Targets {
+		t, ok := s.target(w, items)
+		if !ok {
+			return
+		}
+		targets[i] = t
+	}
+
+	s.mu.RLock()
+	res, err := s.idx.MultiQuery(targets, f, sigtable.QueryOptions{
+		K:               req.K,
+		MaxScanFraction: req.MaxScanFraction,
+	})
+	var nbrs []Neighbor
+	if err == nil {
+		nbrs = s.neighbors(res.Neighbors)
+	}
+	s.mu.RUnlock()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"neighbors": nbrs})
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Items []sigtable.Item `json:"items"`
+	}
+	if !decode(w, r, &req) {
+		return
+	}
+	target, ok := s.target(w, req.Items)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	id := s.idx.Insert(target)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]interface{}{"tid": id})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		TID sigtable.TID `json:"tid"`
+	}
+	if !decode(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	deleted := s.idx.Delete(req.TID)
+	s.mu.Unlock()
+	if !deleted {
+		writeErr(w, http.StatusNotFound, "tid %d not present or already deleted", req.TID)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"deleted": req.TID})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Items []sigtable.Item `json:"items"`
+		F     string          `json:"f"`
+	}
+	if !decode(w, r, &req) {
+		return
+	}
+	f, ok := s.similarity(w, req.F)
+	if !ok {
+		return
+	}
+	target, ok := s.target(w, req.Items)
+	if !ok {
+		return
+	}
+	s.mu.RLock()
+	ex := s.idx.Explain(target, f)
+	s.mu.RUnlock()
+
+	const headLimit = 25
+	entries := ex.Entries
+	if len(entries) > headLimit {
+		entries = entries[:headLimit]
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"targetCoord":  ex.TargetCoord,
+		"overlaps":     ex.Overlaps,
+		"entries":      entries,
+		"totalEntries": len(ex.Entries),
+	})
+}

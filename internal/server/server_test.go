@@ -1,0 +1,263 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"sigtable"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *sigtable.Dataset) {
+	t.Helper()
+	g, err := sigtable.NewGenerator(sigtable.GeneratorConfig{
+		UniverseSize: 200, NumItemsets: 300, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := g.Dataset(3000)
+	idx, err := sigtable.BuildIndex(data, sigtable.IndexOptions{SignatureCardinality: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(idx, data).Handler())
+	t.Cleanup(ts.Close)
+	return ts, data
+}
+
+func post(t *testing.T, url string, body interface{}, out interface{}) int {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestStats(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["transactions"].(float64) != 3000 || stats["k"].(float64) != 10 {
+		t.Fatalf("stats = %v", stats)
+	}
+}
+
+func TestQueryMatchesOracle(t *testing.T) {
+	ts, data := newTestServer(t)
+	target := data.Get(77)
+
+	var resp QueryResponse
+	code := post(t, ts.URL+"/query", QueryRequest{
+		Items: target, F: "jaccard", K: 3,
+	}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(resp.Neighbors) != 3 {
+		t.Fatalf("got %d neighbors", len(resp.Neighbors))
+	}
+	_, want := sigtable.ScanNearest(data, target, sigtable.Jaccard{})
+	if resp.Neighbors[0].Value != want {
+		t.Fatalf("server value %v, oracle %v", resp.Neighbors[0].Value, want)
+	}
+	if !resp.Certified {
+		t.Fatal("complete run not certified")
+	}
+	if len(resp.Neighbors[0].Items) == 0 {
+		t.Fatal("neighbor items not returned")
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	ts, _ := newTestServer(t)
+	cases := []struct {
+		name string
+		body interface{}
+	}{
+		{"empty items", QueryRequest{F: "cosine"}},
+		{"unknown f", QueryRequest{Items: []sigtable.Item{1}, F: "nope"}},
+		{"unknown sort", QueryRequest{Items: []sigtable.Item{1}, Sort: "zigzag"}},
+		{"out of universe", QueryRequest{Items: []sigtable.Item{9999}}},
+		{"bad fraction", QueryRequest{Items: []sigtable.Item{1}, MaxScanFraction: 7}},
+	}
+	for _, tc := range cases {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if code := post(t, ts.URL+"/query", tc.body, &e); code == http.StatusOK {
+			t.Errorf("%s: accepted", tc.name)
+		} else if e.Error == "" {
+			t.Errorf("%s: no error message", tc.name)
+		}
+	}
+	// Unknown JSON fields rejected.
+	resp, err := http.Post(ts.URL+"/query", "application/json",
+		bytes.NewReader([]byte(`{"items":[1],"bogus":true}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestRangeEndpoint(t *testing.T) {
+	ts, data := newTestServer(t)
+	target := data.Get(5)
+	var resp struct {
+		TIDs    []sigtable.TID `json:"tids"`
+		Scanned int            `json:"scanned"`
+	}
+	code := post(t, ts.URL+"/range", RangeRequest{
+		Items: target,
+		Constraints: []RangeConjunct{
+			{F: "match", Threshold: float64(len(target))},
+		},
+	}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	found := false
+	for _, id := range resp.TIDs {
+		if id == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("range result %v missing the target's own TID", resp.TIDs)
+	}
+}
+
+func TestMultiEndpoint(t *testing.T) {
+	ts, data := newTestServer(t)
+	var resp struct {
+		Neighbors []Neighbor `json:"neighbors"`
+	}
+	code := post(t, ts.URL+"/multi", MultiRequest{
+		Targets: [][]sigtable.Item{data.Get(1), data.Get(2)},
+		F:       "dice", K: 4,
+	}, &resp)
+	if code != http.StatusOK || len(resp.Neighbors) != 4 {
+		t.Fatalf("status %d, %d neighbors", code, len(resp.Neighbors))
+	}
+}
+
+func TestInsertDeleteLifecycle(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var ins struct {
+		TID sigtable.TID `json:"tid"`
+	}
+	items := []sigtable.Item{7, 77, 177}
+	if code := post(t, ts.URL+"/insert", map[string]interface{}{"items": items}, &ins); code != http.StatusOK {
+		t.Fatalf("insert status %d", code)
+	}
+
+	// The inserted basket is findable.
+	var q QueryResponse
+	post(t, ts.URL+"/query", QueryRequest{Items: items, F: "jaccard", K: 1}, &q)
+	if q.Neighbors[0].Value != 1 {
+		t.Fatalf("inserted basket not found: %v", q.Neighbors)
+	}
+
+	// Delete it; a second delete 404s.
+	if code := post(t, ts.URL+"/delete", map[string]interface{}{"tid": ins.TID}, nil); code != http.StatusOK {
+		t.Fatalf("delete status %d", code)
+	}
+	if code := post(t, ts.URL+"/delete", map[string]interface{}{"tid": ins.TID}, nil); code != http.StatusNotFound {
+		t.Fatalf("double delete status %d", code)
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	ts, data := newTestServer(t)
+	var resp struct {
+		Overlaps     []int           `json:"overlaps"`
+		Entries      json.RawMessage `json:"entries"`
+		TotalEntries int             `json:"totalEntries"`
+	}
+	code := post(t, ts.URL+"/explain", map[string]interface{}{
+		"items": data.Get(9), "f": "hamming",
+	}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(resp.Overlaps) != 10 || resp.TotalEntries == 0 {
+		t.Fatalf("explain = %+v", resp)
+	}
+}
+
+// TestConcurrentReadsAndWrites hammers the server with parallel queries
+// and inserts; run under -race to verify the locking.
+func TestConcurrentReadsAndWrites(t *testing.T) {
+	ts, data := newTestServer(t)
+	// Snapshot query targets up front: the dataset itself is mutated by
+	// the insert goroutines, and reading it directly here would bypass
+	// the server's lock.
+	targets := make([]sigtable.Transaction, 10)
+	for i := range targets {
+		targets[i] = data.Get(sigtable.TID(i * 10)).Clone()
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if w%2 == 0 {
+					var q QueryResponse
+					b, _ := json.Marshal(QueryRequest{Items: targets[i], F: "cosine", K: 2})
+					resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(b))
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if err := json.NewDecoder(resp.Body).Decode(&q); err != nil {
+						errCh <- err
+					}
+					resp.Body.Close()
+					if len(q.Neighbors) == 0 {
+						errCh <- fmt.Errorf("no neighbors")
+					}
+				} else {
+					b, _ := json.Marshal(map[string]interface{}{"items": []sigtable.Item{sigtable.Item(w), sigtable.Item(i)}})
+					resp, err := http.Post(ts.URL+"/insert", "application/json", bytes.NewReader(b))
+					if err != nil {
+						errCh <- err
+						return
+					}
+					resp.Body.Close()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+package signature
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sigtable/internal/txn"
+)
+
+// TestQuickCoordProperties checks the supercoordinate algebra on random
+// partitions and transactions: a transaction's coordinate has a set bit
+// exactly where its per-signature overlap reaches the threshold, a
+// superset transaction never clears a bit, and concatenating two
+// transactions ORs at threshold 1.
+func TestQuickCoordProperties(t *testing.T) {
+	f := func(seed int64, kRaw, rRaw uint8) bool {
+		k := 2 + int(kRaw)%10
+		r := 1 + int(rRaw)%3
+		rng := rand.New(rand.NewSource(seed))
+		const universe = 50
+
+		sets := make([][]txn.Item, k)
+		for i, v := range rng.Perm(universe) {
+			sets[i%k] = append(sets[i%k], txn.Item(v))
+		}
+		for i := range sets {
+			sortItems(sets[i])
+		}
+		p, err := NewPartition(universe, sets)
+		if err != nil {
+			return false
+		}
+
+		randTxn := func() txn.Transaction {
+			items := make([]txn.Item, rng.Intn(15))
+			for j := range items {
+				items[j] = txn.Item(rng.Intn(universe))
+			}
+			return txn.New(items...)
+		}
+		a, b := randTxn(), randTxn()
+
+		// Definition check.
+		over := p.Overlaps(a, nil)
+		ca := p.Coord(a, r)
+		for j, n := range over {
+			want := n >= r
+			if (ca&(1<<uint(j)) != 0) != want {
+				return false
+			}
+		}
+		// Superset monotonicity: union only adds activations.
+		u := txn.Union(a, b)
+		cu := p.Coord(u, r)
+		if ca&^cu != 0 {
+			return false
+		}
+		// OR law at r = 1.
+		if r == 1 {
+			cb := p.Coord(b, 1)
+			if p.Coord(u, 1) != ca|cb {
+				return false
+			}
+		}
+		// ActivatedCount is the popcount.
+		return p.ActivatedCount(a, r) == bits.OnesCount64(ca)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package signature defines signatures (item subsets partitioning the
+// universe), transaction activation, and supercoordinates — the K-bit
+// codes that index the signature table (paper §3).
+package signature
+
+import (
+	"fmt"
+
+	"sigtable/internal/txn"
+)
+
+// MaxK bounds the signature cardinality so a supercoordinate fits in a
+// uint64. Practical K values are far smaller (the table has 2^K
+// entries), but the representation supports up to 63 cleanly.
+const MaxK = 63
+
+// Coord is a supercoordinate: bit j is set iff signature j is activated.
+type Coord = uint64
+
+// Partition maps every item of the universe to exactly one of K
+// signatures.
+type Partition struct {
+	k     int
+	sets  [][]txn.Item // signature j -> its items, sorted
+	sigOf []int32      // item -> signature index
+}
+
+// NewPartition validates that sets is a partition of {0..universeSize-1}
+// into non-empty signatures and builds the item lookup.
+func NewPartition(universeSize int, sets [][]txn.Item) (*Partition, error) {
+	k := len(sets)
+	if k == 0 {
+		return nil, fmt.Errorf("signature: empty partition")
+	}
+	if k > MaxK {
+		return nil, fmt.Errorf("signature: K=%d exceeds maximum %d", k, MaxK)
+	}
+	p := &Partition{k: k, sets: sets, sigOf: make([]int32, universeSize)}
+	for i := range p.sigOf {
+		p.sigOf[i] = -1
+	}
+	for j, set := range sets {
+		if len(set) == 0 {
+			return nil, fmt.Errorf("signature: signature %d is empty", j)
+		}
+		for _, it := range set {
+			if int(it) >= universeSize {
+				return nil, fmt.Errorf("signature: item %d outside universe of size %d", it, universeSize)
+			}
+			if p.sigOf[it] != -1 {
+				return nil, fmt.Errorf("signature: item %d assigned to signatures %d and %d", it, p.sigOf[it], j)
+			}
+			p.sigOf[it] = int32(j)
+		}
+	}
+	for i, s := range p.sigOf {
+		if s == -1 {
+			return nil, fmt.Errorf("signature: item %d not assigned to any signature", i)
+		}
+	}
+	return p, nil
+}
+
+// K reports the signature cardinality.
+func (p *Partition) K() int { return p.k }
+
+// UniverseSize reports the number of items covered.
+func (p *Partition) UniverseSize() int { return len(p.sigOf) }
+
+// Sets returns the signature item sets, indexed by signature. Treat as
+// read-only.
+func (p *Partition) Sets() [][]txn.Item { return p.sets }
+
+// SignatureOf returns the signature index of an item.
+func (p *Partition) SignatureOf(it txn.Item) int { return int(p.sigOf[it]) }
+
+// Overlaps fills dst (length K) with r_j = |t ∩ S_j|, the number of the
+// transaction's items falling in each signature, and returns it. A nil
+// dst allocates.
+func (p *Partition) Overlaps(t txn.Transaction, dst []int) []int {
+	if dst == nil {
+		dst = make([]int, p.k)
+	} else {
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	for _, it := range t {
+		dst[p.sigOf[it]]++
+	}
+	return dst
+}
+
+// Coord computes the supercoordinate of a transaction at activation
+// threshold r: bit j is set iff |t ∩ S_j| >= r. The paper's experiments
+// fix r = 1; higher thresholds coarsen activation for dense data.
+func (p *Partition) Coord(t txn.Transaction, r int) Coord {
+	if r < 1 {
+		panic(fmt.Sprintf("signature: activation threshold %d must be >= 1", r))
+	}
+	if r == 1 {
+		// Fast path: no counting needed, set a bit at first touch.
+		var c Coord
+		for _, it := range t {
+			c |= 1 << uint(p.sigOf[it])
+		}
+		return c
+	}
+	counts := p.Overlaps(t, nil)
+	var c Coord
+	for j, n := range counts {
+		if n >= r {
+			c |= 1 << uint(j)
+		}
+	}
+	return c
+}
+
+// CoordOfOverlaps derives the supercoordinate from precomputed overlap
+// counts.
+func CoordOfOverlaps(counts []int, r int) Coord {
+	var c Coord
+	for j, n := range counts {
+		if n >= r {
+			c |= 1 << uint(j)
+		}
+	}
+	return c
+}
+
+// ActivatedCount reports how many signatures the transaction activates
+// at threshold r (the popcount of its supercoordinate).
+func (p *Partition) ActivatedCount(t txn.Transaction, r int) int {
+	c := p.Coord(t, r)
+	n := 0
+	for c != 0 {
+		c &= c - 1
+		n++
+	}
+	return n
+}

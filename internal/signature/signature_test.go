@@ -1,0 +1,167 @@
+package signature
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"sigtable/internal/txn"
+)
+
+func mustPartition(t *testing.T, universe int, sets [][]txn.Item) *Partition {
+	t.Helper()
+	p, err := NewPartition(universe, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// paperPartition reproduces the paper's §3 example: items 1..20
+// (0-indexed here as 0..19) split into P, Q, R.
+func paperPartition(t *testing.T) *Partition {
+	P := []txn.Item{0, 1, 3, 5, 7, 10, 17}  // {1,2,4,6,8,11,18} shifted to 0-based
+	Q := []txn.Item{2, 4, 6, 8, 9, 15, 19}  // {3,5,7,9,10,16,20}
+	R := []txn.Item{11, 12, 13, 14, 16, 18} // {12,13,14,15,17,19}
+	return mustPartition(t, 20, [][]txn.Item{P, Q, R})
+}
+
+// TestPaperExample encodes the worked example of §3: T = {2,6,17,20}
+// activates P, Q, R at level 1 and only P at level 2.
+func TestPaperExample(t *testing.T) {
+	p := paperPartition(t)
+	T := txn.New(1, 5, 16, 19) // {2,6,17,20} 0-based
+
+	if got := p.Coord(T, 1); got != 0b111 {
+		t.Fatalf("Coord(T, 1) = %b, want 111", got)
+	}
+	if got := p.Coord(T, 2); got != 0b001 {
+		t.Fatalf("Coord(T, 2) = %b, want 001", got)
+	}
+	if got := p.ActivatedCount(T, 1); got != 3 {
+		t.Fatalf("ActivatedCount(T, 1) = %d", got)
+	}
+	over := p.Overlaps(T, nil)
+	if over[0] != 2 || over[1] != 1 || over[2] != 1 {
+		t.Fatalf("Overlaps = %v, want [2 1 1]", over)
+	}
+}
+
+func TestNewPartitionValidation(t *testing.T) {
+	cases := []struct {
+		name     string
+		universe int
+		sets     [][]txn.Item
+	}{
+		{"empty", 3, nil},
+		{"empty signature", 3, [][]txn.Item{{0, 1, 2}, {}}},
+		{"missing item", 3, [][]txn.Item{{0, 1}}},
+		{"duplicate item", 3, [][]txn.Item{{0, 1}, {1, 2}}},
+		{"out of universe", 3, [][]txn.Item{{0, 1, 2, 3}}},
+	}
+	for _, tc := range cases {
+		if _, err := NewPartition(tc.universe, tc.sets); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestNewPartitionTooManySignatures(t *testing.T) {
+	sets := make([][]txn.Item, 64)
+	for i := range sets {
+		sets[i] = []txn.Item{txn.Item(i)}
+	}
+	if _, err := NewPartition(64, sets); err == nil {
+		t.Fatal("K=64 accepted, exceeds MaxK")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	p := paperPartition(t)
+	if p.K() != 3 || p.UniverseSize() != 20 {
+		t.Fatalf("K=%d universe=%d", p.K(), p.UniverseSize())
+	}
+	if got := p.SignatureOf(12); got != 2 {
+		t.Fatalf("SignatureOf(12) = %d", got)
+	}
+	if len(p.Sets()) != 3 {
+		t.Fatalf("Sets() has %d entries", len(p.Sets()))
+	}
+}
+
+func TestCoordPanicsOnBadThreshold(t *testing.T) {
+	p := paperPartition(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("r=0 accepted")
+		}
+	}()
+	p.Coord(txn.New(1), 0)
+}
+
+func TestOverlapsReuseBuffer(t *testing.T) {
+	p := paperPartition(t)
+	buf := make([]int, 3)
+	buf[0] = 99
+	got := p.Overlaps(txn.New(2), buf)
+	if &got[0] != &buf[0] {
+		t.Fatal("buffer not reused")
+	}
+	if got[0] != 0 || got[1] != 1 || got[2] != 0 {
+		t.Fatalf("Overlaps = %v", got)
+	}
+}
+
+// TestCoordConsistency: the r=1 fast path, the counting path, and
+// CoordOfOverlaps must all agree on random transactions.
+func TestCoordConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Random partition of 60 items into 8 signatures.
+	sets := make([][]txn.Item, 8)
+	for i, v := range rng.Perm(60) {
+		sets[i%8] = append(sets[i%8], txn.Item(v))
+	}
+	for i := range sets {
+		sortItems(sets[i])
+	}
+	p := mustPartition(t, 60, sets)
+
+	for trial := 0; trial < 300; trial++ {
+		items := make([]txn.Item, rng.Intn(15))
+		for j := range items {
+			items[j] = txn.Item(rng.Intn(60))
+		}
+		tr := txn.New(items...)
+		over := p.Overlaps(tr, nil)
+		for r := 1; r <= 3; r++ {
+			want := CoordOfOverlaps(over, r)
+			if got := p.Coord(tr, r); got != want {
+				t.Fatalf("Coord(%v, %d) = %b, want %b", tr, r, got, want)
+			}
+			if got := p.ActivatedCount(tr, r); got != bits.OnesCount64(want) {
+				t.Fatalf("ActivatedCount mismatch")
+			}
+		}
+		// Monotonicity in r: raising the threshold can only clear bits.
+		c1, c2 := p.Coord(tr, 1), p.Coord(tr, 2)
+		if c2&^c1 != 0 {
+			t.Fatalf("Coord at r=2 has bits not present at r=1")
+		}
+		// Sum of overlaps equals transaction length.
+		sum := 0
+		for _, n := range over {
+			sum += n
+		}
+		if sum != tr.Len() {
+			t.Fatalf("overlaps sum %d != len %d", sum, tr.Len())
+		}
+	}
+}
+
+func sortItems(s []txn.Item) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package simfun
+
+import "fmt"
+
+// Linear is the general-purpose combinator f(x, y) = A·x − B·y with
+// A, B >= 0. It covers the "complex functions of matches and hamming
+// distance" the paper motivates (§1.1): weighting overlap against
+// divergence arbitrarily while staying inside the monotonicity
+// contract the index requires. A = 1, B = 0 is Match; A = 0, B = 1 is
+// negated hamming distance.
+type Linear struct {
+	// A weights the match count (must be >= 0).
+	A float64
+	// B weights the hamming distance (must be >= 0).
+	B float64
+}
+
+// NewLinear validates the weights and returns the combinator.
+func NewLinear(a, b float64) (Linear, error) {
+	if a < 0 || b < 0 {
+		return Linear{}, fmt.Errorf("simfun: Linear weights must be non-negative, got A=%v B=%v", a, b)
+	}
+	return Linear{A: a, B: b}, nil
+}
+
+// Score implements Func.
+func (l Linear) Score(x, y int) float64 { return l.A*float64(x) - l.B*float64(y) }
+
+// Name implements Func.
+func (l Linear) Name() string { return fmt.Sprintf("linear(%g,%g)", l.A, l.B) }

@@ -1,0 +1,47 @@
+package simfun
+
+import (
+	"testing"
+)
+
+func TestLinearValues(t *testing.T) {
+	l, err := NewLinear(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Score(3, 4); got != 4 {
+		t.Fatalf("Score(3,4) = %v, want 4", got)
+	}
+	if l.Name() != "linear(2,0.5)" {
+		t.Fatalf("Name = %q", l.Name())
+	}
+}
+
+func TestLinearValidation(t *testing.T) {
+	if _, err := NewLinear(-1, 0); err == nil {
+		t.Error("negative A accepted")
+	}
+	if _, err := NewLinear(0, -1); err == nil {
+		t.Error("negative B accepted")
+	}
+}
+
+func TestLinearMonotone(t *testing.T) {
+	for _, l := range []Linear{{A: 1, B: 0}, {A: 0, B: 1}, {A: 3, B: 7}, {A: 0.1, B: 0.1}} {
+		if err := CheckMonotone(l, 40, 40); err != nil {
+			t.Errorf("%s: %v", l.Name(), err)
+		}
+	}
+}
+
+func TestLinearSpecialCases(t *testing.T) {
+	// A=1, B=0 coincides with Match.
+	l := Linear{A: 1}
+	for x := 0; x < 10; x++ {
+		for y := 0; y < 10; y++ {
+			if l.Score(x, y) != (Match{}).Score(x, y) {
+				t.Fatalf("Linear(1,0) != Match at (%d,%d)", x, y)
+			}
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package simfun provides the similarity functions f(x, y) the index
+// supports, where x is the match count and y the hamming distance
+// between two transactions (paper §2).
+//
+// Every function obeys the paper's monotonicity contract — f is
+// non-decreasing in x and non-increasing in y — which is exactly what
+// Lemma 2.1 needs for f(M_opt, D_opt) to upper-bound the similarity to
+// every transaction of a signature-table entry. CheckMonotone verifies
+// the contract for user-supplied functions by exhaustive grid search.
+package simfun
+
+import (
+	"fmt"
+	"math"
+
+	"sigtable/internal/txn"
+)
+
+// Func scores the similarity of two transactions from their match count
+// x and hamming distance y. Higher is more similar. Implementations
+// must be non-decreasing in x and non-increasing in y.
+type Func interface {
+	// Score evaluates f(x, y).
+	Score(x, y int) float64
+	// Name identifies the function in reports.
+	Name() string
+}
+
+// TargetAware is implemented by similarity functions that depend on the
+// query target (e.g. cosine, which needs the target's length). The
+// query engine calls Bind once per target before scoring.
+type TargetAware interface {
+	Func
+	// Bind returns the function specialized to the given target.
+	Bind(target txn.Transaction) Func
+}
+
+// Hamming is the hamming distance restated in maximization form. The
+// paper writes f(x, y) = 1/y; we use the order-equivalent 1/(1+y),
+// which is defined at y = 0 and induces exactly the same ranking
+// (strictly decreasing bijection of y over y >= 0).
+type Hamming struct{}
+
+// Score implements Func.
+func (Hamming) Score(x, y int) float64 { return 1 / float64(1+y) }
+
+// Name implements Func.
+func (Hamming) Name() string { return "hamming" }
+
+// Distance recovers the hamming distance from a Hamming score.
+func (Hamming) Distance(score float64) int { return int(math.Round(1/score)) - 1 }
+
+// Match counts matching items: f(x, y) = x. This is the similarity the
+// inverted index natively supports.
+type Match struct{}
+
+// Score implements Func.
+func (Match) Score(x, y int) float64 { return float64(x) }
+
+// Name implements Func.
+func (Match) Name() string { return "match" }
+
+// MatchHammingRatio is the paper's f(x, y) = x/y, implemented as the
+// order-equivalent x/(1+y) to stay defined at y = 0 (the pair
+// comparisons x1/(1+y) vs x2/(1+y) and x/(1+y1) vs x/(1+y2) order
+// identically to x/y for y > 0, and y = 0 with x > 0 correctly
+// dominates everything).
+type MatchHammingRatio struct{}
+
+// Score implements Func.
+func (MatchHammingRatio) Score(x, y int) float64 { return float64(x) / float64(1+y) }
+
+// Name implements Func.
+func (MatchHammingRatio) Name() string { return "match/hamming" }
+
+// Cosine is the angle cosine between transactions viewed as 0/1
+// vectors: cos(S, T) = x / sqrt(|S| · |T|). Since |S| + |T| = 2x + y,
+// for a fixed target size t the score is a function of (x, y) alone:
+//
+//	f(x, y) = x / sqrt(max(x, 2x+y-t, 1) · t)
+//
+// The max(...) guard matters only when (x, y) are *bounds* rather than
+// realized statistics: |S| >= max(x, 1) always holds, so the guarded
+// form remains a valid upper bound and stays monotone. Construct it
+// with a target size or let the engine Bind it per query.
+type Cosine struct {
+	// TargetSize is |T| of the bound query target.
+	TargetSize int
+}
+
+// Bind implements TargetAware.
+func (Cosine) Bind(target txn.Transaction) Func { return Cosine{TargetSize: len(target)} }
+
+// Score implements Func.
+func (c Cosine) Score(x, y int) float64 {
+	t := c.TargetSize
+	if t <= 0 {
+		return 0
+	}
+	s := 2*x + y - t // |S| when (x, y) are realized
+	if s < x {
+		s = x
+	}
+	if s < 1 {
+		s = 1
+	}
+	return float64(x) / math.Sqrt(float64(s)*float64(t))
+}
+
+// Name implements Func.
+func (Cosine) Name() string { return "cosine" }
+
+// Jaccard is |S∩T| / |S∪T| = x / (x + y).
+type Jaccard struct{}
+
+// Score implements Func.
+func (Jaccard) Score(x, y int) float64 {
+	if x+y == 0 {
+		return 1 // two empty transactions are identical
+	}
+	return float64(x) / float64(x+y)
+}
+
+// Name implements Func.
+func (Jaccard) Name() string { return "jaccard" }
+
+// Dice is the Sørensen–Dice coefficient 2|S∩T| / (|S|+|T|) = 2x/(2x+y).
+type Dice struct{}
+
+// Score implements Func.
+func (Dice) Score(x, y int) float64 {
+	if 2*x+y == 0 {
+		return 1
+	}
+	return 2 * float64(x) / float64(2*x+y)
+}
+
+// Name implements Func.
+func (Dice) Name() string { return "dice" }
+
+// Evaluate computes f over the realized match/hamming statistics of two
+// transactions (the paper's EvaluateObjective).
+func Evaluate(f Func, a, b txn.Transaction) float64 {
+	x, y := txn.MatchHamming(a, b)
+	return f.Score(x, y)
+}
+
+// ByName returns the built-in function with the given name, for CLI
+// use. Recognized: hamming, match, match/hamming (or ratio), cosine,
+// jaccard, dice.
+func ByName(name string) (Func, error) {
+	switch name {
+	case "hamming":
+		return Hamming{}, nil
+	case "match":
+		return Match{}, nil
+	case "match/hamming", "ratio":
+		return MatchHammingRatio{}, nil
+	case "cosine":
+		return Cosine{}, nil
+	case "jaccard":
+		return Jaccard{}, nil
+	case "dice":
+		return Dice{}, nil
+	default:
+		return nil, fmt.Errorf("simfun: unknown similarity function %q", name)
+	}
+}
+
+// CheckMonotone verifies the paper's monotonicity constraints
+// (∂f/∂x >= 0 and ∂f/∂y <= 0) for f by exhaustive comparison over the
+// grid [0, maxX] × [0, maxY]. It returns a descriptive error naming the
+// first violated pair, or nil if the contract holds on the grid. Use it
+// to vet custom similarity functions before trusting index bounds.
+func CheckMonotone(f Func, maxX, maxY int) error {
+	for y := 0; y <= maxY; y++ {
+		for x := 0; x < maxX; x++ {
+			if f.Score(x+1, y) < f.Score(x, y) {
+				return fmt.Errorf("simfun: %s decreases in x: f(%d,%d)=%v > f(%d,%d)=%v",
+					f.Name(), x, y, f.Score(x, y), x+1, y, f.Score(x+1, y))
+			}
+		}
+	}
+	for x := 0; x <= maxX; x++ {
+		for y := 0; y < maxY; y++ {
+			if f.Score(x, y+1) > f.Score(x, y) {
+				return fmt.Errorf("simfun: %s increases in y: f(%d,%d)=%v < f(%d,%d)=%v",
+					f.Name(), x, y, f.Score(x, y), x, y+1, f.Score(x, y+1))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+package simfun
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sigtable/internal/txn"
+)
+
+func allFuncs() []Func {
+	return []Func{
+		Hamming{},
+		Match{},
+		MatchHammingRatio{},
+		Cosine{TargetSize: 1},
+		Cosine{TargetSize: 7},
+		Cosine{TargetSize: 30},
+		Jaccard{},
+		Dice{},
+	}
+}
+
+// TestBuiltinsSatisfyMonotonicity verifies every built-in function
+// obeys the paper's §2 constraints on a wide grid — the precondition
+// for Lemma 2.1.
+func TestBuiltinsSatisfyMonotonicity(t *testing.T) {
+	for _, f := range allFuncs() {
+		if err := CheckMonotone(f, 60, 60); err != nil {
+			t.Errorf("%s: %v", f.Name(), err)
+		}
+	}
+}
+
+// overlap violates the constraints (x/min(|S|,|T|) is not monotone in
+// x); CheckMonotone must catch it.
+type overlap struct{ targetSize int }
+
+func (o overlap) Score(x, y int) float64 {
+	s := 2*x + y - o.targetSize
+	if s < 1 {
+		s = 1
+	}
+	m := s
+	if o.targetSize < m {
+		m = o.targetSize
+	}
+	return float64(x) / float64(m)
+}
+func (overlap) Name() string { return "overlap" }
+
+func TestCheckMonotoneCatchesViolations(t *testing.T) {
+	if err := CheckMonotone(overlap{targetSize: 10}, 30, 30); err == nil {
+		t.Fatal("overlap coefficient passed the monotonicity check")
+	}
+}
+
+// TestLemma21 is the paper's Lemma 2.1 as a property test: for any
+// x0 <= alpha and y0 >= beta, f(x0, y0) <= f(alpha, beta).
+func TestLemma21(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, f := range allFuncs() {
+		f := f
+		prop := func(x0, dx, y0, dy uint8) bool {
+			alpha := int(x0) + int(dx) // alpha >= x0
+			beta := int(y0)            // y0 >= beta
+			yReal := int(y0) + int(dy)
+			return f.Score(int(x0), yReal) <= f.Score(alpha, beta)+1e-12
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 2000, Rand: rng}); err != nil {
+			t.Errorf("%s: Lemma 2.1 violated: %v", f.Name(), err)
+		}
+	}
+}
+
+func TestHammingValues(t *testing.T) {
+	f := Hamming{}
+	if f.Score(5, 0) != 1 {
+		t.Fatal("identical transactions must score 1")
+	}
+	if f.Score(0, 3) != 0.25 {
+		t.Fatalf("Score(0,3) = %v", f.Score(0, 3))
+	}
+	// Score ignores x entirely.
+	if f.Score(0, 4) != f.Score(100, 4) {
+		t.Fatal("hamming score depends on x")
+	}
+	for _, y := range []int{0, 1, 5, 20} {
+		if got := f.Distance(f.Score(0, y)); got != y {
+			t.Fatalf("Distance round trip for y=%d gave %d", y, got)
+		}
+	}
+}
+
+func TestHammingPreservesOrdering(t *testing.T) {
+	// 1/(1+y) must rank exactly as -y does.
+	f := Hamming{}
+	for y := 0; y < 50; y++ {
+		if f.Score(0, y) <= f.Score(0, y+1) {
+			t.Fatalf("ordering broken at y=%d", y)
+		}
+	}
+}
+
+func TestRatioValues(t *testing.T) {
+	f := MatchHammingRatio{}
+	if got := f.Score(6, 2); got != 2 {
+		t.Fatalf("Score(6,2) = %v, want 2", got)
+	}
+	if got := f.Score(0, 0); got != 0 {
+		t.Fatalf("Score(0,0) = %v", got)
+	}
+	// Defined and dominant at y=0.
+	if f.Score(3, 0) <= f.Score(3, 1) {
+		t.Fatal("y=0 should dominate")
+	}
+}
+
+func TestCosineMatchesDirectComputation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 500; trial++ {
+		a := randTxn(rng)
+		b := randTxn(rng)
+		if a.Len() == 0 || b.Len() == 0 {
+			continue
+		}
+		f := Cosine{}.Bind(a)
+		x, y := txn.MatchHamming(a, b)
+		got := f.Score(x, y)
+		want := float64(x) / math.Sqrt(float64(a.Len())*float64(b.Len()))
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("cosine(%v, %v) = %v, direct %v", a, b, got, want)
+		}
+	}
+}
+
+func TestCosineIdentical(t *testing.T) {
+	a := txn.New(1, 2, 3, 4)
+	f := Cosine{}.Bind(a)
+	if got := f.Score(4, 0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("cosine of identical = %v", got)
+	}
+}
+
+func TestCosineZeroTarget(t *testing.T) {
+	f := Cosine{TargetSize: 0}
+	if f.Score(3, 5) != 0 {
+		t.Fatal("degenerate target should score 0")
+	}
+}
+
+func TestJaccardDiceValues(t *testing.T) {
+	if got := (Jaccard{}).Score(2, 6); got != 0.25 {
+		t.Fatalf("jaccard(2,6) = %v", got)
+	}
+	if got := (Jaccard{}).Score(0, 0); got != 1 {
+		t.Fatalf("jaccard of empties = %v", got)
+	}
+	if got := (Dice{}).Score(3, 2); got != 0.75 {
+		t.Fatalf("dice(3,2) = %v", got)
+	}
+	if got := (Dice{}).Score(0, 0); got != 1 {
+		t.Fatalf("dice of empties = %v", got)
+	}
+}
+
+// TestJaccardConsistency: jaccard over (x, y) must equal the set
+// formula |A∩B|/|A∪B| on real transactions.
+func TestJaccardConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		a, b := randTxn(rng), randTxn(rng)
+		u := txn.Union(a, b).Len()
+		if u == 0 {
+			continue
+		}
+		want := float64(txn.Intersect(a, b).Len()) / float64(u)
+		got := Evaluate(Jaccard{}, a, b)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("jaccard(%v, %v) = %v, want %v", a, b, got, want)
+		}
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	a, b := txn.New(1, 2, 3), txn.New(2, 3, 4, 5)
+	if got := Evaluate(Match{}, a, b); got != 2 {
+		t.Fatalf("Evaluate match = %v", got)
+	}
+	if got := Evaluate(Hamming{}, a, b); got != 0.25 {
+		t.Fatalf("Evaluate hamming = %v", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"hamming", "match", "match/hamming", "ratio", "cosine", "jaccard", "dice"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("euclid"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, f := range []Func{Hamming{}, Match{}, MatchHammingRatio{}, Cosine{}, Jaccard{}, Dice{}} {
+		n := f.Name()
+		if n == "" || seen[n] {
+			t.Errorf("bad or duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func randTxn(rng *rand.Rand) txn.Transaction {
+	n := rng.Intn(12)
+	items := make([]txn.Item, n)
+	for i := range items {
+		items[i] = txn.Item(rng.Intn(30))
+	}
+	return txn.New(items...)
+}

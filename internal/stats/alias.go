@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// AliasTable samples from a fixed discrete distribution in O(1) per
+// draw using Walker's alias method (Vose's linear-time construction).
+// The paper's generator rolls an "L-sided weighted die" once per
+// itemset assignment, so constant-time sampling matters at scale.
+type AliasTable struct {
+	prob  []float64
+	alias []int
+}
+
+// NewAliasTable builds an alias table for the given non-negative
+// weights. At least one weight must be positive.
+func NewAliasTable(weights []float64) *AliasTable {
+	n := len(weights)
+	if n == 0 {
+		panic("stats.NewAliasTable: no weights")
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			panic(fmt.Sprintf("stats.NewAliasTable: negative weight %v at index %d", w, i))
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("stats.NewAliasTable: all weights are zero")
+	}
+
+	t := &AliasTable{prob: make([]float64, n), alias: make([]int, n)}
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+
+		t.prob[s] = scaled[s]
+		t.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		t.prob[i] = 1
+		t.alias[i] = i
+	}
+	for _, i := range small { // numerical leftovers
+		t.prob[i] = 1
+		t.alias[i] = i
+	}
+	return t
+}
+
+// Len reports the number of outcomes.
+func (t *AliasTable) Len() int { return len(t.prob) }
+
+// Draw samples an index in [0, Len()) with probability proportional to
+// its weight.
+func (t *AliasTable) Draw(rng *rand.Rand) int {
+	i := rng.Intn(len(t.prob))
+	if rng.Float64() < t.prob[i] {
+		return i
+	}
+	return t.alias[i]
+}

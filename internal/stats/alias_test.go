@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAliasTableFrequencies(t *testing.T) {
+	weights := []float64{1, 0, 3, 6}
+	table := NewAliasTable(weights)
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, len(weights))
+	const n = 500000
+	for i := 0; i < n; i++ {
+		counts[table.Draw(rng)]++
+	}
+	total := 10.0
+	for i, w := range weights {
+		want := w / total
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("outcome %d: frequency %v, want %v", i, got, want)
+		}
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight outcome drawn %d times", counts[1])
+	}
+}
+
+func TestAliasTableSingleOutcome(t *testing.T) {
+	table := NewAliasTable([]float64{5})
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		if table.Draw(rng) != 0 {
+			t.Fatal("single-outcome table drew nonzero")
+		}
+	}
+	if table.Len() != 1 {
+		t.Fatalf("Len = %d", table.Len())
+	}
+}
+
+func TestAliasTableUniform(t *testing.T) {
+	table := NewAliasTable([]float64{2, 2, 2, 2})
+	rng := rand.New(rand.NewSource(3))
+	counts := make([]int, 4)
+	const n = 400000
+	for i := 0; i < n; i++ {
+		counts[table.Draw(rng)]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)/n-0.25) > 0.005 {
+			t.Errorf("uniform outcome %d frequency %v", i, float64(c)/n)
+		}
+	}
+}
+
+func TestAliasTableRejectsBadWeights(t *testing.T) {
+	for _, weights := range [][]float64{nil, {}, {0, 0}, {1, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("weights %v accepted", weights)
+				}
+			}()
+			NewAliasTable(weights)
+		}()
+	}
+}

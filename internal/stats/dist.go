@@ -1,0 +1,116 @@
+// Package stats provides the random distributions the synthetic
+// market-basket generator needs: Poisson, exponential, geometric and
+// normal variates, plus an O(1) weighted die (Walker's alias method).
+// All sampling is driven by a caller-supplied *rand.Rand so experiments
+// are reproducible from a seed.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Poisson draws a Poisson(mean) variate.
+//
+// For small means it uses Knuth's product-of-uniforms method; for large
+// means it switches to the PTRS transformed-rejection sampler
+// (Hörmann 1993), which is O(1) regardless of the mean.
+func Poisson(rng *rand.Rand, mean float64) int {
+	switch {
+	case mean < 0 || math.IsNaN(mean):
+		panic(fmt.Sprintf("stats.Poisson: invalid mean %v", mean))
+	case mean == 0:
+		return 0
+	case mean < 30:
+		return poissonKnuth(rng, mean)
+	default:
+		return poissonPTRS(rng, mean)
+	}
+}
+
+func poissonKnuth(rng *rand.Rand, mean float64) int {
+	limit := math.Exp(-mean)
+	p := 1.0
+	k := 0
+	for {
+		p *= rng.Float64()
+		if p <= limit {
+			return k
+		}
+		k++
+	}
+}
+
+// poissonPTRS implements Hörmann's PTRS algorithm for mean >= 10.
+func poissonPTRS(rng *rand.Rand, mean float64) int {
+	b := 0.931 + 2.53*math.Sqrt(mean)
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	logMean := math.Log(mean)
+	for {
+		u := rng.Float64() - 0.5
+		v := rng.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + mean + 0.43)
+		if us >= 0.07 && v <= vr {
+			return int(k)
+		}
+		if k < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		lg, _ := math.Lgamma(k + 1)
+		if math.Log(v*invAlpha/(a/(us*us)+b)) <= k*logMean-mean-lg {
+			return int(k)
+		}
+	}
+}
+
+// Exponential draws an Exp(rate=1/mean) variate with the given mean.
+func Exponential(rng *rand.Rand, mean float64) float64 {
+	if mean <= 0 || math.IsNaN(mean) {
+		panic(fmt.Sprintf("stats.Exponential: invalid mean %v", mean))
+	}
+	return rng.ExpFloat64() * mean
+}
+
+// Geometric draws the number of failures before the first success in
+// Bernoulli(p) trials (support {0, 1, 2, ...}). p must be in (0, 1];
+// p = 1 always returns 0.
+func Geometric(rng *rand.Rand, p float64) int {
+	if p <= 0 || p > 1 || math.IsNaN(p) {
+		panic(fmt.Sprintf("stats.Geometric: p=%v outside (0, 1]", p))
+	}
+	if p == 1 {
+		return 0
+	}
+	// Inversion: floor(log(U) / log(1-p)).
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return int(math.Log(u) / math.Log1p(-p))
+}
+
+// Normal draws a N(mean, stdDev²) variate.
+func Normal(rng *rand.Rand, mean, stdDev float64) float64 {
+	if stdDev < 0 || math.IsNaN(stdDev) {
+		panic(fmt.Sprintf("stats.Normal: invalid stddev %v", stdDev))
+	}
+	return rng.NormFloat64()*stdDev + mean
+}
+
+// NormalClamped draws a N(mean, stdDev²) variate clamped to [lo, hi].
+// The paper draws per-itemset noise levels from N(0.5, 0.1) and uses
+// them as probabilities, which requires clamping into (0, 1).
+func NormalClamped(rng *rand.Rand, mean, stdDev, lo, hi float64) float64 {
+	v := Normal(rng, mean, stdDev)
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+const samples = 200000
+
+func meanVar(draw func() float64) (mean, variance float64) {
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < samples; i++ {
+		v := draw()
+		sum += v
+		sumSq += v * v
+	}
+	mean = sum / samples
+	variance = sumSq/samples - mean*mean
+	return mean, variance
+}
+
+func TestPoissonMoments(t *testing.T) {
+	for _, lambda := range []float64{0.5, 3, 10, 50, 200} {
+		rng := rand.New(rand.NewSource(1))
+		mean, variance := meanVar(func() float64 { return float64(Poisson(rng, lambda)) })
+		// Poisson has mean = variance = lambda; allow 5 sigma of the
+		// sample-mean error.
+		tol := 5 * math.Sqrt(lambda/samples)
+		if math.Abs(mean-lambda) > tol {
+			t.Errorf("Poisson(%v): mean %v, want %v ± %v", lambda, mean, lambda, tol)
+		}
+		if math.Abs(variance-lambda) > 0.1*lambda+tol*5 {
+			t.Errorf("Poisson(%v): variance %v, want ≈%v", lambda, variance, lambda)
+		}
+	}
+}
+
+func TestPoissonZeroMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if Poisson(rng, 0) != 0 {
+		t.Fatal("Poisson(0) should be 0")
+	}
+}
+
+func TestPoissonNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10000; i++ {
+		if Poisson(rng, 100) < 0 {
+			t.Fatal("negative Poisson draw")
+		}
+	}
+}
+
+func TestPoissonPanicsOnBadMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative mean accepted")
+		}
+	}()
+	Poisson(rng, -1)
+}
+
+func TestExponentialMoments(t *testing.T) {
+	for _, m := range []float64{0.5, 1, 4} {
+		rng := rand.New(rand.NewSource(3))
+		mean, variance := meanVar(func() float64 { return Exponential(rng, m) })
+		if math.Abs(mean-m) > 0.05*m {
+			t.Errorf("Exponential(%v): mean %v", m, mean)
+		}
+		if math.Abs(variance-m*m) > 0.1*m*m {
+			t.Errorf("Exponential(%v): variance %v, want %v", m, variance, m*m)
+		}
+	}
+}
+
+func TestGeometricMoments(t *testing.T) {
+	for _, p := range []float64{0.2, 0.5, 0.8} {
+		rng := rand.New(rand.NewSource(4))
+		want := (1 - p) / p // failures before first success
+		mean, _ := meanVar(func() float64 { return float64(Geometric(rng, p)) })
+		if math.Abs(mean-want) > 0.05*(want+1) {
+			t.Errorf("Geometric(%v): mean %v, want %v", p, mean, want)
+		}
+	}
+}
+
+func TestGeometricEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if Geometric(rng, 1) != 0 {
+		t.Fatal("Geometric(1) must be 0")
+	}
+	for _, bad := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Geometric(%v) accepted", bad)
+				}
+			}()
+			Geometric(rng, bad)
+		}()
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	mean, variance := meanVar(func() float64 { return Normal(rng, 2.5, 1.5) })
+	if math.Abs(mean-2.5) > 0.03 {
+		t.Errorf("Normal mean %v", mean)
+	}
+	if math.Abs(variance-2.25) > 0.1 {
+		t.Errorf("Normal variance %v, want 2.25", variance)
+	}
+}
+
+func TestNormalClamped(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		v := NormalClamped(rng, 0.5, 2, 0.1, 0.9)
+		if v < 0.1 || v > 0.9 {
+			t.Fatalf("clamped value %v escaped [0.1, 0.9]", v)
+		}
+	}
+}
+
+// TestPoissonRegimeAgreement checks that the Knuth and PTRS samplers
+// agree on the distribution near the switchover mean.
+func TestPoissonRegimeAgreement(t *testing.T) {
+	const lambda = 29.999 // Knuth regime
+	rngA := rand.New(rand.NewSource(8))
+	meanA, _ := meanVar(func() float64 { return float64(poissonKnuth(rngA, lambda)) })
+	rngB := rand.New(rand.NewSource(9))
+	meanB, _ := meanVar(func() float64 { return float64(poissonPTRS(rngB, lambda)) })
+	if math.Abs(meanA-meanB) > 0.15 {
+		t.Fatalf("samplers disagree: Knuth mean %v, PTRS mean %v", meanA, meanB)
+	}
+}

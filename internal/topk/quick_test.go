@@ -1,0 +1,55 @@
+package topk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"sigtable/internal/txn"
+)
+
+// TestQuickTopKInvariants: after any offer sequence, (1) at most k
+// retained, (2) the threshold equals the minimum retained value when
+// full, (3) retained values dominate all rejected ones.
+func TestQuickTopKInvariants(t *testing.T) {
+	f := func(seed int64, kRaw uint8, nRaw uint8) bool {
+		k := 1 + int(kRaw)%12
+		n := int(nRaw)
+		rng := rand.New(rand.NewSource(seed))
+		h := New(k)
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = float64(rng.Intn(40))
+			h.Offer(txn.TID(i), values[i])
+		}
+		res := h.Results()
+		if len(res) > k {
+			return false
+		}
+		if n >= k && len(res) != k {
+			return false
+		}
+		sort.Float64s(values)
+		// The retained multiset of values must be the top len(res) of
+		// the offered multiset.
+		want := values[len(values)-len(res):]
+		got := make([]float64, len(res))
+		for i, c := range res {
+			got[i] = c.Value
+		}
+		sort.Float64s(got)
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		if th, full := h.Threshold(); full && len(got) > 0 && th != got[0] {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+package txn
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// FIMI text format: one transaction per line, space-separated item
+// identifiers. This is the interchange format of the Frequent Itemset
+// Mining Implementations repository and the usual distribution format
+// for public market-basket datasets (retail, kosarak, accidents, ...),
+// so real traces can be loaded directly.
+
+// ReadFIMI parses a FIMI stream into a dataset. When universeSize is 0
+// it is inferred as maxItem+1; otherwise items beyond the universe are
+// an error. Items within a line may repeat and appear unsorted; blank
+// lines are skipped.
+func ReadFIMI(r io.Reader, universeSize int) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+
+	var txns []Transaction
+	maxItem := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		items := make([]Item, 0, 16)
+		start := -1
+		flush := func(end int) error {
+			if start < 0 {
+				return nil
+			}
+			v, err := strconv.ParseUint(string(line[start:end]), 10, 32)
+			if err != nil {
+				return fmt.Errorf("txn: line %d: bad item %q", lineNo, line[start:end])
+			}
+			if universeSize > 0 && int(v) >= universeSize {
+				return fmt.Errorf("txn: line %d: item %d outside universe of size %d", lineNo, v, universeSize)
+			}
+			if int(v) > maxItem {
+				maxItem = int(v)
+			}
+			items = append(items, Item(v))
+			start = -1
+			return nil
+		}
+		for i, c := range line {
+			switch {
+			case c == ' ' || c == '\t' || c == '\r':
+				if err := flush(i); err != nil {
+					return nil, err
+				}
+			case c >= '0' && c <= '9':
+				if start < 0 {
+					start = i
+				}
+			default:
+				return nil, fmt.Errorf("txn: line %d: unexpected byte %q", lineNo, c)
+			}
+		}
+		if err := flush(len(line)); err != nil {
+			return nil, err
+		}
+		if len(items) == 0 {
+			continue
+		}
+		txns = append(txns, New(items...))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("txn: reading FIMI input: %w", err)
+	}
+
+	if universeSize == 0 {
+		universeSize = maxItem + 1
+	}
+	if universeSize <= 0 {
+		return nil, fmt.Errorf("txn: FIMI input holds no transactions and no universe size was given")
+	}
+	d := NewDataset(universeSize)
+	for _, t := range txns {
+		d.Append(t)
+	}
+	return d, nil
+}
+
+// WriteFIMI renders the dataset in FIMI text format.
+func (d *Dataset) WriteFIMI(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range d.txns {
+		for i, it := range t {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatUint(uint64(it), 10)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

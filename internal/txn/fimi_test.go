@@ -1,0 +1,89 @@
+package txn
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestReadFIMIBasic(t *testing.T) {
+	in := "1 2 3\n\n5 4 4 0\n7\n"
+	d, err := ReadFIMI(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if d.UniverseSize() != 8 { // max item 7 → universe 8
+		t.Fatalf("universe = %d", d.UniverseSize())
+	}
+	if !d.Get(0).Equal(New(1, 2, 3)) {
+		t.Fatalf("txn 0 = %v", d.Get(0))
+	}
+	// Duplicates collapse, order normalizes.
+	if !d.Get(1).Equal(New(0, 4, 5)) {
+		t.Fatalf("txn 1 = %v", d.Get(1))
+	}
+}
+
+func TestReadFIMIExplicitUniverse(t *testing.T) {
+	d, err := ReadFIMI(strings.NewReader("1 2\n"), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.UniverseSize() != 100 {
+		t.Fatalf("universe = %d", d.UniverseSize())
+	}
+	if _, err := ReadFIMI(strings.NewReader("1 200\n"), 100); err == nil {
+		t.Fatal("out-of-universe item accepted")
+	}
+}
+
+func TestReadFIMIErrors(t *testing.T) {
+	if _, err := ReadFIMI(strings.NewReader("1 banana 3\n"), 0); err == nil {
+		t.Fatal("non-numeric token accepted")
+	}
+	if _, err := ReadFIMI(strings.NewReader(""), 0); err == nil {
+		t.Fatal("empty input with no universe accepted")
+	}
+	// Empty input with an explicit universe is a valid empty dataset.
+	d, err := ReadFIMI(strings.NewReader(""), 50)
+	if err != nil || d.Len() != 0 {
+		t.Fatalf("empty with universe: %v, %v", d, err)
+	}
+	// Windows line endings are tolerated.
+	d, err = ReadFIMI(strings.NewReader("1 2\r\n3\r\n"), 0)
+	if err != nil || d.Len() != 2 {
+		t.Fatalf("CRLF input: %v, %v", d, err)
+	}
+}
+
+func TestFIMIRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDataset(200)
+	for i := 0; i < 100; i++ {
+		items := make([]Item, 1+rng.Intn(12))
+		for j := range items {
+			items[j] = Item(rng.Intn(200))
+		}
+		d.Append(New(items...))
+	}
+	var buf bytes.Buffer
+	if err := d.WriteFIMI(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFIMI(&buf, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() {
+		t.Fatalf("round trip %d txns, want %d", got.Len(), d.Len())
+	}
+	for i := 0; i < d.Len(); i++ {
+		if !got.Get(TID(i)).Equal(d.Get(TID(i))) {
+			t.Fatalf("txn %d = %v, want %v", i, got.Get(TID(i)), d.Get(TID(i)))
+		}
+	}
+}

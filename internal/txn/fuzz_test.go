@@ -1,0 +1,86 @@
+package txn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadDataset: arbitrary bytes must either decode into a valid
+// dataset or return an error — never panic, never produce a dataset
+// violating its own invariants.
+func FuzzReadDataset(f *testing.F) {
+	// Seed with valid encodings of various shapes.
+	seed := func(build func(*Dataset)) {
+		d := NewDataset(64)
+		build(d)
+		var buf bytes.Buffer
+		if _, err := d.WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	seed(func(d *Dataset) {})
+	seed(func(d *Dataset) { d.Append(New(1, 2, 3)) })
+	seed(func(d *Dataset) {
+		d.Append(New())
+		d.Append(New(0, 63))
+	})
+	f.Add([]byte("garbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ReadDataset(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Decoded dataset must satisfy every invariant.
+		if d.UniverseSize() <= 0 {
+			t.Fatal("decoded dataset has non-positive universe")
+		}
+		occ := 0
+		for i := 0; i < d.Len(); i++ {
+			tr := d.Get(TID(i))
+			occ += len(tr)
+			for j, it := range tr {
+				if int(it) >= d.UniverseSize() {
+					t.Fatalf("transaction %d has out-of-universe item %d", i, it)
+				}
+				if j > 0 && tr[j-1] >= tr[j] {
+					t.Fatalf("transaction %d not strictly sorted", i)
+				}
+			}
+		}
+		if occ != d.ItemOccurrences() {
+			t.Fatalf("occurrences %d, counted %d", d.ItemOccurrences(), occ)
+		}
+	})
+}
+
+// FuzzReadFIMI: arbitrary text must parse or error, never panic.
+func FuzzReadFIMI(f *testing.F) {
+	f.Add("1 2 3\n4 5\n", 0)
+	f.Add("", 10)
+	f.Add("0\n", 1)
+	f.Add("999999999999999999999\n", 0)
+	f.Add("1\t2 \r\n", 0)
+
+	f.Fuzz(func(t *testing.T, text string, universe int) {
+		if universe < 0 || universe > 1<<20 {
+			return
+		}
+		d, err := ReadFIMI(strings.NewReader(text), universe)
+		if err != nil {
+			return
+		}
+		for i := 0; i < d.Len(); i++ {
+			tr := d.Get(TID(i))
+			if len(tr) == 0 {
+				t.Fatal("empty transaction from FIMI parse")
+			}
+			if int(tr[len(tr)-1]) >= d.UniverseSize() {
+				t.Fatal("item outside universe")
+			}
+		}
+	})
+}

@@ -1,0 +1,128 @@
+package txn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary format (little endian):
+//
+//	magic   uint32 = 0x5349474d ("SIGM")
+//	version uint32 = 1
+//	universe uint32
+//	count   uint32
+//	count × { length uint32, items [length]uint32 (delta-encoded varint) }
+//
+// Item lists are stored as varint deltas between consecutive items,
+// exploiting sortedness; typical market-basket files shrink ~3x.
+const (
+	magic   = 0x5349474d
+	version = 1
+)
+
+// WriteTo encodes the dataset to w. It returns the number of bytes
+// written.
+func (d *Dataset) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: bw}
+
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magic)
+	binary.LittleEndian.PutUint32(hdr[4:], version)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(d.universe))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(d.txns)))
+	if _, err := cw.Write(hdr[:]); err != nil {
+		return cw.n, err
+	}
+
+	var buf [binary.MaxVarintLen32]byte
+	for _, t := range d.txns {
+		n := binary.PutUvarint(buf[:], uint64(len(t)))
+		if _, err := cw.Write(buf[:n]); err != nil {
+			return cw.n, err
+		}
+		prev := uint32(0)
+		for i, x := range t {
+			delta := x - prev
+			if i == 0 {
+				delta = x
+			}
+			n := binary.PutUvarint(buf[:], uint64(delta))
+			if _, err := cw.Write(buf[:n]); err != nil {
+				return cw.n, err
+			}
+			prev = x
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadDataset decodes a dataset previously written with WriteTo.
+func ReadDataset(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("txn: reading header: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:]); m != magic {
+		return nil, fmt.Errorf("txn: bad magic %#x (not a dataset file)", m)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != version {
+		return nil, fmt.Errorf("txn: unsupported dataset version %d", v)
+	}
+	universe := binary.LittleEndian.Uint32(hdr[8:])
+	count := binary.LittleEndian.Uint32(hdr[12:])
+	if universe == 0 {
+		return nil, fmt.Errorf("txn: dataset declares empty universe")
+	}
+
+	d := NewDataset(int(universe))
+	for i := uint32(0); i < count; i++ {
+		length, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("txn: transaction %d length: %w", i, err)
+		}
+		if length > uint64(universe) {
+			return nil, fmt.Errorf("txn: transaction %d declares %d items, universe is %d", i, length, universe)
+		}
+		// Grow incrementally: a hostile header can declare a huge
+		// length, but the items must actually be present in the stream
+		// before memory is committed to them.
+		t := make(Transaction, 0, min(int(length), 1024))
+		prev := uint64(0)
+		for j := 0; j < int(length); j++ {
+			delta, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("txn: transaction %d item %d: %w", i, j, err)
+			}
+			v := prev + delta
+			if j > 0 && delta == 0 {
+				return nil, fmt.Errorf("txn: transaction %d has duplicate item %d", i, v)
+			}
+			if v >= uint64(universe) {
+				return nil, fmt.Errorf("txn: transaction %d item %d outside universe", i, v)
+			}
+			t = append(t, uint32(v))
+			prev = v
+		}
+		d.Append(t)
+	}
+	return d, nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

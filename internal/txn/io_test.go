@@ -1,0 +1,101 @@
+package txn
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestDatasetRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDataset(500)
+	d.Append(New()) // empty transaction must survive
+	for i := 0; i < 200; i++ {
+		n := rng.Intn(20)
+		items := make([]Item, n)
+		for j := range items {
+			items[j] = Item(rng.Intn(500))
+		}
+		d.Append(New(items...))
+	}
+
+	var buf bytes.Buffer
+	n, err := d.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, buffer has %d", n, buf.Len())
+	}
+
+	got, err := ReadDataset(&buf)
+	if err != nil {
+		t.Fatalf("ReadDataset: %v", err)
+	}
+	if got.UniverseSize() != d.UniverseSize() {
+		t.Fatalf("universe = %d, want %d", got.UniverseSize(), d.UniverseSize())
+	}
+	if got.Len() != d.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), d.Len())
+	}
+	for i := 0; i < d.Len(); i++ {
+		if !got.Get(TID(i)).Equal(d.Get(TID(i))) {
+			t.Fatalf("transaction %d = %v, want %v", i, got.Get(TID(i)), d.Get(TID(i)))
+		}
+	}
+}
+
+func TestReadDatasetBadMagic(t *testing.T) {
+	_, err := ReadDataset(strings.NewReader("this is not a dataset at all"))
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("err = %v, want bad-magic error", err)
+	}
+}
+
+func TestReadDatasetTruncated(t *testing.T) {
+	d := NewDataset(50)
+	d.Append(New(1, 2, 3))
+	d.Append(New(4, 5))
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < buf.Len(); cut += 3 {
+		if _, err := ReadDataset(bytes.NewReader(buf.Bytes()[:buf.Len()-cut])); err == nil {
+			t.Fatalf("truncation by %d bytes not detected", cut)
+		}
+	}
+}
+
+func TestReadDatasetRejectsHostileLengths(t *testing.T) {
+	// Header declaring a transaction longer than the universe must be
+	// rejected before allocation.
+	var buf bytes.Buffer
+	d := NewDataset(10)
+	d.Append(New(1))
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Byte 16 is the first transaction's uvarint length (1); bump it.
+	raw[16] = 200
+	if _, err := ReadDataset(bytes.NewReader(raw)); err == nil {
+		t.Fatal("oversized transaction length not rejected")
+	}
+}
+
+func TestReadDatasetEmptyDataset(t *testing.T) {
+	var buf bytes.Buffer
+	d := NewDataset(7)
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 || got.UniverseSize() != 7 {
+		t.Fatalf("got %d txns over %d items", got.Len(), got.UniverseSize())
+	}
+}

@@ -1,0 +1,74 @@
+package txn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickDatasetRoundTrip: any dataset of random transactions
+// survives encode/decode byte-exactly.
+func TestQuickDatasetRoundTrip(t *testing.T) {
+	f := func(seed int64, nTxns uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewDataset(300)
+		for i := 0; i < int(nTxns); i++ {
+			items := make([]Item, rng.Intn(20))
+			for j := range items {
+				items[j] = Item(rng.Intn(300))
+			}
+			d.Append(New(items...))
+		}
+		var buf bytes.Buffer
+		if _, err := d.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := ReadDataset(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Len() != d.Len() {
+			return false
+		}
+		for i := 0; i < d.Len(); i++ {
+			if !got.Get(TID(i)).Equal(d.Get(TID(i))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickNewIdempotent: New of a transaction's own items reproduces
+// it; set operations satisfy algebraic identities.
+func TestQuickSetAlgebra(t *testing.T) {
+	f := func(sa, sb int64) bool {
+		a := randomTxn(rand.New(rand.NewSource(sa)))
+		b := randomTxn(rand.New(rand.NewSource(sb)))
+		// New(a...) == a
+		if !New(a...).Equal(a) {
+			return false
+		}
+		// (a - b) ∪ (a ∩ b) == a
+		if !Union(Minus(a, b), Intersect(a, b)).Equal(a) {
+			return false
+		}
+		// a ∩ b ⊆ a and ⊆ b
+		i := Intersect(a, b)
+		if !i.IsSubset(a) || !i.IsSubset(b) {
+			return false
+		}
+		// |a ∪ b| + |a ∩ b| == |a| + |b|
+		if Union(a, b).Len()+i.Len() != a.Len()+b.Len() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

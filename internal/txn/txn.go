@@ -1,0 +1,203 @@
+// Package txn defines the transaction model for market basket data: a
+// transaction is a sparse, sorted set of item identifiers drawn from a
+// universe {0, ..., U-1}. The package provides the set kernels the rest
+// of the system is built on (match count, hamming distance, subset and
+// overlap tests), a Dataset container, and a compact binary encoding.
+package txn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Item identifies a single catalog item. Items are dense small integers
+// in {0, ..., UniverseSize-1}.
+type Item = uint32
+
+// TID identifies a transaction within a Dataset by position.
+type TID = uint32
+
+// Transaction is a set of items bought together, stored as a strictly
+// increasing slice. The zero value is the empty transaction.
+type Transaction []Item
+
+// New builds a Transaction from items in arbitrary order, sorting and
+// deduplicating them.
+func New(items ...Item) Transaction {
+	t := make(Transaction, len(items))
+	copy(t, items)
+	sort.Slice(t, func(i, j int) bool { return t[i] < t[j] })
+	return t.dedup()
+}
+
+// FromSorted wraps an already strictly-increasing slice as a Transaction
+// without copying. It panics if the slice is not strictly increasing;
+// use New for unsorted input.
+func FromSorted(items []Item) Transaction {
+	for i := 1; i < len(items); i++ {
+		if items[i-1] >= items[i] {
+			panic(fmt.Sprintf("txn.FromSorted: items not strictly increasing at index %d (%d >= %d)", i, items[i-1], items[i]))
+		}
+	}
+	return Transaction(items)
+}
+
+func (t Transaction) dedup() Transaction {
+	if len(t) < 2 {
+		return t
+	}
+	w := 1
+	for i := 1; i < len(t); i++ {
+		if t[i] != t[w-1] {
+			t[w] = t[i]
+			w++
+		}
+	}
+	return t[:w]
+}
+
+// Len reports the number of items in the transaction.
+func (t Transaction) Len() int { return len(t) }
+
+// Contains reports whether the transaction includes item x.
+func (t Transaction) Contains(x Item) bool {
+	i := sort.Search(len(t), func(i int) bool { return t[i] >= x })
+	return i < len(t) && t[i] == x
+}
+
+// Clone returns an independent copy of the transaction.
+func (t Transaction) Clone() Transaction {
+	c := make(Transaction, len(t))
+	copy(c, t)
+	return c
+}
+
+// Equal reports whether two transactions contain exactly the same items.
+func (t Transaction) Equal(u Transaction) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Match returns the number of items present in both transactions
+// (the paper's x = |T1 ∩ T2|).
+func Match(a, b Transaction) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// Hamming returns the number of items bought in exactly one of the two
+// transactions (the paper's y = |T1-T2| + |T2-T1|).
+func Hamming(a, b Transaction) int {
+	return len(a) + len(b) - 2*Match(a, b)
+}
+
+// MatchHamming computes both set statistics in a single merge pass.
+func MatchHamming(a, b Transaction) (match, hamming int) {
+	match = Match(a, b)
+	return match, len(a) + len(b) - 2*match
+}
+
+// Intersect returns the items common to a and b, as a new Transaction.
+func Intersect(a, b Transaction) Transaction {
+	out := make(Transaction, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Union returns the items present in a or b, as a new Transaction.
+func Union(a, b Transaction) Transaction {
+	out := make(Transaction, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Minus returns the items of a that are not in b.
+func Minus(a, b Transaction) Transaction {
+	out := make(Transaction, 0, len(a))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return out
+}
+
+// IsSubset reports whether every item of t is also in u.
+func (t Transaction) IsSubset(u Transaction) bool {
+	return Match(t, u) == len(t)
+}
+
+// String renders the transaction as "{1, 5, 9}".
+func (t Transaction) String() string {
+	s := "{"
+	for i, x := range t {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprint(x)
+	}
+	return s + "}"
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

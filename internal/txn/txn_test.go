@@ -1,0 +1,212 @@
+package txn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSortsAndDedups(t *testing.T) {
+	got := New(5, 1, 3, 1, 5, 5, 2)
+	want := Transaction{1, 2, 3, 5}
+	if !got.Equal(want) {
+		t.Fatalf("New = %v, want %v", got, want)
+	}
+}
+
+func TestNewEmpty(t *testing.T) {
+	if got := New(); got.Len() != 0 {
+		t.Fatalf("New() = %v, want empty", got)
+	}
+}
+
+func TestFromSorted(t *testing.T) {
+	got := FromSorted([]Item{1, 4, 9})
+	if !got.Equal(Transaction{1, 4, 9}) {
+		t.Fatalf("FromSorted = %v", got)
+	}
+}
+
+func TestFromSortedPanicsOnUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSorted accepted unsorted input")
+		}
+	}()
+	FromSorted([]Item{3, 1})
+}
+
+func TestFromSortedPanicsOnDuplicate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSorted accepted duplicate items")
+		}
+	}()
+	FromSorted([]Item{1, 1, 2})
+}
+
+func TestContains(t *testing.T) {
+	tr := New(2, 4, 8)
+	for _, tc := range []struct {
+		item Item
+		want bool
+	}{
+		{2, true}, {4, true}, {8, true},
+		{1, false}, {3, false}, {9, false},
+	} {
+		if got := tr.Contains(tc.item); got != tc.want {
+			t.Errorf("Contains(%d) = %v, want %v", tc.item, got, tc.want)
+		}
+	}
+}
+
+func TestContainsEmpty(t *testing.T) {
+	if New().Contains(0) {
+		t.Fatal("empty transaction contains 0")
+	}
+}
+
+func TestMatchAndHamming(t *testing.T) {
+	cases := []struct {
+		a, b          Transaction
+		match, hammng int
+	}{
+		{New(), New(), 0, 0},
+		{New(1, 2, 3), New(), 0, 3},
+		{New(1, 2, 3), New(1, 2, 3), 3, 0},
+		{New(1, 2, 3), New(2, 3, 4), 2, 2},
+		{New(1, 5, 9), New(2, 6, 10), 0, 6},
+		{New(1, 2), New(1, 2, 3, 4), 2, 2},
+	}
+	for _, tc := range cases {
+		if got := Match(tc.a, tc.b); got != tc.match {
+			t.Errorf("Match(%v, %v) = %d, want %d", tc.a, tc.b, got, tc.match)
+		}
+		if got := Hamming(tc.a, tc.b); got != tc.hammng {
+			t.Errorf("Hamming(%v, %v) = %d, want %d", tc.a, tc.b, got, tc.hammng)
+		}
+		m, h := MatchHamming(tc.a, tc.b)
+		if m != tc.match || h != tc.hammng {
+			t.Errorf("MatchHamming(%v, %v) = (%d, %d), want (%d, %d)", tc.a, tc.b, m, h, tc.match, tc.hammng)
+		}
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	a, b := New(1, 2, 3, 7), New(2, 3, 4)
+	if got := Intersect(a, b); !got.Equal(New(2, 3)) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := Union(a, b); !got.Equal(New(1, 2, 3, 4, 7)) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := Minus(a, b); !got.Equal(New(1, 7)) {
+		t.Errorf("Minus(a, b) = %v", got)
+	}
+	if got := Minus(b, a); !got.Equal(New(4)) {
+		t.Errorf("Minus(b, a) = %v", got)
+	}
+}
+
+func TestIsSubset(t *testing.T) {
+	if !New(2, 3).IsSubset(New(1, 2, 3, 4)) {
+		t.Error("subset not detected")
+	}
+	if New(2, 5).IsSubset(New(1, 2, 3, 4)) {
+		t.Error("non-subset accepted")
+	}
+	if !New().IsSubset(New(1)) {
+		t.Error("empty set should be subset of everything")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(1, 2, 3)
+	c := a.Clone()
+	c[0] = 99
+	if a[0] != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := New(1, 5, 9).String(); got != "{1, 5, 9}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := New().String(); got != "{}" {
+		t.Fatalf("String of empty = %q", got)
+	}
+}
+
+// randomTxn draws a random transaction over a small universe so overlap
+// is common.
+func randomTxn(rng *rand.Rand) Transaction {
+	n := rng.Intn(12)
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item(rng.Intn(30))
+	}
+	return New(items...)
+}
+
+func TestMatchHammingProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seedA, seedB int64) bool {
+		a := randomTxn(rand.New(rand.NewSource(seedA)))
+		b := randomTxn(rand.New(rand.NewSource(seedB)))
+		x := Match(a, b)
+		y := Hamming(a, b)
+		// Symmetry.
+		if Match(b, a) != x || Hamming(b, a) != y {
+			return false
+		}
+		// Identities.
+		if x > a.Len() || x > b.Len() {
+			return false
+		}
+		if y != a.Len()+b.Len()-2*x {
+			return false
+		}
+		// Consistency with explicit set ops.
+		if Intersect(a, b).Len() != x {
+			return false
+		}
+		if Minus(a, b).Len()+Minus(b, a).Len() != y {
+			return false
+		}
+		if Union(a, b).Len() != x+y {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHammingTriangleInequality: hamming distance over sets is the
+// symmetric-difference metric, so d(a,c) <= d(a,b) + d(b,c) must hold.
+func TestHammingTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(sa, sb, sc int64) bool {
+		a := randomTxn(rand.New(rand.NewSource(sa)))
+		b := randomTxn(rand.New(rand.NewSource(sb)))
+		c := randomTxn(rand.New(rand.NewSource(sc)))
+		return Hamming(a, c) <= Hamming(a, b)+Hamming(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMatchHamming(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	a1 := randomTxn(rng)
+	a2 := randomTxn(rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatchHamming(a1, a2)
+	}
+}

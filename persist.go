@@ -1,0 +1,60 @@
+package sigtable
+
+import (
+	"io"
+
+	"sigtable/internal/core"
+)
+
+// Persistence. The dataset and the index structure are stored
+// separately: the dataset with (*Dataset).WriteTo / ReadDataset, the
+// index with (*Index).WriteTo / ReadIndex. The index file references
+// transactions by TID, so loading requires the matching dataset.
+
+// WriteTo serializes the index structure (signature partition,
+// activation threshold and entry TID lists). The dataset is not
+// included. An index with pending deletes must be Rebuilt first.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	return ix.table.WriteTo(w)
+}
+
+// ReadIndex loads an index previously written with WriteTo, binding it
+// to its dataset. Universe, size and coordinate consistency are
+// validated, so passing the wrong dataset fails rather than silently
+// corrupting results.
+func ReadIndex(r io.Reader, data *Dataset) (*Index, error) {
+	table, err := core.ReadTable(r, data)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{table: table}, nil
+}
+
+// Dynamic maintenance. Mutations must not run concurrently with
+// queries.
+
+// Insert adds a transaction to the index and its dataset, returning
+// the assigned TID.
+func (ix *Index) Insert(t Transaction) TID { return ix.table.Insert(t) }
+
+// Delete tombstones a transaction; it stops appearing in results. It
+// reports whether the TID was present and live.
+func (ix *Index) Delete(id TID) bool { return ix.table.Delete(id) }
+
+// Live reports the number of non-deleted indexed transactions.
+func (ix *Index) Live() int { return ix.table.Live() }
+
+// Rebuild compacts tombstones and insert overflows into a fresh index
+// over a fresh, densely renumbered dataset.
+func (ix *Index) Rebuild() (*Index, error) {
+	table, err := ix.table.Rebuild()
+	if err != nil {
+		return nil, err
+	}
+	return &Index{table: table}, nil
+}
+
+// Validate runs a full consistency sweep over the index (entry order,
+// coordinate agreement, counts, tombstones) and returns the first
+// violated invariant, or nil.
+func (ix *Index) Validate() error { return ix.table.Validate() }

@@ -1,0 +1,291 @@
+package sigtable
+
+import (
+	"fmt"
+	"io"
+
+	"sigtable/internal/cluster"
+	"sigtable/internal/core"
+	"sigtable/internal/gen"
+	"sigtable/internal/mining"
+	"sigtable/internal/signature"
+	"sigtable/internal/simfun"
+	"sigtable/internal/topk"
+	"sigtable/internal/txn"
+)
+
+// Re-exported data model. Items are dense integers in
+// {0, ..., UniverseSize-1}; a Transaction is a strictly increasing item
+// slice; a Dataset is an in-memory transaction collection addressed by
+// TID.
+type (
+	// Item identifies a catalog item.
+	Item = txn.Item
+	// TID identifies a transaction within a Dataset.
+	TID = txn.TID
+	// Transaction is a sorted set of items bought together.
+	Transaction = txn.Transaction
+	// Dataset is a collection of transactions over a fixed universe.
+	Dataset = txn.Dataset
+)
+
+// NewTransaction builds a Transaction from items in any order.
+func NewTransaction(items ...Item) Transaction { return txn.New(items...) }
+
+// NewDataset creates an empty dataset over a universe of the given
+// size.
+func NewDataset(universeSize int) *Dataset { return txn.NewDataset(universeSize) }
+
+// ReadDataset decodes a dataset from its binary encoding (see
+// (*Dataset).WriteTo).
+func ReadDataset(r io.Reader) (*Dataset, error) { return txn.ReadDataset(r) }
+
+// ReadFIMI parses the standard FIMI text format (one transaction per
+// line, space-separated item ids), the distribution format of public
+// market-basket datasets. universeSize 0 infers the universe from the
+// data.
+func ReadFIMI(r io.Reader, universeSize int) (*Dataset, error) {
+	return txn.ReadFIMI(r, universeSize)
+}
+
+// Match and Hamming are the two set statistics every similarity
+// function is defined over.
+func Match(a, b Transaction) int   { return txn.Match(a, b) }
+func Hamming(a, b Transaction) int { return txn.Hamming(a, b) }
+
+// Similarity functions (see internal/simfun for the monotonicity
+// contract each satisfies).
+type (
+	// SimilarityFunc scores transaction similarity from the match count
+	// x and hamming distance y; higher is more similar. It must be
+	// non-decreasing in x and non-increasing in y.
+	SimilarityFunc = simfun.Func
+	// HammingSimilarity ranks by hamming distance (maximization form
+	// 1/(1+y)).
+	HammingSimilarity = simfun.Hamming
+	// MatchSimilarity ranks by match count.
+	MatchSimilarity = simfun.Match
+	// MatchHammingRatio ranks by x/(1+y).
+	MatchHammingRatio = simfun.MatchHammingRatio
+	// Cosine ranks by the angle cosine; it is bound to each query
+	// target automatically.
+	Cosine = simfun.Cosine
+	// Jaccard ranks by |S∩T| / |S∪T|.
+	Jaccard = simfun.Jaccard
+	// Dice ranks by the Sørensen–Dice coefficient.
+	Dice = simfun.Dice
+)
+
+// Linear is the combinator f(x, y) = A·x − B·y with A, B >= 0.
+type Linear = simfun.Linear
+
+// NewLinear validates the weights and returns the Linear combinator.
+func NewLinear(a, b float64) (Linear, error) { return simfun.NewLinear(a, b) }
+
+// SimilarityByName resolves a built-in similarity function from its CLI
+// name: "hamming", "match", "match/hamming" (or "ratio"), "cosine",
+// "jaccard", "dice".
+func SimilarityByName(name string) (SimilarityFunc, error) { return simfun.ByName(name) }
+
+// CheckMonotone verifies a custom similarity function satisfies the
+// index's monotonicity contract on the grid [0,maxX]×[0,maxY].
+func CheckMonotone(f SimilarityFunc, maxX, maxY int) error {
+	return simfun.CheckMonotone(f, maxX, maxY)
+}
+
+// Query machinery re-exports.
+type (
+	// QueryOptions tunes a branch-and-bound search (K, early
+	// termination, entry ordering).
+	QueryOptions = core.QueryOptions
+	// Result is a query answer with cost accounting.
+	Result = core.Result
+	// Candidate pairs a TID with its similarity value.
+	Candidate = topk.Candidate
+	// RangeConstraint is one (function, threshold) conjunct of a range
+	// query.
+	RangeConstraint = core.RangeConstraint
+	// RangeResult reports range query matches and cost.
+	RangeResult = core.RangeResult
+	// SortCriterion selects the entry visiting order.
+	SortCriterion = core.SortCriterion
+)
+
+// Entry visiting orders.
+const (
+	// ByOptimisticBound visits entries in decreasing bound order (the
+	// paper's default).
+	ByOptimisticBound = core.ByOptimisticBound
+	// ByCoordSimilarity orders entries by supercoordinate similarity.
+	ByCoordSimilarity = core.ByCoordSimilarity
+)
+
+// GeneratorConfig parameterizes the synthetic market-basket generator
+// (the paper's §5 data source); zero fields take the paper's defaults
+// (N=1000 items, L=2000 itemsets, T=10, I=6).
+type GeneratorConfig = gen.Config
+
+// Generator produces synthetic transactions.
+type Generator = gen.Generator
+
+// NewGenerator creates a synthetic data generator.
+func NewGenerator(cfg GeneratorConfig) (*Generator, error) { return gen.New(cfg) }
+
+// AutoActivation, as IndexOptions.ActivationThreshold, derives the
+// activation threshold from the data: the smallest r keeping the
+// average number of activated signatures at or below K/2 (the paper's
+// footnote 4 observes that denser data wants higher thresholds).
+const AutoActivation = -1
+
+// IndexOptions configures BuildIndex.
+type IndexOptions struct {
+	// SignatureCardinality is K, the number of signatures the universe
+	// is partitioned into; the table has up to 2^K entries. Default 15
+	// (the paper's largest evaluated value; pick as large as memory
+	// allows).
+	SignatureCardinality int
+	// ActivationThreshold is the paper's r (default 1). Larger values
+	// help for dense data (long transactions); AutoActivation picks a
+	// threshold from the data.
+	ActivationThreshold int
+	// MinPairSupport is the minimum support for a 2-itemset to
+	// contribute an edge to the item-correlation graph used by
+	// signature construction. Default 0.0005.
+	MinPairSupport float64
+	// SupportSample caps the transactions sampled for support counting
+	// (0 = min(n, 50000)). Supports only steer the partition; a sample
+	// suffices.
+	SupportSample int
+	// Partition, when non-nil, supplies the signature item sets
+	// directly and skips mining/clustering (used by ablations and
+	// tests). Sets must partition the universe.
+	Partition [][]Item
+	// PageSize, when positive, stores transaction lists on simulated
+	// disk pages of this many bytes and accounts page I/O per query.
+	PageSize int
+	// BufferPoolPages, with PageSize, adds an LRU buffer pool.
+	BufferPoolPages int
+}
+
+func (o IndexOptions) withDefaults(n int) IndexOptions {
+	if o.SignatureCardinality == 0 {
+		o.SignatureCardinality = 15
+	}
+	if o.ActivationThreshold == 0 {
+		o.ActivationThreshold = 1
+	}
+	if o.MinPairSupport == 0 {
+		o.MinPairSupport = 0.0005
+	}
+	if o.SupportSample == 0 {
+		o.SupportSample = 50000
+		if n < o.SupportSample {
+			o.SupportSample = n
+		}
+	}
+	return o
+}
+
+// Index is the signature table with its construction metadata.
+type Index struct {
+	table *core.Table
+}
+
+// BuildIndex constructs a signature table over the dataset:
+//
+//  1. sample the data to estimate item and 2-itemset supports,
+//  2. partition the universe into K signatures by single-linkage
+//     clustering with critical-mass peeling (correlated items group
+//     together),
+//  3. assign every transaction to its supercoordinate's entry.
+//
+// The similarity function is NOT an input: it is chosen per query.
+func BuildIndex(d *Dataset, opt IndexOptions) (*Index, error) {
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("sigtable: cannot index an empty dataset")
+	}
+	opt = opt.withDefaults(d.Len())
+
+	var sets [][]Item
+	if opt.Partition != nil {
+		sets = opt.Partition
+	} else {
+		counts := mining.Count(d, mining.CountOptions{
+			MaxSample:  opt.SupportSample,
+			CountPairs: true,
+		})
+		pairs := counts.FrequentPairs(opt.MinPairSupport)
+		var err error
+		sets, err = cluster.Exact(counts.ItemSupports(), pairs, opt.SignatureCardinality)
+		if err != nil {
+			return nil, fmt.Errorf("sigtable: partitioning items: %w", err)
+		}
+	}
+
+	part, err := signature.NewPartition(d.UniverseSize(), sets)
+	if err != nil {
+		return nil, fmt.Errorf("sigtable: invalid signature partition: %w", err)
+	}
+	r := opt.ActivationThreshold
+	if r == AutoActivation {
+		r = core.RecommendActivation(d, part, opt.SupportSample)
+	}
+	table, err := core.Build(d, part, core.BuildOptions{
+		ActivationThreshold: r,
+		PageSize:            opt.PageSize,
+		BufferPoolPages:     opt.BufferPoolPages,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{table: table}, nil
+}
+
+// K reports the signature cardinality.
+func (ix *Index) K() int { return ix.table.K() }
+
+// Len reports the number of indexed transactions.
+func (ix *Index) Len() int { return ix.table.Len() }
+
+// NumEntries reports the occupied supercoordinates.
+func (ix *Index) NumEntries() int { return ix.table.NumEntries() }
+
+// Signatures returns the item sets of the K signatures (read-only).
+func (ix *Index) Signatures() [][]Item { return ix.table.Partition().Sets() }
+
+// Query runs a branch-and-bound k-NN search for the target under f.
+func (ix *Index) Query(target Transaction, f SimilarityFunc, opt QueryOptions) (Result, error) {
+	return ix.table.Query(target, f, opt)
+}
+
+// Nearest returns the single most similar transaction and its value.
+func (ix *Index) Nearest(target Transaction, f SimilarityFunc) (TID, float64, error) {
+	return ix.table.Nearest(target, f)
+}
+
+// RangeQuery returns all transactions meeting every (function,
+// threshold) conjunct.
+func (ix *Index) RangeQuery(target Transaction, constraints []RangeConstraint) (RangeResult, error) {
+	return ix.table.RangeQuery(target, constraints)
+}
+
+// MultiQuery finds the k transactions maximizing the average similarity
+// to several targets.
+func (ix *Index) MultiQuery(targets []Transaction, f SimilarityFunc, opt QueryOptions) (Result, error) {
+	return ix.table.MultiQuery(targets, f, opt)
+}
+
+// Explain returns the bound landscape a query for this target would
+// see, without scanning any transactions — the tuning companion to
+// Query.
+func (ix *Index) Explain(target Transaction, f SimilarityFunc) Explanation {
+	return ix.table.Explain(target, f)
+}
+
+// Explanation describes a query's per-entry optimistic bounds in
+// visiting order.
+type Explanation = core.Explanation
+
+// Table exposes the underlying core table for advanced use (occupancy
+// statistics, entry inspection).
+func (ix *Index) Table() *core.Table { return ix.table }
