@@ -1,0 +1,24 @@
+# Developer entry points. `make check` is the default verify flow:
+# vet plus the full suite under the race detector (the server and
+# batch paths are concurrent; -race is load-bearing, not optional).
+
+GO ?= go
+
+.PHONY: build test vet race check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: vet race
+
+bench:
+	$(GO) test -bench=. -benchmem

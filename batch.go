@@ -1,6 +1,7 @@
 package sigtable
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -11,8 +12,13 @@ import (
 // Insert/Delete runs concurrently. Results are returned in target
 // order; the first error aborts the batch.
 //
+// The context is shared by every query in the batch: cancelling it
+// makes the in-flight and remaining queries return partial results
+// with Interrupted set (see Query), so the batch still completes
+// promptly with every slot filled.
+//
 // parallelism <= 0 selects GOMAXPROCS workers.
-func (ix *Index) BatchQuery(targets []Transaction, f SimilarityFunc, opt QueryOptions, parallelism int) ([]Result, error) {
+func (ix *Index) BatchQuery(ctx context.Context, targets []Transaction, f SimilarityFunc, opt QueryOptions, parallelism int) ([]Result, error) {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
@@ -33,7 +39,7 @@ func (ix *Index) BatchQuery(targets []Transaction, f SimilarityFunc, opt QueryOp
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				results[i], errs[i] = ix.Query(targets[i], f, opt)
+				results[i], errs[i] = ix.Query(ctx, targets[i], f, opt)
 			}
 		}()
 	}

@@ -2,6 +2,7 @@ package sigtable
 
 import (
 	"bytes"
+	"context"
 	"testing"
 )
 
@@ -17,7 +18,7 @@ func TestBatchQueryMatchesSequential(t *testing.T) {
 	}
 	targets := g.Queries(40)
 
-	batch, err := idx.BatchQuery(targets, Cosine{}, QueryOptions{K: 3}, 8)
+	batch, err := idx.BatchQuery(context.Background(), targets, Cosine{}, QueryOptions{K: 3}, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +26,7 @@ func TestBatchQueryMatchesSequential(t *testing.T) {
 		t.Fatalf("got %d results", len(batch))
 	}
 	for i, target := range targets {
-		seq, err := idx.Query(target, Cosine{}, QueryOptions{K: 3})
+		seq, err := idx.Query(context.Background(), target, Cosine{}, QueryOptions{K: 3})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -54,7 +55,7 @@ func TestBatchQueryDiskModeConcurrent(t *testing.T) {
 		t.Fatal(err)
 	}
 	targets := g.Queries(32)
-	results, err := idx.BatchQuery(targets, Jaccard{}, QueryOptions{K: 2}, 8)
+	results, err := idx.BatchQuery(context.Background(), targets, Jaccard{}, QueryOptions{K: 2}, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,11 +73,11 @@ func TestBatchQueryEmptyAndErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := idx.BatchQuery(nil, Jaccard{}, QueryOptions{}, 4)
+	res, err := idx.BatchQuery(context.Background(), nil, Jaccard{}, QueryOptions{}, 4)
 	if err != nil || res != nil {
 		t.Fatalf("empty batch: %v, %v", res, err)
 	}
-	if _, err := idx.BatchQuery([]Transaction{NewTransaction(1)}, Jaccard{}, QueryOptions{K: -1}, 4); err == nil {
+	if _, err := idx.BatchQuery(context.Background(), []Transaction{NewTransaction(1)}, Jaccard{}, QueryOptions{K: -1}, 4); err == nil {
 		t.Fatal("invalid options not propagated from batch")
 	}
 }
@@ -97,11 +98,11 @@ func TestIndexPersistRoundTripPublic(t *testing.T) {
 		t.Fatal(err)
 	}
 	target := data.Get(3)
-	a, _, err := idx.Nearest(target, Dice{})
+	a, _, err := idx.Nearest(context.Background(), target, Dice{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := loaded.Nearest(target, Dice{})
+	b, _, err := loaded.Nearest(context.Background(), target, Dice{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestDynamicUpdatePublic(t *testing.T) {
 	if idx.Live() != 1001 {
 		t.Fatalf("Live = %d", idx.Live())
 	}
-	_, v, err := idx.Nearest(novel, Jaccard{})
+	_, v, err := idx.Nearest(context.Background(), novel, Jaccard{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,5 +141,39 @@ func TestDynamicUpdatePublic(t *testing.T) {
 	}
 	if fresh.Len() != 1000 {
 		t.Fatalf("rebuilt Len = %d", fresh.Len())
+	}
+}
+
+// TestBatchQueryCancelled verifies a cancelled batch still completes
+// promptly with every slot filled by an interrupted partial result,
+// and leaks no worker goroutines (run under -race).
+func TestBatchQueryCancelled(t *testing.T) {
+	data := testDataset(t, 3000, 13)
+	idx, err := BuildIndex(data, IndexOptions{SignatureCardinality: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(GeneratorConfig{UniverseSize: 200, NumItemsets: 300, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := g.Queries(20)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := idx.BatchQuery(ctx, targets, Jaccard{}, QueryOptions{K: 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(targets) {
+		t.Fatalf("got %d results for %d targets", len(results), len(targets))
+	}
+	for i, res := range results {
+		if !res.Interrupted {
+			t.Fatalf("result %d not interrupted", i)
+		}
+		if res.Certified {
+			t.Fatalf("result %d certified despite cancellation", i)
+		}
 	}
 }

@@ -12,6 +12,7 @@ package sigtable
 // custom metric.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -239,7 +240,7 @@ func BenchmarkQuerySignatureTableNN(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := m.idx.Query(m.queries[i%len(m.queries)], Cosine{}, QueryOptions{K: 1}); err != nil {
+		if _, err := m.idx.Query(context.Background(), m.queries[i%len(m.queries)], Cosine{}, QueryOptions{K: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -250,7 +251,7 @@ func BenchmarkQuerySignatureTableNNEarly2pct(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := m.idx.Query(m.queries[i%len(m.queries)], Cosine{}, QueryOptions{K: 1, MaxScanFraction: 0.02}); err != nil {
+		if _, err := m.idx.Query(context.Background(), m.queries[i%len(m.queries)], Cosine{}, QueryOptions{K: 1, MaxScanFraction: 0.02}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -283,7 +284,7 @@ func BenchmarkQueryRange(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := m.idx.RangeQuery(m.queries[i%len(m.queries)], constraints); err != nil {
+		if _, err := m.idx.RangeQuery(context.Background(), m.queries[i%len(m.queries)], constraints); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -299,7 +300,7 @@ func BenchmarkQueryMultiTarget(b *testing.B) {
 			m.queries[(i+1)%len(m.queries)],
 			m.queries[(i+2)%len(m.queries)],
 		}
-		if _, err := m.idx.MultiQuery(targets, Jaccard{}, QueryOptions{K: 5}); err != nil {
+		if _, err := m.idx.MultiQuery(context.Background(), targets, Jaccard{}, QueryOptions{K: 5}); err != nil {
 			b.Fatal(err)
 		}
 	}

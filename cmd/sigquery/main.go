@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -130,7 +131,7 @@ func main() {
 	}
 
 	if *rangeT != 0 {
-		res, err := idx.RangeQuery(target, []sigtable.RangeConstraint{{F: sim, Threshold: *rangeT}})
+		res, err := idx.RangeQuery(context.Background(), target, []sigtable.RangeConstraint{{F: sim, Threshold: *rangeT}})
 		if err != nil {
 			fatal("range query: %v", err)
 		}
@@ -147,7 +148,7 @@ func main() {
 	}
 
 	start = time.Now()
-	res, err := idx.Query(target, sim, sigtable.QueryOptions{K: *k, MaxScanFraction: *term, SortBy: order})
+	res, err := idx.Query(context.Background(), target, sim, sigtable.QueryOptions{K: *k, MaxScanFraction: *term, SortBy: order})
 	if err != nil {
 		fatal("query: %v", err)
 	}

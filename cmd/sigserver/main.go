@@ -1,24 +1,32 @@
 // Command sigserver serves similarity queries over a dataset through
-// an HTTP JSON API.
+// a versioned HTTP JSON API.
 //
 //	sigserver -data baskets.dat [-addr :8080] [-K 15] [-r 1]
+//	          [-query-timeout 5s] [-max-concurrent 64]
 //
 // Endpoints (see internal/server for bodies):
 //
-//	GET  /stats
-//	POST /query /range /multi /insert /delete /explain
+//	GET  /v1/stats /v1/metrics
+//	POST /v1/query /v1/range /v1/multi /v1/insert /v1/delete /v1/explain
+//	GET  /debug/pprof/...
 //
-// Example:
+// The unversioned routes remain as deprecated aliases. Example:
 //
-//	curl -s localhost:8080/query -d '{"items":[3,17,42],"f":"cosine","k":5}'
+//	curl -s localhost:8080/v1/query -d '{"items":[3,17,42],"f":"cosine","k":5}'
+//
+// The server shuts down gracefully on SIGINT/SIGTERM, draining
+// in-flight requests for up to -drain-timeout.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"sigtable"
@@ -27,10 +35,14 @@ import (
 
 func main() {
 	var (
-		dataPath = flag.String("data", "", "dataset file (binary or FIMI)")
-		addr     = flag.String("addr", ":8080", "listen address")
-		kCard    = flag.Int("K", 15, "signature cardinality")
-		r        = flag.Int("r", 1, "activation threshold")
+		dataPath      = flag.String("data", "", "dataset file (binary or FIMI)")
+		addr          = flag.String("addr", ":8080", "listen address")
+		kCard         = flag.Int("K", 15, "signature cardinality")
+		r             = flag.Int("r", 1, "activation threshold")
+		queryTimeout  = flag.Duration("query-timeout", 5*time.Second, "per-query search deadline (0 disables)")
+		maxConcurrent = flag.Int("max-concurrent", 0, "max in-flight requests (0 = 4×GOMAXPROCS)")
+		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "shutdown grace period for in-flight requests")
+		quiet         = flag.Bool("quiet", false, "disable per-request access logging")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -61,9 +73,52 @@ func main() {
 	if err != nil {
 		log.Fatalf("sigserver: building index: %v", err)
 	}
-	fmt.Printf("sigserver: indexed %d transactions (K=%d, %d entries) in %v; listening on %s\n",
+	log.Printf("sigserver: indexed %d transactions (K=%d, %d entries) in %v; listening on %s",
 		idx.Len(), idx.K(), idx.NumEntries(), time.Since(start).Round(time.Millisecond), *addr)
 
-	srv := server.New(idx, data)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	opts := server.Options{
+		QueryTimeout:  *queryTimeout,
+		MaxConcurrent: *maxConcurrent,
+	}
+	if !*quiet {
+		opts.Logger = log.Default()
+	}
+	srv := server.New(idx, data, opts)
+
+	// WriteTimeout must outlast the search deadline, or the connection
+	// is torn down before the partial result can be written.
+	writeTimeout := 30 * time.Second
+	if *queryTimeout > 0 && *queryTimeout+10*time.Second > writeTimeout {
+		writeTimeout = *queryTimeout + 10*time.Second
+	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("sigserver: %v", err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C kills immediately
+		log.Printf("sigserver: shutting down, draining for up to %v", *drainTimeout)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(drainCtx); err != nil {
+			log.Printf("sigserver: forced shutdown: %v", err)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("sigserver: %v", err)
+		}
+	}
 }

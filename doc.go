@@ -19,7 +19,24 @@
 //
 //	data := ... // *sigtable.Dataset
 //	idx, err := sigtable.BuildIndex(data, sigtable.IndexOptions{SignatureCardinality: 15})
-//	res, err := idx.Query(target, sigtable.Cosine{}, sigtable.QueryOptions{K: 10})
+//	res, err := idx.Query(ctx, target, sigtable.Cosine{}, sigtable.QueryOptions{K: 10})
+//
+// # Contexts and deadlines
+//
+// Every query entry point (Query, Nearest, RangeQuery, MultiQuery,
+// BatchQuery) takes a context as its first argument. Cancellation is
+// checked between entry visits of the branch-and-bound loop and
+// periodically within an entry's transaction scan, so a deadline
+// aborts even a large scan almost immediately. An interrupted search
+// is not an error: the partial result found so far is returned with
+// Result.Interrupted set and, in general, Certified false. Nearest
+// alone returns the context's error when interrupted before finding
+// any candidate.
+//
+// The HTTP serving layer (internal/server, cmd/sigserver) builds on
+// this: every request runs under a configurable deadline, and a
+// /v1/metrics endpoint exports query counts, latency histograms, and
+// branch-and-bound cost counters in the Prometheus text format.
 //
 // See examples/ for runnable programs and DESIGN.md for the mapping
 // from the paper's sections to packages.

@@ -1,6 +1,7 @@
 package sigtable_test
 
 import (
+	"context"
 	"fmt"
 
 	"sigtable"
@@ -24,7 +25,7 @@ func Example() {
 	}
 
 	target := data.Get(42)
-	tid, value, err := idx.Nearest(target, sigtable.Jaccard{})
+	tid, value, err := idx.Nearest(context.Background(), target, sigtable.Jaccard{})
 	if err != nil {
 		panic(err)
 	}
@@ -42,7 +43,7 @@ func ExampleIndex_Query() {
 	data := g.Dataset(5000)
 	idx, _ := sigtable.BuildIndex(data, sigtable.IndexOptions{SignatureCardinality: 10})
 
-	res, _ := idx.Query(data.Get(7), sigtable.Cosine{}, sigtable.QueryOptions{
+	res, _ := idx.Query(context.Background(), data.Get(7), sigtable.Cosine{}, sigtable.QueryOptions{
 		K:               3,
 		MaxScanFraction: 0.05, // look at no more than 5% of the data
 	})
@@ -62,7 +63,7 @@ func ExampleIndex_RangeQuery() {
 	})
 
 	const p, q = 3, 1 // >= 3 matches, hamming <= 1
-	res, _ := idx.RangeQuery(sigtable.NewTransaction(1, 2, 3), []sigtable.RangeConstraint{
+	res, _ := idx.RangeQuery(context.Background(), sigtable.NewTransaction(1, 2, 3), []sigtable.RangeConstraint{
 		{F: sigtable.MatchSimilarity{}, Threshold: p},
 		{F: sigtable.HammingSimilarity{}, Threshold: 1.0 / (1 + q)},
 	})

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,7 +34,7 @@ func main() {
 		fmt.Printf("exemplar %d: %v\n", i+1, t)
 	}
 
-	res, err := idx.MultiQuery(targets, sigtable.Jaccard{}, sigtable.QueryOptions{K: 5})
+	res, err := idx.MultiQuery(context.Background(), targets, sigtable.Jaccard{}, sigtable.QueryOptions{K: 5})
 	if err != nil {
 		log.Fatal(err)
 	}

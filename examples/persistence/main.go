@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -60,7 +61,7 @@ func main() {
 	// Live maintenance: a new customer basket arrives...
 	novel := sigtable.NewTransaction(11, 99, 303, 808)
 	id := loaded.Insert(novel)
-	if _, v, _ := loaded.Nearest(novel, sigtable.Jaccard{}); v == 1 {
+	if _, v, _ := loaded.Nearest(context.Background(), novel, sigtable.Jaccard{}); v == 1 {
 		fmt.Printf("inserted basket #%d is immediately queryable (exact match found)\n", id)
 	}
 

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,7 +31,7 @@ func main() {
 	// 3. Query: who bought most nearly the same basket? Any monotone
 	// f(match, hamming) works; cosine here.
 	target := data.Get(4711) // pretend a live customer's basket
-	res, err := idx.Query(target, sigtable.Cosine{}, sigtable.QueryOptions{K: 3})
+	res, err := idx.Query(context.Background(), target, sigtable.Cosine{}, sigtable.QueryOptions{K: 3})
 	if err != nil {
 		log.Fatal(err)
 	}

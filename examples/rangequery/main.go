@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,7 +33,7 @@ func main() {
 		q = 12 // at most 12 items different
 	)
 	// "hamming <= q" in maximization form 1/(1+y) is ">= 1/(1+q)".
-	res, err := idx.RangeQuery(target, []sigtable.RangeConstraint{
+	res, err := idx.RangeQuery(context.Background(), target, []sigtable.RangeConstraint{
 		{F: sigtable.MatchSimilarity{}, Threshold: p},
 		{F: sigtable.HammingSimilarity{}, Threshold: 1.0 / float64(1+q)},
 	})

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -32,7 +33,7 @@ func main() {
 
 	// 25 peers under x/(1+y): rewards overlap, punishes divergence.
 	const peers = 25
-	res, err := idx.Query(customer, sigtable.MatchHammingRatio{}, sigtable.QueryOptions{
+	res, err := idx.Query(context.Background(), customer, sigtable.MatchHammingRatio{}, sigtable.QueryOptions{
 		K: peers,
 		// A recommender can trade exactness for latency: scan at most
 		// 2% of history. res.Certified reports whether the answer

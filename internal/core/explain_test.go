@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -33,7 +34,7 @@ func TestExplainOrderingAndConsistency(t *testing.T) {
 	}
 	// Bounds must match a direct Query's pruning behaviour: the first
 	// entry's bound dominates the best achievable value.
-	res, err := table.Query(target, simfun.Jaccard{}, QueryOptions{K: 1})
+	res, err := table.Query(context.Background(), target, simfun.Jaccard{}, QueryOptions{K: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -43,11 +44,11 @@ func TestTableRoundTrip(t *testing.T) {
 	for q := 0; q < 10; q++ {
 		target := randomTarget(rng, 40)
 		for _, f := range allSimFuncs() {
-			a, err := orig.Query(target, f, QueryOptions{K: 3})
+			a, err := orig.Query(context.Background(), target, f, QueryOptions{K: 3})
 			if err != nil {
 				t.Fatal(err)
 			}
-			b, err := got.Query(target, f, QueryOptions{K: 3})
+			b, err := got.Query(context.Background(), target, f, QueryOptions{K: 3})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -79,7 +80,7 @@ func TestTableRoundTripDiskMode(t *testing.T) {
 	}
 	target := randomTarget(rng, 30)
 	_, want := seqscan.Nearest(d, target, simfun.Jaccard{})
-	_, v, err := got.Nearest(target, simfun.Jaccard{})
+	_, v, err := got.Nearest(context.Background(), target, simfun.Jaccard{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"sigtable/internal/signature"
@@ -13,8 +14,9 @@ import (
 // under f. The optimistic bound of an entry is the average of its
 // per-target optimistic bounds, which upper-bounds the average
 // similarity of every indexed transaction, so branch-and-bound pruning
-// carries over unchanged.
-func (t *Table) MultiQuery(targets []txn.Transaction, f simfun.Func, opt QueryOptions) (Result, error) {
+// carries over unchanged. The context bounds the search exactly as in
+// Query.
+func (t *Table) MultiQuery(ctx context.Context, targets []txn.Transaction, f simfun.Func, opt QueryOptions) (Result, error) {
 	if len(targets) == 0 {
 		return Result{}, fmt.Errorf("core: multi-target query needs at least one target")
 	}
@@ -58,7 +60,7 @@ func (t *Table) MultiQuery(targets []txn.Transaction, f simfun.Func, opt QueryOp
 	}
 	q.heapify()
 
-	res := t.runSearch(q, opt.K, budget, opt.SortBy, func(tr txn.Transaction) float64 {
+	res := t.runSearch(ctx, q, opt.K, budget, opt.SortBy, func(tr txn.Transaction) float64 {
 		sum := 0.0
 		for i, tgt := range targets {
 			x, y := txn.MatchHamming(tgt, tr)

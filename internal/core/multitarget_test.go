@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -49,7 +50,7 @@ func TestMultiQueryMatchesBruteForce(t *testing.T) {
 				targets[i] = randomTarget(rng, universe)
 			}
 			for _, f := range allSimFuncs() {
-				res, err := table.MultiQuery(targets, f, QueryOptions{K: 3})
+				res, err := table.MultiQuery(context.Background(), targets, f, QueryOptions{K: 3})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -81,11 +82,11 @@ func TestMultiQuerySingleTargetEqualsQuery(t *testing.T) {
 	for q := 0; q < 10; q++ {
 		target := randomTarget(rng, 25)
 		for _, f := range allSimFuncs() {
-			single, err := table.Query(target, f, QueryOptions{K: 5})
+			single, err := table.Query(context.Background(), target, f, QueryOptions{K: 5})
 			if err != nil {
 				t.Fatal(err)
 			}
-			multi, err := table.MultiQuery([]txn.Transaction{target}, f, QueryOptions{K: 5})
+			multi, err := table.MultiQuery(context.Background(), []txn.Transaction{target}, f, QueryOptions{K: 5})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -102,10 +103,10 @@ func TestMultiQueryValidation(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	d := randomDataset(rng, 50, 20)
 	table := buildTestTable(t, d, randomPartition(t, rng, 20, 3), BuildOptions{})
-	if _, err := table.MultiQuery(nil, simfun.Match{}, QueryOptions{}); err == nil {
+	if _, err := table.MultiQuery(context.Background(), nil, simfun.Match{}, QueryOptions{}); err == nil {
 		t.Error("empty target set accepted")
 	}
-	if _, err := table.MultiQuery([]txn.Transaction{txn.New(1)}, simfun.Match{}, QueryOptions{K: -1}); err == nil {
+	if _, err := table.MultiQuery(context.Background(), []txn.Transaction{txn.New(1)}, simfun.Match{}, QueryOptions{K: -1}); err == nil {
 		t.Error("negative k accepted")
 	}
 }
@@ -118,7 +119,7 @@ func TestMultiQueryEarlyTermination(t *testing.T) {
 	table := buildTestTable(t, d, randomPartition(t, rng, 30, 5), BuildOptions{})
 
 	targets := []txn.Transaction{randomTarget(rng, 30), randomTarget(rng, 30)}
-	res, err := table.MultiQuery(targets, simfun.Jaccard{}, QueryOptions{K: 2, MaxScanFraction: 0.01})
+	res, err := table.MultiQuery(context.Background(), targets, simfun.Jaccard{}, QueryOptions{K: 2, MaxScanFraction: 0.01})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,11 +139,11 @@ func TestMultiQuerySortCriteriaAgree(t *testing.T) {
 	table := buildTestTable(t, d, randomPartition(t, rng, 25, 4), BuildOptions{})
 	targets := []txn.Transaction{randomTarget(rng, 25), randomTarget(rng, 25), randomTarget(rng, 25)}
 
-	a, err := table.MultiQuery(targets, simfun.Dice{}, QueryOptions{K: 4, SortBy: ByOptimisticBound})
+	a, err := table.MultiQuery(context.Background(), targets, simfun.Dice{}, QueryOptions{K: 4, SortBy: ByOptimisticBound})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := table.MultiQuery(targets, simfun.Dice{}, QueryOptions{K: 4, SortBy: ByCoordSimilarity})
+	b, err := table.MultiQuery(context.Background(), targets, simfun.Dice{}, QueryOptions{K: 4, SortBy: ByCoordSimilarity})
 	if err != nil {
 		t.Fatal(err)
 	}

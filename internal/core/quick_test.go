@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -29,7 +30,7 @@ func TestQuickBranchAndBoundExact(t *testing.T) {
 		kNN := 1 + int(kNNRaw)%8
 		target := randomTarget(rng, universe)
 
-		res, err := table.Query(target, f, QueryOptions{K: kNN})
+		res, err := table.Query(context.Background(), target, f, QueryOptions{K: kNN})
 		if err != nil {
 			return false
 		}
@@ -65,7 +66,7 @@ func TestQuickCertificateSound(t *testing.T) {
 		frac := 0.005 + float64(fracRaw)/255*0.2
 		target := randomTarget(rng, 25)
 
-		res, err := table.Query(target, f, QueryOptions{K: 1, MaxScanFraction: frac})
+		res, err := table.Query(context.Background(), target, f, QueryOptions{K: 1, MaxScanFraction: frac})
 		if err != nil || len(res.Neighbors) == 0 {
 			return false
 		}

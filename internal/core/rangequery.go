@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -26,13 +27,19 @@ type RangeResult struct {
 	EntriesScanned int
 	EntriesPruned  int
 	PagesRead      int64
+	// Interrupted reports the scan stopped early because the context
+	// was cancelled; TIDs then holds only the matches found so far.
+	Interrupted bool
 }
 
 // RangeQuery finds all transactions whose similarity to the target is
 // at least t_i under every function f_i (§4.3). An entry is pruned as
 // soon as any constraint's optimistic bound falls below its threshold:
-// no transaction inside can satisfy that conjunct.
-func (t *Table) RangeQuery(target txn.Transaction, constraints []RangeConstraint) (RangeResult, error) {
+// no transaction inside can satisfy that conjunct. Cancelling the
+// context aborts the scan between entry visits (and every
+// cancelCheckInterval transactions within one), returning the matches
+// found so far with Interrupted set.
+func (t *Table) RangeQuery(ctx context.Context, target txn.Transaction, constraints []RangeConstraint) (RangeResult, error) {
 	if len(constraints) == 0 {
 		return RangeResult{}, fmt.Errorf("core: range query needs at least one constraint")
 	}
@@ -58,6 +65,10 @@ func (t *Table) RangeQuery(target txn.Transaction, constraints []RangeConstraint
 	}
 
 	for _, e := range t.entries {
+		if ctx.Err() != nil {
+			res.Interrupted = true
+			break
+		}
 		bd := b.bounds(e.Coord)
 		pruned := false
 		for i, f := range fs {
@@ -73,6 +84,10 @@ func (t *Table) RangeQuery(target txn.Transaction, constraints []RangeConstraint
 		res.EntriesScanned++
 		t.scanEntry(e, func(id txn.TID, tr txn.Transaction) bool {
 			res.Scanned++
+			if res.Scanned%cancelCheckInterval == 0 && ctx.Err() != nil {
+				res.Interrupted = true
+				return false
+			}
 			x, y := txn.MatchHamming(target, tr)
 			for i, f := range fs {
 				if f.Score(x, y) < constraints[i].Threshold {
@@ -82,6 +97,9 @@ func (t *Table) RangeQuery(target txn.Transaction, constraints []RangeConstraint
 			res.TIDs = append(res.TIDs, id)
 			return true
 		})
+		if res.Interrupted {
+			break
+		}
 	}
 
 	sort.Slice(res.TIDs, func(i, j int) bool { return res.TIDs[i] < res.TIDs[j] })

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -35,7 +36,7 @@ func TestRangeQueryMatchesSeqscan(t *testing.T) {
 				},
 			}
 			for ci, cs := range constraintSets {
-				res, err := table.RangeQuery(target, cs)
+				res, err := table.RangeQuery(context.Background(), target, cs)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -65,10 +66,10 @@ func TestRangeQueryValidation(t *testing.T) {
 	d := randomDataset(rng, 50, 20)
 	table := buildTestTable(t, d, randomPartition(t, rng, 20, 3), BuildOptions{})
 
-	if _, err := table.RangeQuery(txn.New(1), nil); err == nil {
+	if _, err := table.RangeQuery(context.Background(), txn.New(1), nil); err == nil {
 		t.Error("empty constraints accepted")
 	}
-	if _, err := table.RangeQuery(txn.New(1), []RangeConstraint{{F: nil, Threshold: 1}}); err == nil {
+	if _, err := table.RangeQuery(context.Background(), txn.New(1), []RangeConstraint{{F: nil, Threshold: 1}}); err == nil {
 		t.Error("nil similarity function accepted")
 	}
 }
@@ -80,7 +81,7 @@ func TestRangeQueryPrunes(t *testing.T) {
 	d := randomDataset(rng, 500, 30)
 	table := buildTestTable(t, d, randomPartition(t, rng, 30, 6), BuildOptions{})
 
-	res, err := table.RangeQuery(randomTarget(rng, 30), []RangeConstraint{
+	res, err := table.RangeQuery(context.Background(), randomTarget(rng, 30), []RangeConstraint{
 		{F: simfun.Match{}, Threshold: 1000}, // unattainable
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -9,6 +10,13 @@ import (
 	"sigtable/internal/topk"
 	"sigtable/internal/txn"
 )
+
+// cancelCheckInterval is how many transaction scans may elapse between
+// context-cancellation checks inside a single entry. Checking per
+// transaction would put an atomic load on the innermost loop; every 256
+// keeps the overhead unmeasurable while still aborting a large entry
+// scan within microseconds of a deadline.
+const cancelCheckInterval = 256
 
 // SortCriterion selects the order in which signature table entries are
 // visited (paper §4 discusses both).
@@ -80,6 +88,12 @@ type Result struct {
 	// value found (§4.2's quality guarantee). Always true when the
 	// search ran to completion.
 	Certified bool
+	// Interrupted reports that the search stopped early because the
+	// query's context was cancelled or its deadline expired. The
+	// neighbors found so far are still returned, but the result is not
+	// Certified unless the certificate already held when the
+	// cancellation landed.
+	Interrupted bool
 	// BestPossible is an upper bound on the value of any transaction in
 	// the database (max of the achieved value and all unexplored
 	// optimistic bounds); with early termination it quantifies how far
@@ -190,8 +204,10 @@ func (t *Table) rankEntries(f simfun.Func, overlaps []int, targetCoord signature
 // runSearch drives the branch-and-bound loop of Figure 3 over a
 // heapified entry order: pop the most promising entry, prune it if its
 // optimistic bound cannot beat the k-th best found, otherwise scan its
-// transactions through score.
-func (t *Table) runSearch(q entryQueue, k, budget int, sortBy SortCriterion, score func(tr txn.Transaction) float64) Result {
+// transactions through score. Cancellation is checked between entry
+// visits and every cancelCheckInterval transactions within one, so a
+// deadline aborts mid-scan with whatever was found so far.
+func (t *Table) runSearch(ctx context.Context, q entryQueue, k, budget int, sortBy SortCriterion, score func(tr txn.Transaction) float64) Result {
 	var res Result
 	var startReads int64
 	if t.store != nil {
@@ -200,8 +216,9 @@ func (t *Table) runSearch(q entryQueue, k, budget int, sortBy SortCriterion, sco
 
 	best := topk.New(k)
 	partialOpt := math.Inf(-1) // bound of an entry cut short by termination
+	interrupted := ctx.Err() != nil
 
-	for q.Len() > 0 {
+	for !interrupted && q.Len() > 0 {
 		re := q.popMax()
 		if threshold, full := best.Threshold(); full && re.opt <= threshold {
 			if sortBy == ByOptimisticBound {
@@ -225,16 +242,22 @@ func (t *Table) runSearch(q entryQueue, k, budget int, sortBy SortCriterion, sco
 				stop = true
 				return false
 			}
+			if res.Scanned%cancelCheckInterval == 0 && ctx.Err() != nil {
+				interrupted = true
+				return false
+			}
 			return true
 		})
-		if stop {
-			// The budget ran out inside this entry; any unexamined
-			// transactions are still bounded by its optimistic bound.
+		if stop || interrupted {
+			// The budget (or deadline) ran out inside this entry; any
+			// unexamined transactions are still bounded by its
+			// optimistic bound.
 			if inEntry < re.e.Count {
 				partialOpt = re.opt
 			}
 			break
 		}
+		interrupted = ctx.Err() != nil
 	}
 
 	// Optimality certificate over whatever was not resolved.
@@ -255,6 +278,7 @@ func (t *Table) runSearch(q entryQueue, k, budget int, sortBy SortCriterion, sco
 	}
 
 	res.Neighbors = best.Results()
+	res.Interrupted = interrupted
 	threshold, full := best.Threshold()
 	res.Certified = full && (math.IsInf(maxRemaining, -1) || maxRemaining <= threshold)
 	res.BestPossible = maxRemaining
@@ -269,7 +293,13 @@ func (t *Table) runSearch(q entryQueue, k, budget int, sortBy SortCriterion, sco
 
 // Query runs the branch-and-bound similarity search of Figure 3 for a
 // target transaction under similarity function f.
-func (t *Table) Query(target txn.Transaction, f simfun.Func, opt QueryOptions) (Result, error) {
+//
+// The context bounds the search: cancellation or a deadline aborts the
+// scan between entry visits (and every cancelCheckInterval transactions
+// within one) and returns the partial result found so far with
+// Interrupted set and, in general, Certified false. An error is
+// reserved for invalid inputs; a cancelled search is not an error.
+func (t *Table) Query(ctx context.Context, target txn.Transaction, f simfun.Func, opt QueryOptions) (Result, error) {
 	opt, budget, err := opt.normalized(t.live)
 	if err != nil {
 		return Result{}, err
@@ -285,7 +315,7 @@ func (t *Table) Query(target txn.Transaction, f simfun.Func, opt QueryOptions) (
 	targetCoord := signature.CoordOfOverlaps(overlaps, t.r)
 	q := t.rankEntries(f, overlaps, targetCoord, opt.SortBy)
 
-	res := t.runSearch(q, opt.K, budget, opt.SortBy, func(tr txn.Transaction) float64 {
+	res := t.runSearch(ctx, q, opt.K, budget, opt.SortBy, func(tr txn.Transaction) float64 {
 		x, y := txn.MatchHamming(target, tr)
 		return f.Score(x, y)
 	})
@@ -293,13 +323,17 @@ func (t *Table) Query(target txn.Transaction, f simfun.Func, opt QueryOptions) (
 }
 
 // Nearest is shorthand for a run-to-completion single-nearest-neighbor
-// query.
-func (t *Table) Nearest(target txn.Transaction, f simfun.Func) (txn.TID, float64, error) {
-	res, err := t.Query(target, f, QueryOptions{K: 1})
+// query. Unlike Query, a search interrupted before finding any
+// candidate reports the context's error.
+func (t *Table) Nearest(ctx context.Context, target txn.Transaction, f simfun.Func) (txn.TID, float64, error) {
+	res, err := t.Query(ctx, target, f, QueryOptions{K: 1})
 	if err != nil {
 		return 0, 0, err
 	}
 	if len(res.Neighbors) == 0 {
+		if res.Interrupted {
+			return 0, 0, fmt.Errorf("core: search interrupted: %w", ctx.Err())
+		}
 		return 0, 0, fmt.Errorf("core: empty table")
 	}
 	return res.Neighbors[0].TID, res.Neighbors[0].Value, nil

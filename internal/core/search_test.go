@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -26,7 +27,7 @@ func TestBranchAndBoundMatchesSeqscan(t *testing.T) {
 		for q := 0; q < 6; q++ {
 			target := randomTarget(rng, universe)
 			for _, f := range allSimFuncs() {
-				res, err := table.Query(target, f, QueryOptions{K: 1})
+				res, err := table.Query(context.Background(), target, f, QueryOptions{K: 1})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -58,7 +59,7 @@ func TestKNNMatchesSeqscan(t *testing.T) {
 		target := randomTarget(rng, 30)
 		for _, k := range []int{1, 3, 10, 25} {
 			for _, f := range allSimFuncs() {
-				res, err := table.Query(target, f, QueryOptions{K: k})
+				res, err := table.Query(context.Background(), target, f, QueryOptions{K: k})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -88,11 +89,11 @@ func TestSortCriteriaAgree(t *testing.T) {
 	for q := 0; q < 10; q++ {
 		target := randomTarget(rng, 30)
 		for _, f := range allSimFuncs() {
-			a, err := table.Query(target, f, QueryOptions{K: 3, SortBy: ByOptimisticBound})
+			a, err := table.Query(context.Background(), target, f, QueryOptions{K: 3, SortBy: ByOptimisticBound})
 			if err != nil {
 				t.Fatal(err)
 			}
-			b, err := table.Query(target, f, QueryOptions{K: 3, SortBy: ByCoordSimilarity})
+			b, err := table.Query(context.Background(), target, f, QueryOptions{K: 3, SortBy: ByCoordSimilarity})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -120,7 +121,7 @@ func TestEarlyTerminationBudgetAndCertificate(t *testing.T) {
 		target := randomTarget(rng, 40)
 		for _, frac := range []float64{0.002, 0.01, 0.05, 0.2} {
 			for _, f := range allSimFuncs() {
-				res, err := table.Query(target, f, QueryOptions{K: 1, MaxScanFraction: frac})
+				res, err := table.Query(context.Background(), target, f, QueryOptions{K: 1, MaxScanFraction: frac})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -151,13 +152,13 @@ func TestQueryValidation(t *testing.T) {
 	table := buildTestTable(t, d, randomPartition(t, rng, 20, 3), BuildOptions{})
 	target := txn.New(1, 2)
 
-	if _, err := table.Query(target, simfun.Match{}, QueryOptions{K: -2}); err == nil {
+	if _, err := table.Query(context.Background(), target, simfun.Match{}, QueryOptions{K: -2}); err == nil {
 		t.Error("negative k accepted")
 	}
-	if _, err := table.Query(target, simfun.Match{}, QueryOptions{MaxScanFraction: 1.5}); err == nil {
+	if _, err := table.Query(context.Background(), target, simfun.Match{}, QueryOptions{MaxScanFraction: 1.5}); err == nil {
 		t.Error("fraction > 1 accepted")
 	}
-	if _, err := table.Query(target, simfun.Match{}, QueryOptions{MaxScanFraction: -0.1}); err == nil {
+	if _, err := table.Query(context.Background(), target, simfun.Match{}, QueryOptions{MaxScanFraction: -0.1}); err == nil {
 		t.Error("negative fraction accepted")
 	}
 }
@@ -167,14 +168,14 @@ func TestQueryEmptyTable(t *testing.T) {
 	d.Append(txn.New(1)) // Build requires non-empty; query the slice view
 	rng := rand.New(rand.NewSource(6))
 	table := buildTestTable(t, d.Slice(0, 0), randomPartition(t, rng, 10, 2), BuildOptions{})
-	res, err := table.Query(txn.New(1), simfun.Match{}, QueryOptions{})
+	res, err := table.Query(context.Background(), txn.New(1), simfun.Match{}, QueryOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Neighbors) != 0 || !res.Certified {
 		t.Fatalf("res = %+v", res)
 	}
-	if _, _, err := table.Nearest(txn.New(1), simfun.Match{}); err == nil {
+	if _, _, err := table.Nearest(context.Background(), txn.New(1), simfun.Match{}); err == nil {
 		t.Error("Nearest on empty table should error")
 	}
 }
@@ -184,7 +185,7 @@ func TestNearestShorthand(t *testing.T) {
 	d := randomDataset(rng, 200, 25)
 	table := buildTestTable(t, d, randomPartition(t, rng, 25, 4), BuildOptions{})
 	target := d.Get(42)
-	tid, v, err := table.Nearest(target, simfun.Jaccard{})
+	tid, v, err := table.Nearest(context.Background(), target, simfun.Jaccard{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestDiskModeCountsPages(t *testing.T) {
 	part := randomPartition(t, rng, 30, 5)
 	table := buildTestTable(t, d, part, BuildOptions{PageSize: 256})
 
-	res, err := table.Query(randomTarget(rng, 30), simfun.Jaccard{}, QueryOptions{K: 1})
+	res, err := table.Query(context.Background(), randomTarget(rng, 30), simfun.Jaccard{}, QueryOptions{K: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestDiskModeCountsPages(t *testing.T) {
 	}
 	// Early termination should read fewer pages.
 	table.Store().ResetStats()
-	resEarly, err := table.Query(randomTarget(rng, 30), simfun.Jaccard{}, QueryOptions{K: 1, MaxScanFraction: 0.01})
+	resEarly, err := table.Query(context.Background(), randomTarget(rng, 30), simfun.Jaccard{}, QueryOptions{K: 1, MaxScanFraction: 0.01})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestResultAccounting(t *testing.T) {
 	table := buildTestTable(t, d, part, BuildOptions{})
 
 	for q := 0; q < 10; q++ {
-		res, err := table.Query(randomTarget(rng, 30), simfun.MatchHammingRatio{}, QueryOptions{K: 1})
+		res, err := table.Query(context.Background(), randomTarget(rng, 30), simfun.MatchHammingRatio{}, QueryOptions{K: 1})
 		if err != nil {
 			t.Fatal(err)
 		}

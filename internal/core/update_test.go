@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -21,7 +22,7 @@ func TestInsertAppearsInQueries(t *testing.T) {
 		t.Fatalf("Live = %d", table.Live())
 	}
 
-	gotID, v, err := table.Nearest(novel, simfun.Jaccard{})
+	gotID, v, err := table.Nearest(context.Background(), novel, simfun.Jaccard{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,11 +56,11 @@ func TestInsertMatchesRebuilt(t *testing.T) {
 	for q := 0; q < 15; q++ {
 		target := randomTarget(rng, 30)
 		for _, f := range allSimFuncs() {
-			a, err := incremental.Query(target, f, QueryOptions{K: 5})
+			a, err := incremental.Query(context.Background(), target, f, QueryOptions{K: 5})
 			if err != nil {
 				t.Fatal(err)
 			}
-			b, err := scratch.Query(target, f, QueryOptions{K: 5})
+			b, err := scratch.Query(context.Background(), target, f, QueryOptions{K: 5})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -81,7 +82,7 @@ func TestInsertDiskModeOverflow(t *testing.T) {
 
 	novel := txn.New(1, 8, 15, 22)
 	table.Insert(novel)
-	_, v, err := table.Nearest(novel, simfun.Dice{})
+	_, v, err := table.Nearest(context.Background(), novel, simfun.Dice{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestDeleteHidesTransaction(t *testing.T) {
 		t.Fatal("IsDeleted(50) = false")
 	}
 
-	_, v, err := table.Nearest(target, simfun.Jaccard{})
+	_, v, err := table.Nearest(context.Background(), target, simfun.Jaccard{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestDeleteMatchesOracle(t *testing.T) {
 	for q := 0; q < 10; q++ {
 		target := randomTarget(rng, 30)
 		for _, f := range allSimFuncs() {
-			res, err := table.Query(target, f, QueryOptions{K: 3})
+			res, err := table.Query(context.Background(), target, f, QueryOptions{K: 3})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -185,11 +186,11 @@ func TestRebuildCompacts(t *testing.T) {
 
 	// Same answers afterwards.
 	target := randomTarget(rng, 30)
-	_, a, err := table.Nearest(target, simfun.Jaccard{})
+	_, a, err := table.Nearest(context.Background(), target, simfun.Jaccard{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, b, err := fresh.Nearest(target, simfun.Jaccard{})
+	_, b, err := fresh.Nearest(context.Background(), target, simfun.Jaccard{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -49,12 +50,12 @@ func AblationActivation(cfg gen.Config, sc Scale, rs []int, f simfun.Func) ([]Ac
 		}
 		pruning, hits := 0.0, 0
 		for i, q := range w.queries {
-			full, err := table.Query(q, f, core.QueryOptions{K: 1})
+			full, err := table.Query(context.Background(), q, f, core.QueryOptions{K: 1})
 			if err != nil {
 				return nil, err
 			}
 			pruning += full.PruningEfficiency(w.data.Len())
-			early, err := table.Query(q, f, core.QueryOptions{K: 1, MaxScanFraction: sc.Termination})
+			early, err := table.Query(context.Background(), q, f, core.QueryOptions{K: 1, MaxScanFraction: sc.Termination})
 			if err != nil {
 				return nil, err
 			}
@@ -101,14 +102,14 @@ func AblationSortCriterion(cfg gen.Config, sc Scale, f simfun.Func) ([]SortCrite
 	for _, by := range []core.SortCriterion{core.ByOptimisticBound, core.ByCoordSimilarity} {
 		hits, pruning := 0, 0.0
 		for i, q := range w.queries {
-			early, err := table.Query(q, f, core.QueryOptions{K: 1, MaxScanFraction: sc.Termination, SortBy: by})
+			early, err := table.Query(context.Background(), q, f, core.QueryOptions{K: 1, MaxScanFraction: sc.Termination, SortBy: by})
 			if err != nil {
 				return nil, err
 			}
 			if len(early.Neighbors) > 0 && valueEq(early.Neighbors[0].Value, truth[i]) {
 				hits++
 			}
-			full, err := table.Query(q, f, core.QueryOptions{K: 1, SortBy: by})
+			full, err := table.Query(context.Background(), q, f, core.QueryOptions{K: 1, SortBy: by})
 			if err != nil {
 				return nil, err
 			}
@@ -159,7 +160,7 @@ func AblationPartition(cfg gen.Config, sc Scale, f simfun.Func) ([]PartitionPoin
 	measure := func(table *core.Table) (float64, error) {
 		sum := 0.0
 		for _, q := range w.queries {
-			res, err := table.Query(q, f, core.QueryOptions{K: 1})
+			res, err := table.Query(context.Background(), q, f, core.QueryOptions{K: 1})
 			if err != nil {
 				return 0, err
 			}
@@ -205,7 +206,7 @@ func AblationK(cfg gen.Config, sc Scale, ks []int, f simfun.Func) ([]KSweepPoint
 		}
 		sum := 0.0
 		for _, q := range w.queries {
-			res, err := table.Query(q, f, core.QueryOptions{K: 1})
+			res, err := table.Query(context.Background(), q, f, core.QueryOptions{K: 1})
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -51,7 +52,7 @@ func PruningVsDBSize(cfg gen.Config, sc Scale, f simfun.Func) ([]PruningPoint, e
 			}
 			sum := 0.0
 			for _, q := range w.queries {
-				res, err := table.Query(q, f, core.QueryOptions{K: 1})
+				res, err := table.Query(context.Background(), q, f, core.QueryOptions{K: 1})
 				if err != nil {
 					return nil, err
 				}
@@ -102,7 +103,7 @@ func AccuracyVsTermination(cfg gen.Config, sc Scale, f simfun.Func) ([]AccuracyP
 		for _, term := range sc.Terminations {
 			hits := 0
 			for i, q := range w.queries {
-				res, err := table.Query(q, f, core.QueryOptions{K: 1, MaxScanFraction: term})
+				res, err := table.Query(context.Background(), q, f, core.QueryOptions{K: 1, MaxScanFraction: term})
 				if err != nil {
 					return nil, err
 				}
@@ -152,7 +153,7 @@ func AccuracyVsTxnSize(cfg gen.Config, sc Scale, f simfun.Func) ([]TxnSizePoint,
 			}
 			hits := 0
 			for i, q := range w.queries {
-				res, err := table.Query(q, f, core.QueryOptions{K: 1, MaxScanFraction: sc.Termination})
+				res, err := table.Query(context.Background(), q, f, core.QueryOptions{K: 1, MaxScanFraction: sc.Termination})
 				if err != nil {
 					return nil, err
 				}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -58,7 +59,7 @@ func LatencyComparison(cfg gen.Config, sc Scale, f simfun.Func) ([]LatencyPoint,
 
 		start := time.Now()
 		for _, target := range w.queries {
-			res, err := table.Query(target, f, core.QueryOptions{K: 1})
+			res, err := table.Query(context.Background(), target, f, core.QueryOptions{K: 1})
 			if err != nil {
 				return nil, err
 			}
@@ -69,7 +70,7 @@ func LatencyComparison(cfg gen.Config, sc Scale, f simfun.Func) ([]LatencyPoint,
 
 		start = time.Now()
 		for _, target := range w.queries {
-			if _, err := table.Query(target, f, core.QueryOptions{K: 1, MaxScanFraction: 0.02}); err != nil {
+			if _, err := table.Query(context.Background(), target, f, core.QueryOptions{K: 1, MaxScanFraction: 0.02}); err != nil {
 				return nil, err
 			}
 		}

@@ -1,0 +1,266 @@
+// Package metrics is a dependency-free telemetry layer for the
+// similarity index: atomic counters, callback gauges, and lock-free
+// histograms, exposed in the Prometheus text format (version 0.0.4).
+//
+// The paper's evaluation (Figures 10–13) is entirely about per-query
+// cost — transactions scanned, pruning efficiency, page I/O — so the
+// serving layer records exactly those quantities per request. All hot
+// recording paths (Counter.Add, Histogram.Observe) are single atomic
+// operations plus, for histograms, one CAS loop on the running sum;
+// they are safe for concurrent use and never take a lock.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for Prometheus semantics).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Histogram is a fixed-bucket histogram with atomic bucket counts and
+// a CAS-maintained float sum. Bucket semantics match Prometheus: an
+// observation v lands in the first bucket whose upper bound is >= v,
+// and exposition is cumulative.
+type Histogram struct {
+	bounds []float64      // strictly increasing upper bounds; +Inf is implicit
+	counts []atomic.Int64 // len(bounds)+1; the last is the +Inf bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // Float64bits of the running sum
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram bounds not strictly increasing at %d: %v", i, bounds))
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Cumulative returns the per-bound cumulative counts (excluding the
+// implicit +Inf bucket, whose cumulative count is Count). Because the
+// buckets are read one atomic at a time while writers proceed, the
+// snapshot is only approximately consistent — fine for monitoring.
+func (h *Histogram) Cumulative() []int64 {
+	out := make([]int64, len(h.bounds))
+	var cum int64
+	for i := range h.bounds {
+		cum += h.counts[i].Load()
+		out[i] = cum
+	}
+	return out
+}
+
+// LatencyBuckets covers 50µs to 10s, the plausible range for a
+// branch-and-bound query from in-memory microseconds to cold disk-mode
+// scans.
+func LatencyBuckets() []float64 {
+	return []float64{
+		0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+		0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+}
+
+// ExponentialBuckets returns n bounds start, start*factor, ... —
+// the natural shape for scanned-transaction counts.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("metrics: ExponentialBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindCounterFunc
+	kindGaugeFunc
+	kindHistogram
+)
+
+type metric struct {
+	name, help string
+	kind       metricKind
+	counter    *Counter
+	fn         func() float64
+	hist       *Histogram
+}
+
+// Registry holds named metrics and renders them in registration order.
+// Registration takes a lock and must not race with WritePrometheus;
+// recording on the returned Counter/Histogram values is lock-free.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	byName  map[string]bool
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]bool)}
+}
+
+func (r *Registry) register(m *metric) {
+	if m.name == "" {
+		panic("metrics: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byName[m.name] {
+		panic(fmt.Sprintf("metrics: duplicate metric %q", m.name))
+	}
+	r.byName[m.name] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, kind: kindCounter, counter: c})
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// scrape time — for totals maintained elsewhere (buffer-pool hits,
+// page reads).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, kind: kindCounterFunc, fn: fn})
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, kind: kindGaugeFunc, fn: fn})
+}
+
+// Histogram registers and returns a histogram with the given upper
+// bounds (strictly increasing; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := newHistogram(bounds)
+	r.register(&metric{name: name, help: help, kind: kindHistogram, hist: h})
+	return h
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	ms := make([]*metric, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.Unlock()
+
+	for _, m := range ms {
+		var err error
+		switch m.kind {
+		case kindCounter:
+			err = writeScalar(w, m, "counter", float64(m.counter.Value()))
+		case kindCounterFunc:
+			err = writeScalar(w, m, "counter", m.fn())
+		case kindGaugeFunc:
+			err = writeScalar(w, m, "gauge", m.fn())
+		case kindHistogram:
+			err = writeHistogram(w, m)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHeader(w io.Writer, m *metric, typ string) error {
+	if m.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, typ)
+	return err
+}
+
+func writeScalar(w io.Writer, m *metric, typ string, v float64) error {
+	if err := writeHeader(w, m, typ); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %s\n", m.name, formatFloat(v))
+	return err
+}
+
+func writeHistogram(w io.Writer, m *metric) error {
+	if err := writeHeader(w, m, "histogram"); err != nil {
+		return err
+	}
+	h := m.hist
+	// Snapshot count first: buckets loaded afterwards can only be
+	// larger, so the +Inf bucket (written as count) never reads below
+	// the last finite bucket by more than concurrent-update noise.
+	count := h.Count()
+	sum := h.Sum()
+	cum := h.Cumulative()
+	for i, b := range h.bounds {
+		c := cum[i]
+		if c > count {
+			count = c
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, formatFloat(b), c); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.name, count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", m.name, formatFloat(sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", m.name, count)
+	return err
+}

@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 5, 10})
+	for _, v := range []float64{0.5, 1, 1.5, 5, 7, 100} {
+		h.Observe(v)
+	}
+	// le-inclusive: 0.5 and 1 land in le=1; 1.5 and 5 in le=5; 7 in
+	// le=10; 100 in +Inf.
+	cum := h.Cumulative()
+	want := []int64{2, 4, 5}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Fatalf("cumulative = %v, want %v", cum, want)
+		}
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if math.Abs(h.Sum()-115) > 1e-9 {
+		t.Fatalf("sum = %v, want 115", h.Sum())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram(ExponentialBuckets(1, 2, 10))
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i % 100))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	wantSum := float64(workers) * per / 100 * (99 * 100 / 2)
+	if math.Abs(h.Sum()-wantSum) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("sig_queries_total", "queries served")
+	c.Add(3)
+	r.GaugeFunc("sig_live", "live transactions", func() float64 { return 42 })
+	r.CounterFunc("sig_pages_total", "pages read", func() float64 { return 7 })
+	h := r.Histogram("sig_latency_seconds", "query latency", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE sig_queries_total counter",
+		"sig_queries_total 3",
+		"# TYPE sig_live gauge",
+		"sig_live 42",
+		"sig_pages_total 7",
+		"# TYPE sig_latency_seconds histogram",
+		`sig_latency_seconds_bucket{le="0.01"} 1`,
+		`sig_latency_seconds_bucket{le="0.1"} 2`,
+		`sig_latency_seconds_bucket{le="+Inf"} 3`,
+		"sig_latency_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "sig_latency_seconds_sum 5.055") {
+		t.Errorf("exposition missing sum:\n%s", out)
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "")
+	mustPanic(t, "duplicate name", func() { r.Counter("dup", "") })
+	mustPanic(t, "empty name", func() { r.Counter("", "") })
+	mustPanic(t, "bad bounds", func() { r.Histogram("h", "", []float64{2, 1}) })
+	mustPanic(t, "bad exponential", func() { ExponentialBuckets(0, 2, 3) })
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: no panic", name)
+		}
+	}()
+	fn()
+}

@@ -73,6 +73,14 @@ func (p *BufferPool) Len() int {
 	return p.order.Len()
 }
 
+// Stats reports the cumulative Get hits and misses, the raw counts
+// behind HitRate — the shape a monitoring counter wants.
+func (p *BufferPool) Stats() (hits, misses int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses
+}
+
 // HitRate reports the fraction of Gets served from the pool (0 if no
 // Gets yet).
 func (p *BufferPool) HitRate() float64 {

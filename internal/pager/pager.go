@@ -117,6 +117,10 @@ func (s *Store) ResetStats() {
 	s.writes.Store(0)
 }
 
+// Pool returns the attached buffer pool, or nil when reads go straight
+// to the backend.
+func (s *Store) Pool() *BufferPool { return s.pool }
+
 // AttachPool routes reads through an LRU buffer pool of the given page
 // capacity; hits do not count as misses. A capacity of 0 detaches the
 // pool.

@@ -1,0 +1,149 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+
+	"sigtable"
+	"sigtable/internal/metrics"
+)
+
+// opMetrics instruments the serving layer with the quantities the
+// paper's evaluation is built on — transactions scanned, entries
+// pruned, page I/O — plus operational latency histograms. Counters and
+// histograms are recorded lock-free on the request path; gauges read
+// index state under the server's read lock at scrape time.
+type opMetrics struct {
+	// Request counters per operation.
+	queries      *metrics.Counter
+	rangeQueries *metrics.Counter
+	multiQueries *metrics.Counter
+	inserts      *metrics.Counter
+	deletes      *metrics.Counter
+	errors       *metrics.Counter
+	interrupted  *metrics.Counter
+	httpRequests *metrics.Counter
+
+	// Branch-and-bound cost counters, accumulated from per-query
+	// Result accounting.
+	entriesScanned *metrics.Counter
+	entriesPruned  *metrics.Counter
+	txScanned      *metrics.Counter
+
+	// Latency histograms (seconds).
+	queryLatency  *metrics.Histogram
+	rangeLatency  *metrics.Histogram
+	multiLatency  *metrics.Histogram
+	insertLatency *metrics.Histogram
+	deleteLatency *metrics.Histogram
+
+	// Scanned-transaction-count histograms: the per-query cost
+	// distribution Figures 10–13 plot.
+	queryScanned *metrics.Histogram
+	rangeScanned *metrics.Histogram
+	multiScanned *metrics.Histogram
+
+	inFlight atomic.Int64
+}
+
+func newOpMetrics(reg *metrics.Registry, s *Server) *opMetrics {
+	lat := metrics.LatencyBuckets()
+	// 1 .. ~4M scanned transactions per query.
+	scan := metrics.ExponentialBuckets(1, 4, 12)
+	m := &opMetrics{
+		queries:      reg.Counter("sigtable_queries_total", "k-NN queries served"),
+		rangeQueries: reg.Counter("sigtable_range_queries_total", "range queries served"),
+		multiQueries: reg.Counter("sigtable_multi_queries_total", "multi-target queries served"),
+		inserts:      reg.Counter("sigtable_inserts_total", "transactions inserted"),
+		deletes:      reg.Counter("sigtable_deletes_total", "transactions tombstoned"),
+		errors:       reg.Counter("sigtable_request_errors_total", "requests answered with an error envelope"),
+		interrupted:  reg.Counter("sigtable_queries_interrupted_total", "searches cut short by deadline or disconnect"),
+		httpRequests: reg.Counter("sigtable_http_requests_total", "HTTP requests handled"),
+
+		entriesScanned: reg.Counter("sigtable_entries_scanned_total", "signature table entries scanned"),
+		entriesPruned:  reg.Counter("sigtable_entries_pruned_total", "entries pruned by branch-and-bound optimistic bounds"),
+		txScanned:      reg.Counter("sigtable_transactions_scanned_total", "transactions whose similarity was evaluated"),
+
+		queryLatency:  reg.Histogram("sigtable_query_duration_seconds", "k-NN query latency", lat),
+		rangeLatency:  reg.Histogram("sigtable_range_duration_seconds", "range query latency", lat),
+		multiLatency:  reg.Histogram("sigtable_multi_duration_seconds", "multi-target query latency", lat),
+		insertLatency: reg.Histogram("sigtable_insert_duration_seconds", "insert latency", lat),
+		deleteLatency: reg.Histogram("sigtable_delete_duration_seconds", "delete latency", lat),
+
+		queryScanned: reg.Histogram("sigtable_query_scanned_transactions", "transactions scanned per k-NN query", scan),
+		rangeScanned: reg.Histogram("sigtable_range_scanned_transactions", "transactions scanned per range query", scan),
+		multiScanned: reg.Histogram("sigtable_multi_scanned_transactions", "transactions scanned per multi-target query", scan),
+	}
+
+	reg.GaugeFunc("sigtable_http_in_flight", "requests currently being served", func() float64 {
+		return float64(m.inFlight.Load())
+	})
+	reg.GaugeFunc("sigtable_live_transactions", "indexed, non-deleted transactions", func() float64 {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return float64(s.idx.Live())
+	})
+	reg.GaugeFunc("sigtable_index_entries", "occupied supercoordinates", func() float64 {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return float64(s.idx.NumEntries())
+	})
+	reg.GaugeFunc("sigtable_universe_size", "item universe size", func() float64 {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return float64(s.data.UniverseSize())
+	})
+
+	// Disk-mode I/O counters, sourced from the pager's own atomics.
+	if store := s.idx.Table().Store(); store != nil {
+		reg.CounterFunc("sigtable_pages_read_total", "simulated disk pages fetched", func() float64 {
+			return float64(store.Stats().Reads)
+		})
+		reg.CounterFunc("sigtable_pages_written_total", "simulated disk pages written", func() float64 {
+			return float64(store.Stats().Writes)
+		})
+		reg.CounterFunc("sigtable_bufferpool_misses_total", "page reads that went to disk", func() float64 {
+			return float64(store.Stats().Misses)
+		})
+		reg.CounterFunc("sigtable_bufferpool_hits_total", "page reads absorbed by the buffer pool", func() float64 {
+			st := store.Stats()
+			return float64(st.Reads - st.Misses)
+		})
+		if pool := store.Pool(); pool != nil {
+			reg.GaugeFunc("sigtable_bufferpool_resident_pages", "pages resident in the buffer pool", func() float64 {
+				return float64(pool.Len())
+			})
+		}
+	}
+	return m
+}
+
+func (m *opMetrics) observeQuery(d time.Duration, res sigtable.Result) {
+	m.queries.Inc()
+	m.queryLatency.Observe(d.Seconds())
+	m.queryScanned.Observe(float64(res.Scanned))
+	m.recordCost(res.EntriesScanned, res.EntriesPruned, res.Scanned, res.Interrupted)
+}
+
+func (m *opMetrics) observeRange(d time.Duration, res sigtable.RangeResult) {
+	m.rangeQueries.Inc()
+	m.rangeLatency.Observe(d.Seconds())
+	m.rangeScanned.Observe(float64(res.Scanned))
+	m.recordCost(res.EntriesScanned, res.EntriesPruned, res.Scanned, res.Interrupted)
+}
+
+func (m *opMetrics) observeMulti(d time.Duration, res sigtable.Result) {
+	m.multiQueries.Inc()
+	m.multiLatency.Observe(d.Seconds())
+	m.multiScanned.Observe(float64(res.Scanned))
+	m.recordCost(res.EntriesScanned, res.EntriesPruned, res.Scanned, res.Interrupted)
+}
+
+func (m *opMetrics) recordCost(entriesScanned, entriesPruned, scanned int, interrupted bool) {
+	m.entriesScanned.Add(int64(entriesScanned))
+	m.entriesPruned.Add(int64(entriesPruned))
+	m.txScanned.Add(int64(scanned))
+	if interrupted {
+		m.interrupted.Inc()
+	}
+}

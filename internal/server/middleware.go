@@ -1,0 +1,113 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// requestIDCounter feeds sequential request ids; the process start
+// time in the formatted id keeps ids unique across restarts in logs.
+var requestIDCounter atomic.Int64
+
+var processEpoch = time.Now().Unix()
+
+// requestIDKey is the context key under which the assigned request id
+// travels.
+type requestIDKey struct{}
+
+// RequestIDFromContext returns the request id assigned by the
+// middleware, or "" outside a request.
+func RequestIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// statusWriter records the status code and bytes written for the
+// access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(b)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+// exemptFromLimit reports whether a path bypasses the concurrency
+// semaphore: observability endpoints must stay reachable exactly when
+// the server is saturated.
+func exemptFromLimit(path string) bool {
+	return path == "/v1/metrics" || strings.HasPrefix(path, "/debug/pprof")
+}
+
+// withMiddleware wraps the routed mux with, outermost first: request
+// id assignment, access logging, and the in-flight semaphore.
+func (s *Server) withMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = fmt.Sprintf("%x-%06x", processEpoch, requestIDCounter.Add(1))
+		}
+		w.Header().Set("X-Request-ID", id)
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id))
+
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		s.serveLimited(sw, r, next)
+		s.met.httpRequests.Inc()
+		if s.opt.Logger != nil {
+			s.opt.Logger.Printf("%s %s %s -> %d %dB in %v id=%s",
+				r.RemoteAddr, r.Method, r.URL.Path, sw.status, sw.bytes,
+				time.Since(start).Round(time.Microsecond), id)
+		}
+	})
+}
+
+// serveLimited acquires a semaphore slot before dispatching. Waiters
+// queue until a slot frees or the client gives up; observability
+// paths bypass the limit.
+func (s *Server) serveLimited(w http.ResponseWriter, r *http.Request, next http.Handler) {
+	if exemptFromLimit(r.URL.Path) {
+		next.ServeHTTP(w, r)
+		return
+	}
+	select {
+	case s.sem <- struct{}{}:
+		s.met.inFlight.Add(1)
+		defer func() {
+			s.met.inFlight.Add(-1)
+			<-s.sem
+		}()
+		next.ServeHTTP(w, r)
+	case <-r.Context().Done():
+		s.writeErr(w, http.StatusServiceUnavailable, CodeOverloaded,
+			"server at concurrency limit (%d in flight)", cap(s.sem))
+	}
+}
+
+// queryContext derives the context a search runs under: the request's
+// own context (cancelled on client disconnect) bounded by the
+// configured per-query timeout.
+func (s *Server) queryContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.opt.QueryTimeout <= 0 {
+		return context.WithCancel(r.Context())
+	}
+	return context.WithTimeout(r.Context(), s.opt.QueryTimeout)
+}

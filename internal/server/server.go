@@ -1,54 +1,169 @@
-// Package server exposes a signature table index over an HTTP JSON
-// API, the deployment shape the paper's peer-recommendation use case
-// implies: one resident index, many concurrent similarity queries,
-// occasional inserts.
+// Package server exposes a signature table index over a versioned HTTP
+// JSON API, the deployment shape the paper's peer-recommendation use
+// case implies: one resident index, many concurrent similarity
+// queries, occasional inserts.
 //
-// Endpoints:
+// Versioned endpoints (v1):
 //
-//	GET  /stats                          index statistics
-//	POST /query   {items, f, k, maxScanFraction, sort}
-//	POST /range   {items, constraints: [{f, threshold}]}
-//	POST /multi   {targets, f, k, maxScanFraction}
-//	POST /insert  {items}
-//	POST /delete  {tid}
-//	POST /explain {items, f}
+//	GET  /v1/stats                          index statistics
+//	GET  /v1/metrics                        Prometheus text exposition
+//	POST /v1/query   {items, f, k, maxScanFraction, sort}
+//	POST /v1/range   {items, constraints: [{f, threshold}]}
+//	POST /v1/multi   {targets, f, k, maxScanFraction}
+//	POST /v1/insert  {items}
+//	POST /v1/delete  {tid}
+//	POST /v1/explain {items, f}
+//
+// The unversioned routes (/query, /stats, ...) remain as deprecated
+// aliases: they serve the same handlers but set a "Deprecation: true"
+// header and a Link to the v1 successor. /debug/pprof is wired for
+// live profiling.
+//
+// Every error is the envelope {"error": {"code", "message"}}; codes
+// are the Code* constants. Each query-path handler derives a context
+// from the request, bounded by Options.QueryTimeout: a deadline or a
+// client disconnect aborts the branch-and-bound scan mid-flight and
+// returns the partial result with "interrupted": true and
+// "certified": false.
 //
 // Reads run concurrently under an RWMutex; inserts and deletes take
-// the write lock.
+// the write lock. A semaphore bounds in-flight requests
+// (Options.MaxConcurrent); request-ID and access-log middleware wrap
+// every route.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 	"sync"
+	"time"
 
 	"sigtable"
+	"sigtable/internal/metrics"
 )
 
-// Server wraps an index with request handling and locking.
+// Error codes used in the error envelope.
+const (
+	// CodeBadRequest covers malformed JSON and invalid option values.
+	CodeBadRequest = "bad_request"
+	// CodeUnknownSimilarity is returned for an unrecognized similarity
+	// function name.
+	CodeUnknownSimilarity = "unknown_similarity"
+	// CodeItemOutOfUniverse is returned when a target references an
+	// item id outside the indexed universe.
+	CodeItemOutOfUniverse = "item_out_of_universe"
+	// CodeBodyTooLarge is returned when the request body exceeds
+	// Options.MaxBodyBytes.
+	CodeBodyTooLarge = "body_too_large"
+	// CodeNotFound is returned for a delete of an absent TID.
+	CodeNotFound = "not_found"
+	// CodeOverloaded is returned when the concurrency limit could not
+	// be acquired before the client gave up.
+	CodeOverloaded = "overloaded"
+)
+
+// Options tunes the server's operational envelope.
+type Options struct {
+	// QueryTimeout bounds each query/range/multi search: the handler
+	// context expires after this long and the search returns its
+	// partial, uncertified result. 0 disables the per-request
+	// deadline (the client's disconnect still cancels).
+	QueryTimeout time.Duration
+	// MaxConcurrent bounds in-flight requests (excluding /v1/metrics
+	// and /debug/pprof, which must stay reachable under load). 0
+	// selects 4×GOMAXPROCS.
+	MaxConcurrent int
+	// MaxBodyBytes caps request body size. 0 selects 1 MiB.
+	MaxBodyBytes int64
+	// Logger receives one access-log line per request. nil disables
+	// access logging (request IDs are still assigned).
+	Logger *log.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxConcurrent == 0 {
+		o.MaxConcurrent = 4 * runtime.GOMAXPROCS(0)
+	}
+	if o.MaxBodyBytes == 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	return o
+}
+
+// Server wraps an index with request handling, locking, and telemetry.
 type Server struct {
 	mu   sync.RWMutex
 	idx  *sigtable.Index
 	data *sigtable.Dataset
+	opt  Options
+	reg  *metrics.Registry
+	met  *opMetrics
+	sem  chan struct{}
 }
 
 // New creates a Server around a built index and its dataset.
-func New(idx *sigtable.Index, data *sigtable.Dataset) *Server {
-	return &Server{idx: idx, data: data}
+func New(idx *sigtable.Index, data *sigtable.Dataset, opt Options) *Server {
+	opt = opt.withDefaults()
+	s := &Server{
+		idx:  idx,
+		data: data,
+		opt:  opt,
+		reg:  metrics.NewRegistry(),
+		sem:  make(chan struct{}, opt.MaxConcurrent),
+	}
+	s.met = newOpMetrics(s.reg, s)
+	return s
 }
 
-// Handler returns the routed HTTP handler.
+// Metrics returns the server's metric registry (for tests and for
+// embedding the server under a larger process's registry).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Handler returns the routed HTTP handler with middleware applied.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("POST /query", s.handleQuery)
-	mux.HandleFunc("POST /range", s.handleRange)
-	mux.HandleFunc("POST /multi", s.handleMulti)
-	mux.HandleFunc("POST /insert", s.handleInsert)
-	mux.HandleFunc("POST /delete", s.handleDelete)
-	mux.HandleFunc("POST /explain", s.handleExplain)
-	return mux
+	routes := []struct {
+		method, name string
+		h            http.HandlerFunc
+	}{
+		{"GET", "stats", s.handleStats},
+		{"POST", "query", s.handleQuery},
+		{"POST", "range", s.handleRange},
+		{"POST", "multi", s.handleMulti},
+		{"POST", "insert", s.handleInsert},
+		{"POST", "delete", s.handleDelete},
+		{"POST", "explain", s.handleExplain},
+	}
+	for _, rt := range routes {
+		mux.HandleFunc(rt.method+" /v1/"+rt.name, rt.h)
+		mux.HandleFunc(rt.method+" /"+rt.name, deprecateAs("/v1/"+rt.name, rt.h))
+	}
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+
+	// Live profiling; net/http/pprof only self-registers on the
+	// default mux, so wire its handlers explicitly.
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+
+	return s.withMiddleware(mux)
+}
+
+// deprecateAs serves h while flagging the route as a deprecated alias
+// of its v1 successor (draft-ietf-httpapi-deprecation-header shape).
+func deprecateAs(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
+	}
 }
 
 // Neighbor is one k-NN result row.
@@ -58,7 +173,7 @@ type Neighbor struct {
 	Items []sigtable.Item `json:"items"`
 }
 
-// QueryRequest is the /query body.
+// QueryRequest is the /v1/query body.
 type QueryRequest struct {
 	Items           []sigtable.Item `json:"items"`
 	F               string          `json:"f"`
@@ -67,16 +182,117 @@ type QueryRequest struct {
 	Sort            string          `json:"sort"`
 }
 
-// QueryResponse is the /query reply.
+// QueryResponse is the /v1/query reply.
 type QueryResponse struct {
-	Neighbors []Neighbor `json:"neighbors"`
-	Scanned   int        `json:"scanned"`
-	Pruning   float64    `json:"pruningPct"`
-	Certified bool       `json:"certified"`
+	Neighbors      []Neighbor `json:"neighbors"`
+	Scanned        int        `json:"scanned"`
+	Pruning        float64    `json:"pruningPct"`
+	EntriesScanned int        `json:"entriesScanned"`
+	EntriesPruned  int        `json:"entriesPruned"`
+	Certified      bool       `json:"certified"`
+	Interrupted    bool       `json:"interrupted"`
 }
 
-type errorResponse struct {
-	Error string `json:"error"`
+// RangeRequest is the /v1/range body.
+type RangeRequest struct {
+	Items       []sigtable.Item `json:"items"`
+	Constraints []RangeConjunct `json:"constraints"`
+}
+
+// RangeConjunct is one (similarity, threshold) pair.
+type RangeConjunct struct {
+	F         string  `json:"f"`
+	Threshold float64 `json:"threshold"`
+}
+
+// RangeResponse is the /v1/range reply.
+type RangeResponse struct {
+	TIDs           []sigtable.TID `json:"tids"`
+	Scanned        int            `json:"scanned"`
+	EntriesScanned int            `json:"entriesScanned"`
+	EntriesPruned  int            `json:"entriesPruned"`
+	Interrupted    bool           `json:"interrupted"`
+}
+
+// MultiRequest is the /v1/multi body.
+type MultiRequest struct {
+	Targets         [][]sigtable.Item `json:"targets"`
+	F               string            `json:"f"`
+	K               int               `json:"k"`
+	MaxScanFraction float64           `json:"maxScanFraction"`
+}
+
+// MultiResponse is the /v1/multi reply.
+type MultiResponse struct {
+	Neighbors   []Neighbor `json:"neighbors"`
+	Scanned     int        `json:"scanned"`
+	Certified   bool       `json:"certified"`
+	Interrupted bool       `json:"interrupted"`
+}
+
+// InsertRequest is the /v1/insert body.
+type InsertRequest struct {
+	Items []sigtable.Item `json:"items"`
+}
+
+// InsertResponse is the /v1/insert reply.
+type InsertResponse struct {
+	TID sigtable.TID `json:"tid"`
+}
+
+// DeleteRequest is the /v1/delete body.
+type DeleteRequest struct {
+	TID sigtable.TID `json:"tid"`
+}
+
+// DeleteResponse is the /v1/delete reply.
+type DeleteResponse struct {
+	Deleted sigtable.TID `json:"deleted"`
+}
+
+// ExplainRequest is the /v1/explain body.
+type ExplainRequest struct {
+	Items []sigtable.Item `json:"items"`
+	F     string          `json:"f"`
+}
+
+// ExplainEntry is one row of an explanation: how an occupied entry
+// bounds the target.
+type ExplainEntry struct {
+	Coord    uint64  `json:"coord"`
+	Count    int     `json:"count"`
+	MatchOpt int     `json:"matchOpt"`
+	DistOpt  int     `json:"distOpt"`
+	Bound    float64 `json:"bound"`
+}
+
+// ExplainResponse is the /v1/explain reply (entries truncated to the
+// visiting-order head).
+type ExplainResponse struct {
+	TargetCoord  uint64         `json:"targetCoord"`
+	Overlaps     []int          `json:"overlaps"`
+	Entries      []ExplainEntry `json:"entries"`
+	TotalEntries int            `json:"totalEntries"`
+}
+
+// StatsResponse is the /v1/stats reply.
+type StatsResponse struct {
+	Transactions int `json:"transactions"`
+	Live         int `json:"live"`
+	K            int `json:"k"`
+	Entries      int `json:"entries"`
+	Universe     int `json:"universe"`
+}
+
+// ErrorInfo is the error envelope payload.
+type ErrorInfo struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorResponse is the uniform error envelope every handler uses.
+type ErrorResponse struct {
+	Error ErrorInfo `json:"error"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -85,15 +301,22 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, status int, format string, args ...interface{}) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+func (s *Server) writeErr(w http.ResponseWriter, status int, code, format string, args ...interface{}) {
+	s.met.errors.Inc()
+	writeJSON(w, status, ErrorResponse{Error: ErrorInfo{Code: code, Message: fmt.Sprintf(format, args...)}})
 }
 
-func decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.writeErr(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
+				"request body exceeds %d bytes", tooLarge.Limit)
+			return false
+		}
+		s.writeErr(w, http.StatusBadRequest, CodeBadRequest, "bad request body: %v", err)
 		return false
 	}
 	return true
@@ -105,7 +328,7 @@ func (s *Server) similarity(w http.ResponseWriter, name string) (sigtable.Simila
 	}
 	f, err := sigtable.SimilarityByName(name)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		s.writeErr(w, http.StatusBadRequest, CodeUnknownSimilarity, "%v", err)
 		return nil, false
 	}
 	return f, true
@@ -118,25 +341,28 @@ func (s *Server) sortCriterion(w http.ResponseWriter, name string) (sigtable.Sor
 	case "coord":
 		return sigtable.ByCoordSimilarity, true
 	default:
-		writeErr(w, http.StatusBadRequest, "unknown sort %q (want bound or coord)", name)
+		s.writeErr(w, http.StatusBadRequest, CodeBadRequest, "unknown sort %q (want bound or coord)", name)
 		return 0, false
 	}
 }
 
 func (s *Server) target(w http.ResponseWriter, items []sigtable.Item) (sigtable.Transaction, bool) {
 	if len(items) == 0 {
-		writeErr(w, http.StatusBadRequest, "target has no items")
+		s.writeErr(w, http.StatusBadRequest, CodeBadRequest, "target has no items")
 		return nil, false
 	}
 	for _, it := range items {
 		if int(it) >= s.data.UniverseSize() {
-			writeErr(w, http.StatusBadRequest, "item %d outside universe of size %d", it, s.data.UniverseSize())
+			s.writeErr(w, http.StatusBadRequest, CodeItemOutOfUniverse,
+				"item %d outside universe of size %d", it, s.data.UniverseSize())
 			return nil, false
 		}
 	}
 	return sigtable.NewTransaction(items...), true
 }
 
+// neighbors materializes result rows; the caller must hold at least a
+// read lock (items are read from the dataset).
 func (s *Server) neighbors(cands []sigtable.Candidate) []Neighbor {
 	out := make([]Neighbor, len(cands))
 	for i, c := range cands {
@@ -147,19 +373,25 @@ func (s *Server) neighbors(cands []sigtable.Candidate) []Neighbor {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"transactions": s.idx.Len(),
-		"live":         s.idx.Live(),
-		"k":            s.idx.K(),
-		"entries":      s.idx.NumEntries(),
-		"universe":     s.data.UniverseSize(),
-	})
+	resp := StatsResponse{
+		Transactions: s.idx.Len(),
+		Live:         s.idx.Live(),
+		K:            s.idx.K(),
+		Entries:      s.idx.NumEntries(),
+		Universe:     s.data.UniverseSize(),
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	f, ok := s.similarity(w, req.F)
@@ -175,8 +407,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+	start := time.Now()
+
 	s.mu.RLock()
-	res, err := s.idx.Query(target, f, sigtable.QueryOptions{
+	res, err := s.idx.Query(ctx, target, f, sigtable.QueryOptions{
 		K:               req.K,
 		MaxScanFraction: req.MaxScanFraction,
 		SortBy:          sortBy,
@@ -184,35 +420,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var resp QueryResponse
 	if err == nil {
 		resp = QueryResponse{
-			Neighbors: s.neighbors(res.Neighbors),
-			Scanned:   res.Scanned,
-			Pruning:   res.PruningEfficiency(s.idx.Live()),
-			Certified: res.Certified,
+			Neighbors:      s.neighbors(res.Neighbors),
+			Scanned:        res.Scanned,
+			Pruning:        res.PruningEfficiency(s.idx.Live()),
+			EntriesScanned: res.EntriesScanned,
+			EntriesPruned:  res.EntriesPruned,
+			Certified:      res.Certified,
+			Interrupted:    res.Interrupted,
 		}
 	}
 	s.mu.RUnlock()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		s.writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
+	s.met.observeQuery(time.Since(start), res)
 	writeJSON(w, http.StatusOK, resp)
-}
-
-// RangeRequest is the /range body.
-type RangeRequest struct {
-	Items       []sigtable.Item `json:"items"`
-	Constraints []RangeConjunct `json:"constraints"`
-}
-
-// RangeConjunct is one (similarity, threshold) pair.
-type RangeConjunct struct {
-	F         string  `json:"f"`
-	Threshold float64 `json:"threshold"`
 }
 
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	var req RangeRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	target, ok := s.target(w, req.Items)
@@ -228,30 +456,34 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		constraints[i] = sigtable.RangeConstraint{F: f, Threshold: c.Threshold}
 	}
 
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+	start := time.Now()
+
 	s.mu.RLock()
-	res, err := s.idx.RangeQuery(target, constraints)
+	res, err := s.idx.RangeQuery(ctx, target, constraints)
 	s.mu.RUnlock()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		s.writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"tids":    res.TIDs,
-		"scanned": res.Scanned,
+	s.met.observeRange(time.Since(start), res)
+	tids := res.TIDs
+	if tids == nil {
+		tids = []sigtable.TID{}
+	}
+	writeJSON(w, http.StatusOK, RangeResponse{
+		TIDs:           tids,
+		Scanned:        res.Scanned,
+		EntriesScanned: res.EntriesScanned,
+		EntriesPruned:  res.EntriesPruned,
+		Interrupted:    res.Interrupted,
 	})
-}
-
-// MultiRequest is the /multi body.
-type MultiRequest struct {
-	Targets         [][]sigtable.Item `json:"targets"`
-	F               string            `json:"f"`
-	K               int               `json:"k"`
-	MaxScanFraction float64           `json:"maxScanFraction"`
 }
 
 func (s *Server) handleMulti(w http.ResponseWriter, r *http.Request) {
 	var req MultiRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	f, ok := s.similarity(w, req.F)
@@ -267,8 +499,12 @@ func (s *Server) handleMulti(w http.ResponseWriter, r *http.Request) {
 		targets[i] = t
 	}
 
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+	start := time.Now()
+
 	s.mu.RLock()
-	res, err := s.idx.MultiQuery(targets, f, sigtable.QueryOptions{
+	res, err := s.idx.MultiQuery(ctx, targets, f, sigtable.QueryOptions{
 		K:               req.K,
 		MaxScanFraction: req.MaxScanFraction,
 	})
@@ -278,52 +514,57 @@ func (s *Server) handleMulti(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RUnlock()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		s.writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{"neighbors": nbrs})
+	s.met.observeMulti(time.Since(start), res)
+	writeJSON(w, http.StatusOK, MultiResponse{
+		Neighbors:   nbrs,
+		Scanned:     res.Scanned,
+		Certified:   res.Certified,
+		Interrupted: res.Interrupted,
+	})
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		Items []sigtable.Item `json:"items"`
-	}
-	if !decode(w, r, &req) {
+	var req InsertRequest
+	if !s.decode(w, r, &req) {
 		return
 	}
 	target, ok := s.target(w, req.Items)
 	if !ok {
 		return
 	}
+	start := time.Now()
 	s.mu.Lock()
 	id := s.idx.Insert(target)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]interface{}{"tid": id})
+	s.met.inserts.Inc()
+	s.met.insertLatency.Observe(time.Since(start).Seconds())
+	writeJSON(w, http.StatusOK, InsertResponse{TID: id})
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		TID sigtable.TID `json:"tid"`
-	}
-	if !decode(w, r, &req) {
+	var req DeleteRequest
+	if !s.decode(w, r, &req) {
 		return
 	}
+	start := time.Now()
 	s.mu.Lock()
 	deleted := s.idx.Delete(req.TID)
 	s.mu.Unlock()
 	if !deleted {
-		writeErr(w, http.StatusNotFound, "tid %d not present or already deleted", req.TID)
+		s.writeErr(w, http.StatusNotFound, CodeNotFound, "tid %d not present or already deleted", req.TID)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{"deleted": req.TID})
+	s.met.deletes.Inc()
+	s.met.deleteLatency.Observe(time.Since(start).Seconds())
+	writeJSON(w, http.StatusOK, DeleteResponse{Deleted: req.TID})
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		Items []sigtable.Item `json:"items"`
-		F     string          `json:"f"`
-	}
-	if !decode(w, r, &req) {
+	var req ExplainRequest
+	if !s.decode(w, r, &req) {
 		return
 	}
 	f, ok := s.similarity(w, req.F)
@@ -343,10 +584,20 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if len(entries) > headLimit {
 		entries = entries[:headLimit]
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"targetCoord":  ex.TargetCoord,
-		"overlaps":     ex.Overlaps,
-		"entries":      entries,
-		"totalEntries": len(ex.Entries),
+	rows := make([]ExplainEntry, len(entries))
+	for i, e := range entries {
+		rows[i] = ExplainEntry{
+			Coord:    uint64(e.Coord),
+			Count:    e.Count,
+			MatchOpt: e.MatchOpt,
+			DistOpt:  e.DistOpt,
+			Bound:    e.Bound,
+		}
+	}
+	writeJSON(w, http.StatusOK, ExplainResponse{
+		TargetCoord:  uint64(ex.TargetCoord),
+		Overlaps:     ex.Overlaps,
+		Entries:      rows,
+		TotalEntries: len(ex.Entries),
 	})
 }

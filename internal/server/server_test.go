@@ -2,17 +2,21 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"sigtable"
 )
 
-func newTestServer(t *testing.T) (*httptest.Server, *sigtable.Dataset) {
+func buildIndex(t *testing.T) (*sigtable.Index, *sigtable.Dataset) {
 	t.Helper()
 	g, err := sigtable.NewGenerator(sigtable.GeneratorConfig{
 		UniverseSize: 200, NumItemsets: 300, Seed: 3,
@@ -25,7 +29,13 @@ func newTestServer(t *testing.T) (*httptest.Server, *sigtable.Dataset) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(New(idx, data).Handler())
+	return idx, data
+}
+
+func newTestServer(t *testing.T, opt Options) (*httptest.Server, *sigtable.Dataset) {
+	t.Helper()
+	idx, data := buildIndex(t)
+	ts := httptest.NewServer(New(idx, data, opt).Handler())
 	t.Cleanup(ts.Close)
 	return ts, data
 }
@@ -50,27 +60,27 @@ func post(t *testing.T, url string, body interface{}, out interface{}) int {
 }
 
 func TestStats(t *testing.T) {
-	ts, _ := newTestServer(t)
-	resp, err := http.Get(ts.URL + "/stats")
+	ts, _ := newTestServer(t, Options{})
+	resp, err := http.Get(ts.URL + "/v1/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var stats map[string]interface{}
+	var stats StatsResponse
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		t.Fatal(err)
 	}
-	if stats["transactions"].(float64) != 3000 || stats["k"].(float64) != 10 {
-		t.Fatalf("stats = %v", stats)
+	if stats.Transactions != 3000 || stats.K != 10 || stats.Universe != 200 {
+		t.Fatalf("stats = %+v", stats)
 	}
 }
 
 func TestQueryMatchesOracle(t *testing.T) {
-	ts, data := newTestServer(t)
+	ts, data := newTestServer(t, Options{})
 	target := data.Get(77)
 
 	var resp QueryResponse
-	code := post(t, ts.URL+"/query", QueryRequest{
+	code := post(t, ts.URL+"/v1/query", QueryRequest{
 		Items: target, F: "jaccard", K: 3,
 	}, &resp)
 	if code != http.StatusOK {
@@ -83,56 +93,229 @@ func TestQueryMatchesOracle(t *testing.T) {
 	if resp.Neighbors[0].Value != want {
 		t.Fatalf("server value %v, oracle %v", resp.Neighbors[0].Value, want)
 	}
-	if !resp.Certified {
-		t.Fatal("complete run not certified")
+	if !resp.Certified || resp.Interrupted {
+		t.Fatalf("complete run: certified=%v interrupted=%v", resp.Certified, resp.Interrupted)
+	}
+	if resp.EntriesScanned+resp.EntriesPruned == 0 {
+		t.Fatal("no entry accounting in response")
 	}
 	if len(resp.Neighbors[0].Items) == 0 {
 		t.Fatal("neighbor items not returned")
 	}
 }
 
-func TestQueryValidation(t *testing.T) {
-	ts, _ := newTestServer(t)
+func TestQueryValidationEnvelope(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
 	cases := []struct {
-		name string
-		body interface{}
+		name     string
+		body     interface{}
+		wantCode string
 	}{
-		{"empty items", QueryRequest{F: "cosine"}},
-		{"unknown f", QueryRequest{Items: []sigtable.Item{1}, F: "nope"}},
-		{"unknown sort", QueryRequest{Items: []sigtable.Item{1}, Sort: "zigzag"}},
-		{"out of universe", QueryRequest{Items: []sigtable.Item{9999}}},
-		{"bad fraction", QueryRequest{Items: []sigtable.Item{1}, MaxScanFraction: 7}},
+		{"empty items", QueryRequest{F: "cosine"}, CodeBadRequest},
+		{"unknown f", QueryRequest{Items: []sigtable.Item{1}, F: "nope"}, CodeUnknownSimilarity},
+		{"unknown sort", QueryRequest{Items: []sigtable.Item{1}, Sort: "zigzag"}, CodeBadRequest},
+		{"out of universe", QueryRequest{Items: []sigtable.Item{9999}}, CodeItemOutOfUniverse},
+		{"bad fraction", QueryRequest{Items: []sigtable.Item{1}, MaxScanFraction: 7}, CodeBadRequest},
 	}
 	for _, tc := range cases {
-		var e struct {
-			Error string `json:"error"`
+		var e ErrorResponse
+		if code := post(t, ts.URL+"/v1/query", tc.body, &e); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d", tc.name, code)
 		}
-		if code := post(t, ts.URL+"/query", tc.body, &e); code == http.StatusOK {
-			t.Errorf("%s: accepted", tc.name)
-		} else if e.Error == "" {
+		if e.Error.Code != tc.wantCode {
+			t.Errorf("%s: code %q, want %q", tc.name, e.Error.Code, tc.wantCode)
+		}
+		if e.Error.Message == "" {
 			t.Errorf("%s: no error message", tc.name)
 		}
 	}
-	// Unknown JSON fields rejected.
-	resp, err := http.Post(ts.URL+"/query", "application/json",
+	// Unknown JSON fields rejected through the same envelope.
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json",
 		bytes.NewReader([]byte(`{"items":[1],"bogus":true}`)))
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer resp.Body.Close()
+	var e ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest || e.Error.Code != CodeBadRequest {
+		t.Errorf("unknown field: status %d code %q", resp.StatusCode, e.Error.Code)
+	}
+}
+
+func TestOversizedBody(t *testing.T) {
+	ts, _ := newTestServer(t, Options{MaxBodyBytes: 128})
+	big := QueryRequest{Items: make([]sigtable.Item, 200)}
+	var e ErrorResponse
+	if code := post(t, ts.URL+"/v1/query", big, &e); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d", code)
+	}
+	if e.Error.Code != CodeBodyTooLarge {
+		t.Fatalf("code %q", e.Error.Code)
+	}
+}
+
+// TestExpiredDeadlinePartialResult is the context-cancellation
+// acceptance path: a server whose query deadline has effectively
+// already passed must answer promptly with an uncertified, interrupted
+// (possibly empty) result rather than an error.
+func TestExpiredDeadlinePartialResult(t *testing.T) {
+	ts, data := newTestServer(t, Options{QueryTimeout: time.Nanosecond})
+	var resp QueryResponse
+	code := post(t, ts.URL+"/v1/query", QueryRequest{
+		Items: data.Get(5), F: "jaccard", K: 3,
+	}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !resp.Interrupted {
+		t.Fatal("expired deadline not reported as interrupted")
+	}
+	if resp.Certified {
+		t.Fatal("interrupted result claims certification")
+	}
+
+	var rresp RangeResponse
+	code = post(t, ts.URL+"/v1/range", RangeRequest{
+		Items:       data.Get(5),
+		Constraints: []RangeConjunct{{F: "match", Threshold: 1}},
+	}, &rresp)
+	if code != http.StatusOK || !rresp.Interrupted {
+		t.Fatalf("range: status %d interrupted=%v", code, rresp.Interrupted)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts, data := newTestServer(t, Options{})
+	for i := 0; i < 5; i++ {
+		var resp QueryResponse
+		if code := post(t, ts.URL+"/v1/query", QueryRequest{
+			Items: data.Get(sigtable.TID(i)), F: "cosine", K: 2,
+		}, &resp); code != http.StatusOK {
+			t.Fatalf("query %d: status %d", i, code)
+		}
+	}
+	post(t, ts.URL+"/v1/range", RangeRequest{
+		Items:       data.Get(1),
+		Constraints: []RangeConjunct{{F: "match", Threshold: 2}},
+	}, nil)
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+
+	if !strings.Contains(out, "sigtable_queries_total 5") {
+		t.Errorf("metrics missing query count:\n%s", grep(out, "sigtable_queries_total"))
+	}
+	if !strings.Contains(out, "sigtable_range_queries_total 1") {
+		t.Errorf("metrics missing range count:\n%s", grep(out, "sigtable_range"))
+	}
+	for _, want := range []string{
+		"# TYPE sigtable_query_duration_seconds histogram",
+		`sigtable_query_duration_seconds_bucket{le="+Inf"} 5`,
+		"sigtable_query_duration_seconds_count 5",
+		"sigtable_query_scanned_transactions_count 5",
+		"# TYPE sigtable_live_transactions gauge",
+		"sigtable_live_transactions 3000",
+		"# TYPE sigtable_entries_pruned_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	// Latency histogram actually accumulated into finite buckets.
+	if !strings.Contains(out, `sigtable_query_duration_seconds_bucket{le="10"} 5`) {
+		t.Errorf("latency buckets not populated:\n%s", grep(out, "duration_seconds_bucket"))
+	}
+}
+
+func grep(s, substr string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, substr) {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func TestLegacyAliasDeprecated(t *testing.T) {
+	ts, data := newTestServer(t, Options{})
+	b, _ := json.Marshal(QueryRequest{Items: data.Get(3), F: "dice", K: 1})
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("legacy route status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Fatal("legacy route missing Deprecation header")
+	}
+	if link := resp.Header.Get("Link"); !strings.Contains(link, "/v1/query") {
+		t.Fatalf("legacy route Link = %q", link)
+	}
+	var q QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&q); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Neighbors) != 1 {
+		t.Fatalf("legacy route returned %d neighbors", len(q.Neighbors))
+	}
+
+	// The v1 route must NOT be marked deprecated.
+	resp2, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.Header.Get("Deprecation") != "" {
+		t.Fatal("v1 route carries a Deprecation header")
+	}
+}
+
+func TestRequestID(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
 	resp.Body.Close()
-	if resp.StatusCode == http.StatusOK {
-		t.Error("unknown field accepted")
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Fatal("no X-Request-ID assigned")
+	}
+
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/stats", nil)
+	req.Header.Set("X-Request-ID", "caller-supplied-7")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if got := resp2.Header.Get("X-Request-ID"); got != "caller-supplied-7" {
+		t.Fatalf("request id not propagated: %q", got)
 	}
 }
 
 func TestRangeEndpoint(t *testing.T) {
-	ts, data := newTestServer(t)
+	ts, data := newTestServer(t, Options{})
 	target := data.Get(5)
-	var resp struct {
-		TIDs    []sigtable.TID `json:"tids"`
-		Scanned int            `json:"scanned"`
-	}
-	code := post(t, ts.URL+"/range", RangeRequest{
+	var resp RangeResponse
+	code := post(t, ts.URL+"/v1/range", RangeRequest{
 		Items: target,
 		Constraints: []RangeConjunct{
 			{F: "match", Threshold: float64(len(target))},
@@ -150,62 +333,68 @@ func TestRangeEndpoint(t *testing.T) {
 	if !found {
 		t.Fatalf("range result %v missing the target's own TID", resp.TIDs)
 	}
+	if resp.Interrupted {
+		t.Fatal("unbounded range query reports interrupted")
+	}
 }
 
 func TestMultiEndpoint(t *testing.T) {
-	ts, data := newTestServer(t)
-	var resp struct {
-		Neighbors []Neighbor `json:"neighbors"`
-	}
-	code := post(t, ts.URL+"/multi", MultiRequest{
+	ts, data := newTestServer(t, Options{})
+	var resp MultiResponse
+	code := post(t, ts.URL+"/v1/multi", MultiRequest{
 		Targets: [][]sigtable.Item{data.Get(1), data.Get(2)},
 		F:       "dice", K: 4,
 	}, &resp)
 	if code != http.StatusOK || len(resp.Neighbors) != 4 {
 		t.Fatalf("status %d, %d neighbors", code, len(resp.Neighbors))
 	}
+	if !resp.Certified {
+		t.Fatal("complete multi run not certified")
+	}
 }
 
 func TestInsertDeleteLifecycle(t *testing.T) {
-	ts, _ := newTestServer(t)
-	var ins struct {
-		TID sigtable.TID `json:"tid"`
-	}
+	ts, _ := newTestServer(t, Options{})
+	var ins InsertResponse
 	items := []sigtable.Item{7, 77, 177}
-	if code := post(t, ts.URL+"/insert", map[string]interface{}{"items": items}, &ins); code != http.StatusOK {
+	if code := post(t, ts.URL+"/v1/insert", InsertRequest{Items: items}, &ins); code != http.StatusOK {
 		t.Fatalf("insert status %d", code)
 	}
 
 	// The inserted basket is findable.
 	var q QueryResponse
-	post(t, ts.URL+"/query", QueryRequest{Items: items, F: "jaccard", K: 1}, &q)
+	post(t, ts.URL+"/v1/query", QueryRequest{Items: items, F: "jaccard", K: 1}, &q)
 	if q.Neighbors[0].Value != 1 {
 		t.Fatalf("inserted basket not found: %v", q.Neighbors)
 	}
 
-	// Delete it; a second delete 404s.
-	if code := post(t, ts.URL+"/delete", map[string]interface{}{"tid": ins.TID}, nil); code != http.StatusOK {
+	// Delete it; a second delete 404s with the envelope.
+	var del DeleteResponse
+	if code := post(t, ts.URL+"/v1/delete", DeleteRequest{TID: ins.TID}, &del); code != http.StatusOK {
 		t.Fatalf("delete status %d", code)
 	}
-	if code := post(t, ts.URL+"/delete", map[string]interface{}{"tid": ins.TID}, nil); code != http.StatusNotFound {
+	if del.Deleted != ins.TID {
+		t.Fatalf("deleted %d, want %d", del.Deleted, ins.TID)
+	}
+	var e ErrorResponse
+	if code := post(t, ts.URL+"/v1/delete", DeleteRequest{TID: ins.TID}, &e); code != http.StatusNotFound {
 		t.Fatalf("double delete status %d", code)
+	}
+	if e.Error.Code != CodeNotFound {
+		t.Fatalf("double delete code %q", e.Error.Code)
 	}
 }
 
 func TestExplainEndpoint(t *testing.T) {
-	ts, data := newTestServer(t)
-	var resp struct {
-		Overlaps     []int           `json:"overlaps"`
-		Entries      json.RawMessage `json:"entries"`
-		TotalEntries int             `json:"totalEntries"`
-	}
-	code := post(t, ts.URL+"/explain", map[string]interface{}{
-		"items": data.Get(9), "f": "hamming",
+	ts, data := newTestServer(t, Options{})
+	var resp ExplainResponse
+	code := post(t, ts.URL+"/v1/explain", ExplainRequest{
+		Items: data.Get(9), F: "hamming",
 	}, &resp)
 	if code != http.StatusOK {
 		t.Fatalf("status %d", code)
 	}
-	if len(resp.Overlaps) != 10 || resp.TotalEntries == 0 {
+	if len(resp.Overlaps) != 10 || resp.TotalEntries == 0 || len(resp.Entries) == 0 {
 		t.Fatalf("explain = %+v", resp)
 	}
 }
@@ -213,7 +402,7 @@ func TestExplainEndpoint(t *testing.T) {
 // TestConcurrentReadsAndWrites hammers the server with parallel queries
 // and inserts; run under -race to verify the locking.
 func TestConcurrentReadsAndWrites(t *testing.T) {
-	ts, data := newTestServer(t)
+	ts, data := newTestServer(t, Options{MaxConcurrent: 4})
 	// Snapshot query targets up front: the dataset itself is mutated by
 	// the insert goroutines, and reading it directly here would bypass
 	// the server's lock.
@@ -231,7 +420,7 @@ func TestConcurrentReadsAndWrites(t *testing.T) {
 				if w%2 == 0 {
 					var q QueryResponse
 					b, _ := json.Marshal(QueryRequest{Items: targets[i], F: "cosine", K: 2})
-					resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(b))
+					resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(b))
 					if err != nil {
 						errCh <- err
 						return
@@ -244,8 +433,8 @@ func TestConcurrentReadsAndWrites(t *testing.T) {
 						errCh <- fmt.Errorf("no neighbors")
 					}
 				} else {
-					b, _ := json.Marshal(map[string]interface{}{"items": []sigtable.Item{sigtable.Item(w), sigtable.Item(i)}})
-					resp, err := http.Post(ts.URL+"/insert", "application/json", bytes.NewReader(b))
+					b, _ := json.Marshal(InsertRequest{Items: []sigtable.Item{sigtable.Item(w), sigtable.Item(i)}})
+					resp, err := http.Post(ts.URL+"/v1/insert", "application/json", bytes.NewReader(b))
 					if err != nil {
 						errCh <- err
 						return
@@ -259,5 +448,33 @@ func TestConcurrentReadsAndWrites(t *testing.T) {
 	close(errCh)
 	for err := range errCh {
 		t.Fatal(err)
+	}
+	// Metrics survive the hammering with consistent totals.
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "sigtable_queries_total 40") {
+		t.Errorf("query counter drifted:\n%s", grep(string(body), "sigtable_queries_total"))
+	}
+	if !strings.Contains(string(body), "sigtable_inserts_total 40") {
+		t.Errorf("insert counter drifted:\n%s", grep(string(body), "sigtable_inserts_total"))
+	}
+}
+
+// TestClientDisconnectCancelsSearch verifies the request context is
+// what the search runs under: a client that gives up mid-query must
+// not leave the handler scanning forever (no goroutine leak under
+// -race).
+func TestClientDisconnectCancelsSearch(t *testing.T) {
+	ts, data := newTestServer(t, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	b, _ := json.Marshal(QueryRequest{Items: data.Get(1), F: "cosine", K: 2})
+	req, _ := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/query", bytes.NewReader(b))
+	cancel()
+	if _, err := http.DefaultClient.Do(req); err == nil {
+		t.Fatal("cancelled request succeeded")
 	}
 }

@@ -1,6 +1,7 @@
 package sigtable
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -254,25 +255,35 @@ func (ix *Index) NumEntries() int { return ix.table.NumEntries() }
 func (ix *Index) Signatures() [][]Item { return ix.table.Partition().Sets() }
 
 // Query runs a branch-and-bound k-NN search for the target under f.
-func (ix *Index) Query(target Transaction, f SimilarityFunc, opt QueryOptions) (Result, error) {
-	return ix.table.Query(target, f, opt)
+//
+// The context bounds the search: cancellation or a deadline aborts the
+// branch-and-bound scan between entry visits and returns the partial
+// result found so far with Result.Interrupted set and Certified false
+// (unless the optimality certificate already held). A cancelled search
+// is not an error; errors are reserved for invalid options.
+func (ix *Index) Query(ctx context.Context, target Transaction, f SimilarityFunc, opt QueryOptions) (Result, error) {
+	return ix.table.Query(ctx, target, f, opt)
 }
 
 // Nearest returns the single most similar transaction and its value.
-func (ix *Index) Nearest(target Transaction, f SimilarityFunc) (TID, float64, error) {
-	return ix.table.Nearest(target, f)
+// A search interrupted by context cancellation before finding any
+// candidate returns the context's error.
+func (ix *Index) Nearest(ctx context.Context, target Transaction, f SimilarityFunc) (TID, float64, error) {
+	return ix.table.Nearest(ctx, target, f)
 }
 
 // RangeQuery returns all transactions meeting every (function,
-// threshold) conjunct.
-func (ix *Index) RangeQuery(target Transaction, constraints []RangeConstraint) (RangeResult, error) {
-	return ix.table.RangeQuery(target, constraints)
+// threshold) conjunct. Cancelling the context returns the matches
+// found so far with RangeResult.Interrupted set.
+func (ix *Index) RangeQuery(ctx context.Context, target Transaction, constraints []RangeConstraint) (RangeResult, error) {
+	return ix.table.RangeQuery(ctx, target, constraints)
 }
 
 // MultiQuery finds the k transactions maximizing the average similarity
-// to several targets.
-func (ix *Index) MultiQuery(targets []Transaction, f SimilarityFunc, opt QueryOptions) (Result, error) {
-	return ix.table.MultiQuery(targets, f, opt)
+// to several targets. The context bounds the search exactly as in
+// Query.
+func (ix *Index) MultiQuery(ctx context.Context, targets []Transaction, f SimilarityFunc, opt QueryOptions) (Result, error) {
+	return ix.table.MultiQuery(ctx, targets, f, opt)
 }
 
 // Explain returns the bound landscape a query for this target would

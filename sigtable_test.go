@@ -2,6 +2,7 @@ package sigtable
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -33,7 +34,7 @@ func TestBuildIndexAndQuery(t *testing.T) {
 
 	target := data.Get(100)
 	for _, f := range []SimilarityFunc{HammingSimilarity{}, Cosine{}, Jaccard{}} {
-		res, err := idx.Query(target, f, QueryOptions{K: 5})
+		res, err := idx.Query(context.Background(), target, f, QueryOptions{K: 5})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -45,7 +46,7 @@ func TestBuildIndexAndQuery(t *testing.T) {
 		}
 	}
 
-	tid, v, err := idx.Nearest(target, Dice{})
+	tid, v, err := idx.Nearest(context.Background(), target, Dice{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestBuildIndexAutoActivation(t *testing.T) {
 		t.Fatalf("auto threshold = %d", got)
 	}
 	target := data.Get(3)
-	_, v, err := auto.Nearest(target, Jaccard{})
+	_, v, err := auto.Nearest(context.Background(), target, Jaccard{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestBuildIndexDiskMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := idx.Query(data.Get(7), Cosine{}, QueryOptions{K: 1})
+	res, err := idx.Query(context.Background(), data.Get(7), Cosine{}, QueryOptions{K: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestRangeQueryPublic(t *testing.T) {
 		t.Fatal(err)
 	}
 	target := data.Get(55)
-	res, err := idx.RangeQuery(target, []RangeConstraint{
+	res, err := idx.RangeQuery(context.Background(), target, []RangeConstraint{
 		{F: MatchSimilarity{}, Threshold: float64(target.Len())}, // exact superset matches
 	})
 	if err != nil {
@@ -178,7 +179,7 @@ func TestMultiQueryPublic(t *testing.T) {
 		t.Fatal(err)
 	}
 	targets := []Transaction{data.Get(1), data.Get(2)}
-	res, err := idx.MultiQuery(targets, Jaccard{}, QueryOptions{K: 3})
+	res, err := idx.MultiQuery(context.Background(), targets, Jaccard{}, QueryOptions{K: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +265,7 @@ func TestEarlyTerminationTradeoffPublic(t *testing.T) {
 
 		prevScanned := 0
 		for _, frac := range []float64{0.005, 0.02, 0.1, 1} {
-			res, err := idx.Query(target, MatchHammingRatio{}, QueryOptions{K: 1, MaxScanFraction: frac})
+			res, err := idx.Query(context.Background(), target, MatchHammingRatio{}, QueryOptions{K: 1, MaxScanFraction: frac})
 			if err != nil {
 				t.Fatal(err)
 			}
