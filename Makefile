@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench
+.PHONY: build test vet race check bench bench-all
 
 build:
 	$(GO) build ./...
@@ -20,5 +20,12 @@ race:
 
 check: vet race
 
+# Machine-readable query micro-benchmarks (the numbers BENCH_PR2.json
+# archives): per-query latency/allocations plus the parallelism sweep.
 bench:
+	$(GO) test -run - -bench 'BenchmarkQuery' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_PR2.json
+	@cat BENCH_PR2.json
+
+# The full harness: every figure, table and ablation plus the micros.
+bench-all:
 	$(GO) test -bench=. -benchmem

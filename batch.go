@@ -8,16 +8,20 @@ import (
 )
 
 // BatchQuery answers many k-NN queries concurrently with a worker pool.
-// Queries are read-only on the index, so this is safe as long as no
-// Insert/Delete runs concurrently. Results are returned in target
-// order; the first error aborts the batch.
+// Each query takes the index's shared lock on its own, so a batch may
+// safely overlap Insert/Delete calls from other goroutines. Results
+// are returned in target order; the first error aborts the batch.
 //
 // The context is shared by every query in the batch: cancelling it
 // makes the in-flight and remaining queries return partial results
 // with Interrupted set (see Query), so the batch still completes
 // promptly with every slot filled.
 //
-// parallelism <= 0 selects GOMAXPROCS workers.
+// parallelism <= 0 selects GOMAXPROCS workers. When the batch fans out
+// over more than one worker and opt.Parallelism is 0 (auto), each
+// query runs serially — inter-query concurrency already saturates the
+// CPUs, and stacking intra-query workers on top oversubscribes them.
+// Set opt.Parallelism explicitly to override.
 func (ix *Index) BatchQuery(ctx context.Context, targets []Transaction, f SimilarityFunc, opt QueryOptions, parallelism int) ([]Result, error) {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
@@ -27,6 +31,9 @@ func (ix *Index) BatchQuery(ctx context.Context, targets []Transaction, f Simila
 	}
 	if len(targets) == 0 {
 		return nil, nil
+	}
+	if parallelism > 1 && opt.Parallelism == 0 {
+		opt.Parallelism = 1
 	}
 
 	results := make([]Result, len(targets))

@@ -257,6 +257,52 @@ func BenchmarkQuerySignatureTableNNEarly2pct(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryParallel sweeps worker counts over the same exact
+// k-NN search. Parallelism=1 is the serial engine; 0 resolves to
+// GOMAXPROCS. The answers are byte-identical across the sweep (the
+// property tests prove it); only the wall clock moves.
+func BenchmarkQueryParallel(b *testing.B) {
+	m := microSetup(b)
+	for _, p := range []int{1, 2, 4, 8, 0} {
+		name := fmt.Sprintf("p%d", p)
+		if p == 0 {
+			name = "pmax"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.idx.Query(context.Background(), m.queries[i%len(m.queries)], Cosine{}, QueryOptions{K: 1, Parallelism: p}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQueryRangeParallel sweeps worker counts over the range scan,
+// which partitions entries instead of replaying an order.
+func BenchmarkQueryRangeParallel(b *testing.B) {
+	m := microSetup(b)
+	constraints := []RangeConstraint{
+		{F: MatchSimilarity{}, Threshold: 4},
+		{F: HammingSimilarity{}, Threshold: 1.0 / 11},
+	}
+	for _, p := range []int{1, 4, 0} {
+		name := fmt.Sprintf("p%d", p)
+		if p == 0 {
+			name = "pmax"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.idx.RangeQuery(context.Background(), m.queries[i%len(m.queries)], constraints, RangeOptions{Parallelism: p}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkQuerySeqscanNN(b *testing.B) {
 	m := microSetup(b)
 	b.ReportAllocs()
@@ -284,7 +330,7 @@ func BenchmarkQueryRange(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := m.idx.RangeQuery(context.Background(), m.queries[i%len(m.queries)], constraints); err != nil {
+		if _, err := m.idx.RangeQuery(context.Background(), m.queries[i%len(m.queries)], constraints, RangeOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,116 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON document on stdout, so benchmark runs can be archived and diffed
+// mechanically instead of eyeballed.
+//
+//	go test -bench=Query -benchmem | go run ./cmd/benchjson > bench.json
+//
+// Each benchmark line becomes one record carrying every metric Go's
+// testing package printed for it — ns/op, B/op, allocs/op and any
+// custom b.ReportMetric units. Non-benchmark lines (figure renderings,
+// PASS/ok trailers) are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// record is one benchmark result line.
+type record struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// report is the whole document.
+type report struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []record `json:"benchmarks"`
+}
+
+func main() {
+	rep, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*report, error) {
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	rep := &report{Benchmarks: []record{}}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			r, ok := parseLine(line)
+			if ok {
+				rep.Benchmarks = append(rep.Benchmarks, r)
+			}
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseLine decodes one result line of the form
+//
+//	BenchmarkName-8   123   456.7 ns/op   89 B/op   1 allocs/op   2.5 custom
+//
+// into a record. Metric values precede their unit token.
+func parseLine(line string) (record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return record{}, false
+	}
+	name, procs := splitProcs(fields[0])
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return record{}, false
+	}
+	r := record{Name: name, Procs: procs, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return record{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}
+
+// splitProcs separates the trailing -N GOMAXPROCS suffix Go appends to
+// benchmark names. A sub-benchmark named ".../p8-16" splits at the last
+// dash only.
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name, 1
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n <= 0 {
+		return name, 1
+	}
+	return name[:i], n
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: sigtable
+cpu: Intel(R) Xeon(R) CPU
+Some figure rendering line that is not a benchmark
+BenchmarkQuerySignatureTableNN-16    	     253	   4639474 ns/op	  557288 B/op	       7 allocs/op
+BenchmarkQueryParallel/p8-16         	     500	   1200000 ns/op	    1024 B/op	       9 allocs/op
+BenchmarkFig06PruningVsDBSizeHamming-16	       1	9000000000 ns/op	        93.95 pruning%
+PASS
+ok  	sigtable	12.3s
+`
+	rep, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "sigtable" {
+		t.Fatalf("header not parsed: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("expected 3 benchmarks, got %d: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	b0 := rep.Benchmarks[0]
+	if b0.Name != "BenchmarkQuerySignatureTableNN" || b0.Procs != 16 || b0.Iterations != 253 {
+		t.Fatalf("bad record: %+v", b0)
+	}
+	if b0.Metrics["ns/op"] != 4639474 || b0.Metrics["allocs/op"] != 7 {
+		t.Fatalf("bad metrics: %+v", b0.Metrics)
+	}
+	b1 := rep.Benchmarks[1]
+	if b1.Name != "BenchmarkQueryParallel/p8" || b1.Procs != 16 {
+		t.Fatalf("sub-benchmark name not split: %+v", b1)
+	}
+	if rep.Benchmarks[2].Metrics["pruning%"] != 93.95 {
+		t.Fatalf("custom metric lost: %+v", rep.Benchmarks[2].Metrics)
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	for _, tc := range []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"BenchmarkX-8", "BenchmarkX", 8},
+		{"BenchmarkX", "BenchmarkX", 1},
+		{"BenchmarkX/p4-16", "BenchmarkX/p4", 16},
+		{"BenchmarkX/sub-name", "BenchmarkX/sub-name", 1},
+	} {
+		name, procs := splitProcs(tc.in)
+		if name != tc.name || procs != tc.procs {
+			t.Errorf("splitProcs(%q) = %q, %d; want %q, %d", tc.in, name, procs, tc.name, tc.procs)
+		}
+	}
+}

@@ -41,6 +41,7 @@ func main() {
 		r             = flag.Int("r", 1, "activation threshold")
 		queryTimeout  = flag.Duration("query-timeout", 5*time.Second, "per-query search deadline (0 disables)")
 		maxConcurrent = flag.Int("max-concurrent", 0, "max in-flight requests (0 = 4×GOMAXPROCS)")
+		queryPar      = flag.Int("query-parallelism", 1, "scan goroutines per search when the request does not choose (1 = serial)")
 		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "shutdown grace period for in-flight requests")
 		quiet         = flag.Bool("quiet", false, "disable per-request access logging")
 	)
@@ -77,8 +78,9 @@ func main() {
 		idx.Len(), idx.K(), idx.NumEntries(), time.Since(start).Round(time.Millisecond), *addr)
 
 	opts := server.Options{
-		QueryTimeout:  *queryTimeout,
-		MaxConcurrent: *maxConcurrent,
+		QueryTimeout:     *queryTimeout,
+		MaxConcurrent:    *maxConcurrent,
+		QueryParallelism: *queryPar,
 	}
 	if !*quiet {
 		opts.Logger = log.Default()

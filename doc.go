@@ -33,6 +33,22 @@
 // alone returns the context's error when interrupted before finding
 // any candidate.
 //
+// # Concurrency and parallelism
+//
+// An Index is safe for concurrent use. Queries take a shared lock and
+// run in parallel with each other; Insert, Delete and Rebuild take an
+// exclusive lock and wait for in-flight queries to drain.
+//
+// Independently of inter-query concurrency, a single search can spread
+// its entry scans over several goroutines: QueryOptions.Parallelism
+// (and RangeOptions.Parallelism) sets the worker count, 0 meaning
+// GOMAXPROCS and 1 (the default) the serial loop. The parallel engine
+// is a pure execution strategy — neighbors, cost counters and the
+// optimality certificate are byte-identical to the serial engine's,
+// which the test suite asserts by property testing. Result.Workers
+// reports the engine used; Result.EntriesSpeculated counts work that
+// ran ahead of the deterministic commit order and was discarded.
+//
 // The HTTP serving layer (internal/server, cmd/sigserver) builds on
 // this: every request runs under a configurable deadline, and a
 // /v1/metrics endpoint exports query counts, latency histograms, and

@@ -50,6 +50,14 @@ func (s *Set) Test(i int) bool {
 	return s.words[i/64]&(1<<(i%64)) != 0
 }
 
+// TestUnchecked reports whether bit i is on without bounds checking.
+// It is the membership probe of the query scoring kernel, where i is
+// an item id already validated against the universe; Test's range
+// check would sit on the innermost loop of every scan.
+func (s *Set) TestUnchecked(i int) bool {
+	return s.words[uint(i)/64]&(1<<(uint(i)%64)) != 0
+}
+
 // Count reports the number of bits that are on.
 func (s *Set) Count() int {
 	n := 0

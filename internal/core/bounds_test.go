@@ -61,7 +61,7 @@ func TestBoundSoundness(t *testing.T) {
 			b := table.newBounder(overlaps)
 			for _, e := range table.Entries() {
 				bd := b.bounds(e.Coord)
-				table.scanEntry(e, func(id txn.TID, tr txn.Transaction) bool {
+				table.scanEntry(e, nil, func(id txn.TID, tr txn.Transaction) bool {
 					x, y := txn.MatchHamming(target, tr)
 					if x > bd.MatchOpt {
 						t.Fatalf("trial %d r=%d: match %d exceeds M_opt %d (target %v, txn %v, coord %b)",
@@ -96,7 +96,7 @@ func TestOptimisticBoundDominatesSimilarity(t *testing.T) {
 			}
 			for _, e := range table.Entries() {
 				opt := table.OptimisticBound(overlaps, e, f)
-				table.scanEntry(e, func(id txn.TID, tr txn.Transaction) bool {
+				table.scanEntry(e, nil, func(id txn.TID, tr txn.Transaction) bool {
 					if got := simfun.Evaluate(f, target, tr); got > opt+1e-9 {
 						t.Fatalf("%s: similarity %v exceeds optimistic bound %v (entry %b)",
 							f.Name(), got, opt, e.Coord)

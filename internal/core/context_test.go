@@ -64,7 +64,7 @@ func TestExpiredContextRangeQuery(t *testing.T) {
 	table := buildTestTable(t, d, part, BuildOptions{})
 
 	res, err := table.RangeQuery(cancelledContext(), randomTarget(rng, universe),
-		[]RangeConstraint{{F: simfun.Match{}, Threshold: 0}})
+		[]RangeConstraint{{F: simfun.Match{}, Threshold: 0}}, RangeOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

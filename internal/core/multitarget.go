@@ -43,7 +43,26 @@ func (t *Table) MultiQuery(ctx context.Context, targets []txn.Transaction, f sim
 	}
 	invN := 1 / float64(len(targets))
 
-	q := make(entryQueue, len(t.entries))
+	// One scoring kernel per target; each holds a pooled membership
+	// bitmap when the universe permits.
+	matchers := make([]matcher, len(targets))
+	for i, tgt := range targets {
+		matchers[i] = t.newMatcher(tgt)
+	}
+	defer func() {
+		for _, m := range matchers {
+			t.releaseMatcher(m)
+		}
+	}()
+
+	sc := t.getScratch()
+	defer t.putScratch(sc)
+	q := sc.queue
+	if cap(q) < len(t.entries) {
+		q = make(entryQueue, len(t.entries))
+	} else {
+		q = q[:len(t.entries)]
+	}
 	for i, e := range t.entries {
 		optSum, simSum := 0.0, 0.0
 		for j := range targets {
@@ -59,14 +78,20 @@ func (t *Table) MultiQuery(ctx context.Context, targets []txn.Transaction, f sim
 		q[i] = rankedEntry{e: e, opt: avgOpt, sort: key, tie: avgSim}
 	}
 	q.heapify()
+	sc.queue = q[:0]
 
-	res := t.runSearch(ctx, q, opt.K, budget, opt.SortBy, func(tr txn.Transaction) float64 {
-		sum := 0.0
-		for i, tgt := range targets {
-			x, y := txn.MatchHamming(tgt, tr)
-			sum += fs[i].Score(x, y)
-		}
-		return sum * invN
+	res := t.runSearch(ctx, q, opt.Parallelism, searchSpec{
+		k:      opt.K,
+		budget: budget,
+		sortBy: opt.SortBy,
+		score: func(tr txn.Transaction) float64 {
+			sum := 0.0
+			for i := range matchers {
+				x, y := matchers[i].matchHamming(tr)
+				sum += fs[i].Score(x, y)
+			}
+			return sum * invN
+		},
 	})
 	return res, nil
 }

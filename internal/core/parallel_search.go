@@ -1,0 +1,346 @@
+package core
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"sigtable/internal/topk"
+	"sigtable/internal/txn"
+)
+
+// Parallel branch-and-bound execution.
+//
+// The hard requirement is that a parallel search return exactly what
+// the serial loop (searchSerial) returns: the same neighbors, the same
+// certificate, and the same pruning counters, at every worker count.
+// That rules out merging per-worker top-k heaps — container-of-heap
+// eviction among tied values depends on the exact offer sequence, so
+// independently-built heaps can legitimately keep a different tie set
+// than the serial heap.
+//
+// Instead the engine splits the serial loop into a speculative part
+// and a deterministic part:
+//
+//   - Workers claim entries one at a time under the mutex, in the heap
+//     pop order — exactly the order the serial loop visits them. Each
+//     claim gets a sequence number. The expensive work (decoding pages,
+//     scoring every transaction) happens outside the lock, into a
+//     pooled buffer of (tid, value) pairs.
+//
+//   - Commits replay the serial loop verbatim over the buffered
+//     scores, in strict sequence order, against a single top-k heap:
+//     prune check, every Offer, the scan budget, the prune-break. The
+//     worker whose buffer completes the next sequence number drains
+//     the commit frontier while it holds the mutex; offers are O(log k),
+//     so the critical section stays tiny.
+//
+// Pruning ahead of the frontier uses only the *committed* threshold,
+// published as an order-preserving uint64 so workers read it with one
+// atomic load. The threshold is monotone, which gives the identity
+// argument its two halves: an entry pruned at claim time is
+// necessarily pruned again by the commit replay (the threshold only
+// rose), and an entry not pruned at claim time is re-judged at commit
+// with exactly the serial threshold. Work scanned ahead of a stop
+// (budget, prune-break, cancellation) is discarded and surfaced as
+// Result.EntriesSpeculated.
+//
+// A claim lead cap (maxLead) bounds how far scanning may run ahead of
+// the commit frontier, limiting wasted speculation when the serial
+// order would have stopped early.
+
+// thresholdUnset is the published-threshold sentinel meaning the top-k
+// heap is not full yet. No real score encodes to 0: only a negative
+// NaN would, and similarity scores are never NaN.
+const thresholdUnset = 0
+
+// encodeThreshold maps a float64 to a uint64 such that the natural
+// float ordering becomes unsigned integer ordering, letting workers
+// compare bounds against the published threshold without decoding.
+func encodeThreshold(v float64) uint64 {
+	b := math.Float64bits(v)
+	if b&(1<<63) != 0 {
+		return ^b
+	}
+	return b | 1<<63
+}
+
+// decodeThreshold inverts encodeThreshold.
+func decodeThreshold(e uint64) float64 {
+	if e&(1<<63) != 0 {
+		return math.Float64frombits(e &^ (1 << 63))
+	}
+	return math.Float64frombits(^e)
+}
+
+// scoredCand is one scanned transaction with its similarity, buffered
+// by a scan worker for the commit replay.
+type scoredCand struct {
+	tid   txn.TID
+	value float64
+}
+
+// entryBuf is the unit of work between claim and commit: one claimed
+// entry, its sequence number in the serial visiting order, and the
+// scored candidates (empty when the claim was pruned). Buffers are
+// pooled on the Table (scratch.go).
+type entryBuf struct {
+	re         rankedEntry
+	seq        int
+	pruned     bool // pruned at claim time against the committed threshold
+	incomplete bool // scan abandoned mid-entry (cancellation or stop)
+	cands      []scoredCand
+}
+
+// parallelSearch is the shared state of one parallel query.
+type parallelSearch struct {
+	t   *Table
+	ctx context.Context
+	sp  searchSpec
+
+	workers int
+	maxLead int // claim lead cap over the commit frontier
+
+	// threshold is the committed top-k threshold in encodeThreshold
+	// form, or thresholdUnset. Written only at the commit frontier
+	// (single writer, monotone); read lock-free by claiming workers.
+	threshold atomic.Uint64
+	// interrupted records that some goroutine observed the context
+	// done. Scanners set it without the mutex; the commit frontier
+	// turns it into a stop.
+	interrupted atomic.Bool
+	// done mirrors stopped for lock-free reads inside entry scans.
+	done atomic.Bool
+	// reads accumulates this query's page fetches across all workers,
+	// speculative ones included.
+	reads atomic.Int64
+
+	mu         sync.Mutex
+	cond       *sync.Cond // claim throttling; predicate state below
+	q          entryQueue // unclaimed entries (heap), popped under mu
+	claims     int        // entries claimed so far == next sequence number
+	commitNext int        // next sequence number to commit
+	ready      map[int]*entryBuf
+	stopped    bool // search resolved; no further claims or commits
+	claimStop  bool // ByOptimisticBound: a claim-time prune makes later claims pointless
+
+	// Commit-frontier state, touched only under mu (and by finalize
+	// after all workers exit).
+	best       *topk.Heap
+	res        Result
+	partialOpt float64
+	pruneBreak bool
+}
+
+// searchParallel runs the branch-and-bound search with the given
+// number of scan workers, returning a Result identical to
+// searchSerial's for every deterministic field (see Parallelism).
+func (t *Table) searchParallel(ctx context.Context, q entryQueue, workers int, sp searchSpec) Result {
+	ps := &parallelSearch{
+		t:          t,
+		ctx:        ctx,
+		sp:         sp,
+		workers:    workers,
+		maxLead:    4 * workers,
+		q:          q,
+		ready:      make(map[int]*entryBuf, 5*workers),
+		best:       topk.New(sp.k),
+		partialOpt: math.Inf(-1),
+	}
+	ps.cond = sync.NewCond(&ps.mu)
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			ps.worker()
+		}()
+	}
+	wg.Wait()
+	return ps.finalize()
+}
+
+// worker claims entries in serial pop order, scores them outside the
+// lock, and hands each buffer to insertAndDrain.
+func (ps *parallelSearch) worker() {
+	for {
+		ps.mu.Lock()
+		for !ps.stopped && !ps.claimStop && ps.claims-ps.commitNext >= ps.maxLead {
+			ps.cond.Wait()
+		}
+		if ps.stopped || ps.claimStop || ps.q.Len() == 0 {
+			ps.mu.Unlock()
+			return
+		}
+		re := ps.q.popMax()
+		seq := ps.claims
+		ps.claims++
+		thEnc := ps.threshold.Load()
+		pruned := thEnc != thresholdUnset && encodeThreshold(re.opt) <= thEnc
+		if pruned && ps.sp.sortBy == ByOptimisticBound {
+			// In bound order nothing later can beat the threshold
+			// either; the commit replay will prune-break at or before
+			// this entry, so claiming further is pure waste.
+			ps.claimStop = true
+			ps.cond.Broadcast()
+		}
+		ps.mu.Unlock()
+
+		buf := ps.t.getEntryBuf()
+		buf.re = re
+		buf.seq = seq
+		buf.pruned = pruned
+		if !pruned {
+			n := 0
+			ps.t.scanEntry(re.e, &ps.reads, func(id txn.TID, tr txn.Transaction) bool {
+				buf.cands = append(buf.cands, scoredCand{tid: id, value: ps.sp.score(tr)})
+				n++
+				if n%cancelCheckInterval == 0 {
+					if ps.done.Load() {
+						buf.incomplete = true
+						return false
+					}
+					if ps.ctx.Err() != nil {
+						ps.interrupted.Store(true)
+						buf.incomplete = true
+						return false
+					}
+				}
+				return true
+			})
+		}
+		ps.insertAndDrain(buf)
+	}
+}
+
+// insertAndDrain files a finished buffer and, while the next buffer in
+// sequence order is available, advances the commit frontier. Runs the
+// whole drain under the mutex: commits are heap offers, cheap next to
+// the scoring the workers just did outside it.
+func (ps *parallelSearch) insertAndDrain(buf *entryBuf) {
+	ps.mu.Lock()
+	ps.ready[buf.seq] = buf
+	for !ps.stopped {
+		b, ok := ps.ready[ps.commitNext]
+		if !ok {
+			break
+		}
+		if b.incomplete || ps.interrupted.Load() || ps.ctx.Err() != nil {
+			// Stop between entries, exactly where the serial loop
+			// checks its context; b stays uncommitted and counts
+			// toward the remaining bounds.
+			ps.interrupted.Store(true)
+			ps.setStopped()
+			break
+		}
+		delete(ps.ready, ps.commitNext)
+		ps.commitNext++
+		ps.commitOne(b)
+		ps.t.putEntryBuf(b)
+	}
+	ps.cond.Broadcast()
+	ps.mu.Unlock()
+}
+
+// setStopped is called under mu.
+func (ps *parallelSearch) setStopped() {
+	ps.stopped = true
+	ps.done.Store(true)
+}
+
+// commitOne replays the serial loop's treatment of one entry against
+// the committed top-k heap: the prune check, every Offer in scan
+// order, the budget, and the mid-entry interruption check. Called
+// under mu, in strict sequence order.
+func (ps *parallelSearch) commitOne(b *entryBuf) {
+	re := b.re
+	if threshold, full := ps.best.Threshold(); full && re.opt <= threshold {
+		if !b.pruned {
+			// Scanned ahead of the frontier, then the threshold rose
+			// past its bound: the scan was wasted speculation.
+			ps.res.EntriesSpeculated++
+		}
+		if ps.sp.sortBy == ByOptimisticBound {
+			// Prune-break. Everything the serial loop would still have
+			// queued here is the unclaimed heap plus the claimed-but-
+			// uncommitted entries (all claimed later than b, hence
+			// bounded no higher).
+			ps.res.EntriesPruned += 1 + (ps.claims - ps.commitNext) + ps.q.Len()
+			ps.pruneBreak = true
+			ps.setStopped()
+			return
+		}
+		ps.res.EntriesPruned++
+		return
+	}
+	// A claim-time prune implies a commit-time prune (the threshold is
+	// monotone), so reaching here means b was scanned and its cands are
+	// complete.
+	ps.res.EntriesScanned++
+	inEntry := 0
+	for _, c := range b.cands {
+		ps.best.Offer(c.tid, c.value)
+		ps.res.Scanned++
+		inEntry++
+		if ps.res.Scanned >= ps.sp.budget {
+			if inEntry < re.e.Count {
+				ps.partialOpt = re.opt
+			}
+			ps.setStopped()
+			break
+		}
+		if ps.res.Scanned%cancelCheckInterval == 0 && ps.interrupted.Load() {
+			if inEntry < re.e.Count {
+				ps.partialOpt = re.opt
+			}
+			ps.setStopped()
+			break
+		}
+	}
+	if th, full := ps.best.Threshold(); full {
+		ps.threshold.Store(encodeThreshold(th))
+	}
+}
+
+// finalize computes the certificate over everything left unresolved
+// and assembles the Result. Runs after all workers have exited, so the
+// state is quiescent.
+func (ps *parallelSearch) finalize() Result {
+	res := ps.res
+	maxRemaining := ps.partialOpt
+	if !ps.pruneBreak {
+		// Unresolved entries are the unclaimed heap plus any claimed
+		// buffers the stop left uncommitted — together exactly the
+		// queue the serial loop would have broken out with.
+		for _, b := range ps.ready {
+			if b.re.opt > maxRemaining {
+				maxRemaining = b.re.opt
+			}
+		}
+		for _, re := range ps.q {
+			if re.opt > maxRemaining {
+				maxRemaining = re.opt
+			}
+		}
+	}
+	for _, b := range ps.ready {
+		if !b.pruned {
+			res.EntriesSpeculated++
+		}
+		ps.t.putEntryBuf(b)
+	}
+
+	res.Neighbors = ps.best.Results()
+	res.Interrupted = ps.interrupted.Load()
+	threshold, full := ps.best.Threshold()
+	res.Certified = full && (math.IsInf(maxRemaining, -1) || maxRemaining <= threshold)
+	res.BestPossible = maxRemaining
+	if len(res.Neighbors) > 0 && res.Neighbors[0].Value > res.BestPossible {
+		res.BestPossible = res.Neighbors[0].Value
+	}
+	res.PagesRead = ps.reads.Load()
+	res.Workers = ps.workers
+	return res
+}

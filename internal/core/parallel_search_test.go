@@ -1,0 +1,315 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sigtable/internal/simfun"
+	"sigtable/internal/txn"
+)
+
+// forceParallel drops the live-size gate so the parallel engine runs
+// on small test fixtures, restoring it when the test finishes.
+func forceParallel(t testing.TB) {
+	old := minParallelLive
+	minParallelLive = 0
+	t.Cleanup(func() { minParallelLive = old })
+}
+
+// sameResult compares every deterministic Result field. Workers,
+// EntriesSpeculated and PagesRead are execution reports, not answers,
+// and legitimately differ between engines.
+func sameResult(t *testing.T, serial, parallel Result) bool {
+	t.Helper()
+	if len(serial.Neighbors) != len(parallel.Neighbors) {
+		t.Logf("neighbor counts differ: serial %d, parallel %d", len(serial.Neighbors), len(parallel.Neighbors))
+		return false
+	}
+	for i := range serial.Neighbors {
+		if serial.Neighbors[i] != parallel.Neighbors[i] {
+			t.Logf("neighbor %d differs: serial %+v, parallel %+v", i, serial.Neighbors[i], parallel.Neighbors[i])
+			return false
+		}
+	}
+	if serial.Scanned != parallel.Scanned ||
+		serial.EntriesScanned != parallel.EntriesScanned ||
+		serial.EntriesPruned != parallel.EntriesPruned ||
+		serial.Certified != parallel.Certified ||
+		serial.Interrupted != parallel.Interrupted ||
+		serial.BestPossible != parallel.BestPossible {
+		t.Logf("cost/certificate fields differ:\nserial   %+v\nparallel %+v", serial, parallel)
+		return false
+	}
+	return true
+}
+
+// TestQuickParallelMatchesSerial is the tentpole property: for
+// arbitrary datasets, partitions, similarity functions, k, entry
+// orderings, scan budgets, page sizes and worker counts, the parallel
+// engine returns byte-identical answers and cost counters to the
+// serial loop.
+func TestQuickParallelMatchesSerial(t *testing.T) {
+	forceParallel(t)
+	prop := func(seed int64, kRaw, fRaw, kNNRaw, sortRaw, fracRaw, workersRaw, diskRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		universe := 15 + rng.Intn(30)
+		d := randomDataset(rng, 100+rng.Intn(300), universe)
+		part := randomPartition(t, rng, universe, 2+int(kRaw)%8)
+		bopt := BuildOptions{}
+		if diskRaw%2 == 0 {
+			bopt.PageSize = 256
+		}
+		table, err := Build(d, part, bopt)
+		if err != nil {
+			return false
+		}
+		fs := allSimFuncs()
+		f := fs[int(fRaw)%len(fs)]
+		opt := QueryOptions{K: 1 + int(kNNRaw)%8, Parallelism: 1}
+		if sortRaw%2 == 1 {
+			opt.SortBy = ByCoordSimilarity
+		}
+		if fracRaw%3 == 0 {
+			opt.MaxScanFraction = 0.01 + float64(fracRaw)/255*0.5
+		}
+		target := randomTarget(rng, universe)
+
+		serial, err := table.Query(context.Background(), target, f, opt)
+		if err != nil {
+			return false
+		}
+		for _, workers := range []int{2, 3, 2 + int(workersRaw)%14, 0} {
+			popt := opt
+			popt.Parallelism = workers
+			parallel, err := table.Query(context.Background(), target, f, popt)
+			if err != nil {
+				return false
+			}
+			if !sameResult(t, serial, parallel) {
+				t.Logf("workers=%d opt=%+v", workers, popt)
+				return false
+			}
+			// Speculation can only add page fetches, never lose any.
+			if parallel.PagesRead < serial.PagesRead {
+				t.Logf("parallel read fewer pages (%d) than serial (%d)", parallel.PagesRead, serial.PagesRead)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickParallelMultiMatchesSerial extends the identity property to
+// the multi-target average-similarity search.
+func TestQuickParallelMultiMatchesSerial(t *testing.T) {
+	forceParallel(t)
+	prop := func(seed int64, fRaw, kNNRaw, workersRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		universe := 20 + rng.Intn(20)
+		d := randomDataset(rng, 150+rng.Intn(150), universe)
+		part := randomPartition(t, rng, universe, 4)
+		table, err := Build(d, part, BuildOptions{})
+		if err != nil {
+			return false
+		}
+		fs := allSimFuncs()
+		f := fs[int(fRaw)%len(fs)]
+		targets := []txn.Transaction{
+			randomTarget(rng, universe),
+			randomTarget(rng, universe),
+			randomTarget(rng, universe),
+		}
+		opt := QueryOptions{K: 1 + int(kNNRaw)%5, Parallelism: 1}
+
+		serial, err := table.MultiQuery(context.Background(), targets, f, opt)
+		if err != nil {
+			return false
+		}
+		popt := opt
+		popt.Parallelism = 2 + int(workersRaw)%6
+		parallel, err := table.MultiQuery(context.Background(), targets, f, popt)
+		if err != nil {
+			return false
+		}
+		return sameResult(t, serial, parallel)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickParallelRangeMatchesSerial: the range scan partitions
+// entries instead of replaying an order, but its merged result must
+// still be identical to the serial scan's.
+func TestQuickParallelRangeMatchesSerial(t *testing.T) {
+	forceParallel(t)
+	prop := func(seed int64, thRaw, workersRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		universe := 20 + rng.Intn(20)
+		d := randomDataset(rng, 150+rng.Intn(300), universe)
+		part := randomPartition(t, rng, universe, 5)
+		table, err := Build(d, part, BuildOptions{})
+		if err != nil {
+			return false
+		}
+		target := randomTarget(rng, universe)
+		cs := []RangeConstraint{
+			{F: simfun.Match{}, Threshold: float64(1 + int(thRaw)%4)},
+			{F: simfun.Jaccard{}, Threshold: 0.05},
+		}
+
+		serial, err := table.RangeQuery(context.Background(), target, cs, RangeOptions{Parallelism: 1})
+		if err != nil {
+			return false
+		}
+		parallel, err := table.RangeQuery(context.Background(), target, cs, RangeOptions{Parallelism: 2 + int(workersRaw)%6})
+		if err != nil {
+			return false
+		}
+		if len(serial.TIDs) != len(parallel.TIDs) {
+			return false
+		}
+		for i := range serial.TIDs {
+			if serial.TIDs[i] != parallel.TIDs[i] {
+				return false
+			}
+		}
+		return serial.Scanned == parallel.Scanned &&
+			serial.EntriesScanned == parallel.EntriesScanned &&
+			serial.EntriesPruned == parallel.EntriesPruned
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelCancellation: a parallel search must honor context
+// cancellation at every stage — before the search starts, and at
+// arbitrary points mid-flight — returning a sane partial result
+// without deadlocking or leaking workers.
+func TestParallelCancellation(t *testing.T) {
+	forceParallel(t)
+	rng := rand.New(rand.NewSource(11))
+	universe := 40
+	d := randomDataset(rng, 3000, universe)
+	part := randomPartition(t, rng, universe, 8)
+	table := buildTestTable(t, d, part, BuildOptions{})
+	target := randomTarget(rng, universe)
+
+	// Already-dead context: delegates to the serial path, zero work.
+	res, err := table.Query(cancelledContext(), target, simfun.Jaccard{}, QueryOptions{K: 3, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted || res.Scanned != 0 || res.Certified {
+		t.Fatalf("pre-cancelled parallel query did work: %+v", res)
+	}
+
+	// Cancellation racing the search at varying points. The result may
+	// be partial, but its invariants must hold.
+	for i := 0; i < 30; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		timer := time.AfterFunc(time.Duration(i)*20*time.Microsecond, cancel)
+		res, err := table.Query(ctx, target, simfun.Jaccard{}, QueryOptions{K: 3, Parallelism: 4})
+		timer.Stop()
+		cancel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Scanned > d.Len() {
+			t.Fatalf("scanned %d > dataset size %d", res.Scanned, d.Len())
+		}
+		for _, nb := range res.Neighbors {
+			if nb.Value > res.BestPossible {
+				t.Fatalf("neighbor value %v above BestPossible %v", nb.Value, res.BestPossible)
+			}
+		}
+		if !res.Interrupted {
+			// Ran to completion despite the cancel: then it must be the
+			// exact serial answer.
+			serial, err := table.Query(context.Background(), target, simfun.Jaccard{}, QueryOptions{K: 3, Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameResult(t, serial, res) {
+				t.Fatalf("uninterrupted parallel result differs from serial")
+			}
+		}
+	}
+}
+
+// TestThresholdEncoding: encodeThreshold must preserve the float
+// ordering as unsigned integer ordering (that is what lets workers
+// compare bounds against the published threshold with one atomic
+// load), and no similarity value may collide with the unset sentinel.
+func TestThresholdEncoding(t *testing.T) {
+	vals := []float64{math.Inf(-1), -1e300, -3.5, -1, -1e-9, math.Copysign(0, -1), 0, 1e-9, 0.25, 1, 3.5, 1e300, math.Inf(1)}
+	for i, a := range vals {
+		if encodeThreshold(a) == thresholdUnset {
+			t.Fatalf("%v encodes to the unset sentinel", a)
+		}
+		if got := decodeThreshold(encodeThreshold(a)); got != a && !(a == 0 && got == 0) {
+			t.Fatalf("roundtrip of %v gave %v", a, got)
+		}
+		for _, b := range vals[i+1:] {
+			if a < b && encodeThreshold(a) >= encodeThreshold(b) {
+				t.Fatalf("encoding not monotone: %v < %v but %#x >= %#x", a, b, encodeThreshold(a), encodeThreshold(b))
+			}
+		}
+	}
+}
+
+// TestPerQueryPagesRead: PagesRead must be attributed to the query
+// that issued the reads even when queries run concurrently — the
+// global store counter cannot tell them apart, the per-query one must.
+func TestPerQueryPagesRead(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	universe := 30
+	d := randomDataset(rng, 800, universe)
+	part := randomPartition(t, rng, universe, 6)
+	table := buildTestTable(t, d, part, BuildOptions{PageSize: 256})
+	targets := make([]txn.Transaction, 8)
+	for i := range targets {
+		targets[i] = randomTarget(rng, universe)
+	}
+
+	// Serial reference per target.
+	want := make([]int64, len(targets))
+	for i, tgt := range targets {
+		res, err := table.Query(context.Background(), tgt, simfun.Jaccard{}, QueryOptions{K: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.PagesRead
+	}
+
+	// The same queries, all in flight at once.
+	got := make([]int64, len(targets))
+	errs := make([]error, len(targets))
+	done := make(chan int)
+	for i, tgt := range targets {
+		go func(i int, tgt txn.Transaction) {
+			res, err := table.Query(context.Background(), tgt, simfun.Jaccard{}, QueryOptions{K: 2})
+			got[i], errs[i] = res.PagesRead, err
+			done <- i
+		}(i, tgt)
+	}
+	for range targets {
+		<-done
+	}
+	for i := range targets {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if got[i] != want[i] {
+			t.Errorf("query %d: PagesRead %d under concurrency, %d alone", i, got[i], want[i])
+		}
+	}
+}

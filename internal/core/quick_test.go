@@ -117,7 +117,8 @@ func BenchmarkRankEntries(b *testing.B) {
 	coord := part.Coord(target, 1)
 	b.ReportAllocs()
 	b.ResetTimer()
+	var buf entryQueue
 	for i := 0; i < b.N; i++ {
-		table.rankEntries(simfun.Jaccard{}, overlaps, coord, ByOptimisticBound)
+		buf = table.rankEntries(buf, simfun.Jaccard{}, overlaps, coord, ByOptimisticBound)
 	}
 }

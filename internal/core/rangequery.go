@@ -3,7 +3,10 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"sigtable/internal/simfun"
 	"sigtable/internal/txn"
@@ -16,6 +19,17 @@ type RangeConstraint struct {
 	Threshold float64
 }
 
+// RangeOptions tunes a range query's execution.
+type RangeOptions struct {
+	// Parallelism bounds the goroutines scanning entries. 0 selects
+	// GOMAXPROCS; 1 forces the serial path. Unlike the top-k search,
+	// range pruning is independent per entry, so entries are simply
+	// partitioned among workers; the result is identical at every
+	// setting. The constraint functions must be safe for concurrent
+	// Score calls when Parallelism != 1 (every built-in is).
+	Parallelism int
+}
+
 // RangeResult reports the matching transactions and the query's cost.
 type RangeResult struct {
 	// TIDs are the transactions satisfying every constraint, in
@@ -26,7 +40,11 @@ type RangeResult struct {
 	Scanned        int
 	EntriesScanned int
 	EntriesPruned  int
-	PagesRead      int64
+	// PagesRead counts the simulated disk pages this query fetched
+	// (disk mode only), accounted per query.
+	PagesRead int64
+	// Workers is the number of scan goroutines actually used.
+	Workers int
 	// Interrupted reports the scan stopped early because the context
 	// was cancelled; TIDs then holds only the matches found so far.
 	Interrupted bool
@@ -39,9 +57,12 @@ type RangeResult struct {
 // context aborts the scan between entry visits (and every
 // cancelCheckInterval transactions within one), returning the matches
 // found so far with Interrupted set.
-func (t *Table) RangeQuery(ctx context.Context, target txn.Transaction, constraints []RangeConstraint) (RangeResult, error) {
+func (t *Table) RangeQuery(ctx context.Context, target txn.Transaction, constraints []RangeConstraint, opt RangeOptions) (RangeResult, error) {
 	if len(constraints) == 0 {
 		return RangeResult{}, fmt.Errorf("core: range query needs at least one constraint")
+	}
+	if opt.Parallelism < 0 {
+		return RangeResult{}, fmt.Errorf("core: parallelism %d must be non-negative", opt.Parallelism)
 	}
 	fs := make([]simfun.Func, len(constraints))
 	for i, c := range constraints {
@@ -55,46 +76,45 @@ func (t *Table) RangeQuery(ctx context.Context, target txn.Transaction, constrai
 		fs[i] = f
 	}
 
-	overlaps := t.part.Overlaps(target, nil)
+	sc := t.getScratch()
+	defer t.putScratch(sc)
+	overlaps := t.part.Overlaps(target, sc.overlaps)
 	b := t.newBounder(overlaps)
+	m := t.newMatcher(target)
+	defer t.releaseMatcher(m)
 
-	var res RangeResult
-	var startReads int64
-	if t.store != nil {
-		startReads = t.store.Stats().Reads
+	workers := opt.Parallelism
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(t.entries) {
+		workers = len(t.entries)
+	}
+	if workers > 1 && t.live >= minParallelLive && ctx.Err() == nil {
+		return t.rangeParallel(ctx, target, constraints, fs, b, m, workers), nil
 	}
 
+	res := RangeResult{Workers: 1}
+	var reads atomic.Int64
 	for _, e := range t.entries {
 		if ctx.Err() != nil {
 			res.Interrupted = true
 			break
 		}
-		bd := b.bounds(e.Coord)
-		pruned := false
-		for i, f := range fs {
-			if f.Score(bd.MatchOpt, bd.DistOpt) < constraints[i].Threshold {
-				pruned = true
-				break
-			}
-		}
-		if pruned {
+		if rangePrunable(b, e, fs, constraints) {
 			res.EntriesPruned++
 			continue
 		}
 		res.EntriesScanned++
-		t.scanEntry(e, func(id txn.TID, tr txn.Transaction) bool {
+		t.scanEntry(e, &reads, func(id txn.TID, tr txn.Transaction) bool {
 			res.Scanned++
 			if res.Scanned%cancelCheckInterval == 0 && ctx.Err() != nil {
 				res.Interrupted = true
 				return false
 			}
-			x, y := txn.MatchHamming(target, tr)
-			for i, f := range fs {
-				if f.Score(x, y) < constraints[i].Threshold {
-					return true
-				}
+			if rangeMatches(&m, tr, fs, constraints) {
+				res.TIDs = append(res.TIDs, id)
 			}
-			res.TIDs = append(res.TIDs, id)
 			return true
 		})
 		if res.Interrupted {
@@ -103,8 +123,92 @@ func (t *Table) RangeQuery(ctx context.Context, target txn.Transaction, constrai
 	}
 
 	sort.Slice(res.TIDs, func(i, j int) bool { return res.TIDs[i] < res.TIDs[j] })
-	if t.store != nil {
-		res.PagesRead = t.store.Stats().Reads - startReads
-	}
+	res.PagesRead = reads.Load()
 	return res, nil
+}
+
+// rangePrunable reports that some constraint's optimistic bound
+// already falls below its threshold for this entry.
+func rangePrunable(b *bounder, e *Entry, fs []simfun.Func, constraints []RangeConstraint) bool {
+	bd := b.bounds(e.Coord)
+	for i, f := range fs {
+		if f.Score(bd.MatchOpt, bd.DistOpt) < constraints[i].Threshold {
+			return true
+		}
+	}
+	return false
+}
+
+// rangeMatches reports that a transaction satisfies every constraint.
+func rangeMatches(m *matcher, tr txn.Transaction, fs []simfun.Func, constraints []RangeConstraint) bool {
+	x, y := m.matchHamming(tr)
+	for i, f := range fs {
+		if f.Score(x, y) < constraints[i].Threshold {
+			return false
+		}
+	}
+	return true
+}
+
+// rangeParallel partitions the entries among workers via a shared
+// atomic cursor. Pruning decisions are independent per entry and the
+// final TID list is sorted, so the merged result is identical to the
+// serial scan's (cost counters are order-independent sums).
+func (t *Table) rangeParallel(ctx context.Context, target txn.Transaction, constraints []RangeConstraint, fs []simfun.Func, b *bounder, m matcher, workers int) RangeResult {
+	var (
+		next        atomic.Int64
+		reads       atomic.Int64
+		interrupted atomic.Bool
+
+		mu     sync.Mutex
+		merged RangeResult
+	)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			var local RangeResult
+			for !interrupted.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(t.entries) {
+					break
+				}
+				if ctx.Err() != nil {
+					interrupted.Store(true)
+					break
+				}
+				e := t.entries[i]
+				if rangePrunable(b, e, fs, constraints) {
+					local.EntriesPruned++
+					continue
+				}
+				local.EntriesScanned++
+				t.scanEntry(e, &reads, func(id txn.TID, tr txn.Transaction) bool {
+					local.Scanned++
+					if local.Scanned%cancelCheckInterval == 0 && ctx.Err() != nil {
+						interrupted.Store(true)
+						return false
+					}
+					if rangeMatches(&m, tr, fs, constraints) {
+						local.TIDs = append(local.TIDs, id)
+					}
+					return true
+				})
+			}
+			mu.Lock()
+			merged.TIDs = append(merged.TIDs, local.TIDs...)
+			merged.Scanned += local.Scanned
+			merged.EntriesScanned += local.EntriesScanned
+			merged.EntriesPruned += local.EntriesPruned
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	sort.Slice(merged.TIDs, func(i, j int) bool { return merged.TIDs[i] < merged.TIDs[j] })
+	merged.PagesRead = reads.Load()
+	merged.Workers = workers
+	merged.Interrupted = interrupted.Load()
+	return merged
 }

@@ -36,7 +36,7 @@ func TestRangeQueryMatchesSeqscan(t *testing.T) {
 				},
 			}
 			for ci, cs := range constraintSets {
-				res, err := table.RangeQuery(context.Background(), target, cs)
+				res, err := table.RangeQuery(context.Background(), target, cs, RangeOptions{})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -66,10 +66,10 @@ func TestRangeQueryValidation(t *testing.T) {
 	d := randomDataset(rng, 50, 20)
 	table := buildTestTable(t, d, randomPartition(t, rng, 20, 3), BuildOptions{})
 
-	if _, err := table.RangeQuery(context.Background(), txn.New(1), nil); err == nil {
+	if _, err := table.RangeQuery(context.Background(), txn.New(1), nil, RangeOptions{}); err == nil {
 		t.Error("empty constraints accepted")
 	}
-	if _, err := table.RangeQuery(context.Background(), txn.New(1), []RangeConstraint{{F: nil, Threshold: 1}}); err == nil {
+	if _, err := table.RangeQuery(context.Background(), txn.New(1), []RangeConstraint{{F: nil, Threshold: 1}}, RangeOptions{}); err == nil {
 		t.Error("nil similarity function accepted")
 	}
 }
@@ -83,7 +83,7 @@ func TestRangeQueryPrunes(t *testing.T) {
 
 	res, err := table.RangeQuery(context.Background(), randomTarget(rng, 30), []RangeConstraint{
 		{F: simfun.Match{}, Threshold: 1000}, // unattainable
-	})
+	}, RangeOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

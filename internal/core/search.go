@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
+	"sync/atomic"
 
 	"sigtable/internal/signature"
 	"sigtable/internal/simfun"
@@ -44,6 +46,13 @@ type QueryOptions struct {
 	MaxScanFraction float64
 	// SortBy selects the entry visiting order.
 	SortBy SortCriterion
+	// Parallelism bounds the goroutines scanning entries for this one
+	// query. 0 selects GOMAXPROCS; 1 forces the serial path. Results
+	// are identical at every setting — the parallel engine commits
+	// entries in the exact serial visiting order — so this is purely a
+	// latency knob. The similarity function must be safe for concurrent
+	// Score calls when Parallelism != 1 (every built-in is).
+	Parallelism int
 }
 
 func (o QueryOptions) normalized(n int) (QueryOptions, int, error) {
@@ -52,6 +61,9 @@ func (o QueryOptions) normalized(n int) (QueryOptions, int, error) {
 	}
 	if o.K < 0 {
 		return o, 0, fmt.Errorf("core: k=%d must be positive", o.K)
+	}
+	if o.Parallelism < 0 {
+		return o, 0, fmt.Errorf("core: parallelism %d must be non-negative", o.Parallelism)
 	}
 	budget := n
 	if o.MaxScanFraction != 0 {
@@ -79,10 +91,19 @@ type Result struct {
 	// neither count.
 	EntriesScanned int
 	EntriesPruned  int
-	// PagesRead counts simulated disk pages fetched (disk mode only).
-	// It is derived from the store's global counters, so it is only
-	// meaningful when queries do not run concurrently.
+	// PagesRead counts the simulated disk pages this query fetched
+	// (disk mode only). It is accounted per query, so it stays accurate
+	// when queries run concurrently.
 	PagesRead int64
+	// Workers is the number of scan goroutines the search actually
+	// used (1 for a serial search).
+	Workers int
+	// EntriesSpeculated counts entries a parallel search scanned ahead
+	// of the commit frontier whose work was then discarded because the
+	// search resolved first (budget exhausted, prune break, or
+	// cancellation). Always 0 for a serial search; the wasted-work
+	// metric for tuning Parallelism.
+	EntriesSpeculated int
 	// Certified reports that the result is provably exact: every
 	// unexplored entry's optimistic bound is at most the k-th best
 	// value found (§4.2's quality guarantee). Always true when the
@@ -183,10 +204,17 @@ func (q *entryQueue) popMax() rankedEntry {
 }
 
 // rankEntries computes bounds for all entries and heapifies them in
-// visiting order.
-func (t *Table) rankEntries(f simfun.Func, overlaps []int, targetCoord signature.Coord, by SortCriterion) entryQueue {
+// visiting order, reusing buf's storage when it is large enough (the
+// queue is one slot per occupied entry — the dominant per-query
+// allocation at scale, hence pooled via queryScratch).
+func (t *Table) rankEntries(buf entryQueue, f simfun.Func, overlaps []int, targetCoord signature.Coord, by SortCriterion) entryQueue {
 	b := t.newBounder(overlaps)
-	q := make(entryQueue, len(t.entries))
+	q := buf
+	if cap(q) < len(t.entries) {
+		q = make(entryQueue, len(t.entries))
+	} else {
+		q = q[:len(t.entries)]
+	}
 	for i, e := range t.entries {
 		bd := b.bounds(e.Coord)
 		opt := f.Score(bd.MatchOpt, bd.DistOpt)
@@ -201,27 +229,63 @@ func (t *Table) rankEntries(f simfun.Func, overlaps []int, targetCoord signature
 	return q
 }
 
-// runSearch drives the branch-and-bound loop of Figure 3 over a
-// heapified entry order: pop the most promising entry, prune it if its
-// optimistic bound cannot beat the k-th best found, otherwise scan its
-// transactions through score. Cancellation is checked between entry
-// visits and every cancelCheckInterval transactions within one, so a
-// deadline aborts mid-scan with whatever was found so far.
-func (t *Table) runSearch(ctx context.Context, q entryQueue, k, budget int, sortBy SortCriterion, score func(tr txn.Transaction) float64) Result {
-	var res Result
-	var startReads int64
-	if t.store != nil {
-		startReads = t.store.Stats().Reads
-	}
+// searchSpec carries one search's resolved parameters into the
+// execution engines. score must be safe for concurrent calls when the
+// parallel engine may run (Parallelism != 1).
+type searchSpec struct {
+	k      int
+	budget int
+	sortBy SortCriterion
+	score  func(tr txn.Transaction) float64
+}
 
-	best := topk.New(k)
+// minParallelLive gates the parallel engine: below this many live
+// transactions a search is microseconds of work and goroutine startup
+// would dominate, so the serial path runs regardless of the requested
+// parallelism. A variable (not a constant) so tests can force the
+// parallel engine onto small fixtures.
+var minParallelLive = 4096
+
+// runSearch drives the branch-and-bound search of Figure 3 over a
+// heapified entry order, dispatching between the serial loop and the
+// parallel engine (parallel_search.go). Both produce identical
+// results — the parallel engine commits entries in the exact serial
+// pop order and replays the serial prune/offer/budget decisions at
+// the commit frontier — so the choice is purely a latency matter.
+func (t *Table) runSearch(ctx context.Context, q entryQueue, parallelism int, sp searchSpec) Result {
+	workers := parallelism
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > q.Len() {
+		workers = q.Len()
+	}
+	// A context that is already dead does zero work either way; the
+	// serial path handles it without spawning anything.
+	if workers > 1 && t.live >= minParallelLive && ctx.Err() == nil {
+		return t.searchParallel(ctx, q, workers, sp)
+	}
+	return t.searchSerial(ctx, q, sp)
+}
+
+// searchSerial is the single-goroutine branch-and-bound loop: pop the
+// most promising entry, prune it if its optimistic bound cannot beat
+// the k-th best found, otherwise scan its transactions through score.
+// Cancellation is checked between entry visits and every
+// cancelCheckInterval transactions within one, so a deadline aborts
+// mid-scan with whatever was found so far.
+func (t *Table) searchSerial(ctx context.Context, q entryQueue, sp searchSpec) Result {
+	res := Result{Workers: 1}
+	var reads atomic.Int64
+
+	best := topk.New(sp.k)
 	partialOpt := math.Inf(-1) // bound of an entry cut short by termination
 	interrupted := ctx.Err() != nil
 
 	for !interrupted && q.Len() > 0 {
 		re := q.popMax()
 		if threshold, full := best.Threshold(); full && re.opt <= threshold {
-			if sortBy == ByOptimisticBound {
+			if sp.sortBy == ByOptimisticBound {
 				// Ordered by bound: everything still queued is
 				// prunable too.
 				res.EntriesPruned += 1 + q.Len()
@@ -234,11 +298,11 @@ func (t *Table) runSearch(ctx context.Context, q entryQueue, k, budget int, sort
 		res.EntriesScanned++
 		stop := false
 		inEntry := 0
-		t.scanEntry(re.e, func(id txn.TID, tr txn.Transaction) bool {
-			best.Offer(id, score(tr))
+		t.scanEntry(re.e, &reads, func(id txn.TID, tr txn.Transaction) bool {
+			best.Offer(id, sp.score(tr))
 			res.Scanned++
 			inEntry++
-			if res.Scanned >= budget {
+			if res.Scanned >= sp.budget {
 				stop = true
 				return false
 			}
@@ -263,7 +327,7 @@ func (t *Table) runSearch(ctx context.Context, q entryQueue, k, budget int, sort
 	// Optimality certificate over whatever was not resolved.
 	maxRemaining := partialOpt
 	if q.Len() > 0 {
-		if sortBy == ByOptimisticBound {
+		if sp.sortBy == ByOptimisticBound {
 			// Heap order is by bound: the root dominates the rest.
 			if q[0].opt > maxRemaining {
 				maxRemaining = q[0].opt
@@ -285,9 +349,7 @@ func (t *Table) runSearch(ctx context.Context, q entryQueue, k, budget int, sort
 	if len(res.Neighbors) > 0 && res.Neighbors[0].Value > res.BestPossible {
 		res.BestPossible = res.Neighbors[0].Value
 	}
-	if t.store != nil {
-		res.PagesRead = t.store.Stats().Reads - startReads
-	}
+	res.PagesRead = reads.Load()
 	return res
 }
 
@@ -311,13 +373,23 @@ func (t *Table) Query(ctx context.Context, target txn.Transaction, f simfun.Func
 		f = ta.Bind(target)
 	}
 
-	overlaps := t.part.Overlaps(target, nil)
+	sc := t.getScratch()
+	defer t.putScratch(sc)
+	overlaps := t.part.Overlaps(target, sc.overlaps)
 	targetCoord := signature.CoordOfOverlaps(overlaps, t.r)
-	q := t.rankEntries(f, overlaps, targetCoord, opt.SortBy)
+	q := t.rankEntries(sc.queue, f, overlaps, targetCoord, opt.SortBy)
+	sc.queue = q[:0]
 
-	res := t.runSearch(ctx, q, opt.K, budget, opt.SortBy, func(tr txn.Transaction) float64 {
-		x, y := txn.MatchHamming(target, tr)
-		return f.Score(x, y)
+	m := t.newMatcher(target)
+	defer t.releaseMatcher(m)
+	res := t.runSearch(ctx, q, opt.Parallelism, searchSpec{
+		k:      opt.K,
+		budget: budget,
+		sortBy: opt.SortBy,
+		score: func(tr txn.Transaction) float64 {
+			x, y := m.matchHamming(tr)
+			return f.Score(x, y)
+		},
 	})
 	return res, nil
 }

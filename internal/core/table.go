@@ -15,6 +15,8 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"sigtable/internal/pager"
 	"sigtable/internal/signature"
@@ -37,7 +39,7 @@ type Entry struct {
 // decodes the pages (counting I/O); prefer scanEntry during search.
 func (t *Table) TIDs(e *Entry) []txn.TID {
 	out := make([]txn.TID, 0, e.Count)
-	t.scanEntry(e, func(id txn.TID, _ txn.Transaction) bool {
+	t.scanEntry(e, nil, func(id txn.TID, _ txn.Transaction) bool {
 		out = append(out, id)
 		return true
 	})
@@ -64,7 +66,8 @@ type BuildOptions struct {
 	Parallelism int
 }
 
-// Table is the signature table index over one dataset.
+// Table is the signature table index over one dataset. A Table must
+// not be copied after first use (it embeds pools).
 type Table struct {
 	part    *signature.Partition
 	r       int
@@ -74,6 +77,13 @@ type Table struct {
 	store   *pager.Store // nil in memory mode
 	live    int          // non-deleted transactions
 	deleted []bool       // tombstones by TID; nil until the first Delete
+
+	// Per-query buffer pools (see scratch.go). Zero values are valid,
+	// so every Table construction path (Build, ReadTable, Rebuild)
+	// gets them for free.
+	scratch sync.Pool // *queryScratch: entry queue + overlap slice
+	masks   sync.Pool // *bitset.Set: all-zero target membership bitmaps
+	bufs    sync.Pool // *entryBuf: parallel workers' scored-candidate buffers
 }
 
 // Build constructs the signature table for a dataset over a given
@@ -163,8 +173,11 @@ func (t *Table) Store() *pager.Store { return t.store }
 
 // scanEntry visits each live transaction of an entry. Returning false
 // stops early. In disk mode this reads (and counts) pages, then visits
-// the in-memory overflow of post-build inserts.
-func (t *Table) scanEntry(e *Entry, fn func(id txn.TID, tr txn.Transaction) bool) {
+// the in-memory overflow of post-build inserts; a non-nil reads counter
+// additionally accumulates the pages this scan alone fetched, which is
+// how queries account PagesRead per query even when several run
+// concurrently.
+func (t *Table) scanEntry(e *Entry, reads *atomic.Int64, fn func(id txn.TID, tr txn.Transaction) bool) {
 	stopped := false
 	visit := func(id txn.TID, tr txn.Transaction) bool {
 		if t.deleted != nil && t.deleted[id] {
@@ -177,7 +190,7 @@ func (t *Table) scanEntry(e *Entry, fn func(id txn.TID, tr txn.Transaction) bool
 		return true
 	}
 	if t.store != nil {
-		if err := t.store.ScanList(e.list, visit); err != nil {
+		if err := t.store.ScanList(e.list, reads, visit); err != nil {
 			// Lists are written by Build from validated data; a decode
 			// failure means internal corruption.
 			panic(fmt.Sprintf("core: corrupt entry %#x: %v", e.Coord, err))

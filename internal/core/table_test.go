@@ -81,12 +81,12 @@ func TestDiskModeEqualsMemoryMode(t *testing.T) {
 		}
 		// Disk scan must reproduce the same transactions.
 		var fromDisk []txn.Transaction
-		disk.scanEntry(de, func(id txn.TID, tr txn.Transaction) bool {
+		disk.scanEntry(de, nil, func(id txn.TID, tr txn.Transaction) bool {
 			fromDisk = append(fromDisk, tr)
 			return true
 		})
 		var fromMem []txn.Transaction
-		mem.scanEntry(e, func(id txn.TID, tr txn.Transaction) bool {
+		mem.scanEntry(e, nil, func(id txn.TID, tr txn.Transaction) bool {
 			fromMem = append(fromMem, tr)
 			return true
 		})

@@ -15,8 +15,9 @@ import (
 // (a real system would flush overflows to fresh pages periodically;
 // Rebuild does the equivalent here).
 //
-// Mutations are not safe to run concurrently with queries or each
-// other.
+// At this layer mutations are not safe to run concurrently with
+// queries or each other; the public Index wraps the table in a
+// read-write lock that serializes them.
 
 // Insert adds a transaction to the index (and its dataset), returning
 // the assigned TID.

@@ -35,7 +35,7 @@ func (t *Table) Validate() error {
 
 		liveInEntry := 0
 		var scanErr error
-		t.scanEntry(e, func(id txn.TID, tr txn.Transaction) bool {
+		t.scanEntry(e, nil, func(id txn.TID, tr txn.Transaction) bool {
 			if int(id) >= len(seen) {
 				scanErr = fmt.Errorf("core: entry %#x references TID %d beyond dataset", e.Coord, id)
 				return false

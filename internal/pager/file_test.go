@@ -23,7 +23,7 @@ func TestFileStoreRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	i := 0
-	err = s.ScanList(list, func(id txn.TID, tr txn.Transaction) bool {
+	err = s.ScanList(list, nil, func(id txn.TID, tr txn.Transaction) bool {
 		if id != tids[i] || !tr.Equal(txns[i]) {
 			t.Fatalf("record %d mismatch", i)
 		}
@@ -65,13 +65,13 @@ func TestFileStoreMatchesMemoryStore(t *testing.T) {
 	}
 
 	var fromFile, fromMem []txn.Transaction
-	if err := fs.ScanList(fl, func(_ txn.TID, tr txn.Transaction) bool {
+	if err := fs.ScanList(fl, nil, func(_ txn.TID, tr txn.Transaction) bool {
 		fromFile = append(fromFile, tr)
 		return true
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := ms.ScanList(ml, func(_ txn.TID, tr txn.Transaction) bool {
+	if err := ms.ScanList(ml, nil, func(_ txn.TID, tr txn.Transaction) bool {
 		fromMem = append(fromMem, tr)
 		return true
 	}); err != nil {
@@ -100,7 +100,7 @@ func TestFileStoreWithPool(t *testing.T) {
 	s.AttachPool(len(list.Pages) + 2)
 	s.ResetStats()
 	for pass := 0; pass < 2; pass++ {
-		if err := s.ScanList(list, func(txn.TID, txn.Transaction) bool { return true }); err != nil {
+		if err := s.ScanList(list, nil, func(txn.TID, txn.Transaction) bool { return true }); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -145,9 +145,15 @@ func (s *Store) appendPage(data []byte) PageID {
 	return id
 }
 
-// readPage returns a page's payload, counting the access.
-func (s *Store) readPage(id PageID) []byte {
+// readPage returns a page's payload, counting the access globally and,
+// when reads is non-nil, on the caller's own counter. The per-caller
+// counter is what lets concurrent queries each report an accurate
+// PagesRead.
+func (s *Store) readPage(id PageID, reads *atomic.Int64) []byte {
 	s.reads.Add(1)
+	if reads != nil {
+		reads.Add(1)
+	}
 	if s.pool != nil {
 		if data, ok := s.pool.Get(id); ok {
 			return data
@@ -222,11 +228,14 @@ func (s *Store) WriteList(tids []txn.TID, txns []txn.Transaction) (List, error) 
 // ScanList decodes every transaction of a list, invoking fn for each.
 // Returning false from fn stops the scan early; pages not reached are
 // not read (and not counted). The Transaction passed to fn is freshly
-// allocated and may be retained.
-func (s *Store) ScanList(l List, fn func(id txn.TID, t txn.Transaction) bool) error {
+// allocated and may be retained. When reads is non-nil it accumulates
+// the pages fetched by this scan alone, so callers running scans
+// concurrently can attribute I/O per query instead of relying on the
+// store's global counters.
+func (s *Store) ScanList(l List, reads *atomic.Int64, fn func(id txn.TID, t txn.Transaction) bool) error {
 	remaining := l.Count
 	for _, pid := range l.Pages {
-		data := s.readPage(pid)
+		data := s.readPage(pid, reads)
 		off := 0
 		for off < len(data) && remaining > 0 {
 			id, n := binary.Uvarint(data[off:])

@@ -38,7 +38,7 @@ func TestWriteScanRoundTrip(t *testing.T) {
 	}
 
 	i := 0
-	err = s.ScanList(list, func(id txn.TID, tr txn.Transaction) bool {
+	err = s.ScanList(list, nil, func(id txn.TID, tr txn.Transaction) bool {
 		if id != tids[i] || !tr.Equal(txns[i]) {
 			t.Fatalf("record %d = (%d, %v), want (%d, %v)", i, id, tr, tids[i], txns[i])
 		}
@@ -66,7 +66,7 @@ func TestScanEarlyStopSavesIO(t *testing.T) {
 	}
 	s.ResetStats()
 	n := 0
-	err = s.ScanList(list, func(txn.TID, txn.Transaction) bool {
+	err = s.ScanList(list, nil, func(txn.TID, txn.Transaction) bool {
 		n++
 		return n < 3
 	})
@@ -105,7 +105,7 @@ func TestEmptyList(t *testing.T) {
 	if list.Count != 0 || len(list.Pages) != 0 {
 		t.Fatalf("list = %+v", list)
 	}
-	if err := s.ScanList(list, func(txn.TID, txn.Transaction) bool { return true }); err != nil {
+	if err := s.ScanList(list, nil, func(txn.TID, txn.Transaction) bool { return true }); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -117,7 +117,7 @@ func TestEmptyTransactionsSurvive(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got []txn.Transaction
-	if err := s.ScanList(list, func(_ txn.TID, tr txn.Transaction) bool {
+	if err := s.ScanList(list, nil, func(_ txn.TID, tr txn.Transaction) bool {
 		got = append(got, tr)
 		return true
 	}); err != nil {
@@ -151,7 +151,7 @@ func TestReadUnallocatedPagePanics(t *testing.T) {
 			t.Fatalf("recover = %v", r)
 		}
 	}()
-	s.readPage(7)
+	s.readPage(7, nil)
 }
 
 func TestPoolAbsorbsRepeatedReads(t *testing.T) {
@@ -165,7 +165,7 @@ func TestPoolAbsorbsRepeatedReads(t *testing.T) {
 	s.AttachPool(len(list.Pages) + 4)
 	s.ResetStats()
 	for pass := 0; pass < 3; pass++ {
-		if err := s.ScanList(list, func(txn.TID, txn.Transaction) bool { return true }); err != nil {
+		if err := s.ScanList(list, nil, func(txn.TID, txn.Transaction) bool { return true }); err != nil {
 			t.Fatal(err)
 		}
 	}

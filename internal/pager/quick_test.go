@@ -28,7 +28,7 @@ func TestQuickListRoundTrip(t *testing.T) {
 			return false
 		}
 		i := 0
-		err = s.ScanList(list, func(id txn.TID, tr txn.Transaction) bool {
+		err = s.ScanList(list, nil, func(id txn.TID, tr txn.Transaction) bool {
 			if id != tids[i] || !tr.Equal(txns[i]) {
 				return false
 			}

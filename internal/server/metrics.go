@@ -12,7 +12,7 @@ import (
 // paper's evaluation is built on — transactions scanned, entries
 // pruned, page I/O — plus operational latency histograms. Counters and
 // histograms are recorded lock-free on the request path; gauges read
-// index state under the server's read lock at scrape time.
+// index state through the Index's own locked accessors at scrape time.
 type opMetrics struct {
 	// Request counters per operation.
 	queries      *metrics.Counter
@@ -29,6 +29,10 @@ type opMetrics struct {
 	entriesScanned *metrics.Counter
 	entriesPruned  *metrics.Counter
 	txScanned      *metrics.Counter
+	// entriesSpeculated accumulates parallel-search work that ran
+	// ahead of the commit frontier and was discarded — the signal for
+	// tuning per-query parallelism.
+	entriesSpeculated *metrics.Counter
 
 	// Latency histograms (seconds).
 	queryLatency  *metrics.Histogram
@@ -42,6 +46,10 @@ type opMetrics struct {
 	queryScanned *metrics.Histogram
 	rangeScanned *metrics.Histogram
 	multiScanned *metrics.Histogram
+
+	// queryWorkers is the distribution of scan goroutines used per
+	// search (1 = serial path).
+	queryWorkers *metrics.Histogram
 
 	inFlight atomic.Int64
 }
@@ -60,9 +68,10 @@ func newOpMetrics(reg *metrics.Registry, s *Server) *opMetrics {
 		interrupted:  reg.Counter("sigtable_queries_interrupted_total", "searches cut short by deadline or disconnect"),
 		httpRequests: reg.Counter("sigtable_http_requests_total", "HTTP requests handled"),
 
-		entriesScanned: reg.Counter("sigtable_entries_scanned_total", "signature table entries scanned"),
-		entriesPruned:  reg.Counter("sigtable_entries_pruned_total", "entries pruned by branch-and-bound optimistic bounds"),
-		txScanned:      reg.Counter("sigtable_transactions_scanned_total", "transactions whose similarity was evaluated"),
+		entriesScanned:    reg.Counter("sigtable_entries_scanned_total", "signature table entries scanned"),
+		entriesPruned:     reg.Counter("sigtable_entries_pruned_total", "entries pruned by branch-and-bound optimistic bounds"),
+		txScanned:         reg.Counter("sigtable_transactions_scanned_total", "transactions whose similarity was evaluated"),
+		entriesSpeculated: reg.Counter("sigtable_entries_speculated_total", "parallel-search entries scanned ahead of the commit frontier and discarded"),
 
 		queryLatency:  reg.Histogram("sigtable_query_duration_seconds", "k-NN query latency", lat),
 		rangeLatency:  reg.Histogram("sigtable_range_duration_seconds", "range query latency", lat),
@@ -73,24 +82,21 @@ func newOpMetrics(reg *metrics.Registry, s *Server) *opMetrics {
 		queryScanned: reg.Histogram("sigtable_query_scanned_transactions", "transactions scanned per k-NN query", scan),
 		rangeScanned: reg.Histogram("sigtable_range_scanned_transactions", "transactions scanned per range query", scan),
 		multiScanned: reg.Histogram("sigtable_multi_scanned_transactions", "transactions scanned per multi-target query", scan),
+
+		// 1 .. 128 workers.
+		queryWorkers: reg.Histogram("sigtable_query_workers", "scan goroutines used per search", metrics.ExponentialBuckets(1, 2, 8)),
 	}
 
 	reg.GaugeFunc("sigtable_http_in_flight", "requests currently being served", func() float64 {
 		return float64(m.inFlight.Load())
 	})
 	reg.GaugeFunc("sigtable_live_transactions", "indexed, non-deleted transactions", func() float64 {
-		s.mu.RLock()
-		defer s.mu.RUnlock()
 		return float64(s.idx.Live())
 	})
 	reg.GaugeFunc("sigtable_index_entries", "occupied supercoordinates", func() float64 {
-		s.mu.RLock()
-		defer s.mu.RUnlock()
 		return float64(s.idx.NumEntries())
 	})
 	reg.GaugeFunc("sigtable_universe_size", "item universe size", func() float64 {
-		s.mu.RLock()
-		defer s.mu.RUnlock()
 		return float64(s.data.UniverseSize())
 	})
 
@@ -122,6 +128,8 @@ func (m *opMetrics) observeQuery(d time.Duration, res sigtable.Result) {
 	m.queries.Inc()
 	m.queryLatency.Observe(d.Seconds())
 	m.queryScanned.Observe(float64(res.Scanned))
+	m.queryWorkers.Observe(float64(res.Workers))
+	m.entriesSpeculated.Add(int64(res.EntriesSpeculated))
 	m.recordCost(res.EntriesScanned, res.EntriesPruned, res.Scanned, res.Interrupted)
 }
 
@@ -129,6 +137,7 @@ func (m *opMetrics) observeRange(d time.Duration, res sigtable.RangeResult) {
 	m.rangeQueries.Inc()
 	m.rangeLatency.Observe(d.Seconds())
 	m.rangeScanned.Observe(float64(res.Scanned))
+	m.queryWorkers.Observe(float64(res.Workers))
 	m.recordCost(res.EntriesScanned, res.EntriesPruned, res.Scanned, res.Interrupted)
 }
 
@@ -136,6 +145,8 @@ func (m *opMetrics) observeMulti(d time.Duration, res sigtable.Result) {
 	m.multiQueries.Inc()
 	m.multiLatency.Observe(d.Seconds())
 	m.multiScanned.Observe(float64(res.Scanned))
+	m.queryWorkers.Observe(float64(res.Workers))
+	m.entriesSpeculated.Add(int64(res.EntriesSpeculated))
 	m.recordCost(res.EntriesScanned, res.EntriesPruned, res.Scanned, res.Interrupted)
 }
 

@@ -26,8 +26,11 @@
 // returns the partial result with "interrupted": true and
 // "certified": false.
 //
-// Reads run concurrently under an RWMutex; inserts and deletes take
-// the write lock. A semaphore bounds in-flight requests
+// Concurrency control lives in the Index itself: queries take its
+// shared lock and run concurrently, inserts and deletes take the
+// exclusive lock. Query-path requests accept a "parallelism" field
+// selecting the number of scan goroutines inside one search (0 uses
+// Options.QueryParallelism). A semaphore bounds in-flight requests
 // (Options.MaxConcurrent); request-ID and access-log middleware wrap
 // every route.
 package server
@@ -40,7 +43,6 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
-	"sync"
 	"time"
 
 	"sigtable"
@@ -80,6 +82,11 @@ type Options struct {
 	MaxConcurrent int
 	// MaxBodyBytes caps request body size. 0 selects 1 MiB.
 	MaxBodyBytes int64
+	// QueryParallelism is the per-search worker count applied when a
+	// request does not carry its own "parallelism". 0 selects 1
+	// (serial searches), the right default when throughput across
+	// concurrent requests matters more than single-query latency.
+	QueryParallelism int
 	// Logger receives one access-log line per request. nil disables
 	// access logging (request IDs are still assigned).
 	Logger *log.Logger
@@ -95,9 +102,10 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Server wraps an index with request handling, locking, and telemetry.
+// Server wraps an index with request handling and telemetry. The
+// Index carries its own read-write lock, so the server holds no lock
+// of its own.
 type Server struct {
-	mu   sync.RWMutex
 	idx  *sigtable.Index
 	data *sigtable.Dataset
 	opt  Options
@@ -180,6 +188,9 @@ type QueryRequest struct {
 	K               int             `json:"k"`
 	MaxScanFraction float64         `json:"maxScanFraction"`
 	Sort            string          `json:"sort"`
+	// Parallelism selects the scan goroutines for this one search; 0
+	// uses the server's configured default.
+	Parallelism int `json:"parallelism"`
 }
 
 // QueryResponse is the /v1/query reply.
@@ -189,6 +200,7 @@ type QueryResponse struct {
 	Pruning        float64    `json:"pruningPct"`
 	EntriesScanned int        `json:"entriesScanned"`
 	EntriesPruned  int        `json:"entriesPruned"`
+	Workers        int        `json:"workers"`
 	Certified      bool       `json:"certified"`
 	Interrupted    bool       `json:"interrupted"`
 }
@@ -197,6 +209,7 @@ type QueryResponse struct {
 type RangeRequest struct {
 	Items       []sigtable.Item `json:"items"`
 	Constraints []RangeConjunct `json:"constraints"`
+	Parallelism int             `json:"parallelism"`
 }
 
 // RangeConjunct is one (similarity, threshold) pair.
@@ -211,6 +224,7 @@ type RangeResponse struct {
 	Scanned        int            `json:"scanned"`
 	EntriesScanned int            `json:"entriesScanned"`
 	EntriesPruned  int            `json:"entriesPruned"`
+	Workers        int            `json:"workers"`
 	Interrupted    bool           `json:"interrupted"`
 }
 
@@ -220,12 +234,14 @@ type MultiRequest struct {
 	F               string            `json:"f"`
 	K               int               `json:"k"`
 	MaxScanFraction float64           `json:"maxScanFraction"`
+	Parallelism     int               `json:"parallelism"`
 }
 
 // MultiResponse is the /v1/multi reply.
 type MultiResponse struct {
 	Neighbors   []Neighbor `json:"neighbors"`
 	Scanned     int        `json:"scanned"`
+	Workers     int        `json:"workers"`
 	Certified   bool       `json:"certified"`
 	Interrupted bool       `json:"interrupted"`
 }
@@ -361,18 +377,34 @@ func (s *Server) target(w http.ResponseWriter, items []sigtable.Item) (sigtable.
 	return sigtable.NewTransaction(items...), true
 }
 
-// neighbors materializes result rows; the caller must hold at least a
-// read lock (items are read from the dataset).
+// parallelism resolves a request's per-search worker count: positive
+// is explicit, zero falls back to the server's configured default, and
+// negative is rejected.
+func (s *Server) parallelism(w http.ResponseWriter, requested int) (int, bool) {
+	if requested < 0 {
+		s.writeErr(w, http.StatusBadRequest, CodeBadRequest, "parallelism %d must be non-negative", requested)
+		return 0, false
+	}
+	if requested > 0 {
+		return requested, true
+	}
+	if s.opt.QueryParallelism > 0 {
+		return s.opt.QueryParallelism, true
+	}
+	return 1, true
+}
+
+// neighbors materializes result rows; Items locks per lookup, and the
+// returned transactions are immutable once stored.
 func (s *Server) neighbors(cands []sigtable.Candidate) []Neighbor {
 	out := make([]Neighbor, len(cands))
 	for i, c := range cands {
-		out[i] = Neighbor{TID: c.TID, Value: c.Value, Items: s.data.Get(c.TID)}
+		out[i] = Neighbor{TID: c.TID, Value: c.Value, Items: s.idx.Items(c.TID)}
 	}
 	return out
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
 	resp := StatsResponse{
 		Transactions: s.idx.Len(),
 		Live:         s.idx.Live(),
@@ -380,7 +412,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Entries:      s.idx.NumEntries(),
 		Universe:     s.data.UniverseSize(),
 	}
-	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -406,36 +437,36 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	par, ok := s.parallelism(w, req.Parallelism)
+	if !ok {
+		return
+	}
 
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
 	start := time.Now()
 
-	s.mu.RLock()
 	res, err := s.idx.Query(ctx, target, f, sigtable.QueryOptions{
 		K:               req.K,
 		MaxScanFraction: req.MaxScanFraction,
 		SortBy:          sortBy,
+		Parallelism:     par,
 	})
-	var resp QueryResponse
-	if err == nil {
-		resp = QueryResponse{
-			Neighbors:      s.neighbors(res.Neighbors),
-			Scanned:        res.Scanned,
-			Pruning:        res.PruningEfficiency(s.idx.Live()),
-			EntriesScanned: res.EntriesScanned,
-			EntriesPruned:  res.EntriesPruned,
-			Certified:      res.Certified,
-			Interrupted:    res.Interrupted,
-		}
-	}
-	s.mu.RUnlock()
 	if err != nil {
 		s.writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
 	s.met.observeQuery(time.Since(start), res)
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Neighbors:      s.neighbors(res.Neighbors),
+		Scanned:        res.Scanned,
+		Pruning:        res.PruningEfficiency(s.idx.Live()),
+		EntriesScanned: res.EntriesScanned,
+		EntriesPruned:  res.EntriesPruned,
+		Workers:        res.Workers,
+		Certified:      res.Certified,
+		Interrupted:    res.Interrupted,
+	})
 }
 
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
@@ -455,14 +486,16 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		}
 		constraints[i] = sigtable.RangeConstraint{F: f, Threshold: c.Threshold}
 	}
+	par, ok := s.parallelism(w, req.Parallelism)
+	if !ok {
+		return
+	}
 
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
 	start := time.Now()
 
-	s.mu.RLock()
-	res, err := s.idx.RangeQuery(ctx, target, constraints)
-	s.mu.RUnlock()
+	res, err := s.idx.RangeQuery(ctx, target, constraints, sigtable.RangeOptions{Parallelism: par})
 	if err != nil {
 		s.writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
@@ -477,6 +510,7 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		Scanned:        res.Scanned,
 		EntriesScanned: res.EntriesScanned,
 		EntriesPruned:  res.EntriesPruned,
+		Workers:        res.Workers,
 		Interrupted:    res.Interrupted,
 	})
 }
@@ -498,29 +532,29 @@ func (s *Server) handleMulti(w http.ResponseWriter, r *http.Request) {
 		}
 		targets[i] = t
 	}
+	par, ok := s.parallelism(w, req.Parallelism)
+	if !ok {
+		return
+	}
 
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
 	start := time.Now()
 
-	s.mu.RLock()
 	res, err := s.idx.MultiQuery(ctx, targets, f, sigtable.QueryOptions{
 		K:               req.K,
 		MaxScanFraction: req.MaxScanFraction,
+		Parallelism:     par,
 	})
-	var nbrs []Neighbor
-	if err == nil {
-		nbrs = s.neighbors(res.Neighbors)
-	}
-	s.mu.RUnlock()
 	if err != nil {
 		s.writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
 	s.met.observeMulti(time.Since(start), res)
 	writeJSON(w, http.StatusOK, MultiResponse{
-		Neighbors:   nbrs,
+		Neighbors:   s.neighbors(res.Neighbors),
 		Scanned:     res.Scanned,
+		Workers:     res.Workers,
 		Certified:   res.Certified,
 		Interrupted: res.Interrupted,
 	})
@@ -536,9 +570,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	s.mu.Lock()
 	id := s.idx.Insert(target)
-	s.mu.Unlock()
 	s.met.inserts.Inc()
 	s.met.insertLatency.Observe(time.Since(start).Seconds())
 	writeJSON(w, http.StatusOK, InsertResponse{TID: id})
@@ -550,9 +582,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	s.mu.Lock()
 	deleted := s.idx.Delete(req.TID)
-	s.mu.Unlock()
 	if !deleted {
 		s.writeErr(w, http.StatusNotFound, CodeNotFound, "tid %d not present or already deleted", req.TID)
 		return
@@ -575,9 +605,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.mu.RLock()
 	ex := s.idx.Explain(target, f)
-	s.mu.RUnlock()
 
 	const headLimit = 25
 	entries := ex.Entries

@@ -1,0 +1,42 @@
+package txn
+
+import "sigtable/internal/bitset"
+
+// Bitmap scoring kernel. A query materializes its target once as a
+// membership bitmap over the item universe; each candidate is then
+// scored with O(len(candidate)) word probes instead of the
+// O(len(target)+len(candidate)) sorted merge of MatchHamming. Because
+// a Transaction is strictly increasing (no duplicates), SetBits
+// followed by ClearBits restores the bitmap to all-zero in
+// O(len(target)) — the property that lets query paths pool bitmaps
+// without ever paying a full O(universe) reset.
+
+// SetBits turns on the bit of every item of t. The set's capacity must
+// cover the transaction's items.
+func (t Transaction) SetBits(s *bitset.Set) {
+	for _, it := range t {
+		s.Set(int(it))
+	}
+}
+
+// ClearBits turns off the bit of every item of t, undoing SetBits.
+func (t Transaction) ClearBits(s *bitset.Set) {
+	for _, it := range t {
+		s.Clear(int(it))
+	}
+}
+
+// MatchHammingBits computes the match count and hamming distance
+// between a transaction and a target represented as a membership
+// bitmap of targetLen items. Every item of tr must be within the
+// bitmap's capacity (the dataset validates items against the universe
+// on append).
+func MatchHammingBits(target *bitset.Set, targetLen int, tr Transaction) (match, hamming int) {
+	x := 0
+	for _, it := range tr {
+		if target.TestUnchecked(int(it)) {
+			x++
+		}
+	}
+	return x, targetLen + len(tr) - 2*x
+}

@@ -15,6 +15,8 @@ import (
 // activation threshold and entry TID lists). The dataset is not
 // included. An index with pending deletes must be Rebuilt first.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	return ix.table.WriteTo(w)
 }
 
@@ -30,23 +32,40 @@ func ReadIndex(r io.Reader, data *Dataset) (*Index, error) {
 	return &Index{table: table}, nil
 }
 
-// Dynamic maintenance. Mutations must not run concurrently with
-// queries.
+// Dynamic maintenance. Mutations take the index's exclusive lock, so
+// they are safe to run concurrently with queries: a mutation waits for
+// in-flight queries to drain, and queries started after it observe the
+// updated index.
 
 // Insert adds a transaction to the index and its dataset, returning
 // the assigned TID.
-func (ix *Index) Insert(t Transaction) TID { return ix.table.Insert(t) }
+func (ix *Index) Insert(t Transaction) TID {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.table.Insert(t)
+}
 
 // Delete tombstones a transaction; it stops appearing in results. It
 // reports whether the TID was present and live.
-func (ix *Index) Delete(id TID) bool { return ix.table.Delete(id) }
+func (ix *Index) Delete(id TID) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.table.Delete(id)
+}
 
 // Live reports the number of non-deleted indexed transactions.
-func (ix *Index) Live() int { return ix.table.Live() }
+func (ix *Index) Live() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.table.Live()
+}
 
 // Rebuild compacts tombstones and insert overflows into a fresh index
-// over a fresh, densely renumbered dataset.
+// over a fresh, densely renumbered dataset. The original index remains
+// valid (and queryable) afterwards.
 func (ix *Index) Rebuild() (*Index, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	table, err := ix.table.Rebuild()
 	if err != nil {
 		return nil, err
@@ -57,4 +76,8 @@ func (ix *Index) Rebuild() (*Index, error) {
 // Validate runs a full consistency sweep over the index (entry order,
 // coordinate agreement, counts, tombstones) and returns the first
 // violated invariant, or nil.
-func (ix *Index) Validate() error { return ix.table.Validate() }
+func (ix *Index) Validate() error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.table.Validate()
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 
 	"sigtable/internal/cluster"
 	"sigtable/internal/core"
@@ -106,6 +107,8 @@ type (
 	// RangeConstraint is one (function, threshold) conjunct of a range
 	// query.
 	RangeConstraint = core.RangeConstraint
+	// RangeOptions tunes a range query's execution (parallelism).
+	RangeOptions = core.RangeOptions
 	// RangeResult reports range query matches and cost.
 	RangeResult = core.RangeResult
 	// SortCriterion selects the entry visiting order.
@@ -188,7 +191,13 @@ func (o IndexOptions) withDefaults(n int) IndexOptions {
 }
 
 // Index is the signature table with its construction metadata.
+//
+// An Index is safe for concurrent use: queries take a shared lock and
+// run concurrently with each other (each additionally parallelizable
+// via QueryOptions.Parallelism), while mutations (Insert, Delete) take
+// an exclusive lock and wait for in-flight queries to drain.
 type Index struct {
+	mu    sync.RWMutex
 	table *core.Table
 }
 
@@ -246,13 +255,29 @@ func BuildIndex(d *Dataset, opt IndexOptions) (*Index, error) {
 func (ix *Index) K() int { return ix.table.K() }
 
 // Len reports the number of indexed transactions.
-func (ix *Index) Len() int { return ix.table.Len() }
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.table.Len()
+}
 
 // NumEntries reports the occupied supercoordinates.
-func (ix *Index) NumEntries() int { return ix.table.NumEntries() }
+func (ix *Index) NumEntries() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.table.NumEntries()
+}
 
 // Signatures returns the item sets of the K signatures (read-only).
 func (ix *Index) Signatures() [][]Item { return ix.table.Partition().Sets() }
+
+// Items returns the transaction stored under id. The returned slice is
+// never mutated by the index, so it stays valid after later mutations.
+func (ix *Index) Items(id TID) Transaction {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.table.Dataset().Get(id)
+}
 
 // Query runs a branch-and-bound k-NN search for the target under f.
 //
@@ -262,6 +287,8 @@ func (ix *Index) Signatures() [][]Item { return ix.table.Partition().Sets() }
 // (unless the optimality certificate already held). A cancelled search
 // is not an error; errors are reserved for invalid options.
 func (ix *Index) Query(ctx context.Context, target Transaction, f SimilarityFunc, opt QueryOptions) (Result, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	return ix.table.Query(ctx, target, f, opt)
 }
 
@@ -269,20 +296,26 @@ func (ix *Index) Query(ctx context.Context, target Transaction, f SimilarityFunc
 // A search interrupted by context cancellation before finding any
 // candidate returns the context's error.
 func (ix *Index) Nearest(ctx context.Context, target Transaction, f SimilarityFunc) (TID, float64, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	return ix.table.Nearest(ctx, target, f)
 }
 
 // RangeQuery returns all transactions meeting every (function,
 // threshold) conjunct. Cancelling the context returns the matches
 // found so far with RangeResult.Interrupted set.
-func (ix *Index) RangeQuery(ctx context.Context, target Transaction, constraints []RangeConstraint) (RangeResult, error) {
-	return ix.table.RangeQuery(ctx, target, constraints)
+func (ix *Index) RangeQuery(ctx context.Context, target Transaction, constraints []RangeConstraint, opt RangeOptions) (RangeResult, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.table.RangeQuery(ctx, target, constraints, opt)
 }
 
 // MultiQuery finds the k transactions maximizing the average similarity
 // to several targets. The context bounds the search exactly as in
 // Query.
 func (ix *Index) MultiQuery(ctx context.Context, targets []Transaction, f SimilarityFunc, opt QueryOptions) (Result, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	return ix.table.MultiQuery(ctx, targets, f, opt)
 }
 
@@ -290,6 +323,8 @@ func (ix *Index) MultiQuery(ctx context.Context, targets []Transaction, f Simila
 // see, without scanning any transactions — the tuning companion to
 // Query.
 func (ix *Index) Explain(target Transaction, f SimilarityFunc) Explanation {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	return ix.table.Explain(target, f)
 }
 
@@ -298,5 +333,6 @@ func (ix *Index) Explain(target Transaction, f SimilarityFunc) Explanation {
 type Explanation = core.Explanation
 
 // Table exposes the underlying core table for advanced use (occupancy
-// statistics, entry inspection).
+// statistics, entry inspection). It bypasses the index's lock: do not
+// use it concurrently with Insert or Delete.
 func (ix *Index) Table() *core.Table { return ix.table }
