@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench bench-all
+.PHONY: build test vet race race-core check bench bench-build bench-all
 
 build:
 	$(GO) build ./...
@@ -18,13 +18,26 @@ vet:
 race:
 	$(GO) test -race ./...
 
-check: vet race
+# The packages with genuinely concurrent internals — the pager's staged
+# writers and sharded pool, the parallel build and search, the parallel
+# support counter — get a dedicated race pass so a failure names the
+# layer directly instead of drowning in the full-suite run.
+race-core:
+	$(GO) test -race ./internal/pager ./internal/core ./internal/mining
 
-# Machine-readable query micro-benchmarks (the numbers BENCH_PR2.json
-# archives): per-query latency/allocations plus the parallelism sweep.
+check: vet race-core race
+
+# Machine-readable micro-benchmarks (the numbers BENCH_PR3.json
+# archives): per-query latency/allocations, the build pipeline serial
+# vs parallel, support counting, and the buffer-pool hammer.
 bench:
-	$(GO) test -run - -bench 'BenchmarkQuery' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_PR2.json
-	@cat BENCH_PR2.json
+	$(GO) test -run - -bench 'BenchmarkQuery|BenchmarkBuildIndex|BenchmarkSupportCount|BenchmarkPoolHammer' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_PR3.json
+	@cat BENCH_PR3.json
+
+# Just the build-pipeline benchmarks (serial vs parallel, memory vs
+# disk) — the quick loop when touching the build path.
+bench-build:
+	$(GO) test -run - -bench 'BenchmarkBuildIndex|BenchmarkSupportCount' -benchmem .
 
 # The full harness: every figure, table and ablation plus the micros.
 bench-all:

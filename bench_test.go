@@ -16,10 +16,12 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"sigtable/internal/experiments"
 	"sigtable/internal/gen"
+	"sigtable/internal/mining"
 	"sigtable/internal/simfun"
 )
 
@@ -352,17 +354,106 @@ func BenchmarkQueryMultiTarget(b *testing.B) {
 	}
 }
 
-func BenchmarkIndexBuild(b *testing.B) {
+// BenchmarkBuildIndex measures the full build pipeline — support
+// counting, clustering, coordinate assignment, grouping, page writes —
+// serial vs parallel (parallel = GOMAXPROCS workers), in memory and
+// disk mode. The serial/parallel pair is the headline BENCH_PR3.json
+// records.
+func BenchmarkBuildIndex(b *testing.B) {
 	g, err := NewGenerator(GeneratorConfig{Seed: 78})
 	if err != nil {
 		b.Fatal(err)
 	}
 	data := g.Dataset(20000)
+	cases := []struct {
+		name string
+		opt  IndexOptions
+	}{
+		{"serial", IndexOptions{SignatureCardinality: 15, BuildParallelism: 1}},
+		{"parallel", IndexOptions{SignatureCardinality: 15}},
+		{"serial-disk", IndexOptions{SignatureCardinality: 15, BuildParallelism: 1, PageSize: 4096, BufferPoolPages: 256}},
+		{"parallel-disk", IndexOptions{SignatureCardinality: 15, PageSize: 4096, BufferPoolPages: 256}},
+	}
+	for _, bc := range cases {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var workers int
+			for i := 0; i < b.N; i++ {
+				idx, err := BuildIndex(data, bc.opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				workers = idx.BuildStats().Workers
+			}
+			b.ReportMetric(float64(workers), "workers")
+		})
+	}
+}
+
+// BenchmarkSupportCount isolates the mining phase: one pass tallying
+// item and 2-itemset supports, serial vs fanned across GOMAXPROCS
+// workers with per-worker count merging.
+func BenchmarkSupportCount(b *testing.B) {
+	g, err := NewGenerator(GeneratorConfig{Seed: 79})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := g.Dataset(50000)
+	for _, bc := range []struct {
+		name string
+		par  int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				counts := mining.Count(data, mining.CountOptions{CountPairs: true, Parallelism: bc.par})
+				if counts.N != data.Len() {
+					b.Fatalf("counted %d of %d", counts.N, data.Len())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPoolHammer drives concurrent disk-mode queries through the
+// sharded clock buffer pool and reports the achieved hit rate and
+// shard-lock contention — the numbers that justify (or refute) the
+// shard count.
+func BenchmarkPoolHammer(b *testing.B) {
+	g, err := NewGenerator(GeneratorConfig{Seed: 80})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := g.Dataset(20000)
+	idx, err := BuildIndex(data, IndexOptions{
+		SignatureCardinality: 12,
+		PageSize:             2048,
+		BufferPoolPages:      512,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]Transaction, 64)
+	for i := range queries {
+		queries[i] = data.Get(TID(i * 17 % data.Len()))
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := BuildIndex(data, IndexOptions{SignatureCardinality: 15}); err != nil {
-			b.Fatal(err)
+	var next int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(atomic.AddInt64(&next, 1))
+			q := queries[i%len(queries)]
+			if _, err := idx.Query(context.Background(), q, Cosine{}, QueryOptions{K: 5}); err != nil {
+				b.Fatal(err)
+			}
 		}
+	})
+	b.StopTimer()
+	pool := idx.Table().Store().Pool()
+	b.ReportMetric(pool.HitRate()*100, "hit%")
+	hits, misses := pool.Stats()
+	if hits+misses > 0 {
+		b.ReportMetric(float64(pool.Contention())/float64(hits+misses)*100, "contended%")
 	}
 }

@@ -3,11 +3,12 @@
 //
 //	sigserver -data baskets.dat [-addr :8080] [-K 15] [-r 1]
 //	          [-query-timeout 5s] [-max-concurrent 64]
+//	          [-build-parallelism 0] [-page-size 0] [-pool-pages 0]
 //
 // Endpoints (see internal/server for bodies):
 //
 //	GET  /v1/stats /v1/metrics
-//	POST /v1/query /v1/range /v1/multi /v1/insert /v1/delete /v1/explain
+//	POST /v1/query /v1/range /v1/multi /v1/insert /v1/delete /v1/explain /v1/rebuild
 //	GET  /debug/pprof/...
 //
 // The unversioned routes remain as deprecated aliases. Example:
@@ -42,6 +43,9 @@ func main() {
 		queryTimeout  = flag.Duration("query-timeout", 5*time.Second, "per-query search deadline (0 disables)")
 		maxConcurrent = flag.Int("max-concurrent", 0, "max in-flight requests (0 = 4×GOMAXPROCS)")
 		queryPar      = flag.Int("query-parallelism", 1, "scan goroutines per search when the request does not choose (1 = serial)")
+		buildPar      = flag.Int("build-parallelism", 0, "index build/rebuild workers (0 = GOMAXPROCS, 1 = serial)")
+		pageSize      = flag.Int("page-size", 0, "store transaction lists on simulated disk pages of this many bytes (0 = in memory)")
+		poolPages     = flag.Int("pool-pages", 0, "sharded clock buffer pool capacity in pages (needs -page-size)")
 		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "shutdown grace period for in-flight requests")
 		quiet         = flag.Bool("quiet", false, "disable per-request access logging")
 	)
@@ -70,17 +74,22 @@ func main() {
 	idx, err := sigtable.BuildIndex(data, sigtable.IndexOptions{
 		SignatureCardinality: *kCard,
 		ActivationThreshold:  *r,
+		PageSize:             *pageSize,
+		BufferPoolPages:      *poolPages,
+		BuildParallelism:     *buildPar,
 	})
 	if err != nil {
 		log.Fatalf("sigserver: building index: %v", err)
 	}
-	log.Printf("sigserver: indexed %d transactions (K=%d, %d entries) in %v; listening on %s",
-		idx.Len(), idx.K(), idx.NumEntries(), time.Since(start).Round(time.Millisecond), *addr)
+	log.Printf("sigserver: indexed %d transactions (K=%d, %d entries, %d build workers) in %v; listening on %s",
+		idx.Len(), idx.K(), idx.NumEntries(), idx.BuildStats().Workers,
+		time.Since(start).Round(time.Millisecond), *addr)
 
 	opts := server.Options{
 		QueryTimeout:     *queryTimeout,
 		MaxConcurrent:    *maxConcurrent,
 		QueryParallelism: *queryPar,
+		BuildParallelism: *buildPar,
 	}
 	if !*quiet {
 		opts.Logger = log.Default()

@@ -36,7 +36,7 @@
 // # Concurrency and parallelism
 //
 // An Index is safe for concurrent use. Queries take a shared lock and
-// run in parallel with each other; Insert, Delete and Rebuild take an
+// run in parallel with each other; Insert, Delete and Compact take an
 // exclusive lock and wait for in-flight queries to drain.
 //
 // Independently of inter-query concurrency, a single search can spread
@@ -48,6 +48,15 @@
 // which the test suite asserts by property testing. Result.Workers
 // reports the engine used; Result.EntriesSpeculated counts work that
 // ran ahead of the deterministic commit order and was discarded.
+//
+// Construction parallelizes the same way: IndexOptions.BuildParallelism
+// (0 = GOMAXPROCS, 1 = serial) fans every build phase — support
+// counting, supercoordinate computation, TID grouping, page writing —
+// across workers, and the built index (entries, TID order, page
+// layout) is identical for every worker count. Index.BuildStats
+// reports the per-phase wall times; Index.Compact rebuilds in place
+// with an explicit worker count, and Index.InsertBatch amortizes the
+// exclusive lock over many inserts.
 //
 // The HTTP serving layer (internal/server, cmd/sigserver) builds on
 // this: every request runs under a configurable deadline, and a

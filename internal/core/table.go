@@ -17,6 +17,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sigtable/internal/pager"
 	"sigtable/internal/signature"
@@ -58,13 +59,35 @@ type BuildOptions struct {
 	// dataset itself is the backing store).
 	PageSize int
 	// BufferPoolPages, when positive with PageSize, routes page reads
-	// through an LRU pool of this capacity.
+	// through a sharded clock buffer pool of this capacity.
 	BufferPoolPages int
-	// Parallelism bounds the goroutines used to compute transaction
-	// supercoordinates during the build. 0 selects GOMAXPROCS; 1 forces
-	// a serial build.
+	// Parallelism bounds the goroutines used by every build phase —
+	// supercoordinate computation, per-entry TID grouping and page
+	// writing. 0 selects GOMAXPROCS; 1 forces a serial build. The
+	// built table (entries, TID order, page layout) is identical for
+	// every value.
 	Parallelism int
 }
+
+// BuildStats reports how long each build phase took and how many
+// workers ran it — the wall-time breakdown /v1/stats and the
+// sigtable_build_* gauges expose.
+type BuildStats struct {
+	// Coords is the supercoordinate computation phase.
+	Coords time.Duration
+	// Group is the per-entry TID grouping (including the coordinate
+	// sort).
+	Group time.Duration
+	// Write is the page staging + installing phase (zero in memory
+	// mode).
+	Write time.Duration
+	// Workers is the resolved worker count the build ran with (1 =
+	// serial).
+	Workers int
+}
+
+// Total is the summed wall time of the core build phases.
+func (s BuildStats) Total() time.Duration { return s.Coords + s.Group + s.Write }
 
 // Table is the signature table index over one dataset. A Table must
 // not be copied after first use (it embeds pools).
@@ -77,6 +100,9 @@ type Table struct {
 	store   *pager.Store // nil in memory mode
 	live    int          // non-deleted transactions
 	deleted []bool       // tombstones by TID; nil until the first Delete
+
+	buildPar   int        // requested build parallelism, reused by Rebuild
+	buildStats BuildStats // phase wall times of the constructing Build
 
 	// Per-query buffer pools (see scratch.go). Zero values are valid,
 	// so every Table construction path (Build, ReadTable, Rebuild)
@@ -103,48 +129,42 @@ func Build(data *txn.Dataset, part *signature.Partition, opt BuildOptions) (*Tab
 	}
 
 	t := &Table{
-		part:    part,
-		r:       r,
-		data:    data,
-		byCoord: make(map[signature.Coord]*Entry),
-		live:    data.Len(),
+		part:     part,
+		r:        r,
+		data:     data,
+		live:     data.Len(),
+		buildPar: opt.Parallelism,
 	}
 
-	coords := computeCoords(data, part, r, opt.Parallelism)
-	for i, c := range coords {
-		e := t.byCoord[c]
-		if e == nil {
-			e = &Entry{Coord: c}
-			t.byCoord[c] = e
-			t.entries = append(t.entries, e)
-		}
-		e.tids = append(e.tids, txn.TID(i))
-		e.Count++
-	}
+	workers := buildWorkers(data.Len(), opt.Parallelism)
+	t.buildStats.Workers = workers
 
+	start := time.Now()
+	coords := computeCoords(data, part, r, workers)
+	t.buildStats.Coords = time.Since(start)
+
+	start = time.Now()
+	t.entries, t.byCoord = groupCoords(coords, workers)
 	// Deterministic entry order independent of insertion.
 	sort.Slice(t.entries, func(i, j int) bool { return t.entries[i].Coord < t.entries[j].Coord })
+	t.buildStats.Group = time.Since(start)
 
 	if opt.PageSize > 0 {
+		start = time.Now()
 		t.store = pager.NewStore(opt.PageSize)
 		if opt.BufferPoolPages > 0 {
 			t.store.AttachPool(opt.BufferPoolPages)
 		}
-		for _, e := range t.entries {
-			txns := make([]txn.Transaction, len(e.tids))
-			for j, id := range e.tids {
-				txns[j] = data.Get(id)
-			}
-			list, err := t.store.WriteList(e.tids, txns)
-			if err != nil {
-				return nil, fmt.Errorf("core: writing entry %#x: %w", e.Coord, err)
-			}
-			e.list = list
-			e.tids = nil // transactions now live on "disk"
+		if err := writeEntryLists(t.store, data, t.entries, workers); err != nil {
+			return nil, err
 		}
+		t.buildStats.Write = time.Since(start)
 	}
 	return t, nil
 }
+
+// BuildStats reports the constructing build's phase wall times.
+func (t *Table) BuildStats() BuildStats { return t.buildStats }
 
 // Partition returns the signature partition the table was built over.
 func (t *Table) Partition() *signature.Partition { return t.part }

@@ -77,8 +77,16 @@ func (t *Table) IsDeleted(id txn.TID) bool {
 // Rebuild reconstructs the table over the current live transactions,
 // compacting tombstones and (in disk mode) flushing overflow inserts to
 // pages. TIDs are reassigned densely in the returned table's dataset;
-// the receiver remains valid but stale.
+// the receiver remains valid but stale. The rebuild reuses the build
+// parallelism the table was constructed with.
 func (t *Table) Rebuild() (*Table, error) {
+	return t.RebuildParallel(t.buildPar)
+}
+
+// RebuildParallel is Rebuild with an explicit build parallelism
+// (0 = GOMAXPROCS, 1 = serial), the hook the serving layer's
+// /v1/rebuild endpoint threads its per-request worker count through.
+func (t *Table) RebuildParallel(parallelism int) (*Table, error) {
 	compact := txn.NewDataset(t.data.UniverseSize())
 	for i, tr := range t.data.All() {
 		if t.deleted != nil && t.deleted[i] {
@@ -86,9 +94,12 @@ func (t *Table) Rebuild() (*Table, error) {
 		}
 		compact.Append(tr)
 	}
-	opt := BuildOptions{ActivationThreshold: t.r}
+	opt := BuildOptions{ActivationThreshold: t.r, Parallelism: parallelism}
 	if t.store != nil {
 		opt.PageSize = t.store.PageSize()
+		if pool := t.store.Pool(); pool != nil {
+			opt.BufferPoolPages = pool.Capacity()
+		}
 	}
 	nt, err := Build(compact, t.part, opt)
 	if err != nil {

@@ -119,7 +119,17 @@ const (
 	kindCounterFunc
 	kindGaugeFunc
 	kindHistogram
+	kindCounterVecFunc
+	kindGaugeVecFunc
 )
+
+// LabeledValue is one sample of a vec metric: the label value and the
+// metric value, e.g. {Label: "3", Value: 1042} rendered as
+// name{shard="3"} 1042.
+type LabeledValue struct {
+	Label string
+	Value float64
+}
 
 type metric struct {
 	name, help string
@@ -127,6 +137,8 @@ type metric struct {
 	counter    *Counter
 	fn         func() float64
 	hist       *Histogram
+	label      string // vec kinds: the single label name
+	vecFn      func() []LabeledValue
 }
 
 // Registry holds named metrics and renders them in registration order.
@@ -175,6 +187,19 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	r.register(&metric{name: name, help: help, kind: kindGaugeFunc, fn: fn})
 }
 
+// CounterVecFunc registers a single-label counter family whose samples
+// are read from fn at scrape time — the shape per-shard buffer-pool
+// counters want (name{shard="0"} ... name{shard="N-1"}).
+func (r *Registry) CounterVecFunc(name, help, label string, fn func() []LabeledValue) {
+	r.register(&metric{name: name, help: help, kind: kindCounterVecFunc, label: label, vecFn: fn})
+}
+
+// GaugeVecFunc registers a single-label gauge family read from fn at
+// scrape time.
+func (r *Registry) GaugeVecFunc(name, help, label string, fn func() []LabeledValue) {
+	r.register(&metric{name: name, help: help, kind: kindGaugeVecFunc, label: label, vecFn: fn})
+}
+
 // Histogram registers and returns a histogram with the given upper
 // bounds (strictly increasing; +Inf is implicit).
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
@@ -207,6 +232,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			err = writeScalar(w, m, "counter", m.fn())
 		case kindGaugeFunc:
 			err = writeScalar(w, m, "gauge", m.fn())
+		case kindCounterVecFunc:
+			err = writeVec(w, m, "counter")
+		case kindGaugeVecFunc:
+			err = writeVec(w, m, "gauge")
 		case kindHistogram:
 			err = writeHistogram(w, m)
 		}
@@ -233,6 +262,18 @@ func writeScalar(w io.Writer, m *metric, typ string, v float64) error {
 	}
 	_, err := fmt.Fprintf(w, "%s %s\n", m.name, formatFloat(v))
 	return err
+}
+
+func writeVec(w io.Writer, m *metric, typ string) error {
+	if err := writeHeader(w, m, typ); err != nil {
+		return err
+	}
+	for _, lv := range m.vecFn() {
+		if _, err := fmt.Fprintf(w, "%s{%s=%q} %s\n", m.name, m.label, lv.Label, formatFloat(lv.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func writeHistogram(w io.Writer, m *metric) error {

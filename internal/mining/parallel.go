@@ -1,0 +1,71 @@
+package mining
+
+import (
+	"runtime"
+	"sync"
+
+	"sigtable/internal/txn"
+)
+
+// minCountChunk is the smallest per-worker transaction range worth a
+// goroutine: below this the fork/merge overhead dominates the tally
+// loop.
+const minCountChunk = 2048
+
+// countWorkers resolves CountOptions.Parallelism against the dataset
+// size: 0 means GOMAXPROCS, and small inputs always count serially.
+func countWorkers(n, parallelism int) int {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if max := (n + minCountChunk - 1) / minCountChunk; parallelism > max {
+		parallelism = max
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	return parallelism
+}
+
+// countParallel fans the tally over workers with per-worker sharded
+// counts — each worker owns a private item slice and pair map for its
+// contiguous transaction range — then merges by summation. Addition
+// commutes, so the merged counts equal the serial pass exactly,
+// regardless of worker count or scheduling.
+func countParallel(d *txn.Dataset, s *SupportCounts, n int, pairs bool, workers int) {
+	locals := make([]*SupportCounts, workers)
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		local := &SupportCounts{Item: make([]int, len(s.Item))}
+		if pairs {
+			local.Pair = make(map[uint64]int, 1<<12)
+		}
+		locals[w] = local
+		wg.Add(1)
+		go func(local *SupportCounts, lo, hi int) {
+			defer wg.Done()
+			countRange(d, local, lo, hi, pairs)
+		}(local, lo, hi)
+	}
+	wg.Wait()
+	for _, local := range locals {
+		if local == nil {
+			continue
+		}
+		for i, c := range local.Item {
+			s.Item[i] += c
+		}
+		for k, c := range local.Pair {
+			s.Pair[k] += c
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package mining
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sigtable/internal/txn"
+)
+
+func randomCountDataset(rng *rand.Rand, n, universe int) *txn.Dataset {
+	d := txn.NewDataset(universe)
+	for i := 0; i < n; i++ {
+		items := make([]txn.Item, 1+rng.Intn(10))
+		for j := range items {
+			items[j] = txn.Item(rng.Intn(universe))
+		}
+		d.Append(txn.New(items...))
+	}
+	return d
+}
+
+// TestQuickCountParallelMatchesSerial: for arbitrary datasets, sample
+// caps and worker counts, the parallel tally equals the serial pass
+// exactly — same N, same item counts, same pair map.
+func TestQuickCountParallelMatchesSerial(t *testing.T) {
+	// Drop the chunk gate so small property-test datasets actually
+	// exercise the fan-out path.
+	prop := func(seed int64, sampleRaw, workersRaw uint8, pairs bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomCountDataset(rng, 200+rng.Intn(400), 20+rng.Intn(40))
+		opt := CountOptions{CountPairs: pairs}
+		if sampleRaw%3 == 0 {
+			opt.MaxSample = 1 + int(sampleRaw)
+		}
+		serial := Count(d, opt)
+
+		for _, workers := range []int{2, 3, 2 + int(workersRaw)%14, 0} {
+			popt := opt
+			popt.Parallelism = workers
+			parallel := countForced(d, popt)
+			if parallel.N != serial.N {
+				t.Logf("workers=%d: N %d != %d", workers, parallel.N, serial.N)
+				return false
+			}
+			for i := range serial.Item {
+				if parallel.Item[i] != serial.Item[i] {
+					t.Logf("workers=%d: item %d count %d != %d", workers, i, parallel.Item[i], serial.Item[i])
+					return false
+				}
+			}
+			if len(parallel.Pair) != len(serial.Pair) {
+				t.Logf("workers=%d: %d pairs != %d", workers, len(parallel.Pair), len(serial.Pair))
+				return false
+			}
+			for k, c := range serial.Pair {
+				if parallel.Pair[k] != c {
+					t.Logf("workers=%d: pair %d count %d != %d", workers, k, parallel.Pair[k], c)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// countForced runs Count with the small-input serial gate bypassed, so
+// the parallel merge path is exercised even on test-sized datasets.
+func countForced(d *txn.Dataset, opt CountOptions) *SupportCounts {
+	n := d.Len()
+	if opt.MaxSample > 0 && opt.MaxSample < n {
+		n = opt.MaxSample
+	}
+	s := &SupportCounts{N: n, Item: make([]int, d.UniverseSize())}
+	if opt.CountPairs {
+		s.Pair = make(map[uint64]int, 64)
+	}
+	workers := opt.Parallelism
+	if workers <= 0 {
+		workers = 4
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		countRange(d, s, 0, n, opt.CountPairs)
+		return s
+	}
+	countParallel(d, s, n, opt.CountPairs, workers)
+	return s
+}
+
+// TestCountWorkersGate pins the serial gate: small inputs never fan
+// out, explicit parallelism is honored up to the chunk bound.
+func TestCountWorkersGate(t *testing.T) {
+	if got := countWorkers(100, 8); got != 1 {
+		t.Fatalf("countWorkers(100, 8) = %d, want 1 (input below one chunk)", got)
+	}
+	if got := countWorkers(10*minCountChunk, 4); got != 4 {
+		t.Fatalf("countWorkers = %d, want 4", got)
+	}
+	if got := countWorkers(3*minCountChunk, 64); got != 3 {
+		t.Fatalf("countWorkers = %d, want chunk-bounded 3", got)
+	}
+	if got := countWorkers(10*minCountChunk, 1); got != 1 {
+		t.Fatalf("countWorkers = %d, want 1 for explicit serial", got)
+	}
+}

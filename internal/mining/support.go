@@ -69,6 +69,12 @@ type CountOptions struct {
 	// CountPairs enables 2-itemset counting (needed for signature
 	// construction, skippable when only item supports are wanted).
 	CountPairs bool
+	// Parallelism bounds the goroutines tallying counts: 0 selects
+	// GOMAXPROCS, 1 forces the serial pass. Workers count disjoint
+	// transaction ranges into private item slices and pair maps that
+	// are summed at the end, so the result is identical to the serial
+	// pass for every worker count.
+	Parallelism int
 }
 
 // Count performs a single pass over the dataset and tallies item (and
@@ -85,12 +91,22 @@ func Count(d *txn.Dataset, opt CountOptions) *SupportCounts {
 	if opt.CountPairs {
 		s.Pair = make(map[uint64]int, 1<<16)
 	}
-	for i := 0; i < n; i++ {
+	if workers := countWorkers(n, opt.Parallelism); workers > 1 {
+		countParallel(d, s, n, opt.CountPairs, workers)
+		return s
+	}
+	countRange(d, s, 0, n, opt.CountPairs)
+	return s
+}
+
+// countRange tallies transactions [lo, hi) into s.
+func countRange(d *txn.Dataset, s *SupportCounts, lo, hi int, pairs bool) {
+	for i := lo; i < hi; i++ {
 		t := d.Get(txn.TID(i))
 		for _, it := range t {
 			s.Item[it]++
 		}
-		if !opt.CountPairs {
+		if !pairs {
 			continue
 		}
 		for a := 0; a < len(t); a++ {
@@ -99,7 +115,6 @@ func Count(d *txn.Dataset, opt CountOptions) *SupportCounts {
 			}
 		}
 	}
-	return s
 }
 
 // FrequentPairs returns all pairs whose support is at least minSupport,

@@ -2,19 +2,23 @@ package pager
 
 import "testing"
 
-func TestBufferPoolLRUEviction(t *testing.T) {
-	p := NewBufferPool(2)
+// TestBufferPoolClockEviction pins the second-chance semantics on a
+// single shard: pages enter with their reference bit clear, a Get sets
+// it, and the sweep evicts the first unreferenced frame — so a
+// re-referenced page survives a one-shot insert.
+func TestBufferPoolClockEviction(t *testing.T) {
+	p := NewBufferPoolShards(2, 1)
 	p.Put(1, []byte{1})
 	p.Put(2, []byte{2})
-	if _, ok := p.Get(1); !ok { // 1 becomes MRU
+	if _, ok := p.Get(1); !ok { // 1 earns its reference bit
 		t.Fatal("page 1 missing")
 	}
-	p.Put(3, []byte{3}) // evicts 2 (LRU)
+	p.Put(3, []byte{3}) // sweep clears 1's bit, evicts unreferenced 2
 	if _, ok := p.Get(2); ok {
-		t.Fatal("LRU page 2 not evicted")
+		t.Fatal("unreferenced page 2 not evicted")
 	}
 	if _, ok := p.Get(1); !ok {
-		t.Fatal("MRU page 1 evicted")
+		t.Fatal("referenced page 1 evicted")
 	}
 	if _, ok := p.Get(3); !ok {
 		t.Fatal("new page 3 missing")
@@ -25,7 +29,7 @@ func TestBufferPoolLRUEviction(t *testing.T) {
 }
 
 func TestBufferPoolUpdateExisting(t *testing.T) {
-	p := NewBufferPool(2)
+	p := NewBufferPoolShards(2, 1)
 	p.Put(1, []byte{1})
 	p.Put(1, []byte{9})
 	got, ok := p.Get(1)
@@ -57,4 +61,54 @@ func TestBufferPoolCapacityPanic(t *testing.T) {
 		}
 	}()
 	NewBufferPool(0)
+}
+
+// TestBufferPoolSharding checks the shard layout invariants: power-of-
+// two shard count clamped to capacity, full capacity distributed, and
+// per-shard stats summing to the totals.
+func TestBufferPoolSharding(t *testing.T) {
+	p := NewBufferPoolShards(10, 4)
+	if got := p.Shards(); got != 4 {
+		t.Fatalf("Shards = %d, want 4", got)
+	}
+	// A pool never gets more shards than pages.
+	if got := NewBufferPoolShards(3, 8).Shards(); got != 2 {
+		t.Fatalf("Shards = %d for capacity 3, want 2", got)
+	}
+	// Non-power-of-two shard counts round down.
+	if got := NewBufferPoolShards(100, 7).Shards(); got != 4 {
+		t.Fatalf("Shards = %d for shards=7, want 4", got)
+	}
+
+	// Fill past capacity; residency must cap at capacity with every
+	// page retrievable-or-evicted consistently.
+	for id := PageID(0); id < 40; id++ {
+		p.Put(id, []byte{byte(id)})
+	}
+	if p.Len() > 10 {
+		t.Fatalf("Len = %d exceeds capacity 10", p.Len())
+	}
+	hits, misses := int64(0), int64(0)
+	for id := PageID(0); id < 40; id++ {
+		if data, ok := p.Get(id); ok {
+			if data[0] != byte(id) {
+				t.Fatalf("page %d holds %v", id, data)
+			}
+			hits++
+		} else {
+			misses++
+		}
+	}
+	gotHits, gotMisses := p.Stats()
+	if gotHits != hits || gotMisses != misses {
+		t.Fatalf("Stats = (%d, %d), counted (%d, %d)", gotHits, gotMisses, hits, misses)
+	}
+	var shardHits, shardMisses int64
+	for _, st := range p.ShardStats() {
+		shardHits += st.Hits
+		shardMisses += st.Misses
+	}
+	if shardHits != hits || shardMisses != misses {
+		t.Fatalf("ShardStats sum = (%d, %d), want (%d, %d)", shardHits, shardMisses, hits, misses)
+	}
 }

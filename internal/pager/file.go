@@ -45,16 +45,38 @@ func (s *Store) Close() error {
 func (b *fileBackend) slotSize() int64 { return int64(b.pageSize) + 4 }
 
 func (b *fileBackend) append(data []byte) (PageID, error) {
+	id, err := b.reserve(1)
+	if err != nil {
+		return 0, err
+	}
+	return id, b.writeAt(id, data)
+}
+
+func (b *fileBackend) reserve(n int) (PageID, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	base := b.count
+	b.count += n
+	return PageID(base), nil
+}
+
+// writeAt fills a reserved slot. os.File.WriteAt is positional and
+// safe for concurrent use, so the mutex is only held for the bounds
+// check, letting installers on disjoint slots overlap their I/O.
+func (b *fileBackend) writeAt(id PageID, data []byte) error {
+	b.mu.Lock()
+	count := b.count
+	b.mu.Unlock()
+	if int(id) >= count {
+		return fmt.Errorf("pager: write to unreserved page %d", id)
+	}
 	slot := make([]byte, b.slotSize())
 	binary.LittleEndian.PutUint32(slot, uint32(len(data)))
 	copy(slot[4:], data)
-	if _, err := b.f.WriteAt(slot, int64(b.count)*b.slotSize()); err != nil {
-		return 0, fmt.Errorf("pager: writing page %d: %w", b.count, err)
+	if _, err := b.f.WriteAt(slot, int64(id)*b.slotSize()); err != nil {
+		return fmt.Errorf("pager: writing page %d: %w", id, err)
 	}
-	b.count++
-	return PageID(b.count - 1), nil
+	return nil
 }
 
 func (b *fileBackend) read(id PageID) ([]byte, error) {

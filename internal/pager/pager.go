@@ -14,6 +14,7 @@ package pager
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"sigtable/internal/txn"
@@ -40,15 +41,33 @@ type Stats struct {
 // file.
 type backend interface {
 	append(data []byte) (PageID, error)
+	// reserve extends the page space by n pages and returns the first
+	// new PageID; the pages hold no payload until writeAt fills them.
+	reserve(n int) (PageID, error)
+	// writeAt fills a previously reserved page. Concurrent writeAt
+	// calls on distinct PageIDs are safe; writing the same page twice
+	// or racing a writeAt with a read of that page is not.
+	writeAt(id PageID, data []byte) error
 	read(id PageID) ([]byte, error)
 	numPages() int
 }
 
-// Store is an append-only page store with read accounting. Writes
-// (WriteList, AttachPool) must not race with anything; reads
-// (ScanList) may run concurrently once writing is done — the counters
-// are atomic and the buffer pool locks internally. (The file backend
-// serializes reads internally.)
+// Store is a page store with read accounting. Two write disciplines
+// coexist:
+//
+//   - WriteList appends pages one list at a time and must not run
+//     concurrently with anything (the serial build path).
+//   - The staged API (StageList → ReservePages → InstallList) splits
+//     encoding from placement so many goroutines can write at once:
+//     StageList calls are independent, ReservePages hands out disjoint
+//     contiguous PageID ranges under the backend's lock, and
+//     InstallList calls on disjoint ranges run concurrently. This is
+//     how the parallel index build keeps every core busy while
+//     producing the exact page layout of a serial build.
+//
+// Reads (ScanList) may run concurrently with each other once the pages
+// they touch are written — the counters are atomic and the buffer pool
+// locks internally. AttachPool must not race with reads or writes.
 type Store struct {
 	pageSize int
 	back     backend
@@ -80,26 +99,57 @@ func (s *Store) PageSize() int { return s.pageSize }
 // NumPages reports how many pages have been allocated.
 func (s *Store) NumPages() int { return s.back.numPages() }
 
-// memBackend keeps pages in process memory.
+// memBackend keeps pages in process memory. The RWMutex guards the
+// slice header: reserve (which may reallocate) takes it exclusively,
+// while reads and writes of already reserved slots share it — writers
+// to distinct slots never block each other.
 type memBackend struct {
+	mu    sync.RWMutex
 	pages [][]byte
 }
 
 func (m *memBackend) append(data []byte) (PageID, error) {
+	id, err := m.reserve(1)
+	if err != nil {
+		return 0, err
+	}
+	return id, m.writeAt(id, data)
+}
+
+func (m *memBackend) reserve(n int) (PageID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	base := len(m.pages)
+	m.pages = append(m.pages, make([][]byte, n)...)
+	return PageID(base), nil
+}
+
+func (m *memBackend) writeAt(id PageID, data []byte) error {
 	page := make([]byte, len(data))
 	copy(page, data)
-	m.pages = append(m.pages, page)
-	return PageID(len(m.pages) - 1), nil
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if int(id) >= len(m.pages) {
+		return fmt.Errorf("pager: write to unreserved page %d", id)
+	}
+	m.pages[id] = page
+	return nil
 }
 
 func (m *memBackend) read(id PageID) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if int(id) >= len(m.pages) {
 		return nil, fmt.Errorf("pager: read of unallocated page %d", id)
 	}
 	return m.pages[id], nil
 }
 
-func (m *memBackend) numPages() int { return len(m.pages) }
+func (m *memBackend) numPages() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.pages)
+}
 
 // Stats returns a snapshot of the I/O counters.
 func (s *Store) Stats() Stats {
@@ -176,23 +226,26 @@ type List struct {
 	Count int // number of transactions in the list
 }
 
-// WriteList serializes transactions (with their TIDs) into fresh pages
-// and returns the handle. Encoding per record: uvarint TID, uvarint
-// length, then uvarint item deltas. A record never spans pages; a
-// record larger than the page size is rejected.
-func (s *Store) WriteList(tids []txn.TID, txns []txn.Transaction) (List, error) {
+// encodeList serializes transactions (with their TIDs) into page
+// payloads. Encoding per record: uvarint TID, uvarint length, then
+// uvarint item deltas. A record never spans pages; a record larger
+// than the page size is rejected. Both write disciplines share this
+// encoder, which is what makes the staged layout byte-identical to
+// the serial one.
+func encodeList(pageSize int, tids []txn.TID, txns []txn.Transaction) ([][]byte, error) {
 	if len(tids) != len(txns) {
-		return List{}, fmt.Errorf("pager: %d tids for %d transactions", len(tids), len(txns))
+		return nil, fmt.Errorf("pager: %d tids for %d transactions", len(tids), len(txns))
 	}
-	var list List
-	list.Count = len(txns)
-	buf := make([]byte, 0, s.pageSize)
+	var pages [][]byte
+	buf := make([]byte, 0, pageSize)
 	rec := make([]byte, 0, 256)
 	var tmp [binary.MaxVarintLen64]byte
 
 	flush := func() {
 		if len(buf) > 0 {
-			list.Pages = append(list.Pages, s.appendPage(buf))
+			page := make([]byte, len(buf))
+			copy(page, buf)
+			pages = append(pages, page)
 			buf = buf[:0]
 		}
 	}
@@ -213,16 +266,88 @@ func (s *Store) WriteList(tids []txn.TID, txns []txn.Transaction) (List, error) 
 			rec = append(rec, tmp[:n]...)
 			prev = x
 		}
-		if len(rec) > s.pageSize {
-			return List{}, fmt.Errorf("pager: transaction %d encodes to %d bytes, exceeding page size %d", tids[i], len(rec), s.pageSize)
+		if len(rec) > pageSize {
+			return nil, fmt.Errorf("pager: transaction %d encodes to %d bytes, exceeding page size %d", tids[i], len(rec), pageSize)
 		}
-		if len(buf)+len(rec) > s.pageSize {
+		if len(buf)+len(rec) > pageSize {
 			flush()
 		}
 		buf = append(buf, rec...)
 	}
 	flush()
+	return pages, nil
+}
+
+// WriteList serializes transactions (with their TIDs) into fresh pages
+// and returns the handle. It appends pages immediately, so it must not
+// run concurrently with any other write; use the staged API for
+// concurrent writers.
+func (s *Store) WriteList(tids []txn.TID, txns []txn.Transaction) (List, error) {
+	pages, err := encodeList(s.pageSize, tids, txns)
+	if err != nil {
+		return List{}, err
+	}
+	list := List{Count: len(txns)}
+	for _, p := range pages {
+		list.Pages = append(list.Pages, s.appendPage(p))
+	}
 	return list, nil
+}
+
+// StagedList holds a transaction list encoded into page payloads but
+// not yet placed at PageIDs. Staging is the CPU-heavy half of a list
+// write, and StagedList values are independent, so many goroutines can
+// stage lists at once.
+type StagedList struct {
+	pages [][]byte
+	count int
+}
+
+// NumPages reports how many pages the staged list occupies once
+// installed.
+func (st *StagedList) NumPages() int { return len(st.pages) }
+
+// StageList encodes a transaction list into page payloads without
+// allocating PageIDs. Safe to call concurrently with other StageList,
+// ReservePages and InstallList calls.
+func (s *Store) StageList(tids []txn.TID, txns []txn.Transaction) (*StagedList, error) {
+	pages, err := encodeList(s.pageSize, tids, txns)
+	if err != nil {
+		return nil, err
+	}
+	return &StagedList{pages: pages, count: len(txns)}, nil
+}
+
+// ReservePages allocates n contiguous PageIDs and returns the first.
+// Reservations from concurrent callers never overlap, but callers
+// wanting a deterministic layout (the parallel build does) should
+// reserve from a single goroutine in placement order.
+func (s *Store) ReservePages(n int) PageID {
+	id, err := s.back.reserve(n)
+	if err != nil {
+		panic(fmt.Sprintf("pager: reserving %d pages: %v", n, err))
+	}
+	return id
+}
+
+// InstallList writes a staged list's pages at the contiguous PageID
+// range [base, base+NumPages()) — which must have been obtained from
+// ReservePages — and returns the list handle. InstallList calls on
+// disjoint ranges are safe to run concurrently.
+func (s *Store) InstallList(base PageID, st *StagedList) List {
+	list := List{Count: st.count, Pages: make([]PageID, len(st.pages))}
+	for i, p := range st.pages {
+		if len(p) > s.pageSize {
+			panic(fmt.Sprintf("pager: page payload %d exceeds page size %d", len(p), s.pageSize))
+		}
+		id := base + PageID(i)
+		if err := s.back.writeAt(id, p); err != nil {
+			panic(fmt.Sprintf("pager: installing page %d: %v", id, err))
+		}
+		s.writes.Add(1)
+		list.Pages[i] = id
+	}
+	return list
 }
 
 // ScanList decodes every transaction of a list, invoking fn for each.

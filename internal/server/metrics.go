@@ -1,11 +1,13 @@
 package server
 
 import (
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"sigtable"
 	"sigtable/internal/metrics"
+	"sigtable/internal/pager"
 )
 
 // opMetrics instruments the serving layer with the quantities the
@@ -20,6 +22,7 @@ type opMetrics struct {
 	multiQueries *metrics.Counter
 	inserts      *metrics.Counter
 	deletes      *metrics.Counter
+	rebuilds     *metrics.Counter
 	errors       *metrics.Counter
 	interrupted  *metrics.Counter
 	httpRequests *metrics.Counter
@@ -35,11 +38,12 @@ type opMetrics struct {
 	entriesSpeculated *metrics.Counter
 
 	// Latency histograms (seconds).
-	queryLatency  *metrics.Histogram
-	rangeLatency  *metrics.Histogram
-	multiLatency  *metrics.Histogram
-	insertLatency *metrics.Histogram
-	deleteLatency *metrics.Histogram
+	queryLatency   *metrics.Histogram
+	rangeLatency   *metrics.Histogram
+	multiLatency   *metrics.Histogram
+	insertLatency  *metrics.Histogram
+	deleteLatency  *metrics.Histogram
+	rebuildLatency *metrics.Histogram
 
 	// Scanned-transaction-count histograms: the per-query cost
 	// distribution Figures 10–13 plot.
@@ -64,6 +68,7 @@ func newOpMetrics(reg *metrics.Registry, s *Server) *opMetrics {
 		multiQueries: reg.Counter("sigtable_multi_queries_total", "multi-target queries served"),
 		inserts:      reg.Counter("sigtable_inserts_total", "transactions inserted"),
 		deletes:      reg.Counter("sigtable_deletes_total", "transactions tombstoned"),
+		rebuilds:     reg.Counter("sigtable_rebuilds_total", "in-place index rebuilds served"),
 		errors:       reg.Counter("sigtable_request_errors_total", "requests answered with an error envelope"),
 		interrupted:  reg.Counter("sigtable_queries_interrupted_total", "searches cut short by deadline or disconnect"),
 		httpRequests: reg.Counter("sigtable_http_requests_total", "HTTP requests handled"),
@@ -73,11 +78,12 @@ func newOpMetrics(reg *metrics.Registry, s *Server) *opMetrics {
 		txScanned:         reg.Counter("sigtable_transactions_scanned_total", "transactions whose similarity was evaluated"),
 		entriesSpeculated: reg.Counter("sigtable_entries_speculated_total", "parallel-search entries scanned ahead of the commit frontier and discarded"),
 
-		queryLatency:  reg.Histogram("sigtable_query_duration_seconds", "k-NN query latency", lat),
-		rangeLatency:  reg.Histogram("sigtable_range_duration_seconds", "range query latency", lat),
-		multiLatency:  reg.Histogram("sigtable_multi_duration_seconds", "multi-target query latency", lat),
-		insertLatency: reg.Histogram("sigtable_insert_duration_seconds", "insert latency", lat),
-		deleteLatency: reg.Histogram("sigtable_delete_duration_seconds", "delete latency", lat),
+		queryLatency:   reg.Histogram("sigtable_query_duration_seconds", "k-NN query latency", lat),
+		rangeLatency:   reg.Histogram("sigtable_range_duration_seconds", "range query latency", lat),
+		multiLatency:   reg.Histogram("sigtable_multi_duration_seconds", "multi-target query latency", lat),
+		insertLatency:  reg.Histogram("sigtable_insert_duration_seconds", "insert latency", lat),
+		deleteLatency:  reg.Histogram("sigtable_delete_duration_seconds", "delete latency", lat),
+		rebuildLatency: reg.Histogram("sigtable_rebuild_duration_seconds", "in-place rebuild latency (exclusive-lock window)", lat),
 
 		queryScanned: reg.Histogram("sigtable_query_scanned_transactions", "transactions scanned per k-NN query", scan),
 		rangeScanned: reg.Histogram("sigtable_range_scanned_transactions", "transactions scanned per range query", scan),
@@ -100,26 +106,104 @@ func newOpMetrics(reg *metrics.Registry, s *Server) *opMetrics {
 		return float64(s.data.UniverseSize())
 	})
 
+	// Build-phase wall times of the most recent build (initial
+	// BuildIndex, refreshed by /v1/rebuild).
+	reg.GaugeFunc("sigtable_build_workers", "resolved worker count of the last index build", func() float64 {
+		return float64(s.idx.BuildStats().Workers)
+	})
+	reg.GaugeFunc("sigtable_build_mining_seconds", "support-counting phase wall time of the last build", func() float64 {
+		return s.idx.BuildStats().Mining.Seconds()
+	})
+	reg.GaugeFunc("sigtable_build_partition_seconds", "signature clustering phase wall time of the last build", func() float64 {
+		return s.idx.BuildStats().Partition.Seconds()
+	})
+	reg.GaugeFunc("sigtable_build_coords_seconds", "supercoordinate phase wall time of the last build", func() float64 {
+		return s.idx.BuildStats().Coords.Seconds()
+	})
+	reg.GaugeFunc("sigtable_build_group_seconds", "TID-grouping phase wall time of the last build", func() float64 {
+		return s.idx.BuildStats().Group.Seconds()
+	})
+	reg.GaugeFunc("sigtable_build_write_seconds", "page-writing phase wall time of the last build", func() float64 {
+		return s.idx.BuildStats().Write.Seconds()
+	})
+
 	// Disk-mode I/O counters, sourced from the pager's own atomics.
-	if store := s.idx.Table().Store(); store != nil {
-		reg.CounterFunc("sigtable_pages_read_total", "simulated disk pages fetched", func() float64 {
-			return float64(store.Stats().Reads)
-		})
-		reg.CounterFunc("sigtable_pages_written_total", "simulated disk pages written", func() float64 {
-			return float64(store.Stats().Writes)
-		})
-		reg.CounterFunc("sigtable_bufferpool_misses_total", "page reads that went to disk", func() float64 {
-			return float64(store.Stats().Misses)
-		})
-		reg.CounterFunc("sigtable_bufferpool_hits_total", "page reads absorbed by the buffer pool", func() float64 {
-			st := store.Stats()
-			return float64(st.Reads - st.Misses)
-		})
-		if pool := store.Pool(); pool != nil {
-			reg.GaugeFunc("sigtable_bufferpool_resident_pages", "pages resident in the buffer pool", func() float64 {
-				return float64(pool.Len())
-			})
+	// The store and pool are resolved through the index at every
+	// scrape, never captured: /v1/rebuild swaps the whole table (and
+	// with it store and pool) in place, and a closure over the startup
+	// store would keep exporting the dead one's counters.
+	store := func() *pager.Store { return s.idx.Table().Store() }
+	pool := func() *pager.BufferPool {
+		if st := store(); st != nil {
+			return st.Pool()
 		}
+		return nil
+	}
+	if store() != nil {
+		storeStat := func(f func(pager.Stats) float64) func() float64 {
+			return func() float64 {
+				st := store()
+				if st == nil {
+					return 0
+				}
+				return f(st.Stats())
+			}
+		}
+		reg.CounterFunc("sigtable_pages_read_total", "simulated disk pages fetched",
+			storeStat(func(st pager.Stats) float64 { return float64(st.Reads) }))
+		reg.CounterFunc("sigtable_pages_written_total", "simulated disk pages written",
+			storeStat(func(st pager.Stats) float64 { return float64(st.Writes) }))
+		reg.CounterFunc("sigtable_bufferpool_misses_total", "page reads that went to disk",
+			storeStat(func(st pager.Stats) float64 { return float64(st.Misses) }))
+		reg.CounterFunc("sigtable_bufferpool_hits_total", "page reads absorbed by the buffer pool",
+			storeStat(func(st pager.Stats) float64 { return float64(st.Reads - st.Misses) }))
+	}
+	if pool() != nil {
+		poolStat := func(f func(*pager.BufferPool) float64) func() float64 {
+			return func() float64 {
+				p := pool()
+				if p == nil {
+					return 0
+				}
+				return f(p)
+			}
+		}
+		reg.CounterFunc("sigtable_pool_hits_total", "buffer-pool Gets served from cache",
+			poolStat(func(p *pager.BufferPool) float64 { h, _ := p.Stats(); return float64(h) }))
+		reg.CounterFunc("sigtable_pool_misses_total", "buffer-pool Gets that missed",
+			poolStat(func(p *pager.BufferPool) float64 { _, mi := p.Stats(); return float64(mi) }))
+		reg.CounterFunc("sigtable_pool_contention_total", "pool operations that found their shard lock held",
+			poolStat(func(p *pager.BufferPool) float64 { return float64(p.Contention()) }))
+		reg.GaugeFunc("sigtable_pool_shards", "buffer-pool lock shards",
+			poolStat(func(p *pager.BufferPool) float64 { return float64(p.Shards()) }))
+		reg.GaugeFunc("sigtable_pool_resident_pages", "pages resident across all pool shards",
+			poolStat(func(p *pager.BufferPool) float64 { return float64(p.Len()) }))
+		// Kept under its pre-sharding name for dashboard compatibility.
+		reg.GaugeFunc("sigtable_bufferpool_resident_pages", "pages resident in the buffer pool",
+			poolStat(func(p *pager.BufferPool) float64 { return float64(p.Len()) }))
+
+		poolVec := func(f func(pager.ShardStats) float64) func() []metrics.LabeledValue {
+			return func() []metrics.LabeledValue {
+				p := pool()
+				if p == nil {
+					return nil
+				}
+				stats := p.ShardStats()
+				out := make([]metrics.LabeledValue, len(stats))
+				for i, st := range stats {
+					out[i] = metrics.LabeledValue{Label: strconv.Itoa(i), Value: f(st)}
+				}
+				return out
+			}
+		}
+		reg.CounterVecFunc("sigtable_pool_shard_hits_total", "buffer-pool hits per lock shard", "shard",
+			poolVec(func(st pager.ShardStats) float64 { return float64(st.Hits) }))
+		reg.CounterVecFunc("sigtable_pool_shard_misses_total", "buffer-pool misses per lock shard", "shard",
+			poolVec(func(st pager.ShardStats) float64 { return float64(st.Misses) }))
+		reg.CounterVecFunc("sigtable_pool_shard_contention_total", "contended lock acquisitions per pool shard", "shard",
+			poolVec(func(st pager.ShardStats) float64 { return float64(st.Contended) }))
+		reg.GaugeVecFunc("sigtable_pool_shard_resident_pages", "resident pages per pool shard", "shard",
+			poolVec(func(st pager.ShardStats) float64 { return float64(st.Resident) }))
 	}
 	return m
 }

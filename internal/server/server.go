@@ -5,14 +5,15 @@
 //
 // Versioned endpoints (v1):
 //
-//	GET  /v1/stats                          index statistics
+//	GET  /v1/stats                          index statistics + build phase times
 //	GET  /v1/metrics                        Prometheus text exposition
 //	POST /v1/query   {items, f, k, maxScanFraction, sort}
 //	POST /v1/range   {items, constraints: [{f, threshold}]}
 //	POST /v1/multi   {targets, f, k, maxScanFraction}
-//	POST /v1/insert  {items}
+//	POST /v1/insert  {items} or {batch: [[items], ...]}
 //	POST /v1/delete  {tid}
 //	POST /v1/explain {items, f}
+//	POST /v1/rebuild {parallelism}          in-place compaction
 //
 // The unversioned routes (/query, /stats, ...) remain as deprecated
 // aliases: they serve the same handlers but set a "Deprecation: true"
@@ -87,6 +88,10 @@ type Options struct {
 	// (serial searches), the right default when throughput across
 	// concurrent requests matters more than single-query latency.
 	QueryParallelism int
+	// BuildParallelism is the rebuild worker count applied when a
+	// /v1/rebuild request does not carry its own "parallelism". 0
+	// selects GOMAXPROCS.
+	BuildParallelism int
 	// Logger receives one access-log line per request. nil disables
 	// access logging (request IDs are still assigned).
 	Logger *log.Logger
@@ -146,6 +151,7 @@ func (s *Server) Handler() http.Handler {
 		{"POST", "insert", s.handleInsert},
 		{"POST", "delete", s.handleDelete},
 		{"POST", "explain", s.handleExplain},
+		{"POST", "rebuild", s.handleRebuild},
 	}
 	for _, rt := range routes {
 		mux.HandleFunc(rt.method+" /v1/"+rt.name, rt.h)
@@ -246,14 +252,34 @@ type MultiResponse struct {
 	Interrupted bool       `json:"interrupted"`
 }
 
-// InsertRequest is the /v1/insert body.
+// InsertRequest is the /v1/insert body: either a single transaction
+// (items) or several (batch), not both. A batch is applied under one
+// exclusive-lock acquisition.
 type InsertRequest struct {
-	Items []sigtable.Item `json:"items"`
+	Items []sigtable.Item   `json:"items,omitempty"`
+	Batch [][]sigtable.Item `json:"batch,omitempty"`
 }
 
-// InsertResponse is the /v1/insert reply.
+// InsertResponse is the /v1/insert reply. A single insert answers in
+// TID; a batch answers in TIDs (request order) and leaves TID zero.
 type InsertResponse struct {
-	TID sigtable.TID `json:"tid"`
+	TID  sigtable.TID   `json:"tid"`
+	TIDs []sigtable.TID `json:"tids,omitempty"`
+}
+
+// RebuildRequest is the /v1/rebuild body. Parallelism is the build
+// worker count: 0 falls back to the server's configured default
+// (which itself defaults to GOMAXPROCS).
+type RebuildRequest struct {
+	Parallelism int `json:"parallelism"`
+}
+
+// RebuildResponse is the /v1/rebuild reply.
+type RebuildResponse struct {
+	Live       int     `json:"live"`
+	Entries    int     `json:"entries"`
+	Workers    int     `json:"workers"`
+	DurationMS float64 `json:"durationMs"`
 }
 
 // DeleteRequest is the /v1/delete body.
@@ -291,13 +317,39 @@ type ExplainResponse struct {
 	TotalEntries int            `json:"totalEntries"`
 }
 
+// BuildInfo is the /v1/stats build section: the wall-time breakdown
+// of the most recent index construction (BuildIndex or /v1/rebuild).
+type BuildInfo struct {
+	Workers     int     `json:"workers"`
+	MiningMS    float64 `json:"miningMs"`
+	PartitionMS float64 `json:"partitionMs"`
+	CoordsMS    float64 `json:"coordsMs"`
+	GroupMS     float64 `json:"groupMs"`
+	WriteMS     float64 `json:"writeMs"`
+	TotalMS     float64 `json:"totalMs"`
+}
+
+// PoolInfo is the /v1/stats buffer-pool section (absent in memory mode
+// or without a pool).
+type PoolInfo struct {
+	Shards    int     `json:"shards"`
+	Capacity  int     `json:"capacity"`
+	Resident  int     `json:"resident"`
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	HitRate   float64 `json:"hitRate"`
+	Contended int64   `json:"contended"`
+}
+
 // StatsResponse is the /v1/stats reply.
 type StatsResponse struct {
-	Transactions int `json:"transactions"`
-	Live         int `json:"live"`
-	K            int `json:"k"`
-	Entries      int `json:"entries"`
-	Universe     int `json:"universe"`
+	Transactions int       `json:"transactions"`
+	Live         int       `json:"live"`
+	K            int       `json:"k"`
+	Entries      int       `json:"entries"`
+	Universe     int       `json:"universe"`
+	Build        BuildInfo `json:"build"`
+	Pool         *PoolInfo `json:"pool,omitempty"`
 }
 
 // ErrorInfo is the error envelope payload.
@@ -405,12 +457,37 @@ func (s *Server) neighbors(cands []sigtable.Candidate) []Neighbor {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	bs := s.idx.BuildStats()
 	resp := StatsResponse{
 		Transactions: s.idx.Len(),
 		Live:         s.idx.Live(),
 		K:            s.idx.K(),
 		Entries:      s.idx.NumEntries(),
 		Universe:     s.data.UniverseSize(),
+		Build: BuildInfo{
+			Workers:     bs.Workers,
+			MiningMS:    ms(bs.Mining),
+			PartitionMS: ms(bs.Partition),
+			CoordsMS:    ms(bs.Coords),
+			GroupMS:     ms(bs.Group),
+			WriteMS:     ms(bs.Write),
+			TotalMS:     ms(bs.Total()),
+		},
+	}
+	if store := s.idx.Table().Store(); store != nil {
+		if pool := store.Pool(); pool != nil {
+			hits, misses := pool.Stats()
+			resp.Pool = &PoolInfo{
+				Shards:    pool.Shards(),
+				Capacity:  pool.Capacity(),
+				Resident:  pool.Len(),
+				Hits:      hits,
+				Misses:    misses,
+				HitRate:   pool.HitRate(),
+				Contended: pool.Contention(),
+			}
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -565,6 +642,26 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
+	if len(req.Batch) > 0 {
+		if len(req.Items) > 0 {
+			s.writeErr(w, http.StatusBadRequest, CodeBadRequest, "set either items or batch, not both")
+			return
+		}
+		txns := make([]sigtable.Transaction, len(req.Batch))
+		for i, items := range req.Batch {
+			t, ok := s.target(w, items)
+			if !ok {
+				return
+			}
+			txns[i] = t
+		}
+		start := time.Now()
+		ids := s.idx.InsertBatch(txns)
+		s.met.inserts.Add(int64(len(ids)))
+		s.met.insertLatency.Observe(time.Since(start).Seconds())
+		writeJSON(w, http.StatusOK, InsertResponse{TIDs: ids})
+		return
+	}
 	target, ok := s.target(w, req.Items)
 	if !ok {
 		return
@@ -574,6 +671,40 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	s.met.inserts.Inc()
 	s.met.insertLatency.Observe(time.Since(start).Seconds())
 	writeJSON(w, http.StatusOK, InsertResponse{TID: id})
+}
+
+// handleRebuild compacts the index in place. The exclusive lock is
+// held for the whole rebuild, so this endpoint's latency is the
+// "queries queue behind a compaction" number an operator watches; the
+// sigtable_rebuild_duration_seconds histogram records it.
+func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
+	var req RebuildRequest
+	// An empty body is a rebuild with defaults.
+	if r.ContentLength != 0 && !s.decode(w, r, &req) {
+		return
+	}
+	if req.Parallelism < 0 {
+		s.writeErr(w, http.StatusBadRequest, CodeBadRequest, "parallelism %d must be non-negative", req.Parallelism)
+		return
+	}
+	par := req.Parallelism
+	if par == 0 {
+		par = s.opt.BuildParallelism
+	}
+	start := time.Now()
+	if err := s.idx.Compact(par); err != nil {
+		s.writeErr(w, http.StatusInternalServerError, CodeBadRequest, "rebuild: %v", err)
+		return
+	}
+	d := time.Since(start)
+	s.met.rebuilds.Inc()
+	s.met.rebuildLatency.Observe(d.Seconds())
+	writeJSON(w, http.StatusOK, RebuildResponse{
+		Live:       s.idx.Live(),
+		Entries:    s.idx.NumEntries(),
+		Workers:    s.idx.BuildStats().Workers,
+		DurationMS: float64(d.Nanoseconds()) / 1e6,
+	})
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {

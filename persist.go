@@ -45,6 +45,20 @@ func (ix *Index) Insert(t Transaction) TID {
 	return ix.table.Insert(t)
 }
 
+// InsertBatch adds several transactions under one exclusive-lock
+// acquisition — much cheaper than per-transaction Inserts when queries
+// are in flight, since each exclusive acquisition drains them. TIDs
+// are returned in argument order.
+func (ix *Index) InsertBatch(ts []Transaction) []TID {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ids := make([]TID, len(ts))
+	for i, t := range ts {
+		ids[i] = ix.table.Insert(t)
+	}
+	return ids
+}
+
 // Delete tombstones a transaction; it stops appearing in results. It
 // reports whether the TID was present and live.
 func (ix *Index) Delete(id TID) bool {
@@ -62,7 +76,9 @@ func (ix *Index) Live() int {
 
 // Rebuild compacts tombstones and insert overflows into a fresh index
 // over a fresh, densely renumbered dataset. The original index remains
-// valid (and queryable) afterwards.
+// valid (and queryable) afterwards. It reuses the build parallelism
+// the table was constructed with; see Compact for the in-place
+// variant with an explicit worker count.
 func (ix *Index) Rebuild() (*Index, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
@@ -70,7 +86,29 @@ func (ix *Index) Rebuild() (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{table: table}, nil
+	stats := ix.buildStats
+	stats.coreStats(table.BuildStats())
+	return &Index{table: table, buildStats: stats}, nil
+}
+
+// Compact rebuilds the index in place over its live transactions,
+// compacting tombstones and flushing insert overflows to pages, with
+// an explicit build parallelism (0 = GOMAXPROCS, 1 = serial). It holds
+// the exclusive lock for the whole rebuild — queries queue behind it —
+// the simple trade-off documented in DESIGN.md §4c; a copy-then-swap
+// scheme could shrink the exclusive window to the pointer swap at the
+// cost of doubling peak memory. TIDs are renumbered densely, exactly
+// as by Rebuild.
+func (ix *Index) Compact(parallelism int) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	table, err := ix.table.RebuildParallel(parallelism)
+	if err != nil {
+		return err
+	}
+	ix.table = table
+	ix.buildStats.coreStats(table.BuildStats())
+	return nil
 }
 
 // Validate runs a full consistency sweep over the index (entry order,

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"sigtable/internal/cluster"
 	"sigtable/internal/core"
@@ -167,8 +168,14 @@ type IndexOptions struct {
 	// PageSize, when positive, stores transaction lists on simulated
 	// disk pages of this many bytes and accounts page I/O per query.
 	PageSize int
-	// BufferPoolPages, with PageSize, adds an LRU buffer pool.
+	// BufferPoolPages, with PageSize, adds a sharded clock-sweep
+	// buffer pool of this capacity.
 	BufferPoolPages int
+	// BuildParallelism bounds the goroutines used by the build
+	// pipeline: support counting, supercoordinate computation, TID
+	// grouping and page writing. 0 selects GOMAXPROCS; 1 forces a
+	// serial build. The resulting index is identical for every value.
+	BuildParallelism int
 }
 
 func (o IndexOptions) withDefaults(n int) IndexOptions {
@@ -194,11 +201,51 @@ func (o IndexOptions) withDefaults(n int) IndexOptions {
 //
 // An Index is safe for concurrent use: queries take a shared lock and
 // run concurrently with each other (each additionally parallelizable
-// via QueryOptions.Parallelism), while mutations (Insert, Delete) take
-// an exclusive lock and wait for in-flight queries to drain.
+// via QueryOptions.Parallelism), while mutations (Insert, Delete,
+// Compact) take an exclusive lock and wait for in-flight queries to
+// drain.
 type Index struct {
-	mu    sync.RWMutex
-	table *core.Table
+	mu         sync.RWMutex
+	table      *core.Table
+	buildStats BuildStats
+}
+
+// BuildStats is the wall-time breakdown of index construction, phase
+// by phase. Mining and Partition run once per BuildIndex; the core
+// phases (Coords, Group, Write) also rerun on every Compact or
+// Rebuild, which refresh those fields.
+type BuildStats struct {
+	// Mining is the sampled 2-itemset support counting phase.
+	Mining time.Duration
+	// Partition is the signature clustering phase.
+	Partition time.Duration
+	// Coords is the supercoordinate computation phase.
+	Coords time.Duration
+	// Group is the per-entry TID grouping phase.
+	Group time.Duration
+	// Write is the page staging and installing phase (zero in memory
+	// mode).
+	Write time.Duration
+	// Workers is the resolved build worker count (1 = serial).
+	Workers int
+}
+
+// Total is the summed wall time across all build phases.
+func (s BuildStats) Total() time.Duration {
+	return s.Mining + s.Partition + s.Coords + s.Group + s.Write
+}
+
+// coreStats folds a core build's phase times into the index stats.
+func (s *BuildStats) coreStats(cs core.BuildStats) {
+	s.Coords, s.Group, s.Write, s.Workers = cs.Coords, cs.Group, cs.Write, cs.Workers
+}
+
+// BuildStats reports the construction wall times of the most recent
+// build (initial BuildIndex, refreshed by Compact).
+func (ix *Index) BuildStats() BuildStats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.buildStats
 }
 
 // BuildIndex constructs a signature table over the dataset:
@@ -216,20 +263,27 @@ func BuildIndex(d *Dataset, opt IndexOptions) (*Index, error) {
 	}
 	opt = opt.withDefaults(d.Len())
 
+	var stats BuildStats
 	var sets [][]Item
 	if opt.Partition != nil {
 		sets = opt.Partition
 	} else {
+		start := time.Now()
 		counts := mining.Count(d, mining.CountOptions{
-			MaxSample:  opt.SupportSample,
-			CountPairs: true,
+			MaxSample:   opt.SupportSample,
+			CountPairs:  true,
+			Parallelism: opt.BuildParallelism,
 		})
 		pairs := counts.FrequentPairs(opt.MinPairSupport)
+		stats.Mining = time.Since(start)
+
+		start = time.Now()
 		var err error
 		sets, err = cluster.Exact(counts.ItemSupports(), pairs, opt.SignatureCardinality)
 		if err != nil {
 			return nil, fmt.Errorf("sigtable: partitioning items: %w", err)
 		}
+		stats.Partition = time.Since(start)
 	}
 
 	part, err := signature.NewPartition(d.UniverseSize(), sets)
@@ -244,15 +298,21 @@ func BuildIndex(d *Dataset, opt IndexOptions) (*Index, error) {
 		ActivationThreshold: r,
 		PageSize:            opt.PageSize,
 		BufferPoolPages:     opt.BufferPoolPages,
+		Parallelism:         opt.BuildParallelism,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Index{table: table}, nil
+	stats.coreStats(table.BuildStats())
+	return &Index{table: table, buildStats: stats}, nil
 }
 
 // K reports the signature cardinality.
-func (ix *Index) K() int { return ix.table.K() }
+func (ix *Index) K() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.table.K()
+}
 
 // Len reports the number of indexed transactions.
 func (ix *Index) Len() int {
@@ -269,7 +329,11 @@ func (ix *Index) NumEntries() int {
 }
 
 // Signatures returns the item sets of the K signatures (read-only).
-func (ix *Index) Signatures() [][]Item { return ix.table.Partition().Sets() }
+func (ix *Index) Signatures() [][]Item {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.table.Partition().Sets()
+}
 
 // Items returns the transaction stored under id. The returned slice is
 // never mutated by the index, so it stays valid after later mutations.
@@ -333,6 +397,12 @@ func (ix *Index) Explain(target Transaction, f SimilarityFunc) Explanation {
 type Explanation = core.Explanation
 
 // Table exposes the underlying core table for advanced use (occupancy
-// statistics, entry inspection). It bypasses the index's lock: do not
-// use it concurrently with Insert or Delete.
-func (ix *Index) Table() *core.Table { return ix.table }
+// statistics, entry inspection). The pointer read itself is locked —
+// Compact swaps the table in place — but operations on the returned
+// table bypass the index's lock: do not use them concurrently with
+// Insert, Delete or Compact.
+func (ix *Index) Table() *core.Table {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.table
+}
