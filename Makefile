@@ -27,12 +27,15 @@ race-core:
 
 check: vet race-core race
 
-# Machine-readable micro-benchmarks (the numbers BENCH_PR3.json
-# archives): per-query latency/allocations, the build pipeline serial
-# vs parallel, support counting, and the buffer-pool hammer.
+# Machine-readable micro-benchmarks (the numbers BENCH_PR4.json
+# archives): per-query latency/allocations, independent vs shared-scan
+# batches (memory and file-backed disk), the build pipeline serial vs
+# parallel, support counting, and the buffer-pool hammer. delta_vs
+# ratios compare each shared benchmark against the BENCH_PR3.json
+# baseline.
 bench:
-	$(GO) test -run - -bench 'BenchmarkQuery|BenchmarkBuildIndex|BenchmarkSupportCount|BenchmarkPoolHammer' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_PR3.json
-	@cat BENCH_PR3.json
+	$(GO) test -run - -bench 'BenchmarkQuery|BenchmarkBatchQuery|BenchmarkBuildIndex|BenchmarkSupportCount|BenchmarkPoolHammer' -benchmem . | $(GO) run ./cmd/benchjson -delta-vs BENCH_PR3.json > BENCH_PR4.json
+	@cat BENCH_PR4.json
 
 # Just the build-pipeline benchmarks (serial vs parallel, memory vs
 # disk) — the quick loop when touching the build path.

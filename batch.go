@@ -7,30 +7,64 @@ import (
 	"sync"
 )
 
-// BatchQuery answers many k-NN queries concurrently with a worker pool.
-// Each query takes the index's shared lock on its own, so a batch may
-// safely overlap Insert/Delete calls from other goroutines. Results
-// are returned in target order; the first error aborts the batch.
+// BatchOptions selects how a batch of queries executes. The zero value
+// runs each target as an independent query over a worker pool — the
+// pre-existing behavior.
+type BatchOptions struct {
+	// SharedScan answers the whole batch with ONE scan over the
+	// signature table: entries are visited in the order of the best
+	// optimistic bound across the batch's still-live targets, each
+	// entry's transactions are decoded once and consumed by every
+	// target that needs them, and targets retire individually as their
+	// optimality certificates close. Results are byte-identical to
+	// independent queries; only the I/O differs — a hot entry's pages
+	// are read once per batch instead of once per target, which is the
+	// point (see DESIGN.md §4d). The batch holds the index's shared
+	// lock for its whole duration, so unlike independent mode it does
+	// not interleave with Insert/Delete from other goroutines.
+	SharedScan bool
+	// Parallelism bounds the batch's goroutines. Independent mode: the
+	// worker-pool width, each worker running whole queries (0 selects
+	// GOMAXPROCS). Shared mode: the scoring fan-out over one decoded
+	// entry's transactions (0 selects GOMAXPROCS; small entries are
+	// scored inline regardless).
+	Parallelism int
+}
+
+// BatchQuery answers one k-NN query per target, in target order.
 //
-// The context is shared by every query in the batch: cancelling it
-// makes the in-flight and remaining queries return partial results
-// with Interrupted set (see Query), so the batch still completes
-// promptly with every slot filled.
+// The context is shared by every query in the batch, but honored per
+// target: when it is cancelled or its deadline expires, targets not
+// yet started return immediately with Result.Interrupted set and zero
+// cost, in-flight targets stop at their next checkpoint with partial
+// results, and already-finished targets keep their complete answers.
+// A cancelled batch is not an error — every slot is filled; errors are
+// reserved for invalid options and abort the batch.
 //
-// parallelism <= 0 selects GOMAXPROCS workers. When the batch fans out
-// over more than one worker and opt.Parallelism is 0 (auto), each
-// query runs serially — inter-query concurrency already saturates the
-// CPUs, and stacking intra-query workers on top oversubscribes them.
-// Set opt.Parallelism explicitly to override.
-func (ix *Index) BatchQuery(ctx context.Context, targets []Transaction, f SimilarityFunc, opt QueryOptions, parallelism int) ([]Result, error) {
+// Execution strategy is set by bopt; results are identical either way.
+// In independent mode each query takes the index's shared lock on its
+// own, so a batch may safely overlap Insert/Delete calls from other
+// goroutines. When independent mode fans out over more than one worker
+// and opt.Parallelism is 0 (auto), each query runs serially —
+// inter-query concurrency already saturates the CPUs, and stacking
+// intra-query workers on top oversubscribes them. Set opt.Parallelism
+// explicitly to override.
+func (ix *Index) BatchQuery(ctx context.Context, targets []Transaction, f SimilarityFunc, opt QueryOptions, bopt BatchOptions) ([]Result, error) {
+	if len(targets) == 0 {
+		return nil, nil
+	}
+	if bopt.SharedScan {
+		ix.mu.RLock()
+		defer ix.mu.RUnlock()
+		return ix.table.QueryBatch(ctx, targets, f, opt, bopt.Parallelism)
+	}
+
+	parallelism := bopt.Parallelism
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
 	if parallelism > len(targets) {
 		parallelism = len(targets)
-	}
-	if len(targets) == 0 {
-		return nil, nil
 	}
 	if parallelism > 1 && opt.Parallelism == 0 {
 		opt.Parallelism = 1
@@ -46,6 +80,13 @@ func (ix *Index) BatchQuery(ctx context.Context, targets []Transaction, f Simila
 		go func() {
 			defer wg.Done()
 			for i := range work {
+				// A dead context means this target's search would do
+				// zero work anyway; skip the per-query setup (entry
+				// ranking is O(entries)) and fill the slot directly.
+				if ctx.Err() != nil {
+					results[i] = Result{Interrupted: true, Workers: 1}
+					continue
+				}
 				results[i], errs[i] = ix.Query(ctx, targets[i], f, opt)
 			}
 		}()

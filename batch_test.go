@@ -18,7 +18,7 @@ func TestBatchQueryMatchesSequential(t *testing.T) {
 	}
 	targets := g.Queries(40)
 
-	batch, err := idx.BatchQuery(context.Background(), targets, Cosine{}, QueryOptions{K: 3}, 8)
+	batch, err := idx.BatchQuery(context.Background(), targets, Cosine{}, QueryOptions{K: 3}, BatchOptions{Parallelism: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestBatchQueryDiskModeConcurrent(t *testing.T) {
 		t.Fatal(err)
 	}
 	targets := g.Queries(32)
-	results, err := idx.BatchQuery(context.Background(), targets, Jaccard{}, QueryOptions{K: 2}, 8)
+	results, err := idx.BatchQuery(context.Background(), targets, Jaccard{}, QueryOptions{K: 2}, BatchOptions{Parallelism: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,11 +73,11 @@ func TestBatchQueryEmptyAndErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := idx.BatchQuery(context.Background(), nil, Jaccard{}, QueryOptions{}, 4)
+	res, err := idx.BatchQuery(context.Background(), nil, Jaccard{}, QueryOptions{}, BatchOptions{Parallelism: 4})
 	if err != nil || res != nil {
 		t.Fatalf("empty batch: %v, %v", res, err)
 	}
-	if _, err := idx.BatchQuery(context.Background(), []Transaction{NewTransaction(1)}, Jaccard{}, QueryOptions{K: -1}, 4); err == nil {
+	if _, err := idx.BatchQuery(context.Background(), []Transaction{NewTransaction(1)}, Jaccard{}, QueryOptions{K: -1}, BatchOptions{Parallelism: 4}); err == nil {
 		t.Fatal("invalid options not propagated from batch")
 	}
 }
@@ -161,7 +161,7 @@ func TestBatchQueryCancelled(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	results, err := idx.BatchQuery(ctx, targets, Jaccard{}, QueryOptions{K: 2}, 4)
+	results, err := idx.BatchQuery(ctx, targets, Jaccard{}, QueryOptions{K: 2}, BatchOptions{Parallelism: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,5 +175,86 @@ func TestBatchQueryCancelled(t *testing.T) {
 		if res.Certified {
 			t.Fatalf("result %d certified despite cancellation", i)
 		}
+	}
+}
+
+// TestBatchQuerySharedScanMatchesIndependent: the shared-scan engine
+// is an execution strategy, not a different query — both modes must
+// return identical answers and cost counters for every target, while
+// shared mode reads no more (and on overlapping targets, fewer) pages.
+func TestBatchQuerySharedScanMatchesIndependent(t *testing.T) {
+	data := testDataset(t, 4000, 19)
+	idx, err := BuildIndex(data, IndexOptions{
+		SignatureCardinality: 10,
+		PageSize:             512,
+		DecodeCacheBytes:     1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(GeneratorConfig{UniverseSize: 200, NumItemsets: 300, Seed: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := g.Queries(24)
+	opt := QueryOptions{K: 3}
+
+	shared, err := idx.BatchQuery(context.Background(), targets, Cosine{}, opt, BatchOptions{SharedScan: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, target := range targets {
+		seq, err := idx.Query(context.Background(), target, Cosine{}, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := shared[i]
+		if len(s.Neighbors) != len(seq.Neighbors) {
+			t.Fatalf("target %d: %d neighbors shared, %d independent", i, len(s.Neighbors), len(seq.Neighbors))
+		}
+		for j := range seq.Neighbors {
+			if s.Neighbors[j] != seq.Neighbors[j] {
+				t.Fatalf("target %d neighbor %d: shared %+v, independent %+v", i, j, s.Neighbors[j], seq.Neighbors[j])
+			}
+		}
+		if s.Scanned != seq.Scanned || s.EntriesScanned != seq.EntriesScanned ||
+			s.EntriesPruned != seq.EntriesPruned || s.Certified != seq.Certified ||
+			s.BestPossible != seq.BestPossible {
+			t.Fatalf("target %d cost/certificate differ:\nshared      %+v\nindependent %+v", i, s, seq)
+		}
+	}
+}
+
+// TestBatchQuerySharedScanCancelled mirrors TestBatchQueryCancelled for
+// the shared-scan engine: every slot filled, interrupted, uncertified.
+func TestBatchQuerySharedScanCancelled(t *testing.T) {
+	data := testDataset(t, 2000, 21)
+	idx, err := BuildIndex(data, IndexOptions{SignatureCardinality: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(GeneratorConfig{UniverseSize: 200, NumItemsets: 300, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := g.Queries(10)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := idx.BatchQuery(ctx, targets, Jaccard{}, QueryOptions{K: 2}, BatchOptions{SharedScan: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(targets) {
+		t.Fatalf("got %d results for %d targets", len(results), len(targets))
+	}
+	for i, res := range results {
+		if !res.Interrupted || res.Certified || res.Scanned != 0 {
+			t.Fatalf("slot %d: %+v", i, res)
+		}
+	}
+
+	if _, err := idx.BatchQuery(context.Background(), targets[:1], Jaccard{}, QueryOptions{K: -1}, BatchOptions{SharedScan: true}); err == nil {
+		t.Fatal("invalid options not propagated from shared-scan batch")
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -351,6 +352,88 @@ func BenchmarkQueryMultiTarget(b *testing.B) {
 		if _, err := m.idx.MultiQuery(context.Background(), targets, Jaccard{}, QueryOptions{K: 5}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// batchFixture is the disk-backed sibling of microFixture, for the
+// batch benchmarks: same generator and scale, but transaction lists in
+// a real page file so every PagesRead is a positional pread. No decode
+// cache — attaching one would let repeat batches hide the page reads
+// the independent-vs-shared comparison is about.
+type batchFixture struct {
+	idx     *Index
+	queries []Transaction
+}
+
+var batchOnce sync.Once
+var batchFix batchFixture
+
+func batchSetup(b *testing.B) *batchFixture {
+	batchOnce.Do(func() {
+		m := microSetup(b)
+		dir, err := os.MkdirTemp("", "sigtable-bench-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		idx, err := BuildIndex(m.data, IndexOptions{
+			SignatureCardinality: 15,
+			PageSize:             4096,
+			PageFile:             filepath.Join(dir, "pages.dat"),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		batchFix = batchFixture{idx: idx, queries: m.queries}
+	})
+	return &batchFix
+}
+
+// BenchmarkBatchQuery answers the same 16-query batches two ways:
+// independent (each target a full Query, the pre-existing path) and
+// shared-scan (one pass over the signature table, each hot entry
+// decoded once for the whole batch). The -disk variants run against the
+// page-backed fixture and report pages/batch — the shared engine's
+// whole point is that this number collapses while the answers stay
+// byte-identical. Parallelism is pinned to 1 on both sides so the
+// comparison isolates the scan strategy from worker scheduling.
+func BenchmarkBatchQuery(b *testing.B) {
+	m := microSetup(b)
+	bf := batchSetup(b)
+	const batch = 16
+	cases := []struct {
+		name   string
+		idx    *Index
+		shared bool
+	}{
+		{"independent", m.idx, false},
+		{"shared", m.idx, true},
+		{"independent-disk", bf.idx, false},
+		{"shared-disk", bf.idx, true},
+	}
+	targets := make([]Transaction, batch)
+	for _, bc := range cases {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var pages int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range targets {
+					targets[j] = m.queries[(i*batch+j)%len(m.queries)]
+				}
+				res, err := bc.idx.BatchQuery(context.Background(), targets, Cosine{},
+					QueryOptions{K: 5}, BatchOptions{SharedScan: bc.shared, Parallelism: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range res {
+					pages += r.PagesRead
+				}
+			}
+			b.StopTimer()
+			if pages > 0 {
+				b.ReportMetric(float64(pages)/float64(b.N), "pages/batch")
+			}
+		})
 	}
 }
 

@@ -8,11 +8,19 @@
 // testing package printed for it — ns/op, B/op, allocs/op and any
 // custom b.ReportMetric units. Non-benchmark lines (figure renderings,
 // PASS/ok trailers) are ignored.
+//
+// With -delta-vs FILE, each record that also appears in the baseline
+// report at FILE (a previous benchjson document, matched by name) gains
+// a "delta_vs" object of current/baseline ratios per shared metric —
+// 0.5 means halved, 2.0 means doubled. A missing or unreadable baseline
+// is an error; benchmarks absent from the baseline simply carry no
+// delta.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -25,6 +33,9 @@ type record struct {
 	Procs      int                `json:"procs"`
 	Iterations int64              `json:"iterations"`
 	Metrics    map[string]float64 `json:"metrics"`
+	// DeltaVs maps metric unit -> current/baseline ratio against the
+	// -delta-vs report, for the metrics both runs share.
+	DeltaVs map[string]float64 `json:"delta_vs,omitempty"`
 }
 
 // report is the whole document.
@@ -33,14 +44,24 @@ type report struct {
 	Goarch     string   `json:"goarch,omitempty"`
 	Pkg        string   `json:"pkg,omitempty"`
 	CPU        string   `json:"cpu,omitempty"`
+	Baseline   string   `json:"baseline,omitempty"`
 	Benchmarks []record `json:"benchmarks"`
 }
 
 func main() {
+	deltaVs := flag.String("delta-vs", "", "baseline benchjson document to compute per-metric ratios against")
+	flag.Parse()
+
 	rep, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *deltaVs != "" {
+		if err := applyDelta(rep, *deltaVs); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -48,6 +69,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// applyDelta annotates rep's records with current/baseline metric
+// ratios from the benchjson document at path, matching records by
+// benchmark name.
+func applyDelta(rep *report, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	byName := make(map[string]record, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		byName[r.Name] = r
+	}
+	rep.Baseline = path
+	for i := range rep.Benchmarks {
+		cur := &rep.Benchmarks[i]
+		prev, ok := byName[cur.Name]
+		if !ok {
+			continue
+		}
+		for unit, v := range cur.Metrics {
+			if pv, ok := prev.Metrics[unit]; ok && pv != 0 {
+				if cur.DeltaVs == nil {
+					cur.DeltaVs = map[string]float64{}
+				}
+				cur.DeltaVs[unit] = v / pv
+			}
+		}
+	}
+	return nil
 }
 
 func parse(sc *bufio.Scanner) (*report, error) {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bufio"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -59,5 +61,48 @@ func TestSplitProcs(t *testing.T) {
 		if name != tc.name || procs != tc.procs {
 			t.Errorf("splitProcs(%q) = %q, %d; want %q, %d", tc.in, name, procs, tc.name, tc.procs)
 		}
+	}
+}
+
+func TestApplyDelta(t *testing.T) {
+	base := `{
+  "benchmarks": [
+    {"name": "BenchmarkQueryX", "procs": 1, "iterations": 10,
+     "metrics": {"ns/op": 200, "allocs/op": 4, "pages/batch": 0}},
+    {"name": "BenchmarkOnlyInBase", "procs": 1, "iterations": 1,
+     "metrics": {"ns/op": 5}}
+  ]
+}`
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(path, []byte(base), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep := &report{Benchmarks: []record{
+		{Name: "BenchmarkQueryX", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 4, "B/op": 64, "pages/batch": 7}},
+		{Name: "BenchmarkNew", Metrics: map[string]float64{"ns/op": 1}},
+	}}
+	if err := applyDelta(rep, path); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Baseline != path {
+		t.Fatalf("baseline path not recorded: %+v", rep)
+	}
+	d := rep.Benchmarks[0].DeltaVs
+	if d["ns/op"] != 0.5 || d["allocs/op"] != 1 {
+		t.Fatalf("bad ratios: %+v", d)
+	}
+	// Metrics the baseline lacks — or holds at zero — get no ratio.
+	if _, ok := d["B/op"]; ok {
+		t.Fatalf("ratio for metric absent from baseline: %+v", d)
+	}
+	if _, ok := d["pages/batch"]; ok {
+		t.Fatalf("ratio against a zero baseline: %+v", d)
+	}
+	if rep.Benchmarks[1].DeltaVs != nil {
+		t.Fatalf("new benchmark should carry no delta: %+v", rep.Benchmarks[1])
+	}
+	if err := applyDelta(rep, filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing baseline must error")
 	}
 }

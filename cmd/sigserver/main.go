@@ -3,12 +3,13 @@
 //
 //	sigserver -data baskets.dat [-addr :8080] [-K 15] [-r 1]
 //	          [-query-timeout 5s] [-max-concurrent 64]
-//	          [-build-parallelism 0] [-page-size 0] [-pool-pages 0]
+//	          [-build-parallelism 0] [-page-size 0] [-page-file ""]
+//	          [-pool-pages 0] [-decode-cache-bytes 0]
 //
 // Endpoints (see internal/server for bodies):
 //
 //	GET  /v1/stats /v1/metrics
-//	POST /v1/query /v1/range /v1/multi /v1/insert /v1/delete /v1/explain /v1/rebuild
+//	POST /v1/query /v1/range /v1/multi /v1/batch /v1/insert /v1/delete /v1/explain /v1/rebuild
 //	GET  /debug/pprof/...
 //
 // The unversioned routes remain as deprecated aliases. Example:
@@ -45,7 +46,9 @@ func main() {
 		queryPar      = flag.Int("query-parallelism", 1, "scan goroutines per search when the request does not choose (1 = serial)")
 		buildPar      = flag.Int("build-parallelism", 0, "index build/rebuild workers (0 = GOMAXPROCS, 1 = serial)")
 		pageSize      = flag.Int("page-size", 0, "store transaction lists on simulated disk pages of this many bytes (0 = in memory)")
+		pageFile      = flag.String("page-file", "", "back the page store with a real file at this path (needs -page-size)")
 		poolPages     = flag.Int("pool-pages", 0, "sharded clock buffer pool capacity in pages (needs -page-size)")
+		decodeCache   = flag.Int64("decode-cache-bytes", 0, "hot-entry decoded-list cache budget in bytes (needs -page-size, 0 disables)")
 		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "shutdown grace period for in-flight requests")
 		quiet         = flag.Bool("quiet", false, "disable per-request access logging")
 	)
@@ -75,7 +78,9 @@ func main() {
 		SignatureCardinality: *kCard,
 		ActivationThreshold:  *r,
 		PageSize:             *pageSize,
+		PageFile:             *pageFile,
 		BufferPoolPages:      *poolPages,
+		DecodeCacheBytes:     *decodeCache,
 		BuildParallelism:     *buildPar,
 	})
 	if err != nil {

@@ -67,7 +67,7 @@ func TestConcurrentQueryMutate(t *testing.T) {
 						return
 					}
 				case 3:
-					_, err := idx.BatchQuery(context.Background(), []Transaction{target, newTarget(rng)}, Jaccard{}, QueryOptions{K: 2}, 2)
+					_, err := idx.BatchQuery(context.Background(), []Transaction{target, newTarget(rng)}, Jaccard{}, QueryOptions{K: 2}, BatchOptions{Parallelism: 2})
 					if err != nil {
 						fail <- err
 						return
@@ -114,6 +114,110 @@ func TestConcurrentQueryMutate(t *testing.T) {
 
 	if idx.Len() != 400+inserts {
 		t.Fatalf("expected %d transactions after hammering, found %d", 400+inserts, idx.Len())
+	}
+	if err := idx.Validate(); err != nil {
+		t.Fatalf("index invalid after concurrent mutation: %v", err)
+	}
+}
+
+// TestConcurrentQueryMutateDiskCache is the disk-mode sibling of
+// TestConcurrentQueryMutate, with the decode cache attached and
+// Compact in the mix: queries (including shared-scan batches, which
+// read cached decodes) race inserts, deletes and full compactions.
+// Under -race (make check) this covers the cache's sharded locking,
+// the generation-bump invalidation path and the Compact table swap.
+func TestConcurrentQueryMutateDiskCache(t *testing.T) {
+	data := testDataset(t, 400, 31)
+	idx, err := BuildIndex(data, IndexOptions{
+		SignatureCardinality: 8,
+		PageSize:             256,
+		DecodeCacheBytes:     1 << 18,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	universe := data.UniverseSize()
+	newTarget := func(rng *rand.Rand) Transaction {
+		items := make([]Item, 0, 8)
+		for len(items) < 3 {
+			items = append(items, Item(rng.Intn(universe)))
+		}
+		return NewTransaction(items...)
+	}
+
+	const (
+		queryWorkers   = 4
+		queriesPerGoro = 40
+		inserts        = 100
+		deleteAttempts = 80
+		compactions    = 3
+	)
+
+	var wg sync.WaitGroup
+	fail := make(chan error, queryWorkers+3)
+
+	for w := 0; w < queryWorkers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < queriesPerGoro; i++ {
+				target := newTarget(rng)
+				if i%2 == 0 {
+					// Repeat the query so the second run reads the decodes
+					// the first one cached.
+					for j := 0; j < 2; j++ {
+						if _, err := idx.Query(context.Background(), target, Jaccard{}, QueryOptions{K: 3}); err != nil {
+							fail <- err
+							return
+						}
+					}
+				} else {
+					_, err := idx.BatchQuery(context.Background(),
+						[]Transaction{target, newTarget(rng), target}, Cosine{},
+						QueryOptions{K: 2}, BatchOptions{SharedScan: true, Parallelism: 2})
+					if err != nil {
+						fail <- err
+						return
+					}
+				}
+			}
+		}(int64(200 + w))
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(17))
+		for i := 0; i < inserts; i++ {
+			idx.Insert(newTarget(rng))
+		}
+	}()
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(18))
+		for i := 0; i < deleteAttempts; i++ {
+			idx.Delete(TID(rng.Intn(400)))
+		}
+	}()
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < compactions; i++ {
+			if err := idx.Compact(1); err != nil {
+				fail <- err
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(fail)
+	for err := range fail {
+		t.Fatal(err)
 	}
 	if err := idx.Validate(); err != nil {
 		t.Fatalf("index invalid after concurrent mutation: %v", err)

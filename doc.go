@@ -49,6 +49,22 @@
 // reports the engine used; Result.EntriesSpeculated counts work that
 // ran ahead of the deterministic commit order and was discarded.
 //
+// # Batches and the shared scan
+//
+// BatchQuery answers one k-NN query per target. By default each slot is
+// an independent Query; BatchOptions.SharedScan routes the batch
+// through a single pass over the signature table instead, decoding each
+// entry's transaction list at most once for all targets that want it.
+// The results are byte-identical to the independent path — same
+// neighbors, costs and certificates, slot by slot — only Result's
+// execution-report fields (PagesRead, Workers) improve. On a disk-
+// backed index the shared scan reads ~2× fewer pages at batch 16, and
+// with real file backing (IndexOptions.PageFile) that is wall-clock
+// time, not just a counter. IndexOptions.DecodeCacheBytes adds the
+// orthogonal optimization across batches: a bounded cache of decoded
+// hot-entry lists, invalidated wholesale by generation bump on every
+// mutation so a stale decode is unreachable.
+//
 // Construction parallelizes the same way: IndexOptions.BuildParallelism
 // (0 = GOMAXPROCS, 1 = serial) fans every build phase — support
 // counting, supercoordinate computation, TID grouping, page writing —

@@ -135,9 +135,30 @@ func (r Result) PruningEfficiency(n int) float64 {
 // keys.
 type rankedEntry struct {
 	e    *Entry
+	idx  int     // position in t.entries; keys the batch engine's per-entry state
 	opt  float64 // optimistic bound, always used for pruning
 	sort float64 // ordering key (== opt for ByOptimisticBound)
 	tie  float64 // supercoordinate similarity, breaks sort-key ties
+}
+
+// rankedBefore is the visiting order: decreasing sort key, ties broken
+// by decreasing supercoordinate similarity, then coordinate. Shared by
+// the per-query heap and the batch engine's cross-target entry picking.
+func rankedBefore(a, b rankedEntry) bool {
+	if a.sort != b.sort {
+		return a.sort > b.sort
+	}
+	// Optimistic bounds tie in droves (hamming yields few distinct
+	// D_opt values, and every superset of the target's coordinate
+	// bounds at distance 0). Among ties, visit the entry whose
+	// activation pattern most resembles the target's first: its
+	// transactions are the likeliest close matches, which raises the
+	// pessimistic bound early and drives both pruning and
+	// early-termination accuracy.
+	if a.tie != b.tie {
+		return a.tie > b.tie
+	}
+	return a.e.Coord < b.e.Coord
 }
 
 // entryQueue is a max-heap of rankedEntry, ordered by (sort, tie,
@@ -150,20 +171,7 @@ type entryQueue []rankedEntry
 func (q entryQueue) Len() int { return len(q) }
 
 func (q entryQueue) before(i, j int) bool {
-	if q[i].sort != q[j].sort {
-		return q[i].sort > q[j].sort
-	}
-	// Optimistic bounds tie in droves (hamming yields few distinct
-	// D_opt values, and every superset of the target's coordinate
-	// bounds at distance 0). Among ties, visit the entry whose
-	// activation pattern most resembles the target's first: its
-	// transactions are the likeliest close matches, which raises the
-	// pessimistic bound early and drives both pruning and
-	// early-termination accuracy.
-	if q[i].tie != q[j].tie {
-		return q[i].tie > q[j].tie
-	}
-	return q[i].e.Coord < q[j].e.Coord
+	return rankedBefore(q[i], q[j])
 }
 
 // init heapifies the slice in O(n).
@@ -223,7 +231,7 @@ func (t *Table) rankEntries(buf entryQueue, f simfun.Func, overlaps []int, targe
 		if by == ByCoordSimilarity {
 			key = sim
 		}
-		q[i] = rankedEntry{e: e, opt: opt, sort: key, tie: sim}
+		q[i] = rankedEntry{e: e, idx: i, opt: opt, sort: key, tie: sim}
 	}
 	q.heapify()
 	return q

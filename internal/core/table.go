@@ -58,9 +58,22 @@ type BuildOptions struct {
 	// during queries. Zero keeps transaction lists in memory (the
 	// dataset itself is the backing store).
 	PageSize int
+	// PageFile, when non-empty with PageSize, backs the page store with
+	// the operating-system file at that path (truncated if it exists)
+	// instead of in-memory simulated pages: every page read is a real
+	// positional pread. Rebuild writes its compacted pages to a fresh
+	// sibling file (path + ".gN") so the stale table stays readable; the
+	// old file is released by Store().Close().
+	PageFile string
 	// BufferPoolPages, when positive with PageSize, routes page reads
 	// through a sharded clock buffer pool of this capacity.
 	BufferPoolPages int
+	// DecodeCacheBytes, when positive with PageSize, attaches a
+	// decoded-entry cache of that many bytes to the store: repeat scans
+	// of a hot entry skip page fetches and varint decoding entirely.
+	// Mutations invalidate the cache by generation bump (see
+	// pager.DecodeCache).
+	DecodeCacheBytes int64
 	// Parallelism bounds the goroutines used by every build phase —
 	// supercoordinate computation, per-entry TID grouping and page
 	// writing. 0 selects GOMAXPROCS; 1 forces a serial build. The
@@ -100,6 +113,9 @@ type Table struct {
 	store   *pager.Store // nil in memory mode
 	live    int          // non-deleted transactions
 	deleted []bool       // tombstones by TID; nil until the first Delete
+
+	pageFile string // base path of a file-backed store ("" = in-memory pages)
+	pageGen  int    // rebuild generation, distinguishes derived file names
 
 	buildPar   int        // requested build parallelism, reused by Rebuild
 	buildStats BuildStats // phase wall times of the constructing Build
@@ -151,9 +167,21 @@ func Build(data *txn.Dataset, part *signature.Partition, opt BuildOptions) (*Tab
 
 	if opt.PageSize > 0 {
 		start = time.Now()
-		t.store = pager.NewStore(opt.PageSize)
+		if opt.PageFile != "" {
+			store, err := pager.NewFileStore(opt.PageFile, opt.PageSize)
+			if err != nil {
+				return nil, err
+			}
+			t.store = store
+			t.pageFile = opt.PageFile
+		} else {
+			t.store = pager.NewStore(opt.PageSize)
+		}
 		if opt.BufferPoolPages > 0 {
 			t.store.AttachPool(opt.BufferPoolPages)
+		}
+		if opt.DecodeCacheBytes > 0 {
+			t.store.AttachDecodeCache(opt.DecodeCacheBytes)
 		}
 		if err := writeEntryLists(t.store, data, t.entries, workers); err != nil {
 			return nil, err

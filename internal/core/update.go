@@ -40,6 +40,14 @@ func (t *Table) Insert(tr txn.Transaction) txn.TID {
 	e.tids = append(e.tids, id) // overflow list in disk mode
 	e.Count++
 	t.live++
+	if t.store != nil {
+		// Overflow inserts scan after an entry's pages, so a cached page
+		// decode cannot serve the new transaction by itself — but the
+		// invalidation protocol is by construction, not by that layering
+		// argument: any logical change to a list's contents bumps the
+		// generation.
+		t.store.InvalidateDecodes()
+	}
 	return id
 }
 
@@ -63,6 +71,12 @@ func (t *Table) Delete(id txn.TID) bool {
 		e.Count--
 	}
 	t.live--
+	if t.store != nil {
+		// Tombstones are filtered above the pager, so cached raw decodes
+		// never surface a deleted transaction — the bump keeps the
+		// invalidation protocol unconditional anyway.
+		t.store.InvalidateDecodes()
+	}
 	return true
 }
 
@@ -95,15 +109,30 @@ func (t *Table) RebuildParallel(parallelism int) (*Table, error) {
 		compact.Append(tr)
 	}
 	opt := BuildOptions{ActivationThreshold: t.r, Parallelism: parallelism}
+	gen := 0
 	if t.store != nil {
 		opt.PageSize = t.store.PageSize()
 		if pool := t.store.Pool(); pool != nil {
 			opt.BufferPoolPages = pool.Capacity()
 		}
+		if dc := t.store.DecodeCache(); dc != nil {
+			opt.DecodeCacheBytes = dc.Capacity()
+		}
+		if t.pageFile != "" {
+			// The stale table stays readable, so the rebuilt pages go to
+			// a fresh generation file beside the original rather than
+			// truncating the live one. Closing the old table's Store
+			// releases its handle.
+			gen = t.pageGen + 1
+			opt.PageFile = fmt.Sprintf("%s.g%d", t.pageFile, gen)
+		}
 	}
 	nt, err := Build(compact, t.part, opt)
 	if err != nil {
 		return nil, fmt.Errorf("core: rebuild: %w", err)
+	}
+	if t.pageFile != "" {
+		nt.pageFile, nt.pageGen = t.pageFile, gen
 	}
 	return nt, nil
 }

@@ -10,13 +10,22 @@ import (
 // fileBackend stores pages in fixed-size slots of an operating-system
 // file, so the "simulated" disk can be an actual disk. Each slot is
 // pageSize+4 bytes: a little-endian length prefix followed by the
-// payload. Reads seek to id × slot and are serialized by a mutex
-// (the file offset is shared).
+// payload. All I/O is positional (ReadAt/WriteAt, i.e. pread/pwrite),
+// which never touches the shared file offset, so concurrent page reads
+// and writes to distinct slots proceed without serializing on a lock.
+// The mutex guards only the count counter — the one piece of mutable
+// shared state.
 type fileBackend struct {
 	mu       sync.Mutex
 	f        *os.File
 	pageSize int
 	count    int
+}
+
+func (b *fileBackend) pageCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.count
 }
 
 // NewFileStore creates a store whose pages live in the file at path
@@ -64,10 +73,7 @@ func (b *fileBackend) reserve(n int) (PageID, error) {
 // safe for concurrent use, so the mutex is only held for the bounds
 // check, letting installers on disjoint slots overlap their I/O.
 func (b *fileBackend) writeAt(id PageID, data []byte) error {
-	b.mu.Lock()
-	count := b.count
-	b.mu.Unlock()
-	if int(id) >= count {
+	if int(id) >= b.pageCount() {
 		return fmt.Errorf("pager: write to unreserved page %d", id)
 	}
 	slot := make([]byte, b.slotSize())
@@ -79,10 +85,11 @@ func (b *fileBackend) writeAt(id PageID, data []byte) error {
 	return nil
 }
 
+// read fetches a slot with a positional ReadAt, holding no lock across
+// the I/O: concurrent readers — the parallel search and build workers —
+// issue overlapping preads instead of queueing on one mutex.
 func (b *fileBackend) read(id PageID) ([]byte, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if int(id) >= b.count {
+	if int(id) >= b.pageCount() {
 		return nil, fmt.Errorf("pager: read of unallocated page %d", id)
 	}
 	slot := make([]byte, b.slotSize())
@@ -97,7 +104,5 @@ func (b *fileBackend) read(id PageID) ([]byte, error) {
 }
 
 func (b *fileBackend) numPages() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.count
+	return b.pageCount()
 }

@@ -75,6 +75,7 @@ type Store struct {
 	misses   atomic.Int64
 	writes   atomic.Int64
 	pool     *BufferPool
+	decodes  *DecodeCache
 }
 
 // NewStore creates a memory-backed store with the given page size
@@ -180,6 +181,32 @@ func (s *Store) AttachPool(capacity int) {
 		return
 	}
 	s.pool = NewBufferPool(capacity)
+}
+
+// DecodeCache returns the attached decoded-entry cache, or nil when
+// every scan decodes from pages.
+func (s *Store) DecodeCache() *DecodeCache { return s.decodes }
+
+// AttachDecodeCache routes full-list scans through a decoded-entry
+// cache bounded by maxBytes of decoded payload: a repeat scan of a
+// cached list skips both the page reads and the varint decoding. A
+// maxBytes of 0 detaches the cache. Like AttachPool, it must not race
+// with reads or writes.
+func (s *Store) AttachDecodeCache(maxBytes int64) {
+	if maxBytes == 0 {
+		s.decodes = nil
+		return
+	}
+	s.decodes = NewDecodeCache(maxBytes)
+}
+
+// InvalidateDecodes orphans every cached decode (no-op without a
+// cache). Mutating layers call this whenever logical list contents
+// change; see DecodeCache for the generation protocol.
+func (s *Store) InvalidateDecodes() {
+	if s.decodes != nil {
+		s.decodes.Invalidate()
+	}
 }
 
 // appendPage allocates a new page containing data (len <= pageSize).
@@ -352,12 +379,47 @@ func (s *Store) InstallList(base PageID, st *StagedList) List {
 
 // ScanList decodes every transaction of a list, invoking fn for each.
 // Returning false from fn stops the scan early; pages not reached are
-// not read (and not counted). The Transaction passed to fn is freshly
-// allocated and may be retained. When reads is non-nil it accumulates
+// not read (and not counted). The Transaction passed to fn may be
+// retained but must not be modified: with a decode cache attached the
+// same backing slices are handed to every scan that hits, and without
+// one each is freshly allocated. When reads is non-nil it accumulates
 // the pages fetched by this scan alone, so callers running scans
 // concurrently can attribute I/O per query instead of relying on the
-// store's global counters.
+// store's global counters. A scan served from the decode cache fetches
+// no pages, so neither counter moves — PagesRead measures real I/O, not
+// logical visits.
 func (s *Store) ScanList(l List, reads *atomic.Int64, fn func(id txn.TID, t txn.Transaction) bool) error {
+	if s.decodes == nil || len(l.Pages) == 0 {
+		_, err := s.scanPages(l, reads, fn)
+		return err
+	}
+	if d, ok := s.decodes.get(l.Pages[0]); ok {
+		for i, id := range d.ids {
+			if !fn(id, d.txns[i]) {
+				return nil
+			}
+		}
+		return nil
+	}
+	gen := s.decodes.Generation()
+	ids := make([]txn.TID, 0, l.Count)
+	txns := make([]txn.Transaction, 0, l.Count)
+	complete, err := s.scanPages(l, reads, func(id txn.TID, t txn.Transaction) bool {
+		ids = append(ids, id)
+		txns = append(txns, t)
+		return fn(id, t)
+	})
+	if err == nil && complete {
+		s.decodes.put(l.Pages[0], gen, ids, txns)
+	}
+	return err
+}
+
+// scanPages is the page-decoding scan behind ScanList. The bool result
+// reports whether every record was decoded (false on early stop), which
+// is what gates caching: a truncated decode must not be memoized as the
+// whole list.
+func (s *Store) scanPages(l List, reads *atomic.Int64, fn func(id txn.TID, t txn.Transaction) bool) (bool, error) {
 	remaining := l.Count
 	for _, pid := range l.Pages {
 		data := s.readPage(pid, reads)
@@ -365,12 +427,12 @@ func (s *Store) ScanList(l List, reads *atomic.Int64, fn func(id txn.TID, t txn.
 		for off < len(data) && remaining > 0 {
 			id, n := binary.Uvarint(data[off:])
 			if n <= 0 {
-				return fmt.Errorf("pager: corrupt TID at page %d offset %d", pid, off)
+				return false, fmt.Errorf("pager: corrupt TID at page %d offset %d", pid, off)
 			}
 			off += n
 			length, n := binary.Uvarint(data[off:])
 			if n <= 0 {
-				return fmt.Errorf("pager: corrupt length at page %d offset %d", pid, off)
+				return false, fmt.Errorf("pager: corrupt length at page %d offset %d", pid, off)
 			}
 			off += n
 			t := make(txn.Transaction, length)
@@ -378,7 +440,7 @@ func (s *Store) ScanList(l List, reads *atomic.Int64, fn func(id txn.TID, t txn.
 			for j := range t {
 				d, n := binary.Uvarint(data[off:])
 				if n <= 0 {
-					return fmt.Errorf("pager: corrupt item at page %d offset %d", pid, off)
+					return false, fmt.Errorf("pager: corrupt item at page %d offset %d", pid, off)
 				}
 				off += n
 				prev += d
@@ -386,12 +448,12 @@ func (s *Store) ScanList(l List, reads *atomic.Int64, fn func(id txn.TID, t txn.
 			}
 			remaining--
 			if !fn(txn.TID(id), t) {
-				return nil
+				return remaining == 0, nil
 			}
 		}
 	}
 	if remaining != 0 {
-		return fmt.Errorf("pager: list declared %d transactions but pages held %d", l.Count, l.Count-remaining)
+		return false, fmt.Errorf("pager: list declared %d transactions but pages held %d", l.Count, l.Count-remaining)
 	}
-	return nil
+	return true, nil
 }

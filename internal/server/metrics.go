@@ -27,6 +27,12 @@ type opMetrics struct {
 	interrupted  *metrics.Counter
 	httpRequests *metrics.Counter
 
+	// Batch-query counters: batches served, targets answered inside
+	// them, and how many batches took the shared-scan path.
+	batchQueries     *metrics.Counter
+	batchTargets     *metrics.Counter
+	batchSharedScans *metrics.Counter
+
 	// Branch-and-bound cost counters, accumulated from per-query
 	// Result accounting.
 	entriesScanned *metrics.Counter
@@ -41,6 +47,7 @@ type opMetrics struct {
 	queryLatency   *metrics.Histogram
 	rangeLatency   *metrics.Histogram
 	multiLatency   *metrics.Histogram
+	batchLatency   *metrics.Histogram
 	insertLatency  *metrics.Histogram
 	deleteLatency  *metrics.Histogram
 	rebuildLatency *metrics.Histogram
@@ -73,6 +80,10 @@ func newOpMetrics(reg *metrics.Registry, s *Server) *opMetrics {
 		interrupted:  reg.Counter("sigtable_queries_interrupted_total", "searches cut short by deadline or disconnect"),
 		httpRequests: reg.Counter("sigtable_http_requests_total", "HTTP requests handled"),
 
+		batchQueries:     reg.Counter("sigtable_batch_queries_total", "batch requests served"),
+		batchTargets:     reg.Counter("sigtable_batch_targets_total", "k-NN targets answered inside batch requests"),
+		batchSharedScans: reg.Counter("sigtable_batch_shared_scans_total", "batch requests answered by the shared-scan engine"),
+
 		entriesScanned:    reg.Counter("sigtable_entries_scanned_total", "signature table entries scanned"),
 		entriesPruned:     reg.Counter("sigtable_entries_pruned_total", "entries pruned by branch-and-bound optimistic bounds"),
 		txScanned:         reg.Counter("sigtable_transactions_scanned_total", "transactions whose similarity was evaluated"),
@@ -81,6 +92,7 @@ func newOpMetrics(reg *metrics.Registry, s *Server) *opMetrics {
 		queryLatency:   reg.Histogram("sigtable_query_duration_seconds", "k-NN query latency", lat),
 		rangeLatency:   reg.Histogram("sigtable_range_duration_seconds", "range query latency", lat),
 		multiLatency:   reg.Histogram("sigtable_multi_duration_seconds", "multi-target query latency", lat),
+		batchLatency:   reg.Histogram("sigtable_batch_duration_seconds", "whole-batch latency", lat),
 		insertLatency:  reg.Histogram("sigtable_insert_duration_seconds", "insert latency", lat),
 		deleteLatency:  reg.Histogram("sigtable_delete_duration_seconds", "delete latency", lat),
 		rebuildLatency: reg.Histogram("sigtable_rebuild_duration_seconds", "in-place rebuild latency (exclusive-lock window)", lat),
@@ -205,6 +217,38 @@ func newOpMetrics(reg *metrics.Registry, s *Server) *opMetrics {
 		reg.GaugeVecFunc("sigtable_pool_shard_resident_pages", "resident pages per pool shard", "shard",
 			poolVec(func(st pager.ShardStats) float64 { return float64(st.Resident) }))
 	}
+
+	// Decode-cache telemetry, resolved through the index at scrape time
+	// for the same rebuild-swaps-the-store reason as the pool metrics.
+	cache := func() *pager.DecodeCache {
+		if st := store(); st != nil {
+			return st.DecodeCache()
+		}
+		return nil
+	}
+	if cache() != nil {
+		cacheStat := func(f func(*pager.DecodeCache) float64) func() float64 {
+			return func() float64 {
+				c := cache()
+				if c == nil {
+					return 0
+				}
+				return f(c)
+			}
+		}
+		reg.CounterFunc("sigtable_decode_cache_hits_total", "entry scans served from the decoded-list cache",
+			cacheStat(func(c *pager.DecodeCache) float64 { h, _ := c.Stats(); return float64(h) }))
+		reg.CounterFunc("sigtable_decode_cache_misses_total", "entry scans that decoded pages",
+			cacheStat(func(c *pager.DecodeCache) float64 { _, mi := c.Stats(); return float64(mi) }))
+		reg.CounterFunc("sigtable_decode_cache_invalidations_total", "generation bumps orphaning all cached decodes",
+			cacheStat(func(c *pager.DecodeCache) float64 { return float64(c.Generation()) }))
+		reg.GaugeFunc("sigtable_decode_cache_bytes", "decoded payload bytes resident in the cache",
+			cacheStat(func(c *pager.DecodeCache) float64 { return float64(c.Bytes()) }))
+		reg.GaugeFunc("sigtable_decode_cache_capacity_bytes", "configured decode-cache byte budget",
+			cacheStat(func(c *pager.DecodeCache) float64 { return float64(c.Capacity()) }))
+		reg.GaugeFunc("sigtable_decode_cache_lists", "decoded entry lists resident in the cache",
+			cacheStat(func(c *pager.DecodeCache) float64 { return float64(c.Len()) }))
+	}
 	return m
 }
 
@@ -232,6 +276,23 @@ func (m *opMetrics) observeMulti(d time.Duration, res sigtable.Result) {
 	m.queryWorkers.Observe(float64(res.Workers))
 	m.entriesSpeculated.Add(int64(res.EntriesSpeculated))
 	m.recordCost(res.EntriesScanned, res.EntriesPruned, res.Scanned, res.Interrupted)
+}
+
+// observeBatch records one batch request: the whole-batch latency plus
+// per-slot cost accounting, each slot flowing into the same scanned /
+// pruned / interrupted counters a standalone query would.
+func (m *opMetrics) observeBatch(d time.Duration, sharedScan bool, results []sigtable.Result) {
+	m.batchQueries.Inc()
+	m.batchTargets.Add(int64(len(results)))
+	if sharedScan {
+		m.batchSharedScans.Inc()
+	}
+	m.batchLatency.Observe(d.Seconds())
+	for _, res := range results {
+		m.queryScanned.Observe(float64(res.Scanned))
+		m.entriesSpeculated.Add(int64(res.EntriesSpeculated))
+		m.recordCost(res.EntriesScanned, res.EntriesPruned, res.Scanned, res.Interrupted)
+	}
 }
 
 func (m *opMetrics) recordCost(entriesScanned, entriesPruned, scanned int, interrupted bool) {

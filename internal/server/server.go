@@ -10,6 +10,7 @@
 //	POST /v1/query   {items, f, k, maxScanFraction, sort}
 //	POST /v1/range   {items, constraints: [{f, threshold}]}
 //	POST /v1/multi   {targets, f, k, maxScanFraction}
+//	POST /v1/batch   {targets, f, k, sharedScan, parallelism}
 //	POST /v1/insert  {items} or {batch: [[items], ...]}
 //	POST /v1/delete  {tid}
 //	POST /v1/explain {items, f}
@@ -148,6 +149,7 @@ func (s *Server) Handler() http.Handler {
 		{"POST", "query", s.handleQuery},
 		{"POST", "range", s.handleRange},
 		{"POST", "multi", s.handleMulti},
+		{"POST", "batch", s.handleBatch},
 		{"POST", "insert", s.handleInsert},
 		{"POST", "delete", s.handleDelete},
 		{"POST", "explain", s.handleExplain},
@@ -252,6 +254,41 @@ type MultiResponse struct {
 	Interrupted bool       `json:"interrupted"`
 }
 
+// BatchRequest is the /v1/batch body: one k-NN query per target,
+// answered in target order. SharedScan selects the shared-scan engine,
+// which drives ONE pass over the signature table for the whole batch
+// and decodes each hot entry once; results are identical to independent
+// queries, only the I/O differs. Parallelism is the batch's worker
+// knob (independent mode: worker-pool width; shared mode: scoring
+// fan-out), 0 selecting the engine default.
+type BatchRequest struct {
+	Targets         [][]sigtable.Item `json:"targets"`
+	F               string            `json:"f"`
+	K               int               `json:"k"`
+	MaxScanFraction float64           `json:"maxScanFraction"`
+	Sort            string            `json:"sort"`
+	SharedScan      bool              `json:"sharedScan"`
+	Parallelism     int               `json:"parallelism"`
+}
+
+// BatchResult is one slot of the /v1/batch reply, aligned with the
+// request's targets.
+type BatchResult struct {
+	Neighbors      []Neighbor `json:"neighbors"`
+	Scanned        int        `json:"scanned"`
+	EntriesScanned int        `json:"entriesScanned"`
+	EntriesPruned  int        `json:"entriesPruned"`
+	PagesRead      int64      `json:"pagesRead"`
+	Certified      bool       `json:"certified"`
+	Interrupted    bool       `json:"interrupted"`
+}
+
+// BatchResponse is the /v1/batch reply.
+type BatchResponse struct {
+	Results    []BatchResult `json:"results"`
+	SharedScan bool          `json:"sharedScan"`
+}
+
 // InsertRequest is the /v1/insert body: either a single transaction
 // (items) or several (batch), not both. A batch is applied under one
 // exclusive-lock acquisition.
@@ -341,15 +378,30 @@ type PoolInfo struct {
 	Contended int64   `json:"contended"`
 }
 
+// DecodeCacheInfo is the /v1/stats decode-cache section (absent when no
+// cache is attached): the hot-entry cache that memoizes fully decoded
+// transaction lists so repeat scans skip both page fetches and varint
+// decoding.
+type DecodeCacheInfo struct {
+	Hits       int64   `json:"hits"`
+	Misses     int64   `json:"misses"`
+	HitRate    float64 `json:"hitRate"`
+	Bytes      int64   `json:"bytes"`
+	Capacity   int64   `json:"capacity"`
+	Lists      int     `json:"lists"`
+	Generation uint64  `json:"generation"`
+}
+
 // StatsResponse is the /v1/stats reply.
 type StatsResponse struct {
-	Transactions int       `json:"transactions"`
-	Live         int       `json:"live"`
-	K            int       `json:"k"`
-	Entries      int       `json:"entries"`
-	Universe     int       `json:"universe"`
-	Build        BuildInfo `json:"build"`
-	Pool         *PoolInfo `json:"pool,omitempty"`
+	Transactions int              `json:"transactions"`
+	Live         int              `json:"live"`
+	K            int              `json:"k"`
+	Entries      int              `json:"entries"`
+	Universe     int              `json:"universe"`
+	Build        BuildInfo        `json:"build"`
+	Pool         *PoolInfo        `json:"pool,omitempty"`
+	DecodeCache  *DecodeCacheInfo `json:"decodeCache,omitempty"`
 }
 
 // ErrorInfo is the error envelope payload.
@@ -486,6 +538,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				Misses:    misses,
 				HitRate:   pool.HitRate(),
 				Contended: pool.Contention(),
+			}
+		}
+		if dc := store.DecodeCache(); dc != nil {
+			hits, misses := dc.Stats()
+			resp.DecodeCache = &DecodeCacheInfo{
+				Hits:       hits,
+				Misses:     misses,
+				HitRate:    dc.HitRate(),
+				Bytes:      dc.Bytes(),
+				Capacity:   dc.Capacity(),
+				Lists:      dc.Len(),
+				Generation: dc.Generation(),
 			}
 		}
 	}
@@ -635,6 +699,75 @@ func (s *Server) handleMulti(w http.ResponseWriter, r *http.Request) {
 		Certified:   res.Certified,
 		Interrupted: res.Interrupted,
 	})
+}
+
+// handleBatch answers one k-NN query per target. With sharedScan the
+// whole batch runs as one pass over the signature table (see DESIGN.md
+// §4d); without it each target runs as an independent query over a
+// worker pool. A request deadline interrupts targets individually —
+// finished slots keep their complete answers, later slots return
+// Interrupted partials — so the response always carries len(targets)
+// results.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Targets) == 0 {
+		s.writeErr(w, http.StatusBadRequest, CodeBadRequest, "batch has no targets")
+		return
+	}
+	f, ok := s.similarity(w, req.F)
+	if !ok {
+		return
+	}
+	sortBy, ok := s.sortCriterion(w, req.Sort)
+	if !ok {
+		return
+	}
+	targets := make([]sigtable.Transaction, len(req.Targets))
+	for i, items := range req.Targets {
+		t, ok := s.target(w, items)
+		if !ok {
+			return
+		}
+		targets[i] = t
+	}
+	if req.Parallelism < 0 {
+		s.writeErr(w, http.StatusBadRequest, CodeBadRequest, "parallelism %d must be non-negative", req.Parallelism)
+		return
+	}
+
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+	start := time.Now()
+
+	results, err := s.idx.BatchQuery(ctx, targets, f, sigtable.QueryOptions{
+		K:               req.K,
+		MaxScanFraction: req.MaxScanFraction,
+		SortBy:          sortBy,
+	}, sigtable.BatchOptions{
+		SharedScan:  req.SharedScan,
+		Parallelism: req.Parallelism,
+	})
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	s.met.observeBatch(time.Since(start), req.SharedScan, results)
+	rows := make([]BatchResult, len(results))
+	for i, res := range results {
+		rows[i] = BatchResult{
+			Neighbors:      s.neighbors(res.Neighbors),
+			Scanned:        res.Scanned,
+			EntriesScanned: res.EntriesScanned,
+			EntriesPruned:  res.EntriesPruned,
+			PagesRead:      res.PagesRead,
+			Certified:      res.Certified,
+			Interrupted:    res.Interrupted,
+		}
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Results: rows, SharedScan: req.SharedScan})
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {

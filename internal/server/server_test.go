@@ -478,3 +478,177 @@ func TestClientDisconnectCancelsSearch(t *testing.T) {
 		t.Fatal("cancelled request succeeded")
 	}
 }
+
+// TestBatchEndpoint answers a batch both ways and checks the two modes
+// agree with each other and with the standalone query endpoint.
+func TestBatchEndpoint(t *testing.T) {
+	ts, data := newTestServer(t, Options{})
+	req := BatchRequest{F: "jaccard", K: 3}
+	for i := 0; i < 6; i++ {
+		req.Targets = append(req.Targets, data.Get(sigtable.TID(i*100)))
+	}
+
+	var indep, shared BatchResponse
+	if code := post(t, ts.URL+"/v1/batch", req, &indep); code != http.StatusOK {
+		t.Fatalf("independent batch: status %d", code)
+	}
+	req.SharedScan = true
+	if code := post(t, ts.URL+"/v1/batch", req, &shared); code != http.StatusOK {
+		t.Fatalf("shared batch: status %d", code)
+	}
+	if !shared.SharedScan || indep.SharedScan {
+		t.Fatalf("sharedScan echo: indep=%v shared=%v", indep.SharedScan, shared.SharedScan)
+	}
+	if len(indep.Results) != len(req.Targets) || len(shared.Results) != len(req.Targets) {
+		t.Fatalf("result counts: indep=%d shared=%d", len(indep.Results), len(shared.Results))
+	}
+	for i := range req.Targets {
+		var q QueryResponse
+		post(t, ts.URL+"/v1/query", QueryRequest{Items: req.Targets[i], F: "jaccard", K: 3}, &q)
+		for name, r := range map[string]BatchResult{"independent": indep.Results[i], "shared": shared.Results[i]} {
+			if !r.Certified || r.Interrupted {
+				t.Fatalf("%s slot %d not certified: %+v", name, i, r)
+			}
+			if len(r.Neighbors) != len(q.Neighbors) {
+				t.Fatalf("%s slot %d: %d neighbors, query endpoint %d", name, i, len(r.Neighbors), len(q.Neighbors))
+			}
+			for j := range r.Neighbors {
+				if r.Neighbors[j].TID != q.Neighbors[j].TID || r.Neighbors[j].Value != q.Neighbors[j].Value {
+					t.Fatalf("%s slot %d neighbor %d = %+v, query endpoint %+v", name, i, j, r.Neighbors[j], q.Neighbors[j])
+				}
+			}
+			if r.Scanned != q.Scanned || r.EntriesScanned != q.EntriesScanned || r.EntriesPruned != q.EntriesPruned {
+				t.Fatalf("%s slot %d cost (%d,%d,%d), query endpoint (%d,%d,%d)", name, i,
+					r.Scanned, r.EntriesScanned, r.EntriesPruned, q.Scanned, q.EntriesScanned, q.EntriesPruned)
+			}
+		}
+	}
+
+	// Batch counters moved: 2 batches, 12 targets, 1 shared scan.
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"sigtable_batch_queries_total 2",
+		"sigtable_batch_targets_total 12",
+		"sigtable_batch_shared_scans_total 1",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("missing %q:\n%s", want, grep(string(body), "sigtable_batch"))
+		}
+	}
+}
+
+// TestBatchValidationEnvelope exercises the error paths.
+func TestBatchValidationEnvelope(t *testing.T) {
+	ts, data := newTestServer(t, Options{})
+	cases := []struct {
+		name string
+		body BatchRequest
+	}{
+		{"no targets", BatchRequest{F: "jaccard", K: 3}},
+		{"empty target", BatchRequest{Targets: [][]sigtable.Item{{}}, K: 3}},
+		{"out of universe", BatchRequest{Targets: [][]sigtable.Item{{9999}}, K: 3}},
+		{"bad similarity", BatchRequest{Targets: [][]sigtable.Item{data.Get(0)}, F: "nope"}},
+		{"negative parallelism", BatchRequest{Targets: [][]sigtable.Item{data.Get(0)}, Parallelism: -1}},
+		{"negative k", BatchRequest{Targets: [][]sigtable.Item{data.Get(0)}, K: -1, SharedScan: true}},
+	}
+	for _, tc := range cases {
+		var e ErrorResponse
+		if code := post(t, ts.URL+"/v1/batch", tc.body, &e); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d", tc.name, code)
+		}
+		if e.Error.Code == "" {
+			t.Errorf("%s: no error envelope", tc.name)
+		}
+	}
+}
+
+// TestDecodeCacheStatsAndMetrics runs a disk-backed server with the
+// decode cache attached and checks the cache surfaces in /v1/stats and
+// /v1/metrics, that hits accumulate across repeat queries, and that an
+// insert bumps the invalidation generation.
+func TestDecodeCacheStatsAndMetrics(t *testing.T) {
+	g, err := sigtable.NewGenerator(sigtable.GeneratorConfig{
+		UniverseSize: 200, NumItemsets: 300, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := g.Dataset(3000)
+	idx, err := sigtable.BuildIndex(data, sigtable.IndexOptions{
+		SignatureCardinality: 10,
+		PageSize:             512,
+		DecodeCacheBytes:     1 << 22,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(idx, data, Options{}).Handler())
+	defer ts.Close()
+
+	stats := func() StatsResponse {
+		resp, err := http.Get(ts.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st StatsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	st := stats()
+	if st.DecodeCache == nil {
+		t.Fatal("no decodeCache section in /v1/stats")
+	}
+	if st.DecodeCache.Capacity != 1<<22 {
+		t.Fatalf("capacity %d, want %d", st.DecodeCache.Capacity, 1<<22)
+	}
+
+	// Repeat the same query: the second run must hit the cache.
+	for i := 0; i < 2; i++ {
+		var q QueryResponse
+		if code := post(t, ts.URL+"/v1/query", QueryRequest{Items: data.Get(7), F: "jaccard", K: 3}, &q); code != http.StatusOK {
+			t.Fatalf("query %d: status %d", i, code)
+		}
+	}
+	st = stats()
+	if st.DecodeCache.Hits == 0 || st.DecodeCache.Misses == 0 {
+		t.Fatalf("repeat query left cache cold: %+v", st.DecodeCache)
+	}
+	if st.DecodeCache.Bytes == 0 || st.DecodeCache.Lists == 0 {
+		t.Fatalf("cache holds nothing after queries: %+v", st.DecodeCache)
+	}
+
+	gen := st.DecodeCache.Generation
+	if code := post(t, ts.URL+"/v1/insert", InsertRequest{Items: data.Get(3)}, nil); code != http.StatusOK {
+		t.Fatalf("insert: status %d", code)
+	}
+	if st = stats(); st.DecodeCache.Generation <= gen {
+		t.Fatalf("insert did not bump generation: %d -> %d", gen, st.DecodeCache.Generation)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"sigtable_decode_cache_hits_total",
+		"sigtable_decode_cache_misses_total",
+		"sigtable_decode_cache_invalidations_total",
+		"sigtable_decode_cache_bytes",
+		"sigtable_decode_cache_capacity_bytes 4.194304e+06",
+		"sigtable_decode_cache_lists",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("missing %q:\n%s", want, grep(string(body), "sigtable_decode_cache"))
+		}
+	}
+}

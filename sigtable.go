@@ -168,9 +168,21 @@ type IndexOptions struct {
 	// PageSize, when positive, stores transaction lists on simulated
 	// disk pages of this many bytes and accounts page I/O per query.
 	PageSize int
+	// PageFile, when non-empty with PageSize, backs the page store with
+	// the operating-system file at that path (truncated if it exists)
+	// instead of in-memory simulated pages, making every page read a
+	// real positional pread. Compact rebuilds into a fresh sibling file
+	// (path + ".gN") so in-flight queries on the old table stay valid.
+	PageFile string
 	// BufferPoolPages, with PageSize, adds a sharded clock-sweep
 	// buffer pool of this capacity.
 	BufferPoolPages int
+	// DecodeCacheBytes, with PageSize, adds a decoded-entry cache of
+	// that many bytes: repeat scans of a hot entry's transaction list
+	// skip page fetches and varint decoding entirely. Insert, Delete
+	// and Compact invalidate it by generation bump, so cached scans can
+	// never serve stale data.
+	DecodeCacheBytes int64
 	// BuildParallelism bounds the goroutines used by the build
 	// pipeline: support counting, supercoordinate computation, TID
 	// grouping and page writing. 0 selects GOMAXPROCS; 1 forces a
@@ -297,7 +309,9 @@ func BuildIndex(d *Dataset, opt IndexOptions) (*Index, error) {
 	table, err := core.Build(d, part, core.BuildOptions{
 		ActivationThreshold: r,
 		PageSize:            opt.PageSize,
+		PageFile:            opt.PageFile,
 		BufferPoolPages:     opt.BufferPoolPages,
+		DecodeCacheBytes:    opt.DecodeCacheBytes,
 		Parallelism:         opt.BuildParallelism,
 	})
 	if err != nil {
