@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-core check bench bench-build bench-all
+.PHONY: build test vet race race-core check bench bench-build bench-all docs-check
 
 build:
 	$(GO) build ./...
@@ -25,17 +25,28 @@ race:
 race-core:
 	$(GO) test -race ./internal/pager ./internal/core ./internal/mining
 
-check: vet race-core race
+check: vet docs-check race-core race
 
-# Machine-readable micro-benchmarks (the numbers BENCH_PR4.json
-# archives): per-query latency/allocations, independent vs shared-scan
-# batches (memory and file-backed disk), the build pipeline serial vs
-# parallel, support counting, and the buffer-pool hammer. delta_vs
-# ratios compare each shared benchmark against the BENCH_PR3.json
-# baseline.
+# Machine-readable micro-benchmarks (the numbers BENCH_PR6.json
+# archives): per-query latency/allocations, the sharded engine's
+# scatter-gather at 1/4/8 shards (memory and disk), independent vs
+# shared-scan batches, the build pipeline serial vs parallel, support
+# counting, and the buffer-pool hammer. delta_vs ratios compare each
+# shared benchmark against the BENCH_PR4.json baseline.
 bench:
-	$(GO) test -run - -bench 'BenchmarkQuery|BenchmarkBatchQuery|BenchmarkBuildIndex|BenchmarkSupportCount|BenchmarkPoolHammer' -benchmem . | $(GO) run ./cmd/benchjson -delta-vs BENCH_PR3.json > BENCH_PR4.json
-	@cat BENCH_PR4.json
+	$(GO) test -run - -bench 'BenchmarkQuery|BenchmarkShardedQuery|BenchmarkBatchQuery|BenchmarkBuildIndex|BenchmarkSupportCount|BenchmarkPoolHammer' -benchmem . | $(GO) run ./cmd/benchjson -delta-vs BENCH_PR4.json > BENCH_PR6.json
+	@cat BENCH_PR6.json
+
+# Every exported *Options / *Config struct in the public package must
+# be discussed in doc.go — the package documentation is the API's
+# migration guide, and a struct it never mentions is an undocumented
+# surface. CI runs this.
+docs-check:
+	@missing=0; \
+	for s in $$(grep -hoE '^type [A-Za-z]+(Options|Config) struct' *.go | awk '{print $$2}' | sort -u); do \
+		grep -q "$$s" doc.go || { echo "doc.go does not mention $$s"; missing=1; }; \
+	done; \
+	exit $$missing
 
 # Just the build-pipeline benchmarks (serial vs parallel, memory vs
 # disk) — the quick loop when touching the build path.

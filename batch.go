@@ -7,30 +7,6 @@ import (
 	"sync"
 )
 
-// BatchOptions selects how a batch of queries executes. The zero value
-// runs each target as an independent query over a worker pool — the
-// pre-existing behavior.
-type BatchOptions struct {
-	// SharedScan answers the whole batch with ONE scan over the
-	// signature table: entries are visited in the order of the best
-	// optimistic bound across the batch's still-live targets, each
-	// entry's transactions are decoded once and consumed by every
-	// target that needs them, and targets retire individually as their
-	// optimality certificates close. Results are byte-identical to
-	// independent queries; only the I/O differs — a hot entry's pages
-	// are read once per batch instead of once per target, which is the
-	// point (see DESIGN.md §4d). The batch holds the index's shared
-	// lock for its whole duration, so unlike independent mode it does
-	// not interleave with Insert/Delete from other goroutines.
-	SharedScan bool
-	// Parallelism bounds the batch's goroutines. Independent mode: the
-	// worker-pool width, each worker running whole queries (0 selects
-	// GOMAXPROCS). Shared mode: the scoring fan-out over one decoded
-	// entry's transactions (0 selects GOMAXPROCS; small entries are
-	// scored inline regardless).
-	Parallelism int
-}
-
 // BatchQuery answers one k-NN query per target, in target order.
 //
 // The context is shared by every query in the batch, but honored per
@@ -41,33 +17,50 @@ type BatchOptions struct {
 // A cancelled batch is not an error — every slot is filled; errors are
 // reserved for invalid options and abort the batch.
 //
-// Execution strategy is set by bopt; results are identical either way.
-// In independent mode each query takes the index's shared lock on its
-// own, so a batch may safely overlap Insert/Delete calls from other
-// goroutines. When independent mode fans out over more than one worker
-// and opt.Parallelism is 0 (auto), each query runs serially —
-// inter-query concurrency already saturates the CPUs, and stacking
-// intra-query workers on top oversubscribes them. Set opt.Parallelism
-// explicitly to override.
-func (ix *Index) BatchQuery(ctx context.Context, targets []Transaction, f SimilarityFunc, opt QueryOptions, bopt BatchOptions) ([]Result, error) {
+// One SearchOptions parameterizes the whole batch: K, MaxScanFraction
+// and SortBy apply to every slot, Parallelism is the batch's worker
+// knob and SharedScan selects the engine. By default each slot is an
+// independent Query over a pool of Parallelism workers (0 selects
+// GOMAXPROCS), each query running serially — inter-query concurrency
+// already saturates the CPUs. With SharedScan the whole batch runs as
+// ONE scan over the signature table: entries are visited in the order
+// of the best optimistic bound across the batch's still-live targets,
+// each entry's transactions are decoded once and consumed by every
+// target that needs them, and targets retire individually as their
+// optimality certificates close. Results are byte-identical either
+// way; only the I/O differs — a hot entry's pages are read once per
+// batch instead of once per target (see DESIGN.md §4d). The shared
+// scan holds the index's shared lock for its whole duration, so unlike
+// independent mode it does not interleave with Insert/Delete from
+// other goroutines.
+//
+// The trailing argument keeps pre-SearchOptions call sites compiling:
+// BatchQuery(ctx, targets, f, queryOpts, batchOpts) splits the knobs
+// exactly as the old (QueryOptions, BatchOptions) pair did — SharedScan
+// and the pool width from batchOpts, the per-query fields (including
+// per-query Parallelism) from queryOpts.
+//
+// Deprecated: the two-options form. Pass a single SearchOptions.
+func (ix *Index) BatchQuery(ctx context.Context, targets []Transaction, f SimilarityFunc, opt SearchOptions, legacy ...BatchOptions) ([]Result, error) {
+	shared, qopt, pool := batchPlan(opt, legacy)
 	if len(targets) == 0 {
 		return nil, nil
 	}
-	if bopt.SharedScan {
+	if shared {
 		ix.mu.RLock()
 		defer ix.mu.RUnlock()
-		return ix.table.QueryBatch(ctx, targets, f, opt, bopt.Parallelism)
+		return ix.table.QueryBatch(ctx, targets, f, qopt.query(), pool)
 	}
 
-	parallelism := bopt.Parallelism
+	parallelism := pool
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
 	if parallelism > len(targets) {
 		parallelism = len(targets)
 	}
-	if parallelism > 1 && opt.Parallelism == 0 {
-		opt.Parallelism = 1
+	if parallelism > 1 && qopt.Parallelism == 0 {
+		qopt.Parallelism = 1
 	}
 
 	results := make([]Result, len(targets))
@@ -87,7 +80,7 @@ func (ix *Index) BatchQuery(ctx context.Context, targets []Transaction, f Simila
 					results[i] = Result{Interrupted: true, Workers: 1}
 					continue
 				}
-				results[i], errs[i] = ix.Query(ctx, targets[i], f, opt)
+				results[i], errs[i] = ix.Query(ctx, targets[i], f, qopt)
 			}
 		}()
 	}
@@ -103,4 +96,19 @@ func (ix *Index) BatchQuery(ctx context.Context, targets []Transaction, f Simila
 		}
 	}
 	return results, nil
+}
+
+// batchPlan resolves the unified and legacy calling conventions into
+// (shared engine?, per-query options, batch pool width). In the
+// unified form Parallelism is the batch knob and each query runs with
+// the engine's own default fan-out; in the legacy form the two structs
+// keep their historical roles.
+func batchPlan(opt SearchOptions, legacy []BatchOptions) (bool, SearchOptions, int) {
+	if len(legacy) > 0 {
+		b := legacy[0]
+		return opt.SharedScan || b.SharedScan, opt, b.Parallelism
+	}
+	pool := opt.Parallelism
+	opt.Parallelism = 0
+	return opt.SharedScan, opt, pool
 }

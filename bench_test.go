@@ -437,6 +437,71 @@ func BenchmarkBatchQuery(b *testing.B) {
 	}
 }
 
+// --- Sharded engine benchmarks ---
+
+// shardedFix caches one built engine per benchmark case: the harness
+// re-invokes the function with growing b.N, and rebuilding a
+// 50k-transaction engine each round would swamp the measurement.
+var (
+	shardedMu  sync.Mutex
+	shardedFix = map[string]*ShardedIndex{}
+)
+
+func shardedSetup(b *testing.B, name string, S int, disk bool) *ShardedIndex {
+	b.Helper()
+	m := microSetup(b)
+	shardedMu.Lock()
+	defer shardedMu.Unlock()
+	if sx, ok := shardedFix[name]; ok {
+		return sx
+	}
+	opt := IndexOptions{SignatureCardinality: 15, Shards: S}
+	if disk {
+		dir, err := os.MkdirTemp("", "sigtable-bench-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt.PageSize = 4096
+		opt.PageFile = filepath.Join(dir, "pages.dat")
+	}
+	sx, err := NewSharded(m.data, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shardedFix[name] = sx
+	return sx
+}
+
+// BenchmarkShardedQuery runs the exact k-NN search against the sharded
+// engine at S ∈ {1, 4, 8}, in memory and against per-shard page files.
+// The answers are byte-identical to the single table at every shard
+// count (the property tests prove it), so this measures only what the
+// scatter-gather costs and buys: per-shard scan workers against the
+// coordinator's merge overhead. 1shards is the degenerate case — one
+// shard behind the routing layer — and bounds the engine's fixed tax
+// over a plain Index.
+func BenchmarkShardedQuery(b *testing.B) {
+	m := microSetup(b)
+	for _, disk := range []bool{false, true} {
+		for _, S := range []int{1, 4, 8} {
+			name := fmt.Sprintf("%dshards", S)
+			if disk {
+				name += "-disk"
+			}
+			b.Run(name, func(b *testing.B) {
+				sx := shardedSetup(b, name, S, disk)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := sx.Query(context.Background(), m.queries[i%len(m.queries)], Cosine{}, SearchOptions{K: 1}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkBuildIndex measures the full build pipeline — support
 // counting, clustering, coordinate assignment, grouping, page writes —
 // serial vs parallel (parallel = GOMAXPROCS workers), in memory and

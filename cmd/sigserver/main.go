@@ -4,7 +4,13 @@
 //	sigserver -data baskets.dat [-addr :8080] [-K 15] [-r 1]
 //	          [-query-timeout 5s] [-max-concurrent 64]
 //	          [-build-parallelism 0] [-page-size 0] [-page-file ""]
-//	          [-pool-pages 0] [-decode-cache-bytes 0]
+//	          [-pool-pages 0] [-decode-cache-bytes 0] [-shards 1]
+//
+// With -shards N > 1 the server runs the sharded engine: transactions
+// are partitioned across N sub-indexes, queries scatter-gather across
+// them (results are byte-identical to the single index), and inserts
+// or per-shard rebuilds lock only their shard. /v1/stats gains a
+// per-shard section and /v1/metrics the sigtable_shard_* family.
 //
 // Endpoints (see internal/server for bodies):
 //
@@ -24,6 +30,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -49,6 +56,7 @@ func main() {
 		pageFile      = flag.String("page-file", "", "back the page store with a real file at this path (needs -page-size)")
 		poolPages     = flag.Int("pool-pages", 0, "sharded clock buffer pool capacity in pages (needs -page-size)")
 		decodeCache   = flag.Int64("decode-cache-bytes", 0, "hot-entry decoded-list cache budget in bytes (needs -page-size, 0 disables)")
+		shards        = flag.Int("shards", 1, "shard the index across this many sub-indexes (1 = single table)")
 		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "shutdown grace period for in-flight requests")
 		quiet         = flag.Bool("quiet", false, "disable per-request access logging")
 	)
@@ -74,7 +82,7 @@ func main() {
 	}
 
 	start := time.Now()
-	idx, err := sigtable.BuildIndex(data, sigtable.IndexOptions{
+	iopt := sigtable.IndexOptions{
 		SignatureCardinality: *kCard,
 		ActivationThreshold:  *r,
 		PageSize:             *pageSize,
@@ -82,12 +90,23 @@ func main() {
 		BufferPoolPages:      *poolPages,
 		DecodeCacheBytes:     *decodeCache,
 		BuildParallelism:     *buildPar,
-	})
-	if err != nil {
-		log.Fatalf("sigserver: building index: %v", err)
+		Shards:               *shards,
 	}
-	log.Printf("sigserver: indexed %d transactions (K=%d, %d entries, %d build workers) in %v; listening on %s",
-		idx.Len(), idx.K(), idx.NumEntries(), idx.BuildStats().Workers,
+	var idx sigtable.Engine
+	var err2 error
+	engine := "single table"
+	if *shards > 1 {
+		idx, err2 = sigtable.NewSharded(data, iopt)
+		engine = fmt.Sprintf("%d shards", *shards)
+	} else {
+		iopt.Shards = 0
+		idx, err2 = sigtable.BuildIndex(data, iopt)
+	}
+	if err2 != nil {
+		log.Fatalf("sigserver: building index: %v", err2)
+	}
+	log.Printf("sigserver: indexed %d transactions (K=%d, %d entries, %s, %d build workers) in %v; listening on %s",
+		idx.Len(), idx.K(), idx.NumEntries(), engine, idx.BuildStats().Workers,
 		time.Since(start).Round(time.Millisecond), *addr)
 
 	opts := server.Options{

@@ -19,7 +19,24 @@
 //
 //	data := ... // *sigtable.Dataset
 //	idx, err := sigtable.BuildIndex(data, sigtable.IndexOptions{SignatureCardinality: 15})
-//	res, err := idx.Query(ctx, target, sigtable.Cosine{}, sigtable.QueryOptions{K: 10})
+//	res, err := idx.Query(ctx, target, sigtable.Cosine{}, sigtable.SearchOptions{K: 10})
+//
+// # Search options (migration note)
+//
+// Every query entry point takes the same SearchOptions struct: K,
+// MaxScanFraction, SortBy, Parallelism and SharedScan. Earlier
+// releases had three structs — QueryOptions, RangeOptions and
+// BatchOptions — which remain as deprecated aliases of SearchOptions,
+// so existing code compiles unchanged (all three were always used
+// with named fields). New code should say SearchOptions. The only
+// semantic wrinkle is BatchQuery: in the unified form
+//
+//	idx.BatchQuery(ctx, targets, f, sigtable.SearchOptions{K: 5, Parallelism: 4})
+//
+// Parallelism is the batch worker pool (each slot runs serially),
+// while the legacy two-struct form keeps its historical meaning —
+// QueryOptions.Parallelism fans out within a slot, and
+// BatchOptions.Parallelism sizes the pool.
 //
 // # Contexts and deadlines
 //
@@ -40,8 +57,8 @@
 // exclusive lock and wait for in-flight queries to drain.
 //
 // Independently of inter-query concurrency, a single search can spread
-// its entry scans over several goroutines: QueryOptions.Parallelism
-// (and RangeOptions.Parallelism) sets the worker count, 0 meaning
+// its entry scans over several goroutines: SearchOptions.Parallelism
+// sets the worker count, 0 meaning
 // GOMAXPROCS and 1 (the default) the serial loop. The parallel engine
 // is a pure execution strategy — neighbors, cost counters and the
 // optimality certificate are byte-identical to the serial engine's,
@@ -52,7 +69,7 @@
 // # Batches and the shared scan
 //
 // BatchQuery answers one k-NN query per target. By default each slot is
-// an independent Query; BatchOptions.SharedScan routes the batch
+// an independent Query; SearchOptions.SharedScan routes the batch
 // through a single pass over the signature table instead, decoding each
 // entry's transaction list at most once for all targets that want it.
 // The results are byte-identical to the independent path — same
@@ -74,10 +91,29 @@
 // with an explicit worker count, and Index.InsertBatch amortizes the
 // exclusive lock over many inserts.
 //
+// # Sharding
+//
+// NewSharded (or IndexOptions.Shards via the sigserver -shards flag)
+// builds a ShardedIndex: the dataset is partitioned across S
+// sub-indexes, each with its own signature table, page store and
+// decode cache, and every query scatter-gathers across them. The
+// merged result is byte-identical to the single table's — neighbors,
+// cost counters and certificate, which the test suite asserts by
+// property testing — while Insert, Delete and per-shard compaction
+// lock only the owning shard, so a mutation on one shard no longer
+// blocks queries on the others. Both engines implement the Engine
+// interface; ReadEngine loads either kind from its persisted form,
+// which carries a versioned header (headerless seed-era files still
+// load as single indexes).
+//
 // The HTTP serving layer (internal/server, cmd/sigserver) builds on
 // this: every request runs under a configurable deadline, and a
-// /v1/metrics endpoint exports query counts, latency histograms, and
-// branch-and-bound cost counters in the Prometheus text format.
+// /v1/metrics endpoint exports query counts, latency histograms,
+// branch-and-bound cost counters, and on a sharded engine the
+// per-shard sigtable_shard_* family, in the Prometheus text format.
+// The pre-/v1 unversioned routes are retired: they answer 410 Gone
+// with the /v1 successor named in the error envelope and a Link
+// header.
 //
 // See examples/ for runnable programs and DESIGN.md for the mapping
 // from the paper's sections to packages.

@@ -144,21 +144,16 @@ type rankedEntry struct {
 // rankedBefore is the visiting order: decreasing sort key, ties broken
 // by decreasing supercoordinate similarity, then coordinate. Shared by
 // the per-query heap and the batch engine's cross-target entry picking.
+// Optimistic bounds tie in droves (hamming yields few distinct D_opt
+// values, and every superset of the target's coordinate bounds at
+// distance 0). Among ties, visit the entry whose activation pattern
+// most resembles the target's first: its transactions are the
+// likeliest close matches, which raises the pessimistic bound early
+// and drives both pruning and early-termination accuracy. The actual
+// comparison lives in CompareRanked (shardapi.go) so the sharded
+// coordinator replays the identical order.
 func rankedBefore(a, b rankedEntry) bool {
-	if a.sort != b.sort {
-		return a.sort > b.sort
-	}
-	// Optimistic bounds tie in droves (hamming yields few distinct
-	// D_opt values, and every superset of the target's coordinate
-	// bounds at distance 0). Among ties, visit the entry whose
-	// activation pattern most resembles the target's first: its
-	// transactions are the likeliest close matches, which raises the
-	// pessimistic bound early and drives both pruning and
-	// early-termination accuracy.
-	if a.tie != b.tie {
-		return a.tie > b.tie
-	}
-	return a.e.Coord < b.e.Coord
+	return CompareRanked(a.sort, a.tie, a.e.Coord, b.sort, b.tie, b.e.Coord)
 }
 
 // entryQueue is a max-heap of rankedEntry, ordered by (sort, tie,

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"sigtable/internal/signature"
+	"sigtable/internal/simfun"
+	"sigtable/internal/txn"
+)
+
+// Shard-engine primitives. The sharded index (internal/shard) replays
+// the serial branch-and-bound loop of searchSerial at a coordinator
+// while per-shard workers score their entries speculatively. For the
+// replay to be byte-identical to a single-table search, the coordinator
+// needs the exact same ranking keys, visiting order, prune predicate
+// and cancellation cadence as this package — so those pieces are
+// exported here as small, target-bound "plans" rather than re-derived
+// (and inevitably diverging) in the shard package.
+
+// CancelCheckEvery is the number of transaction scans between context
+// cancellation checks inside one entry (cancelCheckInterval). The
+// sharded coordinator must check at the same cadence or an interrupted
+// search would stop at a different transaction than the serial loop.
+const CancelCheckEvery = cancelCheckInterval
+
+// EntrySummary is a snapshot of one occupied supercoordinate: its
+// coordinate and live transaction count. Summaries taken under a
+// shard's read lock stay valid after the lock is released, unlike
+// *Entry pointers whose Count mutates.
+type EntrySummary struct {
+	Coord signature.Coord
+	Count int
+}
+
+// EntrySummaries appends a snapshot of every occupied entry (in
+// coordinate order) to dst and returns it.
+func (t *Table) EntrySummaries(dst []EntrySummary) []EntrySummary {
+	if cap(dst) < len(t.entries) {
+		dst = make([]EntrySummary, 0, len(t.entries))
+	} else {
+		dst = dst[:0]
+	}
+	for _, e := range t.entries {
+		dst = append(dst, EntrySummary{Coord: e.Coord, Count: e.Count})
+	}
+	return dst
+}
+
+// CompareRanked is the entry visiting order as a pure function of the
+// ranking keys: decreasing sort key, ties broken by decreasing
+// supercoordinate similarity, then increasing coordinate. It reports
+// whether entry a is visited before entry b. rankedBefore (the
+// in-package heap order) delegates here, so the two cannot drift.
+func CompareRanked(sortA, tieA float64, coordA signature.Coord, sortB, tieB float64, coordB signature.Coord) bool {
+	if sortA != sortB {
+		return sortA > sortB
+	}
+	if tieA != tieB {
+		return tieA > tieB
+	}
+	return coordA < coordB
+}
+
+// TargetPlan precomputes the target-dependent pieces of entry ranking
+// for one query — similarity functions bound per target, bounders and
+// target coordinates — against a partition and activation threshold,
+// independent of any particular table. Two plans built from the same
+// partition, threshold and targets produce bit-identical keys, which is
+// what lets every shard (and the coordinator) rank coordinates in the
+// exact order a single table would.
+type TargetPlan struct {
+	fs       []simfun.Func
+	bounders []*bounder
+	coords   []signature.Coord
+	invN     float64
+}
+
+// NewTargetPlan builds the ranking plan for one or more targets under
+// f. With several targets the keys are per-target averages, matching
+// MultiQuery; with one target they match Query exactly.
+func NewTargetPlan(part *signature.Partition, r int, targets []txn.Transaction, f simfun.Func) *TargetPlan {
+	p := &TargetPlan{
+		fs:       make([]simfun.Func, len(targets)),
+		bounders: make([]*bounder, len(targets)),
+		coords:   make([]signature.Coord, len(targets)),
+		invN:     1 / float64(len(targets)),
+	}
+	for i, tgt := range targets {
+		fi := f
+		if ta, ok := f.(simfun.TargetAware); ok {
+			fi = ta.Bind(tgt)
+		}
+		p.fs[i] = fi
+		p.bounders[i] = &bounder{overlaps: part.Overlaps(tgt, nil), r: r}
+		p.coords[i] = part.Coord(tgt, r)
+	}
+	return p
+}
+
+// Rank computes one coordinate's keys: the optimistic bound (always
+// the prune key), the sort key for the chosen criterion, and the
+// tie-break key. The single-target path avoids the averaging loop so
+// its floats are bit-identical to rankEntries'.
+func (p *TargetPlan) Rank(c signature.Coord, by SortCriterion) (opt, sortKey, tie float64) {
+	if len(p.fs) == 1 {
+		bd := p.bounders[0].bounds(c)
+		opt = p.fs[0].Score(bd.MatchOpt, bd.DistOpt)
+		tie = coordSimilarity(p.fs[0], p.coords[0], c)
+	} else {
+		optSum, simSum := 0.0, 0.0
+		for j := range p.fs {
+			bd := p.bounders[j].bounds(c)
+			optSum += p.fs[j].Score(bd.MatchOpt, bd.DistOpt)
+			simSum += coordSimilarity(p.fs[j], p.coords[j], c)
+		}
+		opt, tie = optSum*p.invN, simSum*p.invN
+	}
+	sortKey = opt
+	if by == ByCoordSimilarity {
+		sortKey = tie
+	}
+	return opt, sortKey, tie
+}
+
+// TargetCoord returns the first target's supercoordinate (the query
+// target for single-target plans).
+func (p *TargetPlan) TargetCoord() signature.Coord { return p.coords[0] }
+
+// Overlaps returns the first target's per-signature overlap counts r_j.
+func (p *TargetPlan) Overlaps() []int { return p.bounders[0].overlaps }
+
+// Bounds computes the first target's raw optimistic statistics for one
+// coordinate — the Explain building block.
+func (p *TargetPlan) Bounds(c signature.Coord) Bounds { return p.bounders[0].bounds(c) }
+
+// RangePlan precomputes a range query's prune predicate against a
+// partition and activation threshold, mirroring rangePrunable.
+type RangePlan struct {
+	fs          []simfun.Func
+	constraints []RangeConstraint
+	b           *bounder
+}
+
+// NewRangePlan binds the constraints to the target and validates them
+// with the same errors RangeQuery reports.
+func NewRangePlan(part *signature.Partition, r int, target txn.Transaction, constraints []RangeConstraint) (*RangePlan, error) {
+	if len(constraints) == 0 {
+		return nil, fmt.Errorf("core: range query needs at least one constraint")
+	}
+	fs := make([]simfun.Func, len(constraints))
+	for i, c := range constraints {
+		f := c.F
+		if f == nil {
+			return nil, fmt.Errorf("core: constraint %d has nil similarity function", i)
+		}
+		if ta, ok := f.(simfun.TargetAware); ok {
+			f = ta.Bind(target)
+		}
+		fs[i] = f
+	}
+	return &RangePlan{
+		fs:          fs,
+		constraints: constraints,
+		b:           &bounder{overlaps: part.Overlaps(target, nil), r: r},
+	}, nil
+}
+
+// Prunable reports that some constraint's optimistic bound falls below
+// its threshold for this coordinate — exactly rangePrunable's decision.
+func (p *RangePlan) Prunable(c signature.Coord) bool {
+	bd := p.b.bounds(c)
+	for i, f := range p.fs {
+		if f.Score(bd.MatchOpt, bd.DistOpt) < p.constraints[i].Threshold {
+			return true
+		}
+	}
+	return false
+}
+
+// ShardScorer scans and scores one table's entries for a fixed target
+// set, producing the same float values searchSerial's score closure
+// would. It holds pooled matchers; callers must Release it.
+type ShardScorer struct {
+	t        *Table
+	fs       []simfun.Func
+	matchers []matcher
+	invN     float64
+}
+
+// NewShardScorer prepares the scoring kernel for targets under f
+// against one table. The target binding and matcher setup mirror Query
+// (one target) and MultiQuery (several).
+func NewShardScorer(t *Table, targets []txn.Transaction, f simfun.Func) *ShardScorer {
+	s := &ShardScorer{
+		t:        t,
+		fs:       make([]simfun.Func, len(targets)),
+		matchers: make([]matcher, len(targets)),
+		invN:     1 / float64(len(targets)),
+	}
+	for i, tgt := range targets {
+		fi := f
+		if ta, ok := f.(simfun.TargetAware); ok {
+			fi = ta.Bind(tgt)
+		}
+		s.fs[i] = fi
+		s.matchers[i] = t.newMatcher(tgt)
+	}
+	return s
+}
+
+// ScanCoord visits each live transaction of the entry at coordinate c
+// (pages first, then insert overflow, in TID-append order — the exact
+// scanEntry order) with its similarity value. Returning false stops the
+// scan. A coordinate with no entry is a no-op. Page fetches accumulate
+// into reads when non-nil.
+func (s *ShardScorer) ScanCoord(c signature.Coord, reads *atomic.Int64, fn func(id txn.TID, value float64) bool) {
+	e := s.t.byCoord[c]
+	if e == nil {
+		return
+	}
+	s.t.scanEntry(e, reads, func(id txn.TID, tr txn.Transaction) bool {
+		return fn(id, s.score(tr))
+	})
+}
+
+func (s *ShardScorer) score(tr txn.Transaction) float64 {
+	if len(s.fs) == 1 {
+		x, y := s.matchers[0].matchHamming(tr)
+		return s.fs[0].Score(x, y)
+	}
+	sum := 0.0
+	for i := range s.matchers {
+		x, y := s.matchers[i].matchHamming(tr)
+		sum += s.fs[i].Score(x, y)
+	}
+	return sum * s.invN
+}
+
+// Release returns the pooled matchers. The scorer is unusable after.
+func (s *ShardScorer) Release() {
+	for _, m := range s.matchers {
+		s.t.releaseMatcher(m)
+	}
+	s.matchers = nil
+}

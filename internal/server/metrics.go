@@ -139,12 +139,42 @@ func newOpMetrics(reg *metrics.Registry, s *Server) *opMetrics {
 		return s.idx.BuildStats().Write.Seconds()
 	})
 
+	// Per-shard telemetry for the sharded engine: sizes, query
+	// fan-out, accumulated lock wait and page reads, one series per
+	// shard under a "shard" label.
+	if sx, ok := s.idx.(*sigtable.ShardedIndex); ok {
+		shardVec := func(f func(sigtable.ShardStats) float64) func() []metrics.LabeledValue {
+			return func() []metrics.LabeledValue {
+				stats := sx.ShardStats()
+				out := make([]metrics.LabeledValue, len(stats))
+				for i, st := range stats {
+					out[i] = metrics.LabeledValue{Label: strconv.Itoa(st.Shard), Value: f(st)}
+				}
+				return out
+			}
+		}
+		reg.GaugeVecFunc("sigtable_shard_live_transactions", "live transactions per shard", "shard",
+			shardVec(func(st sigtable.ShardStats) float64 { return float64(st.Live) }))
+		reg.GaugeVecFunc("sigtable_shard_transactions", "transactions per shard including tombstones", "shard",
+			shardVec(func(st sigtable.ShardStats) float64 { return float64(st.Len) }))
+		reg.GaugeVecFunc("sigtable_shard_entries", "occupied supercoordinates per shard", "shard",
+			shardVec(func(st sigtable.ShardStats) float64 { return float64(st.Entries) }))
+		reg.CounterVecFunc("sigtable_shard_scans_total", "queries fanned out to the shard", "shard",
+			shardVec(func(st sigtable.ShardStats) float64 { return float64(st.Scans) }))
+		reg.CounterVecFunc("sigtable_shard_lock_wait_seconds_total", "time spent acquiring the shard's lock", "shard",
+			shardVec(func(st sigtable.ShardStats) float64 { return float64(st.LockWaitNanos) / 1e9 }))
+		reg.CounterVecFunc("sigtable_shard_pages_read_total", "pages fetched by the shard's store", "shard",
+			shardVec(func(st sigtable.ShardStats) float64 { return float64(st.PagesRead) }))
+	}
+
 	// Disk-mode I/O counters, sourced from the pager's own atomics.
 	// The store and pool are resolved through the index at every
 	// scrape, never captured: /v1/rebuild swaps the whole table (and
 	// with it store and pool) in place, and a closure over the startup
-	// store would keep exporting the dead one's counters.
-	store := func() *pager.Store { return s.idx.Table().Store() }
+	// store would keep exporting the dead one's counters. A sharded
+	// engine has one store per shard; its I/O is exported per shard by
+	// the sigtable_shard_* family instead.
+	store := func() *pager.Store { return singleTableStore(s.idx) }
 	pool := func() *pager.BufferPool {
 		if st := store(); st != nil {
 			return st.Pool()
@@ -250,6 +280,16 @@ func newOpMetrics(reg *metrics.Registry, s *Server) *opMetrics {
 			cacheStat(func(c *pager.DecodeCache) float64 { return float64(c.Len()) }))
 	}
 	return m
+}
+
+// singleTableStore resolves the pager store behind a single-table
+// engine, or nil for a sharded engine (whose per-shard stores are
+// exported through ShardStats instead).
+func singleTableStore(e sigtable.Engine) *pager.Store {
+	if ix, ok := e.(*sigtable.Index); ok {
+		return ix.Table().Store()
+	}
+	return nil
 }
 
 func (m *opMetrics) observeQuery(d time.Duration, res sigtable.Result) {

@@ -16,10 +16,18 @@
 //	POST /v1/explain {items, f}
 //	POST /v1/rebuild {parallelism}          in-place compaction
 //
-// The unversioned routes (/query, /stats, ...) remain as deprecated
-// aliases: they serve the same handlers but set a "Deprecation: true"
-// header and a Link to the v1 successor. /debug/pprof is wired for
-// live profiling.
+// The pre-versioning unversioned routes (/query, /stats, ...) are
+// retired: they answer 410 Gone with the /v1 successor named in the
+// error envelope and a Link header, so a stale client gets a machine-
+// readable forwarding address instead of silently changing behavior.
+// /debug/pprof is wired for live profiling.
+//
+// The server holds any sigtable.Engine — a single-table Index or a
+// ShardedIndex. With a sharded engine, /v1/stats gains a per-shard
+// "shards" section, /v1/rebuild accepts a "shard" field to compact one
+// shard without draining the others, and the sigtable_shard_* metric
+// family exports per-shard sizes, query fan-out, lock wait and page
+// reads.
 //
 // Every error is the envelope {"error": {"code", "message"}}; codes
 // are the Code* constants. Each query-path handler derives a context
@@ -69,6 +77,9 @@ const (
 	// CodeOverloaded is returned when the concurrency limit could not
 	// be acquired before the client gave up.
 	CodeOverloaded = "overloaded"
+	// CodeGone is returned for retired pre-/v1 unversioned routes; the
+	// message names the /v1 successor.
+	CodeGone = "gone"
 )
 
 // Options tunes the server's operational envelope.
@@ -108,11 +119,11 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Server wraps an index with request handling and telemetry. The
-// Index carries its own read-write lock, so the server holds no lock
-// of its own.
+// Server wraps an index engine with request handling and telemetry.
+// The engine carries its own locking, so the server holds no lock of
+// its own.
 type Server struct {
-	idx  *sigtable.Index
+	idx  sigtable.Engine
 	data *sigtable.Dataset
 	opt  Options
 	reg  *metrics.Registry
@@ -120,8 +131,9 @@ type Server struct {
 	sem  chan struct{}
 }
 
-// New creates a Server around a built index and its dataset.
-func New(idx *sigtable.Index, data *sigtable.Dataset, opt Options) *Server {
+// New creates a Server around a built index engine (a single-table
+// *sigtable.Index or a *sigtable.ShardedIndex) and its dataset.
+func New(idx sigtable.Engine, data *sigtable.Dataset, opt Options) *Server {
 	opt = opt.withDefaults()
 	s := &Server{
 		idx:  idx,
@@ -157,7 +169,7 @@ func (s *Server) Handler() http.Handler {
 	}
 	for _, rt := range routes {
 		mux.HandleFunc(rt.method+" /v1/"+rt.name, rt.h)
-		mux.HandleFunc(rt.method+" /"+rt.name, deprecateAs("/v1/"+rt.name, rt.h))
+		mux.HandleFunc(rt.method+" /"+rt.name, s.gone("/v1/"+rt.name))
 	}
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 
@@ -172,13 +184,16 @@ func (s *Server) Handler() http.Handler {
 	return s.withMiddleware(mux)
 }
 
-// deprecateAs serves h while flagging the route as a deprecated alias
-// of its v1 successor (draft-ietf-httpapi-deprecation-header shape).
-func deprecateAs(successor string, h http.HandlerFunc) http.HandlerFunc {
+// gone answers a retired unversioned route: 410 with the successor in
+// both the error envelope and a Link header
+// (draft-ietf-httpapi-deprecation-header shape). The pre-/v1 aliases
+// served the live handlers through one deprecation cycle; now that the
+// cycle has lapsed they fail loudly instead of drifting.
+func (s *Server) gone(successor string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Deprecation", "true")
 		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
-		h(w, r)
+		s.writeErr(w, http.StatusGone, CodeGone,
+			"unversioned route %s has been retired; use %s", r.URL.Path, successor)
 	}
 }
 
@@ -306,17 +321,23 @@ type InsertResponse struct {
 
 // RebuildRequest is the /v1/rebuild body. Parallelism is the build
 // worker count: 0 falls back to the server's configured default
-// (which itself defaults to GOMAXPROCS).
+// (which itself defaults to GOMAXPROCS). Shard, on a sharded engine,
+// compacts only that shard — queries on the other shards keep running
+// — while omitting it compacts the whole engine; on a single-table
+// index setting Shard is an error.
 type RebuildRequest struct {
-	Parallelism int `json:"parallelism"`
+	Parallelism int  `json:"parallelism"`
+	Shard       *int `json:"shard,omitempty"`
 }
 
-// RebuildResponse is the /v1/rebuild reply.
+// RebuildResponse is the /v1/rebuild reply. Shard echoes a
+// single-shard compaction's target.
 type RebuildResponse struct {
 	Live       int     `json:"live"`
 	Entries    int     `json:"entries"`
 	Workers    int     `json:"workers"`
 	DurationMS float64 `json:"durationMs"`
+	Shard      *int    `json:"shard,omitempty"`
 }
 
 // DeleteRequest is the /v1/delete body.
@@ -392,7 +413,21 @@ type DecodeCacheInfo struct {
 	Generation uint64  `json:"generation"`
 }
 
-// StatsResponse is the /v1/stats reply.
+// ShardInfo is one row of the /v1/stats shards section: the shard's
+// sizes and its query fan-out, lock-wait and page-read counters.
+type ShardInfo struct {
+	Shard        int     `json:"shard"`
+	Live         int     `json:"live"`
+	Transactions int     `json:"transactions"`
+	Entries      int     `json:"entries"`
+	Scans        int64   `json:"scans"`
+	LockWaitMS   float64 `json:"lockWaitMs"`
+	PagesRead    int64   `json:"pagesRead"`
+}
+
+// StatsResponse is the /v1/stats reply. Pool and DecodeCache appear
+// for a disk-backed single-table index; Shards appears for a sharded
+// engine.
 type StatsResponse struct {
 	Transactions int              `json:"transactions"`
 	Live         int              `json:"live"`
@@ -402,6 +437,7 @@ type StatsResponse struct {
 	Build        BuildInfo        `json:"build"`
 	Pool         *PoolInfo        `json:"pool,omitempty"`
 	DecodeCache  *DecodeCacheInfo `json:"decodeCache,omitempty"`
+	Shards       []ShardInfo      `json:"shards,omitempty"`
 }
 
 // ErrorInfo is the error envelope payload.
@@ -527,7 +563,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			TotalMS:     ms(bs.Total()),
 		},
 	}
-	if store := s.idx.Table().Store(); store != nil {
+	if sx, ok := s.idx.(*sigtable.ShardedIndex); ok {
+		for _, st := range sx.ShardStats() {
+			resp.Shards = append(resp.Shards, ShardInfo{
+				Shard:        st.Shard,
+				Live:         st.Live,
+				Transactions: st.Len,
+				Entries:      st.Entries,
+				Scans:        st.Scans,
+				LockWaitMS:   float64(st.LockWaitNanos) / 1e6,
+				PagesRead:    st.PagesRead,
+			})
+		}
+	}
+	if store := singleTableStore(s.idx); store != nil {
 		if pool := store.Pool(); pool != nil {
 			hits, misses := pool.Stats()
 			resp.Pool = &PoolInfo{
@@ -825,7 +874,17 @@ func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 		par = s.opt.BuildParallelism
 	}
 	start := time.Now()
-	if err := s.idx.Compact(par); err != nil {
+	if req.Shard != nil {
+		sx, ok := s.idx.(*sigtable.ShardedIndex)
+		if !ok {
+			s.writeErr(w, http.StatusBadRequest, CodeBadRequest, "index is not sharded; omit the shard field")
+			return
+		}
+		if err := sx.CompactShard(*req.Shard, par); err != nil {
+			s.writeErr(w, http.StatusBadRequest, CodeBadRequest, "rebuild: %v", err)
+			return
+		}
+	} else if err := s.idx.Compact(par); err != nil {
 		s.writeErr(w, http.StatusInternalServerError, CodeBadRequest, "rebuild: %v", err)
 		return
 	}
@@ -837,6 +896,7 @@ func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 		Entries:    s.idx.NumEntries(),
 		Workers:    s.idx.BuildStats().Workers,
 		DurationMS: float64(d.Nanoseconds()) / 1e6,
+		Shard:      req.Shard,
 	})
 }
 

@@ -252,7 +252,7 @@ func grep(s, substr string) string {
 	return b.String()
 }
 
-func TestLegacyAliasDeprecated(t *testing.T) {
+func TestLegacyAliasGone(t *testing.T) {
 	ts, data := newTestServer(t, Options{})
 	b, _ := json.Marshal(QueryRequest{Items: data.Get(3), F: "dice", K: 1})
 	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(b))
@@ -260,31 +260,41 @@ func TestLegacyAliasDeprecated(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("legacy route status %d", resp.StatusCode)
-	}
-	if resp.Header.Get("Deprecation") != "true" {
-		t.Fatal("legacy route missing Deprecation header")
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("retired route status %d, want %d", resp.StatusCode, http.StatusGone)
 	}
 	if link := resp.Header.Get("Link"); !strings.Contains(link, "/v1/query") {
-		t.Fatalf("legacy route Link = %q", link)
+		t.Fatalf("retired route Link = %q", link)
 	}
-	var q QueryResponse
-	if err := json.NewDecoder(resp.Body).Decode(&q); err != nil {
+	var e ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
 		t.Fatal(err)
 	}
-	if len(q.Neighbors) != 1 {
-		t.Fatalf("legacy route returned %d neighbors", len(q.Neighbors))
+	if e.Error.Code != CodeGone {
+		t.Fatalf("retired route error code %q, want %q", e.Error.Code, CodeGone)
+	}
+	if !strings.Contains(e.Error.Message, "/v1/query") {
+		t.Fatalf("retired route error does not name the successor: %q", e.Error.Message)
 	}
 
-	// The v1 route must NOT be marked deprecated.
+	// The v1 route serves normally, with no deprecation signalling.
 	resp2, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(b))
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp2.Body.Close()
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("v1 route status %d", resp2.StatusCode)
+	}
 	if resp2.Header.Get("Deprecation") != "" {
 		t.Fatal("v1 route carries a Deprecation header")
+	}
+	var q QueryResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&q); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Neighbors) != 1 {
+		t.Fatalf("v1 route returned %d neighbors", len(q.Neighbors))
 	}
 }
 
@@ -650,5 +660,173 @@ func TestDecodeCacheStatsAndMetrics(t *testing.T) {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("missing %q:\n%s", want, grep(string(body), "sigtable_decode_cache"))
 		}
+	}
+}
+
+// newShardedServer builds the same dataset as buildIndex but serves it
+// through the sharded engine.
+func newShardedServer(t *testing.T, shards int, opt Options) (*httptest.Server, *sigtable.Dataset) {
+	t.Helper()
+	g, err := sigtable.NewGenerator(sigtable.GeneratorConfig{
+		UniverseSize: 200, NumItemsets: 300, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := g.Dataset(3000)
+	sx, err := sigtable.NewSharded(data, sigtable.IndexOptions{
+		SignatureCardinality: 10, Shards: shards,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(sx, data, opt).Handler())
+	t.Cleanup(ts.Close)
+	return ts, data
+}
+
+// TestShardedServer runs the API surface over the sharded engine:
+// queries match the oracle, /v1/stats grows the per-shard section,
+// /v1/rebuild accepts a shard field, and /v1/metrics exposes the
+// sigtable_shard_* family.
+func TestShardedServer(t *testing.T) {
+	ts, data := newShardedServer(t, 4, Options{})
+	target := data.Get(77)
+
+	var q QueryResponse
+	if code := post(t, ts.URL+"/v1/query", QueryRequest{
+		Items: target, F: "jaccard", K: 3,
+	}, &q); code != http.StatusOK {
+		t.Fatalf("query status %d", code)
+	}
+	_, want := sigtable.ScanNearest(data, target, sigtable.Jaccard{})
+	if len(q.Neighbors) != 3 || q.Neighbors[0].Value != want {
+		t.Fatalf("sharded query = %+v, oracle best %v", q.Neighbors, want)
+	}
+	if !q.Certified {
+		t.Fatal("complete sharded run not certified")
+	}
+
+	// Stats: per-shard rows covering every transaction exactly once.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(st.Shards) != 4 {
+		t.Fatalf("stats shards rows = %d, want 4", len(st.Shards))
+	}
+	totalLive, totalScans := 0, int64(0)
+	for i, sh := range st.Shards {
+		if sh.Shard != i {
+			t.Fatalf("row %d labeled shard %d", i, sh.Shard)
+		}
+		totalLive += sh.Live
+		totalScans += sh.Scans
+	}
+	if totalLive != 3000 {
+		t.Fatalf("shard live sum %d, want 3000", totalLive)
+	}
+	if totalScans == 0 {
+		t.Fatal("no shard reported query fan-outs after a query")
+	}
+
+	// Insert/delete round trip through the sharded engine.
+	var ins InsertResponse
+	items := []sigtable.Item{7, 77, 177}
+	if code := post(t, ts.URL+"/v1/insert", InsertRequest{Items: items}, &ins); code != http.StatusOK {
+		t.Fatalf("insert status %d", code)
+	}
+	var q2 QueryResponse
+	post(t, ts.URL+"/v1/query", QueryRequest{Items: items, F: "jaccard", K: 1}, &q2)
+	if len(q2.Neighbors) == 0 || q2.Neighbors[0].Value != 1 {
+		t.Fatalf("inserted basket not found: %v", q2.Neighbors)
+	}
+	var del DeleteResponse
+	if code := post(t, ts.URL+"/v1/delete", DeleteRequest{TID: ins.TID}, &del); code != http.StatusOK {
+		t.Fatalf("delete status %d", code)
+	}
+
+	// Single-shard rebuild: echoes the shard, leaves results intact.
+	shard := 2
+	var rb RebuildResponse
+	if code := post(t, ts.URL+"/v1/rebuild", RebuildRequest{Shard: &shard}, &rb); code != http.StatusOK {
+		t.Fatalf("shard rebuild status %d", code)
+	}
+	if rb.Shard == nil || *rb.Shard != 2 {
+		t.Fatalf("rebuild response shard = %v", rb.Shard)
+	}
+	if rb.Live != 3000 {
+		t.Fatalf("rebuild live %d, want 3000", rb.Live)
+	}
+	bad := 99
+	var e ErrorResponse
+	if code := post(t, ts.URL+"/v1/rebuild", RebuildRequest{Shard: &bad}, &e); code != http.StatusBadRequest {
+		t.Fatalf("out-of-range shard rebuild status %d", code)
+	}
+	// Full rebuild still works on the sharded engine.
+	var rb2 RebuildResponse
+	if code := post(t, ts.URL+"/v1/rebuild", RebuildRequest{}, &rb2); code != http.StatusOK {
+		t.Fatalf("full rebuild status %d", code)
+	}
+	var q3 QueryResponse
+	post(t, ts.URL+"/v1/query", QueryRequest{Items: target, F: "jaccard", K: 3}, &q3)
+	if q3.Neighbors[0].Value != want {
+		t.Fatalf("post-rebuild best %v, oracle %v", q3.Neighbors[0].Value, want)
+	}
+
+	// Metrics: the per-shard family with one series per shard label.
+	mresp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, _ := io.ReadAll(mresp.Body)
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE sigtable_shard_live_transactions gauge",
+		`sigtable_shard_live_transactions{shard="0"}`,
+		`sigtable_shard_live_transactions{shard="3"}`,
+		`sigtable_shard_transactions{shard="1"}`,
+		`sigtable_shard_entries{shard="2"}`,
+		"# TYPE sigtable_shard_scans_total counter",
+		`sigtable_shard_scans_total{shard="0"}`,
+		`sigtable_shard_lock_wait_seconds_total{shard="0"}`,
+		`sigtable_shard_pages_read_total{shard="0"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, grep(out, "sigtable_shard"))
+		}
+	}
+}
+
+// TestRebuildShardFieldOnSingleIndex: asking a single-table server for
+// a per-shard rebuild is a client error, not a silent full rebuild.
+func TestRebuildShardFieldOnSingleIndex(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	shard := 0
+	var e ErrorResponse
+	if code := post(t, ts.URL+"/v1/rebuild", RebuildRequest{Shard: &shard}, &e); code != http.StatusBadRequest {
+		t.Fatalf("status %d", code)
+	}
+	if e.Error.Code != CodeBadRequest || !strings.Contains(e.Error.Message, "not sharded") {
+		t.Fatalf("error = %+v", e.Error)
+	}
+	// And a single-table server reports no shards section.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards != nil {
+		t.Fatalf("single-table stats has shards section: %+v", st.Shards)
 	}
 }

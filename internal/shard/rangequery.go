@@ -1,0 +1,138 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"sigtable/internal/core"
+	"sigtable/internal/signature"
+	"sigtable/internal/simfun"
+	"sigtable/internal/txn"
+)
+
+// RangeQuery scatters the range scan across shards and merges. Range
+// pruning is a per-entry threshold test independent of visiting order,
+// and every shard prunes with the same bit-identical bounds, so each
+// shard resolves exactly its slice of the single table's scan. The
+// coordinator recomputes the entry counters over the DISTINCT merged
+// coordinates (per-shard sums would double-count coordinates occupied
+// in several shards), maps TIDs to global and sorts — byte-identical
+// to the single-table result.
+func (x *Index) RangeQuery(ctx context.Context, target txn.Transaction, constraints []core.RangeConstraint, opt core.RangeOptions) (core.RangeResult, error) {
+	plan, err := core.NewRangePlan(x.part, x.r, target, constraints)
+	if err != nil {
+		return core.RangeResult{}, err
+	}
+	if opt.Parallelism < 0 {
+		return core.RangeResult{}, fmt.Errorf("shard: parallelism %d must be non-negative", opt.Parallelism)
+	}
+
+	type shardOut struct {
+		entries []core.EntrySummary
+		res     core.RangeResult
+		err     error
+	}
+	outs := make([]shardOut, len(x.shards))
+	var wg sync.WaitGroup
+	for i, s := range x.shards {
+		wg.Add(1)
+		go func(i int, s *shard) {
+			defer wg.Done()
+			t0 := time.Now()
+			s.mu.RLock()
+			s.lockWait.Add(time.Since(t0).Nanoseconds())
+			defer s.mu.RUnlock()
+			s.scans.Add(1)
+
+			outs[i].entries = s.table.EntrySummaries(nil)
+			r, err := s.table.RangeQuery(ctx, target, constraints, core.RangeOptions{Parallelism: 1})
+			if err != nil {
+				outs[i].err = err
+				return
+			}
+			for j, local := range r.TIDs {
+				r.TIDs[j] = s.globals[local]
+			}
+			outs[i].res = r
+		}(i, s)
+	}
+	wg.Wait()
+
+	merged := core.RangeResult{Workers: len(x.shards)}
+	seen := make(map[signature.Coord]struct{})
+	for i := range outs {
+		if outs[i].err != nil {
+			return core.RangeResult{}, outs[i].err
+		}
+		r := outs[i].res
+		merged.TIDs = append(merged.TIDs, r.TIDs...)
+		merged.Scanned += r.Scanned
+		merged.PagesRead += r.PagesRead
+		merged.Interrupted = merged.Interrupted || r.Interrupted
+		for _, e := range outs[i].entries {
+			seen[e.Coord] = struct{}{}
+		}
+	}
+	for c := range seen {
+		if plan.Prunable(c) {
+			merged.EntriesPruned++
+		} else {
+			merged.EntriesScanned++
+		}
+	}
+	sort.Slice(merged.TIDs, func(i, j int) bool { return merged.TIDs[i] < merged.TIDs[j] })
+	return merged, nil
+}
+
+// BatchQuery answers one k-NN query per target over a worker pool,
+// each query scatter-gathering across the shards independently. The
+// semantics mirror the single index's independent batch mode: the
+// context is honored per target (slots whose search never started
+// return Interrupted with zero cost), and an invalid option aborts the
+// batch. batchParallelism bounds the pool (0 = GOMAXPROCS).
+func (x *Index) BatchQuery(ctx context.Context, targets []txn.Transaction, f simfun.Func, opt core.QueryOptions, batchParallelism int) ([]core.Result, error) {
+	if len(targets) == 0 {
+		return nil, nil
+	}
+	parallelism := batchParallelism
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(targets) {
+		parallelism = len(targets)
+	}
+
+	results := make([]core.Result, len(targets))
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				if ctx.Err() != nil {
+					results[i] = core.Result{Interrupted: true, Workers: 1}
+					continue
+				}
+				results[i], errs[i] = x.Query(ctx, targets[i], f, opt)
+			}
+		}()
+	}
+	for i := range targets {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard: batch query %d: %w", i, err)
+		}
+	}
+	return results, nil
+}

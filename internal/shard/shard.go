@@ -1,0 +1,565 @@
+// Package shard implements the sharded signature table engine: a set
+// of independent sub-indexes (one core.Table each, with its own pager
+// store and decode cache) behind a single query surface. Queries
+// scatter across shards concurrently and gather into results that are
+// byte-identical to a single-table index over the same data; mutations
+// lock only the owning shard, so an insert on shard 3 never drains
+// queries running on shards 0–2.
+//
+// The identity guarantee rests on three invariants:
+//
+//  1. Every shard is built over the SAME signature partition and
+//     activation threshold, so a coordinate's optimistic bounds — and
+//     hence its ranking keys — are bit-identical no matter which shard
+//     computes them (core.TargetPlan).
+//  2. Each shard's local→global TID mapping is strictly increasing
+//     (initial build splits global TIDs contiguously; inserts append
+//     the next-highest global TID), so a shard's entry scan yields its
+//     slice of an entry's transactions in ascending global TID order,
+//     and a K-way merge across shards reproduces the single table's
+//     exact within-entry scan order.
+//  3. The coordinator replays the serial branch-and-bound loop over
+//     the merged coordinate set — same comparator, same prune
+//     predicate, same budget and cancellation cadence — while shards
+//     only score speculatively; every prune/offer/stop decision is
+//     made exactly once, in serial order (see search.go).
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sigtable/internal/core"
+	"sigtable/internal/signature"
+	"sigtable/internal/txn"
+)
+
+// Options configures a sharded index build. The signature partition is
+// supplied separately (it is mined from the full dataset, not per
+// shard — invariant 1 above).
+type Options struct {
+	// Shards is the number of sub-indexes S (>= 1).
+	Shards int
+	// ActivationThreshold is the paper's r, already resolved (0 selects
+	// the core default of 1; AutoActivation must be resolved by the
+	// caller against the full dataset).
+	ActivationThreshold int
+	// PageSize, PageFile, BufferPoolPages and DecodeCacheBytes mirror
+	// core.BuildOptions. Each shard gets its own store; a non-empty
+	// PageFile becomes per-shard files PageFile+".s<i>", and the pool
+	// and cache budgets are divided across shards.
+	PageSize         int
+	PageFile         string
+	BufferPoolPages  int
+	DecodeCacheBytes int64
+	// BuildParallelism bounds each shard build's workers (shards
+	// themselves build sequentially).
+	BuildParallelism int
+}
+
+// shard is one sub-index: a core table over a shard-local dataset plus
+// the monotone local→global TID mapping.
+type shard struct {
+	mu      sync.RWMutex
+	table   *core.Table
+	globals []txn.TID // local TID -> global TID, strictly increasing
+	gen     int       // rebalance generation, names fresh page files
+
+	// Telemetry, written lock-free by query workers.
+	scans    atomic.Int64 // queries that fanned out to this shard
+	lockWait atomic.Int64 // nanoseconds spent acquiring this shard's lock
+}
+
+// location routes a global TID to its shard-local slot. A negative
+// shard marks a TID whose transaction was compacted away.
+type location struct {
+	shard int32
+	local txn.TID
+}
+
+// Index is the sharded engine. Safe for concurrent use: queries take
+// per-shard read locks, mutations take the routing lock plus the
+// owning shard's write lock.
+type Index struct {
+	part     *signature.Partition
+	r        int
+	universe int
+	opt      Options
+	shards   []*shard
+
+	poolPages   int   // per-shard buffer pool budget
+	decodeBytes int64 // per-shard decode cache budget
+
+	route struct {
+		mu  sync.RWMutex
+		loc []location // global TID -> location
+	}
+}
+
+// New builds a sharded index over the dataset: global TIDs [0, n) are
+// split into Shards contiguous ranges, each indexed independently over
+// the shared partition. The dataset is copied into per-shard datasets;
+// the argument is not retained.
+func New(data *txn.Dataset, part *signature.Partition, opt Options) (*Index, error) {
+	if opt.Shards < 1 {
+		return nil, fmt.Errorf("shard: shard count %d must be >= 1", opt.Shards)
+	}
+	if part.UniverseSize() != data.UniverseSize() {
+		return nil, fmt.Errorf("shard: partition universe %d != dataset universe %d",
+			part.UniverseSize(), data.UniverseSize())
+	}
+	r := opt.ActivationThreshold
+	if r == 0 {
+		r = 1
+	}
+	if r < 1 {
+		return nil, fmt.Errorf("shard: activation threshold %d must be >= 1", r)
+	}
+
+	x := &Index{
+		part:     part,
+		r:        r,
+		universe: data.UniverseSize(),
+		opt:      opt,
+		shards:   make([]*shard, opt.Shards),
+	}
+	x.poolPages, x.decodeBytes = splitBudget(opt.BufferPoolPages, opt.DecodeCacheBytes, opt.Shards)
+
+	n := data.Len()
+	S := opt.Shards
+	x.route.loc = make([]location, n)
+	lo := 0
+	for i := range x.shards {
+		count := n / S
+		if i < n%S {
+			count++
+		}
+		local := txn.NewDataset(x.universe)
+		globals := make([]txn.TID, 0, count)
+		for g := lo; g < lo+count; g++ {
+			local.Append(data.Get(txn.TID(g)))
+			globals = append(globals, txn.TID(g))
+			x.route.loc[g] = location{shard: int32(i), local: txn.TID(g - lo)}
+		}
+		lo += count
+
+		table, err := core.Build(local, part, x.buildOptions(i, 0))
+		if err != nil {
+			return nil, fmt.Errorf("shard: building shard %d: %w", i, err)
+		}
+		x.shards[i] = &shard{table: table, globals: globals}
+	}
+	return x, nil
+}
+
+// splitBudget divides the pool and cache budgets evenly across shards,
+// keeping at least one page / the full residue when the division
+// underflows.
+func splitBudget(pages int, bytes int64, s int) (int, int64) {
+	pp, db := pages/s, bytes/int64(s)
+	if pages > 0 && pp < 1 {
+		pp = 1
+	}
+	if bytes > 0 && db < 1 {
+		db = 1
+	}
+	return pp, db
+}
+
+// buildOptions is the per-shard core build configuration; gen > 0
+// names a fresh rebalance-generation page file.
+func (x *Index) buildOptions(i, gen int) core.BuildOptions {
+	o := core.BuildOptions{
+		ActivationThreshold: x.r,
+		PageSize:            x.opt.PageSize,
+		BufferPoolPages:     x.poolPages,
+		DecodeCacheBytes:    x.decodeBytes,
+		Parallelism:         x.opt.BuildParallelism,
+	}
+	if x.opt.PageFile != "" {
+		o.PageFile = fmt.Sprintf("%s.s%d", x.opt.PageFile, i)
+		if gen > 0 {
+			o.PageFile = fmt.Sprintf("%s.r%d", o.PageFile, gen)
+		}
+	}
+	return o
+}
+
+// Shards reports the shard count.
+func (x *Index) Shards() int { return len(x.shards) }
+
+// Partition returns the shared signature partition.
+func (x *Index) Partition() *signature.Partition { return x.part }
+
+// ActivationThreshold returns the paper's r shared by every shard.
+func (x *Index) ActivationThreshold() int { return x.r }
+
+// K reports the signature cardinality.
+func (x *Index) K() int { return x.part.K() }
+
+// Len reports the size of the global TID space (including tombstoned
+// and compacted-away TIDs).
+func (x *Index) Len() int {
+	x.route.mu.RLock()
+	defer x.route.mu.RUnlock()
+	return len(x.route.loc)
+}
+
+// Live reports the number of live transactions across all shards.
+func (x *Index) Live() int {
+	total := 0
+	for _, s := range x.shards {
+		s.mu.RLock()
+		total += s.table.Live()
+		s.mu.RUnlock()
+	}
+	return total
+}
+
+// NumEntries reports the number of distinct occupied supercoordinates
+// across all shards — the same count a single table over the union
+// would have.
+func (x *Index) NumEntries() int {
+	seen := make(map[signature.Coord]struct{})
+	for _, s := range x.shards {
+		s.mu.RLock()
+		for _, e := range s.table.EntrySummaries(nil) {
+			seen[e.Coord] = struct{}{}
+		}
+		s.mu.RUnlock()
+	}
+	return len(seen)
+}
+
+// Items returns the transaction stored under the global TID, or nil if
+// the TID is out of range or was compacted away.
+func (x *Index) Items(g txn.TID) txn.Transaction {
+	x.route.mu.RLock()
+	defer x.route.mu.RUnlock()
+	if int(g) >= len(x.route.loc) {
+		return nil
+	}
+	l := x.route.loc[g]
+	if l.shard < 0 {
+		return nil
+	}
+	s := x.shards[l.shard]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.table.Dataset().Get(l.local)
+}
+
+// Insert adds a transaction, returning its global TID. The new TID is
+// the highest ever assigned, and it routes to shard TID mod S, so each
+// shard's local→global mapping stays strictly increasing (invariant 2).
+// Only the routing lock and the owning shard's lock are held: queries
+// on other shards proceed undisturbed.
+func (x *Index) Insert(tr txn.Transaction) txn.TID {
+	x.route.mu.Lock()
+	defer x.route.mu.Unlock()
+	g := txn.TID(len(x.route.loc))
+	i := int(g) % len(x.shards)
+	s := x.shards[i]
+
+	t0 := time.Now()
+	s.mu.Lock()
+	s.lockWait.Add(time.Since(t0).Nanoseconds())
+	local := s.table.Insert(tr)
+	s.globals = append(s.globals, g)
+	s.mu.Unlock()
+
+	x.route.loc = append(x.route.loc, location{shard: int32(i), local: local})
+	return g
+}
+
+// InsertBatch adds several transactions under one routing-lock
+// acquisition, locking each owning shard once. TIDs are returned in
+// argument order.
+func (x *Index) InsertBatch(trs []txn.Transaction) []txn.TID {
+	x.route.mu.Lock()
+	defer x.route.mu.Unlock()
+	S := len(x.shards)
+	base := len(x.route.loc)
+	ids := make([]txn.TID, len(trs))
+	locs := make([]location, len(trs))
+	perShard := make([][]int, S)
+	for j := range trs {
+		g := base + j
+		ids[j] = txn.TID(g)
+		perShard[g%S] = append(perShard[g%S], j)
+	}
+	for i, s := range x.shards {
+		if len(perShard[i]) == 0 {
+			continue
+		}
+		t0 := time.Now()
+		s.mu.Lock()
+		s.lockWait.Add(time.Since(t0).Nanoseconds())
+		for _, j := range perShard[i] { // ascending j ⇒ ascending global TID
+			local := s.table.Insert(trs[j])
+			s.globals = append(s.globals, ids[j])
+			locs[j] = location{shard: int32(i), local: local}
+		}
+		s.mu.Unlock()
+	}
+	x.route.loc = append(x.route.loc, locs...)
+	return ids
+}
+
+// Delete tombstones the transaction at the global TID, reporting
+// whether it was present and live. Only the owning shard is locked.
+func (x *Index) Delete(g txn.TID) bool {
+	x.route.mu.Lock()
+	defer x.route.mu.Unlock()
+	if int(g) >= len(x.route.loc) {
+		return false
+	}
+	l := x.route.loc[g]
+	if l.shard < 0 {
+		return false
+	}
+	s := x.shards[l.shard]
+	t0 := time.Now()
+	s.mu.Lock()
+	s.lockWait.Add(time.Since(t0).Nanoseconds())
+	defer s.mu.Unlock()
+	return s.table.Delete(l.local)
+}
+
+// CompactShard rebuilds one shard in place over its live transactions,
+// compacting tombstones and flushing insert overflows to pages, with
+// an explicit build parallelism (0 = GOMAXPROCS). Unlike a single
+// index's Compact, global TIDs are PRESERVED: the shard layer remaps
+// its local TIDs and the rest of the index — and every query result —
+// is unaffected. Only the routing lock and this shard's lock are held;
+// queries on other shards keep running.
+func (x *Index) CompactShard(i, parallelism int) error {
+	if i < 0 || i >= len(x.shards) {
+		return fmt.Errorf("shard: shard %d out of range [0, %d)", i, len(x.shards))
+	}
+	x.route.mu.Lock()
+	defer x.route.mu.Unlock()
+	s := x.shards[i]
+	t0 := time.Now()
+	s.mu.Lock()
+	s.lockWait.Add(time.Since(t0).Nanoseconds())
+	defer s.mu.Unlock()
+
+	old := s.table
+	nt, err := old.RebuildParallel(parallelism)
+	if err != nil {
+		return fmt.Errorf("shard: compacting shard %d: %w", i, err)
+	}
+	newGlobals := make([]txn.TID, 0, nt.Len())
+	for local := 0; local < old.Len(); local++ {
+		g := s.globals[local]
+		if old.IsDeleted(txn.TID(local)) {
+			x.route.loc[g] = location{shard: -1}
+			continue
+		}
+		x.route.loc[g] = location{shard: int32(i), local: txn.TID(len(newGlobals))}
+		newGlobals = append(newGlobals, g)
+	}
+	if store := old.Store(); store != nil && x.opt.PageFile != "" {
+		store.Close()
+	}
+	s.table = nt
+	s.globals = newGlobals
+	return nil
+}
+
+// Rebalance redistributes all live transactions into S contiguous
+// equal-size runs (in global TID order) and rebuilds every shard —
+// the heavyweight fix for shards drifting apart after skewed inserts
+// and deletes. Global TIDs are preserved. It locks the whole index
+// (routing lock plus every shard) for the duration; all new tables are
+// built before any state is swapped, so a build error leaves the index
+// untouched.
+func (x *Index) Rebalance(parallelism int) error {
+	x.route.mu.Lock()
+	defer x.route.mu.Unlock()
+	for _, s := range x.shards {
+		s.mu.Lock()
+	}
+	defer func() {
+		for i := len(x.shards) - 1; i >= 0; i-- {
+			x.shards[i].mu.Unlock()
+		}
+	}()
+
+	type liveTxn struct {
+		g  txn.TID
+		tr txn.Transaction
+	}
+	var all []liveTxn
+	for _, s := range x.shards {
+		t := s.table
+		for local := 0; local < t.Len(); local++ {
+			if t.IsDeleted(txn.TID(local)) {
+				continue
+			}
+			all = append(all, liveTxn{g: s.globals[local], tr: t.Dataset().Get(txn.TID(local))})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].g < all[j].g })
+
+	S := len(x.shards)
+	savedPar := x.opt.BuildParallelism
+	x.opt.BuildParallelism = parallelism
+	defer func() { x.opt.BuildParallelism = savedPar }()
+
+	newTables := make([]*core.Table, S)
+	newGlobals := make([][]txn.TID, S)
+	lo := 0
+	for i := range x.shards {
+		count := len(all) / S
+		if i < len(all)%S {
+			count++
+		}
+		seg := all[lo : lo+count]
+		lo += count
+		local := txn.NewDataset(x.universe)
+		globals := make([]txn.TID, 0, count)
+		for _, lt := range seg {
+			local.Append(lt.tr)
+			globals = append(globals, lt.g)
+		}
+		nt, err := core.Build(local, x.part, x.buildOptions(i, x.shards[i].gen+1))
+		if err != nil {
+			return fmt.Errorf("shard: rebalancing shard %d: %w", i, err)
+		}
+		newTables[i] = nt
+		newGlobals[i] = globals
+	}
+
+	// Commit: every build succeeded, swap atomically under the locks.
+	for g := range x.route.loc {
+		x.route.loc[g] = location{shard: -1}
+	}
+	for i, s := range x.shards {
+		for local, g := range newGlobals[i] {
+			x.route.loc[g] = location{shard: int32(i), local: txn.TID(local)}
+		}
+		if store := s.table.Store(); store != nil && x.opt.PageFile != "" {
+			store.Close()
+		}
+		s.table = newTables[i]
+		s.globals = newGlobals[i]
+		s.gen++
+	}
+	return nil
+}
+
+// Stats is one shard's health snapshot, the backing data of the
+// sigtable_shard_* metric family.
+type Stats struct {
+	// Shard is the shard number (the metric label).
+	Shard int
+	// Live and Len are the shard's live and total (including
+	// tombstoned) transaction counts; Entries its occupied
+	// supercoordinates.
+	Live    int
+	Len     int
+	Entries int
+	// Scans counts queries that fanned out to this shard.
+	Scans int64
+	// LockWaitNanos accumulates time spent acquiring this shard's lock
+	// (reads and writes), the contention signal.
+	LockWaitNanos int64
+	// PagesRead is the shard store's cumulative page fetch count (disk
+	// mode only).
+	PagesRead int64
+}
+
+// Stats snapshots every shard's counters.
+func (x *Index) Stats() []Stats {
+	out := make([]Stats, len(x.shards))
+	for i, s := range x.shards {
+		s.mu.RLock()
+		st := Stats{
+			Shard:         i,
+			Live:          s.table.Live(),
+			Len:           s.table.Len(),
+			Entries:       s.table.NumEntries(),
+			Scans:         s.scans.Load(),
+			LockWaitNanos: s.lockWait.Load(),
+		}
+		if store := s.table.Store(); store != nil {
+			st.PagesRead = store.Stats().Reads
+		}
+		s.mu.RUnlock()
+		out[i] = st
+	}
+	return out
+}
+
+// Validate runs each shard's consistency sweep plus the cross-shard
+// routing invariants (monotone local→global mappings, round-trip
+// agreement between the routing table and the shards), returning the
+// first violation.
+func (x *Index) Validate() error {
+	x.route.mu.RLock()
+	defer x.route.mu.RUnlock()
+	for _, s := range x.shards {
+		s.mu.RLock()
+	}
+	defer func() {
+		for i := len(x.shards) - 1; i >= 0; i-- {
+			x.shards[i].mu.RUnlock()
+		}
+	}()
+
+	routed := 0
+	for i, s := range x.shards {
+		if err := s.table.Validate(); err != nil {
+			return fmt.Errorf("shard: shard %d: %w", i, err)
+		}
+		if len(s.globals) != s.table.Len() {
+			return fmt.Errorf("shard: shard %d maps %d globals for %d transactions", i, len(s.globals), s.table.Len())
+		}
+		for local, g := range s.globals {
+			if local > 0 && s.globals[local-1] >= g {
+				return fmt.Errorf("shard: shard %d global mapping not increasing at local %d", i, local)
+			}
+			if int(g) >= len(x.route.loc) {
+				return fmt.Errorf("shard: shard %d maps local %d to unknown global %d", i, local, g)
+			}
+			if l := x.route.loc[g]; l.shard != int32(i) || l.local != txn.TID(local) {
+				return fmt.Errorf("shard: routing disagrees for global %d: shard %d local %d vs route {%d %d}",
+					g, i, local, l.shard, l.local)
+			}
+		}
+		routed += len(s.globals)
+	}
+	present := 0
+	for _, l := range x.route.loc {
+		if l.shard >= 0 {
+			present++
+		}
+	}
+	if present != routed {
+		return fmt.Errorf("shard: routing table has %d routed TIDs, shards hold %d", present, routed)
+	}
+	return nil
+}
+
+// CoreBuildStats aggregates the per-shard build phase times (summed;
+// workers is the max).
+func (x *Index) CoreBuildStats() core.BuildStats {
+	var agg core.BuildStats
+	for _, s := range x.shards {
+		s.mu.RLock()
+		bs := s.table.BuildStats()
+		s.mu.RUnlock()
+		agg.Coords += bs.Coords
+		agg.Group += bs.Group
+		agg.Write += bs.Write
+		if bs.Workers > agg.Workers {
+			agg.Workers = bs.Workers
+		}
+	}
+	return agg
+}

@@ -1,31 +1,166 @@
 package sigtable
 
 import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
 	"io"
 
 	"sigtable/internal/core"
+	"sigtable/internal/shard"
 )
 
 // Persistence. The dataset and the index structure are stored
 // separately: the dataset with (*Dataset).WriteTo / ReadDataset, the
-// index with (*Index).WriteTo / ReadIndex. The index file references
-// transactions by TID, so loading requires the matching dataset.
+// index with WriteTo / ReadIndex (single) or ReadSharded, or ReadEngine
+// for either. The index file references transactions by TID, so
+// loading requires the matching dataset.
+//
+// Index files start with a versioned envelope:
+//
+//	magic   "SGTX" (4 bytes)
+//	version u32 (currently 1)
+//	kind    u32 (1 = single table, 2 = sharded manifest)
+//
+// followed by the engine's own image (the core table format, or the
+// sharded manifest wrapping one core table per shard). Seed-era files
+// written before the envelope existed begin directly with the core
+// table's own header; the readers sniff the first four bytes and keep
+// accepting that headerless layout one format generation back.
+
+var envelopeMagic = [4]byte{'S', 'G', 'T', 'X'}
+
+const (
+	formatVersion = 1
+
+	kindSingle  = 1
+	kindSharded = 2
+)
+
+func writeEnvelope(w io.Writer, kind uint32) (int64, error) {
+	var hdr [12]byte
+	copy(hdr[:4], envelopeMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:8], formatVersion)
+	binary.LittleEndian.PutUint32(hdr[8:12], kind)
+	n, err := w.Write(hdr[:])
+	return int64(n), err
+}
+
+// readEnvelope sniffs r for the envelope header. It returns the kind
+// and a reader positioned after the header — or, for a legacy
+// headerless file, kind 0 and a reader that replays the sniffed bytes
+// before the rest of the stream.
+func readEnvelope(r io.Reader) (uint32, io.Reader, error) {
+	var head [4]byte
+	n, err := io.ReadFull(r, head[:])
+	if err != nil {
+		// A file shorter than any magic: hand the bytes to the core
+		// reader for its own (more specific) corruption error.
+		return 0, io.MultiReader(bytes.NewReader(head[:n]), r), nil
+	}
+	if head != envelopeMagic {
+		return 0, io.MultiReader(bytes.NewReader(head[:]), r), nil
+	}
+	var rest [8]byte
+	if _, err := io.ReadFull(r, rest[:]); err != nil {
+		return 0, nil, fmt.Errorf("sigtable: truncated index envelope: %w", err)
+	}
+	version := binary.LittleEndian.Uint32(rest[:4])
+	if version != formatVersion {
+		return 0, nil, fmt.Errorf("sigtable: index format version %d not supported (have %d)", version, formatVersion)
+	}
+	kind := binary.LittleEndian.Uint32(rest[4:])
+	if kind != kindSingle && kind != kindSharded {
+		return 0, nil, fmt.Errorf("sigtable: unknown index kind %d", kind)
+	}
+	return kind, r, nil
+}
 
 // WriteTo serializes the index structure (signature partition,
-// activation threshold and entry TID lists). The dataset is not
-// included. An index with pending deletes must be Rebuilt first.
+// activation threshold and entry TID lists) behind the versioned
+// envelope. The dataset is not included. An index with pending deletes
+// must be Rebuilt first.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return ix.table.WriteTo(w)
+	n, err := writeEnvelope(w, kindSingle)
+	if err != nil {
+		return n, err
+	}
+	m, err := ix.table.WriteTo(w)
+	return n + m, err
 }
 
-// ReadIndex loads an index previously written with WriteTo, binding it
-// to its dataset. Universe, size and coordinate consistency are
-// validated, so passing the wrong dataset fails rather than silently
-// corrupting results.
+// WriteTo serializes the sharded index — the envelope, then the shard
+// manifest wrapping one core table image per shard. Every shard must
+// be tombstone-free (Compact first) and the global TID space hole-free.
+func (sx *ShardedIndex) WriteTo(w io.Writer) (int64, error) {
+	n, err := writeEnvelope(w, kindSharded)
+	if err != nil {
+		return n, err
+	}
+	m, err := sx.x.WriteTo(w)
+	return n + m, err
+}
+
+// ReadIndex loads a single-table index previously written with
+// (*Index).WriteTo, binding it to its dataset. Universe, size and
+// coordinate consistency are validated, so passing the wrong dataset
+// fails rather than silently corrupting results. Headerless seed-era
+// files load transparently; a sharded file is refused with a pointer
+// to ReadSharded.
 func ReadIndex(r io.Reader, data *Dataset) (*Index, error) {
-	table, err := core.ReadTable(r, data)
+	kind, body, err := readEnvelope(r)
+	if err != nil {
+		return nil, err
+	}
+	if kind == kindSharded {
+		return nil, fmt.Errorf("sigtable: file holds a sharded index; load it with ReadSharded (or ReadEngine)")
+	}
+	table, err := core.ReadTable(body, data)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{table: table}, nil
+}
+
+// ReadSharded loads a sharded index previously written with
+// (*ShardedIndex).WriteTo, binding it to the global dataset.
+func ReadSharded(r io.Reader, data *Dataset) (*ShardedIndex, error) {
+	kind, body, err := readEnvelope(r)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case kindSharded:
+		x, err := shard.Read(body, data)
+		if err != nil {
+			return nil, err
+		}
+		return &ShardedIndex{x: x}, nil
+	case kindSingle:
+		return nil, fmt.Errorf("sigtable: file holds a single-table index; load it with ReadIndex (or ReadEngine)")
+	default:
+		return nil, fmt.Errorf("sigtable: file predates the sharded format; load it with ReadIndex")
+	}
+}
+
+// ReadEngine loads whichever engine the file holds — single-table
+// (including headerless seed-era files) or sharded — and returns it
+// behind the common Engine surface.
+func ReadEngine(r io.Reader, data *Dataset) (Engine, error) {
+	kind, body, err := readEnvelope(r)
+	if err != nil {
+		return nil, err
+	}
+	if kind == kindSharded {
+		x, err := shard.Read(body, data)
+		if err != nil {
+			return nil, err
+		}
+		return &ShardedIndex{x: x}, nil
+	}
+	table, err := core.ReadTable(body, data)
 	if err != nil {
 		return nil, err
 	}

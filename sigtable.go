@@ -96,11 +96,9 @@ func CheckMonotone(f SimilarityFunc, maxX, maxY int) error {
 	return simfun.CheckMonotone(f, maxX, maxY)
 }
 
-// Query machinery re-exports.
+// Query machinery re-exports. Options live in SearchOptions (see
+// options.go).
 type (
-	// QueryOptions tunes a branch-and-bound search (K, early
-	// termination, entry ordering).
-	QueryOptions = core.QueryOptions
 	// Result is a query answer with cost accounting.
 	Result = core.Result
 	// Candidate pairs a TID with its similarity value.
@@ -108,8 +106,6 @@ type (
 	// RangeConstraint is one (function, threshold) conjunct of a range
 	// query.
 	RangeConstraint = core.RangeConstraint
-	// RangeOptions tunes a range query's execution (parallelism).
-	RangeOptions = core.RangeOptions
 	// RangeResult reports range query matches and cost.
 	RangeResult = core.RangeResult
 	// SortCriterion selects the entry visiting order.
@@ -188,6 +184,12 @@ type IndexOptions struct {
 	// grouping and page writing. 0 selects GOMAXPROCS; 1 forces a
 	// serial build. The resulting index is identical for every value.
 	BuildParallelism int
+	// Shards selects the sharded engine: NewSharded partitions the
+	// transactions across this many sub-indexes (0 and 1 both mean a
+	// single shard). BuildIndex rejects values above 1 — a sharded
+	// index is built with NewSharded, which returns the engine type
+	// that can answer for it.
+	Shards int
 }
 
 func (o IndexOptions) withDefaults(n int) IndexOptions {
@@ -270,12 +272,40 @@ func (ix *Index) BuildStats() BuildStats {
 //
 // The similarity function is NOT an input: it is chosen per query.
 func BuildIndex(d *Dataset, opt IndexOptions) (*Index, error) {
-	if d.Len() == 0 {
-		return nil, fmt.Errorf("sigtable: cannot index an empty dataset")
+	if opt.Shards > 1 {
+		return nil, fmt.Errorf("sigtable: BuildIndex builds a single-shard index; use NewSharded for %d shards", opt.Shards)
 	}
-	opt = opt.withDefaults(d.Len())
+	part, r, stats, err := minePartition(d, &opt)
+	if err != nil {
+		return nil, err
+	}
+	table, err := core.Build(d, part, core.BuildOptions{
+		ActivationThreshold: r,
+		PageSize:            opt.PageSize,
+		PageFile:            opt.PageFile,
+		BufferPoolPages:     opt.BufferPoolPages,
+		DecodeCacheBytes:    opt.DecodeCacheBytes,
+		Parallelism:         opt.BuildParallelism,
+	})
+	if err != nil {
+		return nil, err
+	}
+	stats.coreStats(table.BuildStats())
+	return &Index{table: table, buildStats: stats}, nil
+}
 
+// minePartition runs the data-dependent half of a build — support
+// mining, signature clustering, activation-threshold resolution —
+// shared by BuildIndex and NewSharded. It normalizes opt in place and
+// returns the partition, the resolved threshold and the mining phase
+// times.
+func minePartition(d *Dataset, opt *IndexOptions) (*signature.Partition, int, BuildStats, error) {
 	var stats BuildStats
+	if d.Len() == 0 {
+		return nil, 0, stats, fmt.Errorf("sigtable: cannot index an empty dataset")
+	}
+	*opt = opt.withDefaults(d.Len())
+
 	var sets [][]Item
 	if opt.Partition != nil {
 		sets = opt.Partition
@@ -293,32 +323,20 @@ func BuildIndex(d *Dataset, opt IndexOptions) (*Index, error) {
 		var err error
 		sets, err = cluster.Exact(counts.ItemSupports(), pairs, opt.SignatureCardinality)
 		if err != nil {
-			return nil, fmt.Errorf("sigtable: partitioning items: %w", err)
+			return nil, 0, stats, fmt.Errorf("sigtable: partitioning items: %w", err)
 		}
 		stats.Partition = time.Since(start)
 	}
 
 	part, err := signature.NewPartition(d.UniverseSize(), sets)
 	if err != nil {
-		return nil, fmt.Errorf("sigtable: invalid signature partition: %w", err)
+		return nil, 0, stats, fmt.Errorf("sigtable: invalid signature partition: %w", err)
 	}
 	r := opt.ActivationThreshold
 	if r == AutoActivation {
 		r = core.RecommendActivation(d, part, opt.SupportSample)
 	}
-	table, err := core.Build(d, part, core.BuildOptions{
-		ActivationThreshold: r,
-		PageSize:            opt.PageSize,
-		PageFile:            opt.PageFile,
-		BufferPoolPages:     opt.BufferPoolPages,
-		DecodeCacheBytes:    opt.DecodeCacheBytes,
-		Parallelism:         opt.BuildParallelism,
-	})
-	if err != nil {
-		return nil, err
-	}
-	stats.coreStats(table.BuildStats())
-	return &Index{table: table, buildStats: stats}, nil
+	return part, r, stats, nil
 }
 
 // K reports the signature cardinality.
@@ -364,10 +382,10 @@ func (ix *Index) Items(id TID) Transaction {
 // result found so far with Result.Interrupted set and Certified false
 // (unless the optimality certificate already held). A cancelled search
 // is not an error; errors are reserved for invalid options.
-func (ix *Index) Query(ctx context.Context, target Transaction, f SimilarityFunc, opt QueryOptions) (Result, error) {
+func (ix *Index) Query(ctx context.Context, target Transaction, f SimilarityFunc, opt SearchOptions) (Result, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return ix.table.Query(ctx, target, f, opt)
+	return ix.table.Query(ctx, target, f, opt.query())
 }
 
 // Nearest returns the single most similar transaction and its value.
@@ -382,19 +400,19 @@ func (ix *Index) Nearest(ctx context.Context, target Transaction, f SimilarityFu
 // RangeQuery returns all transactions meeting every (function,
 // threshold) conjunct. Cancelling the context returns the matches
 // found so far with RangeResult.Interrupted set.
-func (ix *Index) RangeQuery(ctx context.Context, target Transaction, constraints []RangeConstraint, opt RangeOptions) (RangeResult, error) {
+func (ix *Index) RangeQuery(ctx context.Context, target Transaction, constraints []RangeConstraint, opt SearchOptions) (RangeResult, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return ix.table.RangeQuery(ctx, target, constraints, opt)
+	return ix.table.RangeQuery(ctx, target, constraints, opt.ranged())
 }
 
 // MultiQuery finds the k transactions maximizing the average similarity
 // to several targets. The context bounds the search exactly as in
 // Query.
-func (ix *Index) MultiQuery(ctx context.Context, targets []Transaction, f SimilarityFunc, opt QueryOptions) (Result, error) {
+func (ix *Index) MultiQuery(ctx context.Context, targets []Transaction, f SimilarityFunc, opt SearchOptions) (Result, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return ix.table.MultiQuery(ctx, targets, f, opt)
+	return ix.table.MultiQuery(ctx, targets, f, opt.query())
 }
 
 // Explain returns the bound landscape a query for this target would
