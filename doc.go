@@ -91,6 +91,22 @@
 // with an explicit worker count, and Index.InsertBatch amortizes the
 // exclusive lock over many inserts.
 //
+// # Storage formats (migration note)
+//
+// Disk-mode indexes (IndexOptions.PageSize > 0) choose an on-page
+// encoding through IndexOptions.PageFormat. The zero value selects
+// PageFormatV2, the block-compressed layout introduced after the
+// original release: records are grouped into frames with delta +
+// bit-packed TIDs and item gaps, frames of many lists share pages, and
+// queries score through a fused decode kernel. PageFormatV1 keeps the
+// original one-list-per-page-chain varint layout. Query results are
+// byte-identical under both formats — only page counts and I/O change
+// — so existing code needs no migration: new builds silently get v2,
+// while index files persisted by earlier releases load and rebuild
+// their pages as v1, exactly as written. Pass PageFormatV1 explicitly
+// only to reproduce the old I/O profile (for example, to compare
+// against historical BENCH_PR*.json numbers).
+//
 // # Sharding
 //
 // NewSharded (or IndexOptions.Shards via the sigserver -shards flag)

@@ -261,8 +261,7 @@ func (t *Table) stepTarget(ctx context.Context, bts []*batchTarget, j int, memos
 		// loop, with no buffering at all.
 		want, remaining := memoInterest(bts, j, re.idx)
 		if remaining == 0 {
-			t.scanEntry(re.e, &bt.reads, func(id txn.TID, tr txn.Transaction) bool {
-				x, y := bt.m.matchHamming(tr)
+			t.scanEntryStats(re.e, &bt.m, &bt.reads, func(id txn.TID, x, y int) bool {
 				return offer(id, bt.f.Score(x, y))
 			})
 		} else {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"sigtable/internal/pager"
 	"sigtable/internal/signature"
 	"sigtable/internal/txn"
 )
@@ -13,7 +14,7 @@ import (
 // Index file format (little endian):
 //
 //	magic    uint32 = 0x53494754 ("SIGT")
-//	version  uint32 = 1
+//	version  uint32 = 2
 //	universe uint32
 //	txnCount uint32   (must match the dataset supplied at load)
 //	r        uint32
@@ -22,12 +23,17 @@ import (
 //	entryCount uint32
 //	entryCount × { coord uvarint, count uvarint, tid deltas uvarint }
 //	pageSize uint32 (0 = memory mode)
+//	pageFormat uint32 (version >= 2; 0 in memory mode)
+//
+// Version 1 files end at pageSize; loading one in disk mode rebuilds
+// the lists under the v1 page format, which is what that era's writers
+// produced.
 //
 // The file stores only the index structure; transactions live in the
 // dataset file and are referenced by TID.
 const (
 	tableMagic   = 0x53494754
-	tableVersion = 1
+	tableVersion = 2
 )
 
 // WriteTo serializes the table's structure. The dataset itself is not
@@ -110,11 +116,15 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) {
 			prev = id
 		}
 	}
-	pageSize := uint32(0)
+	pageSize, pageFormat := uint32(0), uint32(0)
 	if t.store != nil {
 		pageSize = uint32(t.store.PageSize())
+		pageFormat = uint32(t.store.Format())
 	}
 	if err := writeU32(pageSize); err != nil {
+		return n, err
+	}
+	if err := writeU32(pageFormat); err != nil {
 		return n, err
 	}
 	return n, bw.Flush()
@@ -145,7 +155,7 @@ func ReadTable(r io.Reader, data *txn.Dataset) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ver != tableVersion {
+	if ver != 1 && ver != tableVersion {
 		return nil, fmt.Errorf("core: unsupported index version %d", ver)
 	}
 	universe, err := readU32()
@@ -275,10 +285,23 @@ func ReadTable(r io.Reader, data *txn.Dataset) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Version 1 predates the page-format field; its disk stores were
+	// always v1-encoded.
+	pageFormat := uint32(pager.FormatV1)
+	if ver >= 2 {
+		pageFormat, err = readU32()
+		if err != nil {
+			return nil, err
+		}
+	}
 	if pageSize > 0 {
+		if pageFormat != uint32(pager.FormatV1) && pageFormat != uint32(pager.FormatV2) {
+			return nil, fmt.Errorf("core: unknown page format %d", pageFormat)
+		}
 		rebuilt, err := Build(data, part, BuildOptions{
 			ActivationThreshold: t.r,
 			PageSize:            int(pageSize),
+			PageFormat:          pager.Format(pageFormat),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: rebuilding disk lists: %w", err)

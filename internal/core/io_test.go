@@ -3,10 +3,12 @@ package core
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"math/rand"
 	"strings"
 	"testing"
 
+	"sigtable/internal/pager"
 	"sigtable/internal/seqscan"
 	"sigtable/internal/simfun"
 	"sigtable/internal/txn"
@@ -156,5 +158,70 @@ func TestWriteToRejectsTombstones(t *testing.T) {
 	}
 	if _, err := fresh.WriteTo(&buf); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestReadTableVersionEras: a version-1 SIGT image — synthesized from
+// the current writer's output by patching the version field and
+// stripping the trailing pageFormat word — still loads, and its disk
+// lists rebuild under the v1 page layout that era's writers produced.
+// The current image round-trips with its page format intact.
+func TestReadTableVersionEras(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	d := randomDataset(rng, 300, 30)
+	part := randomPartition(t, rng, 30, 5)
+	orig := buildTestTable(t, d, part, BuildOptions{PageSize: 256})
+
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cur := buf.Bytes()
+
+	now, err := ReadTable(bytes.NewReader(cur), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := now.Store().Format(); got != pager.FormatV2 {
+		t.Fatalf("current-era load format = %v, want v2", got)
+	}
+
+	// Era one back: version 1, no pageFormat word.
+	old := append([]byte(nil), cur...)
+	binary.LittleEndian.PutUint32(old[4:8], 1)
+	old = old[:len(old)-4]
+	legacy, err := ReadTable(bytes.NewReader(old), d)
+	if err != nil {
+		t.Fatalf("version-1 image refused: %v", err)
+	}
+	if got := legacy.Store().Format(); got != pager.FormatV1 {
+		t.Fatalf("version-1 load format = %v, want v1", got)
+	}
+
+	// Both eras answer identically.
+	target := randomTarget(rng, 30)
+	ctx := context.Background()
+	want, err := now.Query(ctx, target, simfun.Jaccard{}, QueryOptions{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := legacy.Query(ctx, target, simfun.Jaccard{}, QueryOptions{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResultEqual(t, "era", want, got)
+
+	// A from-the-future version is refused.
+	future := append([]byte(nil), cur...)
+	binary.LittleEndian.PutUint32(future[4:8], 99)
+	if _, err := ReadTable(bytes.NewReader(future), d); err == nil {
+		t.Fatal("version-99 image accepted")
+	}
+
+	// A version-2 image with a corrupt page format is refused.
+	bad := append([]byte(nil), cur...)
+	binary.LittleEndian.PutUint32(bad[len(bad)-4:], 7)
+	if _, err := ReadTable(bytes.NewReader(bad), d); err == nil {
+		t.Fatal("unknown page format accepted")
 	}
 }

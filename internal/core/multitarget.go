@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"sigtable/internal/signature"
 	"sigtable/internal/simfun"
@@ -84,13 +85,18 @@ func (t *Table) MultiQuery(ctx context.Context, targets []txn.Transaction, f sim
 		k:      opt.K,
 		budget: budget,
 		sortBy: opt.SortBy,
-		score: func(tr txn.Transaction) float64 {
-			sum := 0.0
-			for i := range matchers {
-				x, y := matchers[i].matchHamming(tr)
-				sum += fs[i].Score(x, y)
-			}
-			return sum * invN
+		// Multi-target scoring probes every matcher per candidate, so
+		// it materializes each transaction once rather than fusing N
+		// decode passes; the single-target engines use scanEntryStats.
+		scan: func(e *Entry, reads *atomic.Int64, fn func(id txn.TID, value float64) bool) {
+			t.scanEntry(e, reads, func(id txn.TID, tr txn.Transaction) bool {
+				sum := 0.0
+				for i := range matchers {
+					x, y := matchers[i].matchHamming(tr)
+					sum += fs[i].Score(x, y)
+				}
+				return fn(id, sum*invN)
+			})
 		},
 	})
 	return res, nil

@@ -130,12 +130,17 @@ func groupCoords(coords []signature.Coord, workers int) ([]*Entry, map[signature
 
 // writeEntryLists moves every entry's transactions onto store pages.
 // The serial path appends entry by entry; the parallel path stages
-// each entry's pages concurrently (the CPU-heavy varint encoding),
-// reserves contiguous PageID ranges in entry order from a single
-// goroutine, then installs concurrently — so for any worker count the
-// resulting page layout is byte-identical to the serial build's, the
-// property internal/core/build_parallel_test.go pins.
+// each entry's encoding concurrently (the CPU-heavy half), then places
+// the results in entry order — so for any worker count the resulting
+// page layout is byte-identical to the serial build's, the property
+// internal/core/build_parallel_test.go pins. Under the v1 format,
+// placement itself parallelizes (reserve in order, install
+// concurrently on disjoint pages); under v2, lists share pages, so
+// placement is a single-goroutine append of pre-encoded frames — cheap
+// next to the staging it follows. Either way the store is sealed
+// before the first read.
 func writeEntryLists(store *pager.Store, data *txn.Dataset, entries []*Entry, workers int) error {
+	defer store.Seal()
 	if workers <= 1 {
 		for _, e := range entries {
 			txns := make([]txn.Transaction, len(e.tids))
@@ -189,6 +194,16 @@ func writeEntryLists(store *pager.Store, data *txn.Dataset, entries []*Entry, wo
 	})
 	if err := firstErr.Load(); err != nil {
 		return err.(error)
+	}
+
+	if store.Format() == pager.FormatV2 {
+		// Place: single goroutine, entry order — frames pack onto
+		// shared pages exactly as a serial WriteList sequence would.
+		for i, st := range staged {
+			entries[i].list = store.AppendStaged(st)
+			entries[i].tids = nil
+		}
+		return nil
 	}
 
 	// Reserve: single goroutine, entry order — this is what pins the

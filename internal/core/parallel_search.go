@@ -194,8 +194,8 @@ func (ps *parallelSearch) worker() {
 		buf.pruned = pruned
 		if !pruned {
 			n := 0
-			ps.t.scanEntry(re.e, &ps.reads, func(id txn.TID, tr txn.Transaction) bool {
-				buf.cands = append(buf.cands, scoredCand{tid: id, value: ps.sp.score(tr)})
+			ps.sp.scan(re.e, &ps.reads, func(id txn.TID, v float64) bool {
+				buf.cands = append(buf.cands, scoredCand{tid: id, value: v})
 				n++
 				if n%cancelCheckInterval == 0 {
 					if ps.done.Load() {

@@ -106,13 +106,13 @@ func (t *Table) RangeQuery(ctx context.Context, target txn.Transaction, constrai
 			continue
 		}
 		res.EntriesScanned++
-		t.scanEntry(e, &reads, func(id txn.TID, tr txn.Transaction) bool {
+		t.scanEntryStats(e, &m, &reads, func(id txn.TID, x, y int) bool {
 			res.Scanned++
 			if res.Scanned%cancelCheckInterval == 0 && ctx.Err() != nil {
 				res.Interrupted = true
 				return false
 			}
-			if rangeMatches(&m, tr, fs, constraints) {
+			if rangeMatchesXY(x, y, fs, constraints) {
 				res.TIDs = append(res.TIDs, id)
 			}
 			return true
@@ -139,9 +139,9 @@ func rangePrunable(b *bounder, e *Entry, fs []simfun.Func, constraints []RangeCo
 	return false
 }
 
-// rangeMatches reports that a transaction satisfies every constraint.
-func rangeMatches(m *matcher, tr txn.Transaction, fs []simfun.Func, constraints []RangeConstraint) bool {
-	x, y := m.matchHamming(tr)
+// rangeMatchesXY reports that a transaction with the given (match,
+// hamming) statistics satisfies every constraint.
+func rangeMatchesXY(x, y int, fs []simfun.Func, constraints []RangeConstraint) bool {
 	for i, f := range fs {
 		if f.Score(x, y) < constraints[i].Threshold {
 			return false
@@ -184,13 +184,13 @@ func (t *Table) rangeParallel(ctx context.Context, target txn.Transaction, const
 					continue
 				}
 				local.EntriesScanned++
-				t.scanEntry(e, &reads, func(id txn.TID, tr txn.Transaction) bool {
+				t.scanEntryStats(e, &m, &reads, func(id txn.TID, x, y int) bool {
 					local.Scanned++
 					if local.Scanned%cancelCheckInterval == 0 && ctx.Err() != nil {
 						interrupted.Store(true)
 						return false
 					}
-					if rangeMatches(&m, tr, fs, constraints) {
+					if rangeMatchesXY(x, y, fs, constraints) {
 						local.TIDs = append(local.TIDs, id)
 					}
 					return true

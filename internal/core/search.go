@@ -233,13 +233,16 @@ func (t *Table) rankEntries(buf entryQueue, f simfun.Func, overlaps []int, targe
 }
 
 // searchSpec carries one search's resolved parameters into the
-// execution engines. score must be safe for concurrent calls when the
-// parallel engine may run (Parallelism != 1).
+// execution engines. scan visits an entry's live transactions as
+// (TID, similarity value) pairs — single-target queries route it
+// through the fused decode-and-score path (scanEntryStats), multi-
+// target ones through the materializing scan. It must be safe for
+// concurrent calls when the parallel engine may run (Parallelism != 1).
 type searchSpec struct {
 	k      int
 	budget int
 	sortBy SortCriterion
-	score  func(tr txn.Transaction) float64
+	scan   func(e *Entry, reads *atomic.Int64, fn func(id txn.TID, value float64) bool)
 }
 
 // minParallelLive gates the parallel engine: below this many live
@@ -301,8 +304,8 @@ func (t *Table) searchSerial(ctx context.Context, q entryQueue, sp searchSpec) R
 		res.EntriesScanned++
 		stop := false
 		inEntry := 0
-		t.scanEntry(re.e, &reads, func(id txn.TID, tr txn.Transaction) bool {
-			best.Offer(id, sp.score(tr))
+		sp.scan(re.e, &reads, func(id txn.TID, v float64) bool {
+			best.Offer(id, v)
 			res.Scanned++
 			inEntry++
 			if res.Scanned >= sp.budget {
@@ -389,9 +392,10 @@ func (t *Table) Query(ctx context.Context, target txn.Transaction, f simfun.Func
 		k:      opt.K,
 		budget: budget,
 		sortBy: opt.SortBy,
-		score: func(tr txn.Transaction) float64 {
-			x, y := m.matchHamming(tr)
-			return f.Score(x, y)
+		scan: func(e *Entry, reads *atomic.Int64, fn func(id txn.TID, value float64) bool) {
+			t.scanEntryStats(e, &m, reads, func(id txn.TID, x, y int) bool {
+				return fn(id, f.Score(x, y))
+			})
 		},
 	})
 	return res, nil

@@ -219,6 +219,14 @@ func (s *ShardScorer) ScanCoord(c signature.Coord, reads *atomic.Int64, fn func(
 	if e == nil {
 		return
 	}
+	if len(s.fs) == 1 {
+		// Single target: fuse decode and scoring, like Query's serial
+		// and parallel engines.
+		s.t.scanEntryStats(e, &s.matchers[0], reads, func(id txn.TID, x, y int) bool {
+			return fn(id, s.fs[0].Score(x, y))
+		})
+		return
+	}
 	s.t.scanEntry(e, reads, func(id txn.TID, tr txn.Transaction) bool {
 		return fn(id, s.score(tr))
 	})

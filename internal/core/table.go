@@ -58,6 +58,13 @@ type BuildOptions struct {
 	// during queries. Zero keeps transaction lists in memory (the
 	// dataset itself is the backing store).
 	PageSize int
+	// PageFormat selects the on-page encoding when PageSize > 0:
+	// pager.FormatV2 (block-compressed frames on shared pages, the
+	// default when zero) or pager.FormatV1 (the original uvarint
+	// records on dedicated pages). Queries return identical results
+	// under either format; v2 writes far fewer pages and scans through
+	// the fused decode-and-score kernel.
+	PageFormat pager.Format
 	// PageFile, when non-empty with PageSize, backs the page store with
 	// the operating-system file at that path (truncated if it exists)
 	// instead of in-memory simulated pages: every page read is a real
@@ -167,15 +174,22 @@ func Build(data *txn.Dataset, part *signature.Partition, opt BuildOptions) (*Tab
 
 	if opt.PageSize > 0 {
 		start = time.Now()
+		format := opt.PageFormat
+		if format == 0 {
+			format = pager.FormatV2
+		}
+		if format != pager.FormatV1 && format != pager.FormatV2 {
+			return nil, fmt.Errorf("core: unknown page format %d", int(format))
+		}
 		if opt.PageFile != "" {
-			store, err := pager.NewFileStore(opt.PageFile, opt.PageSize)
+			store, err := pager.NewFileStoreFormat(opt.PageFile, opt.PageSize, format)
 			if err != nil {
 				return nil, err
 			}
 			t.store = store
 			t.pageFile = opt.PageFile
 		} else {
-			t.store = pager.NewStore(opt.PageSize)
+			t.store = pager.NewStoreFormat(opt.PageSize, format)
 		}
 		if opt.BufferPoolPages > 0 {
 			t.store.AttachPool(opt.BufferPoolPages)
@@ -252,6 +266,52 @@ func (t *Table) scanEntry(e *Entry, reads *atomic.Int64, fn func(id txn.TID, tr 
 			return
 		}
 	}
+}
+
+// scanEntryStats visits each live transaction of an entry as its
+// (match, hamming) statistics against the matcher's target — the fused
+// decode-and-score path. When the table is disk-backed and the matcher
+// holds a pooled target bitmap, the pager computes the statistics
+// while unpacking each frame, never materializing a Transaction per
+// record; otherwise (memory mode, or a universe too large for pooled
+// bitmaps) it falls back to the materializing scan plus matchHamming.
+// Every engine scores candidates through this one hook, which is what
+// keeps v1 and v2 results byte-identical: both paths feed the same
+// integer statistics to the same similarity function.
+func (t *Table) scanEntryStats(e *Entry, m *matcher, reads *atomic.Int64, fn func(id txn.TID, match, hamming int) bool) {
+	if t.store != nil && m.mask != nil {
+		stopped := false
+		err := t.store.ScanListStats(e.list, reads, m.mask, len(m.target), func(id txn.TID, x, y int) bool {
+			if t.deleted != nil && t.deleted[id] {
+				return true
+			}
+			if !fn(id, x, y) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			panic(fmt.Sprintf("core: corrupt entry %#x: %v", e.Coord, err))
+		}
+		if stopped {
+			return
+		}
+		for _, id := range e.tids {
+			if t.deleted != nil && t.deleted[id] {
+				continue
+			}
+			x, y := m.matchHamming(t.data.Get(id))
+			if !fn(id, x, y) {
+				return
+			}
+		}
+		return
+	}
+	t.scanEntry(e, reads, func(id txn.TID, tr txn.Transaction) bool {
+		x, y := m.matchHamming(tr)
+		return fn(id, x, y)
+	})
 }
 
 // Occupancy summarizes how transactions distribute over entries.

@@ -16,9 +16,10 @@ import (
 // those entries dominates the read path; the buffer pool removes the
 // simulated I/O but still re-decodes every record on every scan.
 //
-// Keys are (first PageID of the list, generation). Page lists never
-// share pages — every page is dedicated to one entry list — so the
-// first PageID identifies the list uniquely within a store. The
+// Keys are (list key, generation). The list key packs the list's
+// first PageID with its start offset (listKey in pager.go): v1 lists
+// never share pages, so the PageID half alone is distinct, while v2
+// lists opening on a shared page are told apart by the offset. The
 // generation is a cache-wide counter bumped by Invalidate: mutations
 // above the pager (Insert, Delete, Compact, Rebuild) bump it, making
 // every cached decode unreachable at once in O(1). Page payloads are
@@ -29,9 +30,10 @@ import (
 // rewrites a list's pages in place (overflow flushing, in-place
 // compaction). Stale generations age out through the byte budget.
 //
-// The cache is sharded like the buffer pool: shard = first PageID &
-// mask, each shard its own mutex, LRU list and byte budget, so
-// concurrent scans of different hot entries never contend.
+// The cache is sharded like the buffer pool: shard = first PageID
+// (the high half of the key) & mask, each shard its own mutex, LRU
+// list and byte budget, so concurrent scans of different hot entries
+// never contend.
 //
 // Cached slices are shared by every scan that hits: callers may retain
 // the transactions but must never modify them (ScanList documents the
@@ -54,7 +56,7 @@ type decodeShard struct {
 	mu       sync.Mutex
 	maxBytes int64
 	bytes    int64
-	index    map[PageID]*decodedList
+	index    map[uint64]*decodedList
 	head     *decodedList // most recently used
 	tail     *decodedList // least recently used
 }
@@ -62,11 +64,11 @@ type decodeShard struct {
 // decodedList is one cached decode: the list's records in page order,
 // before any tombstone filtering (that happens above the pager).
 type decodedList struct {
-	first PageID
-	gen   uint64
-	ids   []txn.TID
-	txns  []txn.Transaction
-	size  int64 // accounted bytes
+	key  uint64
+	gen  uint64
+	ids  []txn.TID
+	txns []txn.Transaction
+	size int64 // accounted bytes
 
 	prev, next *decodedList
 }
@@ -91,13 +93,13 @@ func NewDecodeCache(maxBytes int64) *DecodeCache {
 		base = 1
 	}
 	for i := range c.shards {
-		c.shards[i] = decodeShard{maxBytes: base, index: make(map[PageID]*decodedList)}
+		c.shards[i] = decodeShard{maxBytes: base, index: make(map[uint64]*decodedList)}
 	}
 	return c
 }
 
-func (c *DecodeCache) shard(first PageID) *decodeShard {
-	return &c.shards[uint32(first)&c.mask]
+func (c *DecodeCache) shard(key uint64) *decodeShard {
+	return &c.shards[uint32(key>>32)&c.mask]
 }
 
 // Invalidate bumps the generation, atomically orphaning every cached
@@ -144,14 +146,14 @@ func (c *DecodeCache) Len() int {
 	return n
 }
 
-// get returns the cached decode of the list starting at first, if it is
-// resident under the current generation. A resident entry from an older
-// generation is removed on the spot.
-func (c *DecodeCache) get(first PageID) (*decodedList, bool) {
+// get returns the cached decode of the list identified by key, if it
+// is resident under the current generation. A resident entry from an
+// older generation is removed on the spot.
+func (c *DecodeCache) get(key uint64) (*decodedList, bool) {
 	gen := c.gen.Load()
-	s := c.shard(first)
+	s := c.shard(key)
 	s.mu.Lock()
-	d, ok := s.index[first]
+	d, ok := s.index[key]
 	if ok && d.gen != gen {
 		s.remove(d, c)
 		ok = false
@@ -171,21 +173,21 @@ func (c *DecodeCache) get(first PageID) (*decodedList, bool) {
 // decode began. If the generation moved meanwhile the insert is
 // dropped: the decode may span an invalidation and cannot be trusted.
 // Lists larger than the shard budget are not cached at all.
-func (c *DecodeCache) put(first PageID, genAtStart uint64, ids []txn.TID, txns []txn.Transaction) {
+func (c *DecodeCache) put(key uint64, genAtStart uint64, ids []txn.TID, txns []txn.Transaction) {
 	if c.gen.Load() != genAtStart {
 		return
 	}
-	d := &decodedList{first: first, gen: genAtStart, ids: ids, txns: txns, size: decodedSize(ids, txns)}
-	s := c.shard(first)
+	d := &decodedList{key: key, gen: genAtStart, ids: ids, txns: txns, size: decodedSize(ids, txns)}
+	s := c.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if d.size > s.maxBytes {
 		return
 	}
-	if old, ok := s.index[first]; ok {
+	if old, ok := s.index[key]; ok {
 		s.remove(old, c)
 	}
-	s.index[first] = d
+	s.index[key] = d
 	s.pushFront(d)
 	s.bytes += d.size
 	c.bytes.Add(d.size)
@@ -206,7 +208,7 @@ func decodedSize(ids []txn.TID, txns []txn.Transaction) int64 {
 
 // remove unlinks d; caller holds the shard lock.
 func (s *decodeShard) remove(d *decodedList, c *DecodeCache) {
-	delete(s.index, d.first)
+	delete(s.index, d.key)
 	s.unlink(d)
 	s.bytes -= d.size
 	c.bytes.Add(-d.size)

@@ -118,13 +118,15 @@ func TestDecodeCacheEarlyStopNotCached(t *testing.T) {
 	}
 }
 
-// TestDecodeCacheByteBudgetEvicts drives one shard directly (PageIDs
+// TestDecodeCacheByteBudgetEvicts drives one shard directly (keys
 // chosen to all hash there) so the eviction arithmetic is independent
 // of the GOMAXPROCS-derived shard count.
 func TestDecodeCacheByteBudgetEvicts(t *testing.T) {
 	c := NewDecodeCache(1 << 16)
 	perShard := c.shards[0].maxBytes
-	stride := PageID(c.mask + 1) // ids 0, stride, 2·stride… all land in shard 0
+	stride := PageID(c.mask + 1) // first pages 0, stride, 2·stride… all land in shard 0
+	// key mirrors listKey: first PageID in the high half, offset 0.
+	key := func(i int) uint64 { return uint64(PageID(i)*stride) << 32 }
 
 	// Each entry: one 100-item transaction → 96 + 800 bytes.
 	mk := func() ([]txn.TID, []txn.Transaction) {
@@ -143,7 +145,7 @@ func TestDecodeCacheByteBudgetEvicts(t *testing.T) {
 
 	gen := c.Generation()
 	for i := 0; i < fit+3; i++ {
-		c.put(PageID(i)*stride, gen, ids, txns)
+		c.put(key(i), gen, ids, txns)
 	}
 	if got := c.shards[0].bytes; got > perShard {
 		t.Fatalf("shard bytes = %d exceeds budget %d", got, perShard)
@@ -152,18 +154,18 @@ func TestDecodeCacheByteBudgetEvicts(t *testing.T) {
 		t.Fatalf("Len = %d, want %d resident entries", c.Len(), fit)
 	}
 	// LRU: the oldest inserts were evicted, the newest survive.
-	if _, ok := c.get(0); ok {
+	if _, ok := c.get(key(0)); ok {
 		t.Fatal("oldest entry survived past the budget")
 	}
-	if _, ok := c.get(PageID(fit+2) * stride); !ok {
+	if _, ok := c.get(key(fit + 2)); !ok {
 		t.Fatal("newest entry evicted")
 	}
 	// Touching an old survivor protects it from the next eviction.
-	oldest := PageID(3) * stride // first resident after the initial evictions
+	oldest := key(3) // first resident after the initial evictions
 	if _, ok := c.get(oldest); !ok {
 		t.Fatal("expected survivor missing")
 	}
-	c.put(PageID(fit+3)*stride, gen, ids, txns)
+	c.put(key(fit+3), gen, ids, txns)
 	if _, ok := c.get(oldest); !ok {
 		t.Fatal("recently touched entry evicted before colder ones")
 	}

@@ -29,8 +29,14 @@ func (b *fileBackend) pageCount() int {
 }
 
 // NewFileStore creates a store whose pages live in the file at path
-// (truncated if it exists). Close releases the file handle.
+// (truncated if it exists), using the v1 page format. Close releases
+// the file handle.
 func NewFileStore(path string, pageSize int) (*Store, error) {
+	return NewFileStoreFormat(path, pageSize, FormatV1)
+}
+
+// NewFileStoreFormat is NewFileStore with an explicit page format.
+func NewFileStoreFormat(path string, pageSize int, format Format) (*Store, error) {
 	pageSize = checkPageSize(pageSize)
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -38,6 +44,7 @@ func NewFileStore(path string, pageSize int) (*Store, error) {
 	}
 	return &Store{
 		pageSize: pageSize,
+		format:   checkFormat(format),
 		back:     &fileBackend{f: f, pageSize: pageSize},
 	}, nil
 }

@@ -5,10 +5,14 @@
 // storage with I/O accounting — the quantity the paper's pruning
 // efficiency is a proxy for — plus an optional LRU buffer pool.
 //
-// Layout mirrors the paper: pages are dedicated to a single signature
-// table entry, so reading an entry's transaction list is sequential,
-// while the inverted-index baseline's accesses scatter across pages
-// (§5.1's "page scattering effect").
+// Two page layouts coexist. v1 mirrors the paper directly: pages are
+// dedicated to a single signature table entry, so reading an entry's
+// transaction list is sequential, while the inverted-index baseline's
+// accesses scatter across pages (§5.1's "page scattering effect"). v2
+// keeps the sequential-read property but block-compresses records into
+// bit-packed frames and packs the frames of consecutive entry lists
+// into shared pages (see codec2.go), collapsing the long tail of
+// near-empty single-entry pages that dominates v1's page count.
 package pager
 
 import (
@@ -17,6 +21,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"sigtable/internal/bitset"
 	"sigtable/internal/txn"
 )
 
@@ -25,6 +30,31 @@ const DefaultPageSize = 4096
 
 // PageID identifies a page within a Store.
 type PageID = uint32
+
+// Format selects the on-page encoding of transaction lists.
+type Format int
+
+const (
+	// FormatV1 is the original layout: one uvarint record per
+	// transaction, records never spanning pages, every page dedicated
+	// to a single entry list.
+	FormatV1 Format = 1
+	// FormatV2 is the block-compressed layout: records grouped into
+	// bit-packed frames, frames of consecutive lists packed into
+	// shared pages. See codec2.go for the frame encoding.
+	FormatV2 Format = 2
+)
+
+func (f Format) String() string {
+	switch f {
+	case FormatV1:
+		return "v1"
+	case FormatV2:
+		return "v2"
+	default:
+		return fmt.Sprintf("Format(%d)", int(f))
+	}
+}
 
 // Stats counts simulated I/O.
 type Stats struct {
@@ -35,6 +65,15 @@ type Stats struct {
 	Misses int64
 	// Writes is the number of pages written.
 	Writes int64
+	// BytesRead is the payload bytes returned by page reads, pool hits
+	// included (it moves with Reads, not Misses).
+	BytesRead int64
+	// BytesWritten is the payload bytes written to pages.
+	BytesWritten int64
+	// BytesLogical is the uncompressed size of every record written: 4
+	// bytes of TID, 4 of length, 4 per item. BytesLogical over
+	// BytesWritten is the write-side compression ratio.
+	BytesLogical int64
 }
 
 // backend is where page payloads physically live: in memory or in a
@@ -69,20 +108,51 @@ type backend interface {
 // they touch are written — the counters are atomic and the buffer pool
 // locks internally. AttachPool must not race with reads or writes.
 type Store struct {
-	pageSize int
-	back     backend
-	reads    atomic.Int64
-	misses   atomic.Int64
-	writes   atomic.Int64
-	pool     *BufferPool
-	decodes  *DecodeCache
+	pageSize     int
+	format       Format
+	back         backend
+	reads        atomic.Int64
+	misses       atomic.Int64
+	writes       atomic.Int64
+	bytesRead    atomic.Int64
+	bytesWritten atomic.Int64
+	bytesLogical atomic.Int64
+	pool         *BufferPool
+	decodes      *DecodeCache
+
+	// tail is the open shared page of the v2 writer: frames accumulate
+	// here until the page fills (or Seal flushes it). Guarded by the
+	// same discipline as WriteList — the serial write path only.
+	tail *tailPage
+}
+
+// tailPage is a reserved-but-unflushed v2 page being filled.
+type tailPage struct {
+	id  PageID
+	buf []byte
 }
 
 // NewStore creates a memory-backed store with the given page size
-// (0 selects DefaultPageSize).
+// (0 selects DefaultPageSize), using the v1 page format.
 func NewStore(pageSize int) *Store {
-	return &Store{pageSize: checkPageSize(pageSize), back: &memBackend{}}
+	return NewStoreFormat(pageSize, FormatV1)
 }
+
+// NewStoreFormat creates a memory-backed store writing lists in the
+// given page format.
+func NewStoreFormat(pageSize int, format Format) *Store {
+	return &Store{pageSize: checkPageSize(pageSize), format: checkFormat(format), back: &memBackend{}}
+}
+
+func checkFormat(f Format) Format {
+	if f != FormatV1 && f != FormatV2 {
+		panic(fmt.Sprintf("pager: unknown page format %d", int(f)))
+	}
+	return f
+}
+
+// Format reports the page format the store writes.
+func (s *Store) Format() Format { return s.format }
 
 func checkPageSize(pageSize int) int {
 	if pageSize == 0 {
@@ -155,9 +225,12 @@ func (m *memBackend) numPages() int {
 // Stats returns a snapshot of the I/O counters.
 func (s *Store) Stats() Stats {
 	return Stats{
-		Reads:  s.reads.Load(),
-		Misses: s.misses.Load(),
-		Writes: s.writes.Load(),
+		Reads:        s.reads.Load(),
+		Misses:       s.misses.Load(),
+		Writes:       s.writes.Load(),
+		BytesRead:    s.bytesRead.Load(),
+		BytesWritten: s.bytesWritten.Load(),
+		BytesLogical: s.bytesLogical.Load(),
 	}
 }
 
@@ -166,6 +239,9 @@ func (s *Store) ResetStats() {
 	s.reads.Store(0)
 	s.misses.Store(0)
 	s.writes.Store(0)
+	s.bytesRead.Store(0)
+	s.bytesWritten.Store(0)
+	s.bytesLogical.Store(0)
 }
 
 // Pool returns the attached buffer pool, or nil when reads go straight
@@ -219,6 +295,7 @@ func (s *Store) appendPage(data []byte) PageID {
 		panic(fmt.Sprintf("pager: appending page: %v", err))
 	}
 	s.writes.Add(1)
+	s.bytesWritten.Add(int64(len(data)))
 	return id
 }
 
@@ -233,6 +310,7 @@ func (s *Store) readPage(id PageID, reads *atomic.Int64) []byte {
 	}
 	if s.pool != nil {
 		if data, ok := s.pool.Get(id); ok {
+			s.bytesRead.Add(int64(len(data)))
 			return data
 		}
 	}
@@ -244,12 +322,18 @@ func (s *Store) readPage(id PageID, reads *atomic.Int64) []byte {
 	if s.pool != nil {
 		s.pool.Put(id, data)
 	}
+	s.bytesRead.Add(int64(len(data)))
 	return data
 }
 
-// List is a handle to a transaction list stored across dedicated pages.
+// List is a handle to a transaction list. With the v1 format its pages
+// are dedicated to this list alone and Start is always 0; with v2 the
+// list's frames may share pages with neighboring lists, and Start is
+// the byte offset of the first frame within Pages[0]. The list always
+// occupies a contiguous byte range across its pages.
 type List struct {
 	Pages []PageID
+	Start int // byte offset of the list's first frame in Pages[0] (v2; 0 in v1)
 	Count int // number of transactions in the list
 }
 
@@ -305,11 +389,20 @@ func encodeList(pageSize int, tids []txn.TID, txns []txn.Transaction) ([][]byte,
 	return pages, nil
 }
 
-// WriteList serializes transactions (with their TIDs) into fresh pages
-// and returns the handle. It appends pages immediately, so it must not
-// run concurrently with any other write; use the staged API for
-// concurrent writers.
+// WriteList serializes transactions (with their TIDs) into pages and
+// returns the handle. With the v1 format it appends fresh dedicated
+// pages; with v2 it appends frames to the store's shared tail page
+// (call Seal before reading once all lists are written). Either way it
+// must not run concurrently with any other write; use the staged API
+// for concurrent encoding.
 func (s *Store) WriteList(tids []txn.TID, txns []txn.Transaction) (List, error) {
+	if s.format == FormatV2 {
+		st, err := s.StageList(tids, txns)
+		if err != nil {
+			return List{}, err
+		}
+		return s.AppendStaged(st), nil
+	}
 	pages, err := encodeList(s.pageSize, tids, txns)
 	if err != nil {
 		return List{}, err
@@ -318,31 +411,98 @@ func (s *Store) WriteList(tids []txn.TID, txns []txn.Transaction) (List, error) 
 	for _, p := range pages {
 		list.Pages = append(list.Pages, s.appendPage(p))
 	}
+	for _, t := range txns {
+		s.bytesLogical.Add(logicalSize(t))
+	}
 	return list, nil
 }
 
-// StagedList holds a transaction list encoded into page payloads but
-// not yet placed at PageIDs. Staging is the CPU-heavy half of a list
-// write, and StagedList values are independent, so many goroutines can
-// stage lists at once.
+// StagedList holds a transaction list encoded but not yet placed:
+// full page payloads under the v1 format, frame blobs under v2.
+// Staging is the CPU-heavy half of a list write, and StagedList values
+// are independent, so many goroutines can stage lists at once.
 type StagedList struct {
-	pages [][]byte
-	count int
+	pages   [][]byte // v1: one payload per dedicated page
+	frames  [][]byte // v2: frames awaiting tail placement
+	count   int
+	logical int64
 }
 
-// NumPages reports how many pages the staged list occupies once
-// installed.
+// NumPages reports how many dedicated pages the staged list occupies
+// once installed. Only meaningful under the v1 format — a v2 staged
+// list's page footprint is decided at AppendStaged time, when the
+// tail's fill level is known.
 func (st *StagedList) NumPages() int { return len(st.pages) }
 
-// StageList encodes a transaction list into page payloads without
-// allocating PageIDs. Safe to call concurrently with other StageList,
-// ReservePages and InstallList calls.
+// StageList encodes a transaction list without allocating PageIDs.
+// Safe to call concurrently with other StageList, ReservePages and
+// InstallList calls.
 func (s *Store) StageList(tids []txn.TID, txns []txn.Transaction) (*StagedList, error) {
+	if s.format == FormatV2 {
+		frames, logical, err := encodeFrames(s.pageSize, tids, txns)
+		if err != nil {
+			return nil, err
+		}
+		return &StagedList{frames: frames, count: len(txns), logical: logical}, nil
+	}
 	pages, err := encodeList(s.pageSize, tids, txns)
 	if err != nil {
 		return nil, err
 	}
-	return &StagedList{pages: pages, count: len(txns)}, nil
+	var logical int64
+	for _, t := range txns {
+		logical += logicalSize(t)
+	}
+	return &StagedList{pages: pages, count: len(txns), logical: logical}, nil
+}
+
+// AppendStaged places a v2 staged list's frames on the store's shared
+// tail page, opening fresh pages as frames overflow, and returns the
+// handle. Like WriteList, it is part of the serial write discipline:
+// the parallel build stages lists concurrently, then appends them from
+// a single goroutine in entry order, which is what makes the parallel
+// layout byte-identical to a serial build's. Call Seal before reading.
+func (s *Store) AppendStaged(st *StagedList) List {
+	if s.format != FormatV2 {
+		panic("pager: AppendStaged on a v1 store; use ReservePages+InstallList")
+	}
+	list := List{Count: st.count}
+	for _, fr := range st.frames {
+		if s.tail != nil && len(s.tail.buf)+len(fr) > s.pageSize {
+			s.flushTail()
+		}
+		if s.tail == nil {
+			s.tail = &tailPage{id: s.ReservePages(1), buf: make([]byte, 0, s.pageSize)}
+		}
+		if len(list.Pages) == 0 {
+			list.Start = len(s.tail.buf)
+		}
+		if n := len(list.Pages); n == 0 || list.Pages[n-1] != s.tail.id {
+			list.Pages = append(list.Pages, s.tail.id)
+		}
+		s.tail.buf = append(s.tail.buf, fr...)
+	}
+	s.bytesLogical.Add(st.logical)
+	return list
+}
+
+func (s *Store) flushTail() {
+	if err := s.back.writeAt(s.tail.id, s.tail.buf); err != nil {
+		panic(fmt.Sprintf("pager: flushing tail page %d: %v", s.tail.id, err))
+	}
+	s.writes.Add(1)
+	s.bytesWritten.Add(int64(len(s.tail.buf)))
+	s.tail = nil
+}
+
+// Seal flushes the open tail page, if any. v2 writers must Seal after
+// the last WriteList/AppendStaged and before any scan; pages are
+// write-once, so a sealed store cannot take further list writes. A
+// no-op on v1 stores.
+func (s *Store) Seal() {
+	if s.tail != nil {
+		s.flushTail()
+	}
 }
 
 // ReservePages allocates n contiguous PageIDs and returns the first.
@@ -372,8 +532,10 @@ func (s *Store) InstallList(base PageID, st *StagedList) List {
 			panic(fmt.Sprintf("pager: installing page %d: %v", id, err))
 		}
 		s.writes.Add(1)
+		s.bytesWritten.Add(int64(len(p)))
 		list.Pages[i] = id
 	}
+	s.bytesLogical.Add(st.logical)
 	return list
 }
 
@@ -393,7 +555,8 @@ func (s *Store) ScanList(l List, reads *atomic.Int64, fn func(id txn.TID, t txn.
 		_, err := s.scanPages(l, reads, fn)
 		return err
 	}
-	if d, ok := s.decodes.get(l.Pages[0]); ok {
+	key := listKey(l)
+	if d, ok := s.decodes.get(key); ok {
 		for i, id := range d.ids {
 			if !fn(id, d.txns[i]) {
 				return nil
@@ -410,8 +573,148 @@ func (s *Store) ScanList(l List, reads *atomic.Int64, fn func(id txn.TID, t txn.
 		return fn(id, t)
 	})
 	if err == nil && complete {
-		s.decodes.put(l.Pages[0], gen, ids, txns)
+		s.decodes.put(key, gen, ids, txns)
 	}
+	return err
+}
+
+// listKey is the decode-cache identity of a list. v2 lists share
+// pages, so the first PageID alone is ambiguous; the start offset
+// disambiguates every list that opens on the same page.
+func listKey(l List) uint64 {
+	return uint64(l.Pages[0])<<32 | uint64(uint32(l.Start))
+}
+
+// ScanListStats is the fused decode-and-score scan: for each record it
+// reports the record's length and how many of its items are set in
+// mask — the (match, |candidate|) statistics every similarity function
+// in the search layer is computed from — without materializing a
+// Transaction per record. fn receives the record's TID, match count
+// and hamming distance against a target of targetLen items. mask must
+// cover every item in the list (the query paths build it over the item
+// universe). Early-stop and read-accounting semantics match ScanList.
+//
+// With a decode cache attached, the scan goes through ScanList so
+// cache hits and fills behave identically to materializing scans; the
+// fused frame walk is the no-cache path, where decode cost is paid on
+// every scan.
+func (s *Store) ScanListStats(l List, reads *atomic.Int64, mask *bitset.Set, targetLen int, fn func(id txn.TID, match, hamming int) bool) error {
+	if s.decodes != nil && len(l.Pages) > 0 {
+		return s.ScanList(l, reads, func(id txn.TID, t txn.Transaction) bool {
+			x, y := txn.MatchHammingBits(mask, targetLen, t)
+			return fn(id, x, y)
+		})
+	}
+	if s.format == FormatV2 {
+		c := v2Cursor{s: s, l: l, reads: reads}
+		if err := c.init(); err != nil {
+			return err
+		}
+		for {
+			f, done, err := c.next()
+			if err != nil {
+				return err
+			}
+			if done {
+				return nil
+			}
+			stopped, err := f.decodeStats(mask, func(id txn.TID, n, x int) bool {
+				return fn(id, x, targetLen+n-2*x)
+			})
+			if err != nil {
+				return err
+			}
+			if stopped {
+				return nil
+			}
+		}
+	}
+	// v1: decode the per-record varints, probing mask per item instead
+	// of building a Transaction.
+	remaining := l.Count
+	for _, pid := range l.Pages {
+		data := s.readPage(pid, reads)
+		off := 0
+		for off < len(data) && remaining > 0 {
+			id, n := binary.Uvarint(data[off:])
+			if n <= 0 {
+				return fmt.Errorf("pager: corrupt TID at page %d offset %d", pid, off)
+			}
+			off += n
+			length, n := binary.Uvarint(data[off:])
+			if n <= 0 {
+				return fmt.Errorf("pager: corrupt length at page %d offset %d", pid, off)
+			}
+			off += n
+			x := 0
+			prev := uint64(0)
+			for j := uint64(0); j < length; j++ {
+				d, n := binary.Uvarint(data[off:])
+				if n <= 0 {
+					return fmt.Errorf("pager: corrupt item at page %d offset %d", pid, off)
+				}
+				off += n
+				prev += d
+				if mask.TestUnchecked(int(prev)) {
+					x++
+				}
+			}
+			remaining--
+			if !fn(txn.TID(id), x, targetLen+int(length)-2*x) {
+				return nil
+			}
+		}
+	}
+	if remaining != 0 {
+		return fmt.Errorf("pager: list declared %d transactions but pages held %d", l.Count, l.Count-remaining)
+	}
+	return nil
+}
+
+// ScanListFrom is ScanList restricted to records with id >= from. With
+// the v2 format, frames whose TID range lies entirely below from are
+// skipped after the header parse — their bodies are never decoded
+// (though the pages holding them are still read, since frames share
+// pages). v1 lists carry no range metadata, so every record is decoded
+// and filtered. The scan bypasses the decode cache: a filtered decode
+// must not be memoized as the whole list.
+func (s *Store) ScanListFrom(l List, reads *atomic.Int64, from txn.TID, fn func(id txn.TID, t txn.Transaction) bool) error {
+	if s.format == FormatV2 {
+		c := v2Cursor{s: s, l: l, reads: reads}
+		if err := c.init(); err != nil {
+			return err
+		}
+		for {
+			f, done, err := c.next()
+			if err != nil {
+				return err
+			}
+			if done {
+				return nil
+			}
+			if f.maxTID < uint64(from) {
+				continue // frame skip: header bounds every TID inside
+			}
+			stopped, err := f.decode(func(id txn.TID, t txn.Transaction) bool {
+				if id < from {
+					return true
+				}
+				return fn(id, t)
+			})
+			if err != nil {
+				return err
+			}
+			if stopped {
+				return nil
+			}
+		}
+	}
+	_, err := s.scanPages(l, reads, func(id txn.TID, t txn.Transaction) bool {
+		if id < from {
+			return true
+		}
+		return fn(id, t)
+	})
 	return err
 }
 
@@ -420,6 +723,9 @@ func (s *Store) ScanList(l List, reads *atomic.Int64, fn func(id txn.TID, t txn.
 // is what gates caching: a truncated decode must not be memoized as the
 // whole list.
 func (s *Store) scanPages(l List, reads *atomic.Int64, fn func(id txn.TID, t txn.Transaction) bool) (bool, error) {
+	if s.format == FormatV2 {
+		return s.scanPagesV2(l, reads, fn)
+	}
 	remaining := l.Count
 	for _, pid := range l.Pages {
 		data := s.readPage(pid, reads)

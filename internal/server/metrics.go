@@ -199,6 +199,10 @@ func newOpMetrics(reg *metrics.Registry, s *Server) *opMetrics {
 			storeStat(func(st pager.Stats) float64 { return float64(st.Misses) }))
 		reg.CounterFunc("sigtable_bufferpool_hits_total", "page reads absorbed by the buffer pool",
 			storeStat(func(st pager.Stats) float64 { return float64(st.Reads - st.Misses) }))
+		reg.CounterFunc("sigtable_pager_bytes_read_total", "page payload bytes returned by reads",
+			storeStat(func(st pager.Stats) float64 { return float64(st.BytesRead) }))
+		reg.CounterFunc("sigtable_pager_bytes_written_total", "page payload bytes written",
+			storeStat(func(st pager.Stats) float64 { return float64(st.BytesWritten) }))
 	}
 	if pool() != nil {
 		poolStat := func(f func(*pager.BufferPool) float64) func() float64 {

@@ -413,6 +413,23 @@ type DecodeCacheInfo struct {
 	Generation uint64  `json:"generation"`
 }
 
+// StorageInfo is the /v1/stats storage section (absent in memory
+// mode): the page store's geometry, cumulative I/O counters and the
+// write-side compression ratio (logical record bytes over page bytes
+// written; 1.0 under the uncompressed v1 layout, higher under the
+// block-compressed v2 layout).
+type StorageInfo struct {
+	PageSize         int     `json:"pageSize"`
+	PageFormat       string  `json:"pageFormat"`
+	Pages            int     `json:"pages"`
+	Reads            int64   `json:"reads"`
+	Misses           int64   `json:"misses"`
+	Writes           int64   `json:"writes"`
+	BytesRead        int64   `json:"bytesRead"`
+	BytesWritten     int64   `json:"bytesWritten"`
+	CompressionRatio float64 `json:"compressionRatio"`
+}
+
 // ShardInfo is one row of the /v1/stats shards section: the shard's
 // sizes and its query fan-out, lock-wait and page-read counters.
 type ShardInfo struct {
@@ -435,6 +452,7 @@ type StatsResponse struct {
 	Entries      int              `json:"entries"`
 	Universe     int              `json:"universe"`
 	Build        BuildInfo        `json:"build"`
+	Storage      *StorageInfo     `json:"storage,omitempty"`
 	Pool         *PoolInfo        `json:"pool,omitempty"`
 	DecodeCache  *DecodeCacheInfo `json:"decodeCache,omitempty"`
 	Shards       []ShardInfo      `json:"shards,omitempty"`
@@ -577,6 +595,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if store := singleTableStore(s.idx); store != nil {
+		st := store.Stats()
+		ratio := 0.0
+		if st.BytesWritten > 0 {
+			ratio = float64(st.BytesLogical) / float64(st.BytesWritten)
+		}
+		resp.Storage = &StorageInfo{
+			PageSize:         store.PageSize(),
+			PageFormat:       store.Format().String(),
+			Pages:            store.NumPages(),
+			Reads:            st.Reads,
+			Misses:           st.Misses,
+			Writes:           st.Writes,
+			BytesRead:        st.BytesRead,
+			BytesWritten:     st.BytesWritten,
+			CompressionRatio: ratio,
+		}
 		if pool := store.Pool(); pool != nil {
 			hits, misses := pool.Stats()
 			resp.Pool = &PoolInfo{

@@ -663,6 +663,73 @@ func TestDecodeCacheStatsAndMetrics(t *testing.T) {
 	}
 }
 
+// TestStorageStatsAndMetrics runs a disk-backed server and checks the
+// /v1/stats storage section (page geometry, I/O counters, compression
+// ratio) and the pager byte counters in /v1/metrics.
+func TestStorageStatsAndMetrics(t *testing.T) {
+	g, err := sigtable.NewGenerator(sigtable.GeneratorConfig{
+		UniverseSize: 200, NumItemsets: 300, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := g.Dataset(3000)
+	idx, err := sigtable.BuildIndex(data, sigtable.IndexOptions{
+		SignatureCardinality: 10,
+		PageSize:             512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(idx, data, Options{}).Handler())
+	defer ts.Close()
+
+	var q QueryResponse
+	if code := post(t, ts.URL+"/v1/query", QueryRequest{Items: data.Get(7), F: "cosine", K: 3}, &q); code != http.StatusOK {
+		t.Fatalf("query: status %d", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Storage == nil {
+		t.Fatal("no storage section in /v1/stats")
+	}
+	if st.Storage.PageSize != 512 || st.Storage.PageFormat != "v2" {
+		t.Fatalf("storage geometry %+v", st.Storage)
+	}
+	if st.Storage.Pages == 0 || st.Storage.Writes == 0 || st.Storage.BytesWritten == 0 {
+		t.Fatalf("build wrote nothing: %+v", st.Storage)
+	}
+	if st.Storage.Reads == 0 || st.Storage.BytesRead == 0 {
+		t.Fatalf("query read nothing: %+v", st.Storage)
+	}
+	if st.Storage.CompressionRatio <= 1 {
+		t.Fatalf("v2 compression ratio %v, want > 1", st.Storage.CompressionRatio)
+	}
+
+	mresp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, _ := io.ReadAll(mresp.Body)
+	for _, want := range []string{
+		"sigtable_pager_bytes_read_total",
+		"sigtable_pager_bytes_written_total",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("missing %q:\n%s", want, grep(string(body), "sigtable_pager"))
+		}
+	}
+}
+
 // newShardedServer builds the same dataset as buildIndex but serves it
 // through the sharded engine.
 func newShardedServer(t *testing.T, shards int, opt Options) (*httptest.Server, *sigtable.Dataset) {

@@ -19,19 +19,24 @@ import (
 // Index files start with a versioned envelope:
 //
 //	magic   "SGTX" (4 bytes)
-//	version u32 (currently 1)
+//	version u32 (currently 2)
 //	kind    u32 (1 = single table, 2 = sharded manifest)
 //
 // followed by the engine's own image (the core table format, or the
-// sharded manifest wrapping one core table per shard). Seed-era files
-// written before the envelope existed begin directly with the core
-// table's own header; the readers sniff the first four bytes and keep
-// accepting that headerless layout one format generation back.
+// sharded manifest wrapping one core table per shard). Envelope
+// version 2 marks the era whose core images record a page format
+// (disk-mode tables may be block-compressed v2); version-1 files are
+// still read — their core images predate the field and rebuild under
+// the original v1 page layout. Seed-era files written before the
+// envelope existed begin directly with the core table's own header;
+// the readers sniff the first four bytes and keep accepting that
+// headerless layout.
 
 var envelopeMagic = [4]byte{'S', 'G', 'T', 'X'}
 
 const (
-	formatVersion = 1
+	formatVersion    = 2
+	minFormatVersion = 1
 
 	kindSingle  = 1
 	kindSharded = 2
@@ -66,7 +71,7 @@ func readEnvelope(r io.Reader) (uint32, io.Reader, error) {
 		return 0, nil, fmt.Errorf("sigtable: truncated index envelope: %w", err)
 	}
 	version := binary.LittleEndian.Uint32(rest[:4])
-	if version != formatVersion {
+	if version < minFormatVersion || version > formatVersion {
 		return 0, nil, fmt.Errorf("sigtable: index format version %d not supported (have %d)", version, formatVersion)
 	}
 	kind := binary.LittleEndian.Uint32(rest[4:])

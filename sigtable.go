@@ -11,6 +11,7 @@ import (
 	"sigtable/internal/core"
 	"sigtable/internal/gen"
 	"sigtable/internal/mining"
+	"sigtable/internal/pager"
 	"sigtable/internal/signature"
 	"sigtable/internal/simfun"
 	"sigtable/internal/topk"
@@ -138,6 +139,33 @@ func NewGenerator(cfg GeneratorConfig) (*Generator, error) { return gen.New(cfg)
 // footnote 4 observes that denser data wants higher thresholds).
 const AutoActivation = -1
 
+// PageFormat selects the on-page encoding for disk-mode indexes. The
+// zero value means "the current default" (PageFormatV2).
+type PageFormat int
+
+const (
+	// PageFormatV1 is the original layout: each transaction list owns a
+	// private page chain of varint-encoded records.
+	PageFormatV1 PageFormat = PageFormat(pager.FormatV1)
+	// PageFormatV2 is the block-compressed layout: lists are staged as
+	// fixed-size frames (delta + bit-packed TIDs and item gaps) and
+	// packed back to back across shared pages.
+	PageFormatV2 PageFormat = PageFormat(pager.FormatV2)
+)
+
+// pagerFormat resolves a public PageFormat to the internal pager
+// format, defaulting the zero value to v2.
+func (pf PageFormat) pagerFormat() (pager.Format, error) {
+	switch pf {
+	case 0, PageFormatV2:
+		return pager.FormatV2, nil
+	case PageFormatV1:
+		return pager.FormatV1, nil
+	default:
+		return 0, fmt.Errorf("sigtable: unknown page format %d", pf)
+	}
+}
+
 // IndexOptions configures BuildIndex.
 type IndexOptions struct {
 	// SignatureCardinality is K, the number of signatures the universe
@@ -179,6 +207,14 @@ type IndexOptions struct {
 	// and Compact invalidate it by generation bump, so cached scans can
 	// never serve stale data.
 	DecodeCacheBytes int64
+	// PageFormat selects the on-page encoding used with PageSize:
+	// PageFormatV2 (the default) block-compresses records into
+	// shared-page frames with delta + bit-packed TIDs and item gaps,
+	// while PageFormatV1 keeps the original one-list-per-page-chain
+	// varint layout. Queries return identical results either way; v2
+	// writes far fewer pages and scans through a fused decode-and-score
+	// kernel. Ignored in memory mode (PageSize == 0).
+	PageFormat PageFormat
 	// BuildParallelism bounds the goroutines used by the build
 	// pipeline: support counting, supercoordinate computation, TID
 	// grouping and page writing. 0 selects GOMAXPROCS; 1 forces a
@@ -279,12 +315,17 @@ func BuildIndex(d *Dataset, opt IndexOptions) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	format, err := opt.PageFormat.pagerFormat()
+	if err != nil {
+		return nil, err
+	}
 	table, err := core.Build(d, part, core.BuildOptions{
 		ActivationThreshold: r,
 		PageSize:            opt.PageSize,
 		PageFile:            opt.PageFile,
 		BufferPoolPages:     opt.BufferPoolPages,
 		DecodeCacheBytes:    opt.DecodeCacheBytes,
+		PageFormat:          format,
 		Parallelism:         opt.BuildParallelism,
 	})
 	if err != nil {
