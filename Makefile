@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-core check bench bench-build bench-all docs-check staticcheck
+.PHONY: build test vet race race-core race-prefetch check bench bench-build bench-all docs-check staticcheck
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,14 @@ race:
 race-core:
 	$(GO) test -race ./internal/pager ./internal/core ./internal/mining
 
-check: vet staticcheck docs-check race-core race
+# The prefetch pipeline's dedicated hammer: concurrent queries,
+# inserts and compactions against a file-backed store with prefetch
+# workers attached, under the race detector. The full suite runs these
+# too, but a focused pass keeps the failure signal on the pipeline.
+race-prefetch:
+	$(GO) test -race -run 'Prefetch' ./internal/pager ./internal/core .
+
+check: vet staticcheck docs-check race-core race-prefetch race
 
 # staticcheck runs when the binary is on PATH (CI installs it); locally
 # it degrades to a skip notice rather than demanding an install.
@@ -42,11 +49,12 @@ staticcheck:
 # shared-scan batches, the page-codec scan and fused-score kernels (v1
 # vs v2), the build pipeline serial vs parallel, support counting, and
 # the buffer-pool hammer. delta_vs ratios compare each shared benchmark
-# against the newest previous BENCH_PR*.json baseline.
-BENCH_OUT  := BENCH_PR7.json
+# against the newest previous BENCH_PR*.json baseline; with no baseline
+# on disk the flag is omitted and the report carries absolute numbers.
+BENCH_OUT  := BENCH_PR8.json
 BENCH_BASE := $(shell ls BENCH_PR*.json 2>/dev/null | grep -v '^$(BENCH_OUT)$$' | sort -V | tail -1)
 bench:
-	$(GO) test -run - -bench 'BenchmarkQuery|BenchmarkShardedQuery|BenchmarkBatchQuery|BenchmarkScanList|BenchmarkFusedScore|BenchmarkBuildIndex|BenchmarkSupportCount|BenchmarkPoolHammer' -benchmem . | $(GO) run ./cmd/benchjson -delta-vs $(BENCH_BASE) > $(BENCH_OUT)
+	$(GO) test -run - -bench 'BenchmarkQuery|BenchmarkShardedQuery|BenchmarkBatchQuery|BenchmarkScanList|BenchmarkFusedScore|BenchmarkBuildIndex|BenchmarkSupportCount|BenchmarkPoolHammer' -benchmem . | $(GO) run ./cmd/benchjson $(if $(BENCH_BASE),-delta-vs $(BENCH_BASE)) > $(BENCH_OUT)
 	@cat $(BENCH_OUT)
 
 # Every exported *Options / *Config struct in the public package must

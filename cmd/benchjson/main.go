@@ -12,9 +12,12 @@
 // With -delta-vs FILE, each record that also appears in the baseline
 // report at FILE (a previous benchjson document, matched by name) gains
 // a "delta_vs" object of current/baseline ratios per shared metric —
-// 0.5 means halved, 2.0 means doubled. A missing or unreadable baseline
-// is an error; benchmarks absent from the baseline simply carry no
-// delta.
+// 0.5 means halved, 2.0 means doubled. A missing baseline is tolerated
+// with a warning on stderr: the report carries absolute numbers and no
+// ratios, so the first run of a new benchmark file works unchanged. A
+// baseline that exists but does not parse is still an error (silently
+// ignoring a corrupt file would hide the regression signal). Benchmarks
+// absent from the baseline simply carry no delta.
 package main
 
 import (
@@ -73,9 +76,15 @@ func main() {
 
 // applyDelta annotates rep's records with current/baseline metric
 // ratios from the benchjson document at path, matching records by
-// benchmark name.
+// benchmark name. A baseline that does not exist is skipped with a
+// warning (absolute numbers only); one that exists but fails to read
+// or parse is an error.
 func applyDelta(rep *report, path string) error {
 	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		fmt.Fprintf(os.Stderr, "benchjson: baseline %s not found; emitting absolute numbers without ratios\n", path)
+		return nil
+	}
 	if err != nil {
 		return fmt.Errorf("reading baseline: %w", err)
 	}

@@ -102,7 +102,30 @@ func TestApplyDelta(t *testing.T) {
 	if rep.Benchmarks[1].DeltaVs != nil {
 		t.Fatalf("new benchmark should carry no delta: %+v", rep.Benchmarks[1])
 	}
-	if err := applyDelta(rep, filepath.Join(dir, "missing.json")); err == nil {
-		t.Fatal("missing baseline must error")
+}
+
+// A missing baseline is not an error — the first run of a fresh
+// benchmark file must emit absolute numbers; a corrupt one still is.
+func TestApplyDeltaMissingBaseline(t *testing.T) {
+	dir := t.TempDir()
+	rep := &report{Benchmarks: []record{
+		{Name: "BenchmarkQueryX", Metrics: map[string]float64{"ns/op": 100}},
+	}}
+	if err := applyDelta(rep, filepath.Join(dir, "missing.json")); err != nil {
+		t.Fatalf("missing baseline must be tolerated: %v", err)
+	}
+	if rep.Baseline != "" {
+		t.Fatalf("no baseline should be recorded when it is absent: %+v", rep)
+	}
+	if rep.Benchmarks[0].DeltaVs != nil {
+		t.Fatalf("no ratios without a baseline: %+v", rep.Benchmarks[0])
+	}
+
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := applyDelta(rep, corrupt); err == nil {
+		t.Fatal("corrupt baseline must error")
 	}
 }

@@ -107,6 +107,26 @@
 // only to reproduce the old I/O profile (for example, to compare
 // against historical BENCH_PR*.json numbers).
 //
+// # Disk I/O: coalesced reads and readahead
+//
+// File-backed indexes (IndexOptions.PageFile) issue their backend
+// reads through two optimizations that never change results, only the
+// I/O profile. First, a scan that misses the buffer pool on a run of
+// consecutive pages fetches the run with a single positional read
+// rather than one syscall per page; per-query counters (PagesRead,
+// pool hits and misses) are unaffected, only the syscall count drops.
+// Second, IndexOptions.PrefetchWorkers attaches an asynchronous
+// prefetch pipeline to the store — 0 auto-attaches two workers when a
+// real page file has a buffer pool, a negative value disables it —
+// and every search engine offers the upcoming entries of its ranked
+// visit order so the pipeline can warm the pool ahead of the scan.
+// SearchOptions.ReadaheadDepth tunes that per search: 0 (the default)
+// uses the pipeline's adaptive depth, a positive value fixes the
+// window, a negative value opts the search out. Mutations invalidate
+// in-flight prefetches by generation, so a stale page is unreachable,
+// and neighbors, costs and certificates are byte-identical with the
+// pipeline on or off — the test suite asserts it by property testing.
+//
 // # Sharding
 //
 // NewSharded (or IndexOptions.Shards via the sigserver -shards flag)

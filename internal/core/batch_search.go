@@ -158,6 +158,10 @@ func (t *Table) QueryBatch(ctx context.Context, targets []txn.Transaction, f sim
 		}
 	}()
 
+	// One prefetch hook for the whole batch: an entry's pages need
+	// offering once, no matter how many targets will consume the memo.
+	prefetch := t.prefetchHook(ctx, opt.ReadaheadDepth)
+
 	live := len(bts)
 	for live > 0 {
 		j := pickTarget(bts)
@@ -167,7 +171,7 @@ func (t *Table) QueryBatch(ctx context.Context, targets []txn.Transaction, f sim
 			live--
 			continue
 		}
-		t.stepTarget(ctx, bts, j, memos, opt, fan)
+		t.stepTarget(ctx, bts, j, memos, opt, fan, prefetch)
 		if bt.finished {
 			live--
 		}
@@ -211,7 +215,7 @@ func pickTarget(bts []*batchTarget) int {
 // most promising entry, prune or scan it, then re-check the context —
 // bit for bit the body of searchSerial, with the entry's records coming
 // from the shared memo (or producing one) instead of a private scan.
-func (t *Table) stepTarget(ctx context.Context, bts []*batchTarget, j int, memos []*batchMemo, opt QueryOptions, fan int) {
+func (t *Table) stepTarget(ctx context.Context, bts []*batchTarget, j int, memos []*batchMemo, opt QueryOptions, fan int, prefetch func(q entryQueue)) {
 	bt := bts[j]
 	re := bt.q.popMax()
 	bt.visited[re.idx] = true
@@ -227,6 +231,9 @@ func (t *Table) stepTarget(ctx context.Context, bts []*batchTarget, j int, memos
 		}
 		bt.res.EntriesPruned++
 		return
+	}
+	if prefetch != nil {
+		prefetch(bt.q)
 	}
 	bt.res.EntriesScanned++
 

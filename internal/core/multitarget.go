@@ -76,15 +76,16 @@ func (t *Table) MultiQuery(ctx context.Context, targets []txn.Transaction, f sim
 		if opt.SortBy == ByCoordSimilarity {
 			key = avgSim
 		}
-		q[i] = rankedEntry{e: e, opt: avgOpt, sort: key, tie: avgSim}
+		q[i] = rankedEntry{e: e, idx: i, opt: avgOpt, sort: key, tie: avgSim}
 	}
 	q.heapify()
 	sc.queue = q[:0]
 
 	res := t.runSearch(ctx, q, opt.Parallelism, searchSpec{
-		k:      opt.K,
-		budget: budget,
-		sortBy: opt.SortBy,
+		k:        opt.K,
+		budget:   budget,
+		sortBy:   opt.SortBy,
+		prefetch: t.prefetchHook(ctx, opt.ReadaheadDepth),
 		// Multi-target scoring probes every matcher per candidate, so
 		// it materializes each transaction once rather than fusing N
 		// decode passes; the single-target engines use scanEntryStats.

@@ -186,6 +186,11 @@ func (ps *parallelSearch) worker() {
 			ps.claimStop = true
 			ps.cond.Broadcast()
 		}
+		if !pruned && ps.sp.prefetch != nil {
+			// Under the claim mutex: the hook mutates per-query state,
+			// and the queue prefix it peeks is only coherent here.
+			ps.sp.prefetch(ps.q)
+		}
 		ps.mu.Unlock()
 
 		buf := ps.t.getEntryBuf()

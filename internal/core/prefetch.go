@@ -1,0 +1,55 @@
+package core
+
+import (
+	"context"
+
+	"sigtable/internal/pager"
+)
+
+// prefetchHook builds the per-query callback that feeds the store's
+// prefetch pipeline from a ranked entry queue, or nil when prefetch is
+// off for this query (no store, no prefetcher, or a negative depth
+// request). The callback peeks the first depth slots of the heap — the
+// heap-array prefix is the best approximation of the upcoming pop
+// order that costs nothing to read — and offers each entry's page list
+// once per query. requested follows QueryOptions.ReadaheadDepth.
+//
+// The returned closure is not safe for concurrent use; engines call it
+// from one goroutine (serial, batch) or under their claim mutex
+// (parallel).
+func (t *Table) prefetchHook(ctx context.Context, requested int) func(q entryQueue) {
+	pf := t.prefetcher()
+	if pf == nil {
+		return nil
+	}
+	depth := pf.Readahead(requested)
+	if depth <= 0 {
+		return nil
+	}
+	issued := make([]bool, len(t.entries))
+	return func(q entryQueue) {
+		n := depth
+		if n > q.Len() {
+			n = q.Len()
+		}
+		var pages []pager.PageID
+		for i := 0; i < n; i++ {
+			re := q[i]
+			if issued[re.idx] || len(re.e.list.Pages) == 0 {
+				continue
+			}
+			issued[re.idx] = true
+			pages = append(pages, re.e.list.Pages...)
+		}
+		if len(pages) > 0 {
+			pf.Request(ctx, pages)
+		}
+	}
+}
+
+func (t *Table) prefetcher() *pager.Prefetcher {
+	if t.store == nil {
+		return nil
+	}
+	return t.store.Prefetcher()
+}

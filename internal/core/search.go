@@ -53,6 +53,13 @@ type QueryOptions struct {
 	// latency knob. The similarity function must be safe for concurrent
 	// Score calls when Parallelism != 1 (every built-in is).
 	Parallelism int
+	// ReadaheadDepth controls how many upcoming ranked entries the
+	// search offers to the store's prefetch pipeline (disk mode with a
+	// prefetcher attached; ignored otherwise). 0 uses the pipeline's
+	// adaptive depth, a negative value disables prefetch for this
+	// query, a positive value fixes the depth. Results are identical
+	// at every setting — prefetch only warms the buffer pool.
+	ReadaheadDepth int
 }
 
 func (o QueryOptions) normalized(n int) (QueryOptions, int, error) {
@@ -243,6 +250,12 @@ type searchSpec struct {
 	budget int
 	sortBy SortCriterion
 	scan   func(e *Entry, reads *atomic.Int64, fn func(id txn.TID, value float64) bool)
+	// prefetch, when non-nil, is called with the remaining ranked queue
+	// right before an entry is scanned; it offers the pages of the next
+	// few queued entries to the store's prefetch pipeline. The serial
+	// and batch engines call it from their single scan goroutine; the
+	// parallel engine calls it under its claim mutex.
+	prefetch func(q entryQueue)
 }
 
 // minParallelLive gates the parallel engine: below this many live
@@ -300,6 +313,9 @@ func (t *Table) searchSerial(ctx context.Context, q entryQueue, sp searchSpec) R
 			}
 			res.EntriesPruned++
 			continue
+		}
+		if sp.prefetch != nil {
+			sp.prefetch(q)
 		}
 		res.EntriesScanned++
 		stop := false
@@ -389,9 +405,10 @@ func (t *Table) Query(ctx context.Context, target txn.Transaction, f simfun.Func
 	m := t.newMatcher(target)
 	defer t.releaseMatcher(m)
 	res := t.runSearch(ctx, q, opt.Parallelism, searchSpec{
-		k:      opt.K,
-		budget: budget,
-		sortBy: opt.SortBy,
+		k:        opt.K,
+		budget:   budget,
+		sortBy:   opt.SortBy,
+		prefetch: t.prefetchHook(ctx, opt.ReadaheadDepth),
 		scan: func(e *Entry, reads *atomic.Int64, fn func(id txn.TID, value float64) bool) {
 			t.scanEntryStats(e, &m, reads, func(id txn.TID, x, y int) bool {
 				return fn(id, f.Score(x, y))

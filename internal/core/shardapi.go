@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
+	"sigtable/internal/pager"
 	"sigtable/internal/signature"
 	"sigtable/internal/simfun"
 	"sigtable/internal/txn"
@@ -230,6 +232,37 @@ func (s *ShardScorer) ScanCoord(c signature.Coord, reads *atomic.Int64, fn func(
 	s.t.scanEntry(e, reads, func(id txn.TID, tr txn.Transaction) bool {
 		return fn(id, s.score(tr))
 	})
+}
+
+// Readahead resolves a per-query readahead depth request against the
+// table's prefetch pipeline: 0 when the table has no prefetcher or the
+// request disables it, otherwise the depth in upcoming coordinates the
+// shard worker should offer ahead via PrefetchCoords.
+func (s *ShardScorer) Readahead(requested int) int {
+	pf := s.t.prefetcher()
+	if pf == nil {
+		return 0
+	}
+	return pf.Readahead(requested)
+}
+
+// PrefetchCoords offers the page lists of the entries at the given
+// coordinates to the table's prefetch pipeline (no-op without one).
+// Coordinates without an entry or without pages are skipped.
+func (s *ShardScorer) PrefetchCoords(ctx context.Context, coords []signature.Coord) {
+	pf := s.t.prefetcher()
+	if pf == nil {
+		return
+	}
+	var pages []pager.PageID
+	for _, c := range coords {
+		if e := s.t.byCoord[c]; e != nil && len(e.list.Pages) > 0 {
+			pages = append(pages, e.list.Pages...)
+		}
+	}
+	if len(pages) > 0 {
+		pf.Request(ctx, pages)
+	}
 }
 
 func (s *ShardScorer) score(tr txn.Transaction) float64 {

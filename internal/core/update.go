@@ -108,7 +108,7 @@ func (t *Table) RebuildParallel(parallelism int) (*Table, error) {
 		}
 		compact.Append(tr)
 	}
-	opt := BuildOptions{ActivationThreshold: t.r, Parallelism: parallelism}
+	opt := BuildOptions{ActivationThreshold: t.r, Parallelism: parallelism, PrefetchWorkers: t.prefetchWorkers}
 	gen := 0
 	if t.store != nil {
 		opt.PageSize = t.store.PageSize()

@@ -122,6 +122,19 @@ func (s *poolShard) lock() {
 	s.mu.Lock()
 }
 
+// Contains reports whether a page is resident without touching its
+// clock reference bit or the hit/miss counters — the coalescing and
+// prefetch paths probe residency to decide what still needs fetching,
+// and those probes must not distort either the eviction order or the
+// hit-rate metrics.
+func (p *BufferPool) Contains(id PageID) bool {
+	s := p.shard(id)
+	s.lock()
+	_, ok := s.index[id]
+	s.mu.Unlock()
+	return ok
+}
+
 // Get returns the cached page payload and whether it was present.
 func (p *BufferPool) Get(id PageID) ([]byte, bool) {
 	s := p.shard(id)

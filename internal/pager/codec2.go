@@ -465,11 +465,14 @@ func (f *v2Frame) openPacked() (tidW, lenW, itemW uint, r bitReader, err error) 
 	return tidW, lenW, itemW, bitReader{data: f.body[3:]}, nil
 }
 
-// v2Cursor walks the frames of a v2 list across its shared pages.
+// v2Cursor walks the frames of a v2 list across its shared pages. Page
+// fetches go through a runReader, so the contiguous page runs the v2
+// writer lays out are pulled with coalesced backend reads.
 type v2Cursor struct {
 	s         *Store
 	l         List
 	reads     *atomic.Int64
+	rr        runReader
 	pi        int // index into l.Pages of the loaded page
 	data      []byte
 	off       int
@@ -484,7 +487,8 @@ func (c *v2Cursor) init() error {
 	if len(c.l.Pages) == 0 {
 		return fmt.Errorf("pager: list declared %d transactions but has no pages", c.l.Count)
 	}
-	c.data = c.s.readPage(c.l.Pages[0], c.reads)
+	c.rr = newRunReader(c.s, c.l.Pages, c.reads)
+	c.data = c.rr.next()
 	c.off = c.l.Start
 	if c.off > len(c.data) {
 		return fmt.Errorf("pager: list start %d beyond page %d payload (%d bytes)", c.off, c.l.Pages[0], len(c.data))
@@ -504,7 +508,7 @@ func (c *v2Cursor) next() (v2Frame, bool, error) {
 		if c.pi >= len(c.l.Pages) {
 			return v2Frame{}, false, fmt.Errorf("pager: list declared %d transactions but pages held %d", c.l.Count, c.l.Count-c.remaining)
 		}
-		c.data = c.s.readPage(c.l.Pages[c.pi], c.reads)
+		c.data = c.rr.next()
 		c.off = 0
 	}
 	f, n, err := parseFrame(c.data[c.off:])

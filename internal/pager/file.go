@@ -49,9 +49,12 @@ func NewFileStoreFormat(path string, pageSize int, format Format) (*Store, error
 	}, nil
 }
 
-// Close releases the backing file, if any. Memory-backed stores are
-// no-ops.
+// Close stops the store's prefetch workers, then releases the backing
+// file, if any. Stopping before closing matters: a worker mid-fetch
+// holds the file handle, and StopPrefetcher waits for workers to
+// drain, so no pread ever races the close.
 func (s *Store) Close() error {
+	s.StopPrefetcher()
 	if fb, ok := s.back.(*fileBackend); ok {
 		return fb.f.Close()
 	}
@@ -108,6 +111,31 @@ func (b *fileBackend) read(id PageID) ([]byte, error) {
 		return nil, fmt.Errorf("pager: page %d declares %d bytes, page size is %d", id, n, b.pageSize)
 	}
 	return slot[4 : 4+n], nil
+}
+
+// readPages fetches n consecutive slots with a single positional
+// ReadAt — one pread where the per-page path would issue n — then
+// splits the buffer into per-slot payloads. Each payload aliases the
+// shared buffer; pages are write-once, so the aliasing is safe.
+func (b *fileBackend) readPages(base PageID, n int) ([][]byte, error) {
+	if int(base)+n > b.pageCount() {
+		return nil, fmt.Errorf("pager: read of unallocated pages [%d,%d)", base, int(base)+n)
+	}
+	slot := b.slotSize()
+	buf := make([]byte, slot*int64(n))
+	if _, err := b.f.ReadAt(buf, int64(base)*slot); err != nil {
+		return nil, fmt.Errorf("pager: reading pages [%d,%d): %w", base, int(base)+n, err)
+	}
+	run := make([][]byte, n)
+	for i := range run {
+		s := buf[int64(i)*slot : int64(i+1)*slot]
+		ln := binary.LittleEndian.Uint32(s)
+		if int(ln) > b.pageSize {
+			return nil, fmt.Errorf("pager: page %d declares %d bytes, page size is %d", base+PageID(i), ln, b.pageSize)
+		}
+		run[i] = s[4 : 4+ln]
+	}
+	return run, nil
 }
 
 func (b *fileBackend) numPages() int {

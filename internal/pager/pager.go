@@ -74,6 +74,16 @@ type Stats struct {
 	// bytes of TID, 4 of length, 4 per item. BytesLogical over
 	// BytesWritten is the write-side compression ratio.
 	BytesLogical int64
+	// BackendReads is the number of read calls issued to the backend —
+	// actual preads on a file-backed store. Run coalescing makes this
+	// lower than Misses: a run of consecutive missing pages is fetched
+	// with one call. Without coalescing, BackendReads == Misses.
+	BackendReads int64
+	// CoalescedReads counts backend reads that covered more than one
+	// page; ReadRunPages is the total pages those multi-page runs
+	// fetched. ReadRunPages / CoalescedReads is the mean run length.
+	CoalescedReads int64
+	ReadRunPages   int64
 }
 
 // backend is where page payloads physically live: in memory or in a
@@ -88,6 +98,10 @@ type backend interface {
 	// or racing a writeAt with a read of that page is not.
 	writeAt(id PageID, data []byte) error
 	read(id PageID) ([]byte, error)
+	// readPages fetches n consecutive pages starting at base with one
+	// backend operation (a single pread on the file backend), returning
+	// one payload per page.
+	readPages(base PageID, n int) ([][]byte, error)
 	numPages() int
 }
 
@@ -108,17 +122,21 @@ type backend interface {
 // they touch are written — the counters are atomic and the buffer pool
 // locks internally. AttachPool must not race with reads or writes.
 type Store struct {
-	pageSize     int
-	format       Format
-	back         backend
-	reads        atomic.Int64
-	misses       atomic.Int64
-	writes       atomic.Int64
-	bytesRead    atomic.Int64
-	bytesWritten atomic.Int64
-	bytesLogical atomic.Int64
-	pool         *BufferPool
-	decodes      *DecodeCache
+	pageSize       int
+	format         Format
+	back           backend
+	reads          atomic.Int64
+	misses         atomic.Int64
+	writes         atomic.Int64
+	bytesRead      atomic.Int64
+	bytesWritten   atomic.Int64
+	bytesLogical   atomic.Int64
+	backendReads   atomic.Int64
+	coalescedReads atomic.Int64
+	readRunPages   atomic.Int64
+	pool           *BufferPool
+	decodes        *DecodeCache
+	prefetch       atomic.Pointer[Prefetcher]
 
 	// tail is the open shared page of the v2 writer: frames accumulate
 	// here until the page fills (or Seal flushes it). Guarded by the
@@ -216,6 +234,17 @@ func (m *memBackend) read(id PageID) ([]byte, error) {
 	return m.pages[id], nil
 }
 
+func (m *memBackend) readPages(base PageID, n int) ([][]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if int(base)+n > len(m.pages) {
+		return nil, fmt.Errorf("pager: read of unallocated pages [%d,%d)", base, int(base)+n)
+	}
+	run := make([][]byte, n)
+	copy(run, m.pages[base:int(base)+n])
+	return run, nil
+}
+
 func (m *memBackend) numPages() int {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
@@ -231,6 +260,10 @@ func (s *Store) Stats() Stats {
 		BytesRead:    s.bytesRead.Load(),
 		BytesWritten: s.bytesWritten.Load(),
 		BytesLogical: s.bytesLogical.Load(),
+
+		BackendReads:   s.backendReads.Load(),
+		CoalescedReads: s.coalescedReads.Load(),
+		ReadRunPages:   s.readRunPages.Load(),
 	}
 }
 
@@ -242,6 +275,9 @@ func (s *Store) ResetStats() {
 	s.bytesRead.Store(0)
 	s.bytesWritten.Store(0)
 	s.bytesLogical.Store(0)
+	s.backendReads.Store(0)
+	s.coalescedReads.Store(0)
+	s.readRunPages.Store(0)
 }
 
 // Pool returns the attached buffer pool, or nil when reads go straight
@@ -277,11 +313,16 @@ func (s *Store) AttachDecodeCache(maxBytes int64) {
 }
 
 // InvalidateDecodes orphans every cached decode (no-op without a
-// cache). Mutating layers call this whenever logical list contents
-// change; see DecodeCache for the generation protocol.
+// cache) and advances the prefetch generation, so in-flight prefetches
+// stamped before the mutation are dropped instead of admitted.
+// Mutating layers call this whenever logical list contents change; see
+// DecodeCache for the generation protocol.
 func (s *Store) InvalidateDecodes() {
 	if s.decodes != nil {
 		s.decodes.Invalidate()
+	}
+	if p := s.prefetch.Load(); p != nil {
+		p.invalidate()
 	}
 }
 
@@ -310,6 +351,7 @@ func (s *Store) readPage(id PageID, reads *atomic.Int64) []byte {
 	}
 	if s.pool != nil {
 		if data, ok := s.pool.Get(id); ok {
+			s.notePoolHit(id)
 			s.bytesRead.Add(int64(len(data)))
 			return data
 		}
@@ -319,10 +361,94 @@ func (s *Store) readPage(id PageID, reads *atomic.Int64) []byte {
 	if err != nil {
 		panic(err.Error())
 	}
+	s.backendReads.Add(1)
 	if s.pool != nil {
 		s.pool.Put(id, data)
 	}
 	s.bytesRead.Add(int64(len(data)))
+	return data
+}
+
+// maxReadRun caps how many consecutive pages one coalesced backend
+// read may fetch: 32 pages is 128 KiB at the default page size, large
+// enough to amortize the syscall, small enough to bound the buffered
+// payload a scan holds before consuming it.
+const maxReadRun = 32
+
+// runReader serves one scan's page fetches in list order, coalescing
+// runs of consecutive pool-missing PageIDs into single backend reads.
+// Counter semantics are unchanged from readPage: Reads, Misses,
+// BytesRead and the per-query counter all move when a page is
+// *consumed* by the scan, so Misses still means "this page came from
+// disk" and an early-stopped scan never counts pages it buffered but
+// did not reach. Only BackendReads — the syscall count — shrinks.
+type runReader struct {
+	s     *Store
+	pages []PageID
+	reads *atomic.Int64
+	pos   int // next index into pages to consume
+
+	run     [][]byte // payloads fetched by the last coalesced read
+	runFrom int      // index into pages of run[0]
+}
+
+func newRunReader(s *Store, pages []PageID, reads *atomic.Int64) runReader {
+	return runReader{s: s, pages: pages, reads: reads, runFrom: -1}
+}
+
+// next returns the payload of the next page in the list, fetching a
+// coalesced run from the backend when the page is neither pooled nor
+// already buffered. Errors panic, matching readPage: a missing page
+// under the write-once discipline is a bug, not an I/O condition.
+func (r *runReader) next() []byte {
+	i := r.pos
+	id := r.pages[i]
+	r.pos++
+	r.s.reads.Add(1)
+	if r.reads != nil {
+		r.reads.Add(1)
+	}
+	// Buffered by the current run: consume it, accounting the disk
+	// read it was, and admit it to the pool now that it is hot.
+	if r.runFrom >= 0 && i >= r.runFrom && i < r.runFrom+len(r.run) {
+		return r.consume(id, r.run[i-r.runFrom])
+	}
+	if r.s.pool != nil {
+		if data, ok := r.s.pool.Get(id); ok {
+			r.s.notePoolHit(id)
+			r.s.bytesRead.Add(int64(len(data)))
+			return data
+		}
+	}
+	// Miss: fetch the run of consecutive PageIDs ahead of the cursor
+	// with one backend read, stopping at the first pool-resident page
+	// (re-reading it would waste backend bandwidth on a sure hit).
+	n := 1
+	for i+n < len(r.pages) && n < maxReadRun && r.pages[i+n] == id+PageID(n) {
+		if r.s.pool != nil && r.s.pool.Contains(r.pages[i+n]) {
+			break
+		}
+		n++
+	}
+	run, err := r.s.back.readPages(id, n)
+	if err != nil {
+		panic(err.Error())
+	}
+	r.s.backendReads.Add(1)
+	if n > 1 {
+		r.s.coalescedReads.Add(1)
+		r.s.readRunPages.Add(int64(n))
+	}
+	r.run, r.runFrom = run, i
+	return r.consume(id, run[0])
+}
+
+func (r *runReader) consume(id PageID, data []byte) []byte {
+	r.s.misses.Add(1)
+	if r.s.pool != nil {
+		r.s.pool.Put(id, data)
+	}
+	r.s.bytesRead.Add(int64(len(data)))
 	return data
 }
 
@@ -632,8 +758,9 @@ func (s *Store) ScanListStats(l List, reads *atomic.Int64, mask *bitset.Set, tar
 	// v1: decode the per-record varints, probing mask per item instead
 	// of building a Transaction.
 	remaining := l.Count
+	rr := newRunReader(s, l.Pages, reads)
 	for _, pid := range l.Pages {
-		data := s.readPage(pid, reads)
+		data := rr.next()
 		off := 0
 		for off < len(data) && remaining > 0 {
 			id, n := binary.Uvarint(data[off:])
@@ -727,8 +854,9 @@ func (s *Store) scanPages(l List, reads *atomic.Int64, fn func(id txn.TID, t txn
 		return s.scanPagesV2(l, reads, fn)
 	}
 	remaining := l.Count
+	rr := newRunReader(s, l.Pages, reads)
 	for _, pid := range l.Pages {
-		data := s.readPage(pid, reads)
+		data := rr.next()
 		off := 0
 		for off < len(data) && remaining > 0 {
 			id, n := binary.Uvarint(data[off:])

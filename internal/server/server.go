@@ -104,6 +104,12 @@ type Options struct {
 	// /v1/rebuild request does not carry its own "parallelism". 0
 	// selects GOMAXPROCS.
 	BuildParallelism int
+	// ReadaheadDepth is the SearchOptions.ReadaheadDepth applied to
+	// every search: how many upcoming ranked entries each query offers
+	// to the index's prefetch pipeline (when one is attached). 0 uses
+	// the pipeline's adaptive depth, negative disables prefetch.
+	// Results are identical at every setting.
+	ReadaheadDepth int
 	// Logger receives one access-log line per request. nil disables
 	// access logging (request IDs are still assigned).
 	Logger *log.Logger
@@ -419,15 +425,34 @@ type DecodeCacheInfo struct {
 // written; 1.0 under the uncompressed v1 layout, higher under the
 // block-compressed v2 layout).
 type StorageInfo struct {
-	PageSize         int     `json:"pageSize"`
-	PageFormat       string  `json:"pageFormat"`
-	Pages            int     `json:"pages"`
-	Reads            int64   `json:"reads"`
-	Misses           int64   `json:"misses"`
-	Writes           int64   `json:"writes"`
+	PageSize   int    `json:"pageSize"`
+	PageFormat string `json:"pageFormat"`
+	Pages      int    `json:"pages"`
+	Reads      int64  `json:"reads"`
+	Misses     int64  `json:"misses"`
+	Writes     int64  `json:"writes"`
+	// BackendReads counts actual backend read calls (pread syscalls in
+	// file mode). Run coalescing fetches consecutive missing pages in
+	// one call, so BackendReads ≤ Misses; CoalescedReads of them
+	// covered more than one page, fetching ReadRunPages pages total.
+	BackendReads     int64   `json:"backendReads"`
+	CoalescedReads   int64   `json:"coalescedReads"`
+	ReadRunPages     int64   `json:"readRunPages"`
 	BytesRead        int64   `json:"bytesRead"`
 	BytesWritten     int64   `json:"bytesWritten"`
 	CompressionRatio float64 `json:"compressionRatio"`
+}
+
+// PrefetchInfo is the /v1/stats prefetch section (absent without a
+// prefetch pipeline): the async ranked-entry readahead workers that
+// warm the buffer pool ahead of the branch-and-bound scan.
+type PrefetchInfo struct {
+	Workers int   `json:"workers"`
+	Depth   int   `json:"depth"`
+	Issued  int64 `json:"issued"`
+	Hits    int64 `json:"hits"`
+	Wasted  int64 `json:"wasted"`
+	Dropped int64 `json:"dropped"`
 }
 
 // ShardInfo is one row of the /v1/stats shards section: the shard's
@@ -455,6 +480,7 @@ type StatsResponse struct {
 	Storage      *StorageInfo     `json:"storage,omitempty"`
 	Pool         *PoolInfo        `json:"pool,omitempty"`
 	DecodeCache  *DecodeCacheInfo `json:"decodeCache,omitempty"`
+	Prefetch     *PrefetchInfo    `json:"prefetch,omitempty"`
 	Shards       []ShardInfo      `json:"shards,omitempty"`
 }
 
@@ -607,6 +633,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Reads:            st.Reads,
 			Misses:           st.Misses,
 			Writes:           st.Writes,
+			BackendReads:     st.BackendReads,
+			CoalescedReads:   st.CoalescedReads,
+			ReadRunPages:     st.ReadRunPages,
 			BytesRead:        st.BytesRead,
 			BytesWritten:     st.BytesWritten,
 			CompressionRatio: ratio,
@@ -633,6 +662,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				Capacity:   dc.Capacity(),
 				Lists:      dc.Len(),
 				Generation: dc.Generation(),
+			}
+		}
+		if pf := store.Prefetcher(); pf != nil {
+			ps := pf.Stats()
+			resp.Prefetch = &PrefetchInfo{
+				Workers: ps.Workers,
+				Depth:   ps.Depth,
+				Issued:  ps.Issued,
+				Hits:    ps.Hits,
+				Wasted:  ps.Wasted,
+				Dropped: ps.Dropped,
 			}
 		}
 	}
@@ -675,6 +715,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		MaxScanFraction: req.MaxScanFraction,
 		SortBy:          sortBy,
 		Parallelism:     par,
+		ReadaheadDepth:  s.opt.ReadaheadDepth,
 	})
 	if err != nil {
 		s.writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
@@ -769,6 +810,7 @@ func (s *Server) handleMulti(w http.ResponseWriter, r *http.Request) {
 		K:               req.K,
 		MaxScanFraction: req.MaxScanFraction,
 		Parallelism:     par,
+		ReadaheadDepth:  s.opt.ReadaheadDepth,
 	})
 	if err != nil {
 		s.writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
@@ -829,6 +871,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		K:               req.K,
 		MaxScanFraction: req.MaxScanFraction,
 		SortBy:          sortBy,
+		ReadaheadDepth:  s.opt.ReadaheadDepth,
 	}, sigtable.BatchOptions{
 		SharedScan:  req.SharedScan,
 		Parallelism: req.Parallelism,

@@ -126,8 +126,8 @@ func (q *mergedQueue) popMax() *mergedEntry {
 // for its whole run (exactly as a single-index query holds the index
 // lock), publishes its snapshot, then streams scored entry buffers in
 // its restriction of the global visiting order until done or stopped.
-func (x *Index) scatterTopK(s *shard, targets []txn.Transaction, f simfun.Func, by core.SortCriterion,
-	snap chan<- shardSnapshot, out chan<- entryBuffer, stop <-chan struct{}, stopped *atomic.Bool,
+func (x *Index) scatterTopK(ctx context.Context, s *shard, targets []txn.Transaction, f simfun.Func, by core.SortCriterion,
+	readahead int, snap chan<- shardSnapshot, out chan<- entryBuffer, stop <-chan struct{}, stopped *atomic.Bool,
 	reads, produced *atomic.Int64, wg *sync.WaitGroup) {
 	defer wg.Done()
 	defer close(out)
@@ -137,6 +137,9 @@ func (x *Index) scatterTopK(s *shard, targets []txn.Transaction, f simfun.Func, 
 	s.lockWait.Add(time.Since(t0).Nanoseconds())
 	defer s.mu.RUnlock()
 	s.scans.Add(1)
+	if h := scanStartHook.Load(); h != nil && *h != nil {
+		(*h)(s)
+	}
 
 	t := s.table
 	ents := t.EntrySummaries(nil)
@@ -167,9 +170,35 @@ func (x *Index) scatterTopK(s *shard, targets []txn.Transaction, f simfun.Func, 
 	defer scorer.Release()
 	globals := s.globals
 
-	for _, rc := range order {
+	// Sliding-window readahead over this worker's restriction of the
+	// visiting order: before scanning a coordinate, offer the next
+	// depth coordinates' pages to the table's prefetch pipeline, each
+	// exactly once. The order slice is walked front to back, so a
+	// cursor suffices for the each-once guarantee.
+	depth := scorer.Readahead(readahead)
+	nextPrefetch := 0
+	var prefetchBuf []signature.Coord
+
+	for oi, rc := range order {
 		if stopped.Load() {
 			return
+		}
+		if depth > 0 {
+			hi := oi + 1 + depth
+			if hi > len(order) {
+				hi = len(order)
+			}
+			if nextPrefetch < oi+1 {
+				nextPrefetch = oi + 1
+			}
+			if nextPrefetch < hi {
+				prefetchBuf = prefetchBuf[:0]
+				for _, nc := range order[nextPrefetch:hi] {
+					prefetchBuf = append(prefetchBuf, nc.coord)
+				}
+				scorer.PrefetchCoords(ctx, prefetchBuf)
+				nextPrefetch = hi
+			}
 		}
 		var cands []scoredTID
 		aborted := false
@@ -228,7 +257,7 @@ func (x *Index) searchTopK(ctx context.Context, targets []txn.Transaction, f sim
 		snaps[i] = make(chan shardSnapshot, 1)
 		outs[i] = make(chan entryBuffer, scatterWindow)
 		wg.Add(1)
-		go x.scatterTopK(s, targets, f, opt.SortBy, snaps[i], outs[i], stop, &stopped, &reads, &produced, &wg)
+		go x.scatterTopK(ctx, s, targets, f, opt.SortBy, opt.ReadaheadDepth, snaps[i], outs[i], stop, &stopped, &reads, &produced, &wg)
 	}
 
 	// Merge snapshots into the distinct-coordinate set. Owners collect

@@ -62,7 +62,20 @@ type Options struct {
 	// BuildParallelism bounds each shard build's workers (shards
 	// themselves build sequentially).
 	BuildParallelism int
+	// PrefetchWorkers mirrors core.BuildOptions.PrefetchWorkers for
+	// every shard store: 0 auto-attaches prefetch workers on
+	// file-backed pooled shards, positive forces that many per shard,
+	// negative disables. Workers are per shard — they serve only that
+	// shard's page file — so the count is passed through undivided.
+	PrefetchWorkers int
 }
+
+// scanStartHook, when set, is called by each scatter worker right
+// after it registers its scan (under the shard's read lock). Tests use
+// it as a deterministic "this shard's scan has started" signal instead
+// of polling counters; production never sets it. Atomic so installing
+// a hook cannot race in-flight queries under -race.
+var scanStartHook atomic.Pointer[func(*shard)]
 
 // shard is one sub-index: a core table over a shard-local dataset plus
 // the monotone local→global TID mapping.
@@ -183,6 +196,7 @@ func (x *Index) buildOptions(i, gen int) core.BuildOptions {
 		BufferPoolPages:     x.poolPages,
 		DecodeCacheBytes:    x.decodeBytes,
 		Parallelism:         x.opt.BuildParallelism,
+		PrefetchWorkers:     x.opt.PrefetchWorkers,
 	}
 	if x.opt.PageFile != "" {
 		o.PageFile = fmt.Sprintf("%s.s%d", x.opt.PageFile, i)
@@ -368,8 +382,15 @@ func (x *Index) CompactShard(i, parallelism int) error {
 		x.route.loc[g] = location{shard: int32(i), local: txn.TID(len(newGlobals))}
 		newGlobals = append(newGlobals, g)
 	}
-	if store := old.Store(); store != nil && x.opt.PageFile != "" {
-		store.Close()
+	if store := old.Store(); store != nil {
+		// Stop the old store's prefetch workers unconditionally — a
+		// memory-backed store has no file to close, but an explicit
+		// PrefetchWorkers setting gave it workers that would otherwise
+		// outlive the table swap.
+		store.StopPrefetcher()
+		if x.opt.PageFile != "" {
+			store.Close()
+		}
 	}
 	s.table = nt
 	s.globals = newGlobals
@@ -448,14 +469,34 @@ func (x *Index) Rebalance(parallelism int) error {
 		for local, g := range newGlobals[i] {
 			x.route.loc[g] = location{shard: int32(i), local: txn.TID(local)}
 		}
-		if store := s.table.Store(); store != nil && x.opt.PageFile != "" {
-			store.Close()
+		if store := s.table.Store(); store != nil {
+			store.StopPrefetcher() // workers must not outlive the swap
+			if x.opt.PageFile != "" {
+				store.Close()
+			}
 		}
 		s.table = newTables[i]
 		s.globals = newGlobals[i]
 		s.gen++
 	}
 	return nil
+}
+
+// Close stops every shard store's prefetch workers and releases the
+// backing page files, if any. The index must not be queried after
+// Close; the first error is returned but every shard is closed.
+func (x *Index) Close() error {
+	x.route.mu.Lock()
+	defer x.route.mu.Unlock()
+	var first error
+	for i, s := range x.shards {
+		s.mu.Lock()
+		if err := s.table.Close(); err != nil && first == nil {
+			first = fmt.Errorf("shard: closing shard %d: %w", i, err)
+		}
+		s.mu.Unlock()
+	}
+	return first
 }
 
 // Stats is one shard's health snapshot, the backing data of the

@@ -5,6 +5,7 @@ import (
 	"context"
 	"math/rand"
 	"reflect"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -296,6 +297,21 @@ func TestMutationDoesNotBlockOtherShards(t *testing.T) {
 	locked := x.shards[3]
 	locked.mu.Lock() // what Insert/Delete on shard 3 holds
 
+	// Each shard worker announces itself through the scan-start hook
+	// the moment it holds its read lock — a deterministic signal, where
+	// polling scan counters would race the workers' progress. One query
+	// is in flight, so at most Shards sends; the buffer absorbs them
+	// all and the non-blocking send in the hook never stalls a worker.
+	started := make(chan *shard, 4)
+	hook := func(s *shard) {
+		select {
+		case started <- s:
+		default:
+		}
+	}
+	scanStartHook.Store(&hook)
+	defer scanStartHook.Store(nil)
+
 	done := make(chan core.Result, 1)
 	go func() {
 		res, err := x.Query(context.Background(), target, f, opt)
@@ -306,23 +322,20 @@ func TestMutationDoesNotBlockOtherShards(t *testing.T) {
 	}()
 
 	// Shards 0-2 must fan out and start scanning while shard 3 is
-	// still exclusively locked.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		progressed := 0
-		for _, s := range x.shards[:3] {
-			if s.scans.Load() > 0 {
-				progressed++
+	// still exclusively locked; its own worker is parked on the read
+	// lock and cannot signal.
+	seen := make(map[*shard]bool)
+	timeout := time.After(5 * time.Second)
+	for len(seen) < 3 {
+		select {
+		case s := <-started:
+			if s != locked {
+				seen[s] = true
 			}
-		}
-		if progressed == 3 {
-			break
-		}
-		if time.Now().After(deadline) {
+		case <-timeout:
 			locked.mu.Unlock()
 			t.Fatal("workers on unlocked shards made no progress while shard 3 was locked")
 		}
-		time.Sleep(time.Millisecond)
 	}
 	select {
 	case <-done:
@@ -354,8 +367,11 @@ func TestShardedConcurrentHammer(t *testing.T) {
 
 	done := make(chan struct{})
 	errc := make(chan error, 8)
+	var wg sync.WaitGroup
 	for w := 0; w < 2; w++ {
+		wg.Add(1)
 		go func(seed int64) {
+			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed))
 			for i := 0; ; i++ {
 				select {
@@ -374,7 +390,9 @@ func TestShardedConcurrentHammer(t *testing.T) {
 		}(int64(w) + 100)
 	}
 	for w := 0; w < 2; w++ {
+		wg.Add(1)
 		go func(seed int64) {
+			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed))
 			for {
 				select {
@@ -394,7 +412,9 @@ func TestShardedConcurrentHammer(t *testing.T) {
 			}
 		}(int64(w) + 200)
 	}
+	wg.Add(1)
 	go func() {
+		defer wg.Done()
 		for i := 0; ; i++ {
 			select {
 			case <-done:
@@ -412,11 +432,12 @@ func TestShardedConcurrentHammer(t *testing.T) {
 	select {
 	case err := <-errc:
 		close(done)
+		wg.Wait()
 		t.Fatal(err)
 	case <-time.After(400 * time.Millisecond):
 		close(done)
 	}
-	time.Sleep(20 * time.Millisecond) // let workers drain
+	wg.Wait() // a worker mid-operation would race Validate
 	if err := x.Validate(); err != nil {
 		t.Fatal(err)
 	}

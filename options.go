@@ -29,6 +29,14 @@ type SearchOptions struct {
 	// signature table instead of independent per-target queries; see
 	// BatchQuery. Other searches ignore it.
 	SharedScan bool
+	// ReadaheadDepth controls how many upcoming ranked entries a
+	// search offers to the index's async prefetch pipeline, when one
+	// is attached (see IndexOptions.PrefetchWorkers). 0 uses the
+	// pipeline's adaptive depth, negative disables prefetch for this
+	// search, positive fixes the depth. Without a pipeline the field
+	// is ignored. Results are identical at every setting — prefetch
+	// only warms the buffer pool ahead of the scan.
+	ReadaheadDepth int
 }
 
 // query projects the fields a core top-k search reads.
@@ -38,6 +46,7 @@ func (o SearchOptions) query() core.QueryOptions {
 		MaxScanFraction: o.MaxScanFraction,
 		SortBy:          o.SortBy,
 		Parallelism:     o.Parallelism,
+		ReadaheadDepth:  o.ReadaheadDepth,
 	}
 }
 

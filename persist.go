@@ -246,6 +246,13 @@ func (ix *Index) Compact(parallelism int) error {
 	if err != nil {
 		return err
 	}
+	if old := ix.table.Store(); old != nil {
+		// The swapped-out table is dropped on the floor; its prefetch
+		// workers must not linger. The old page file itself stays open
+		// (callers holding a Table() reference may still scan it) —
+		// only the goroutines are reclaimed.
+		old.StopPrefetcher()
+	}
 	ix.table = table
 	ix.buildStats.coreStats(table.BuildStats())
 	return nil

@@ -39,6 +39,10 @@ type Engine interface {
 	BuildStats() BuildStats
 	Validate() error
 	WriteTo(w io.Writer) (int64, error)
+
+	// Close releases disk resources: prefetch workers stop and page
+	// files close. In-memory engines are a no-op. Idempotent.
+	Close() error
 }
 
 var (
@@ -98,6 +102,7 @@ func NewSharded(d *Dataset, opt IndexOptions) (*ShardedIndex, error) {
 		DecodeCacheBytes:    opt.DecodeCacheBytes,
 		PageFormat:          format,
 		BuildParallelism:    opt.BuildParallelism,
+		PrefetchWorkers:     opt.PrefetchWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -228,3 +233,8 @@ func (sx *ShardedIndex) Rebalance(parallelism int) error {
 // Validate runs each shard's consistency sweep plus the cross-shard
 // routing invariants, returning the first violation.
 func (sx *ShardedIndex) Validate() error { return sx.x.Validate() }
+
+// Close releases every shard's disk resources — prefetch workers stop
+// (and are waited for) and per-shard page files close. Queries must
+// have drained. Close is idempotent; the first error is returned.
+func (sx *ShardedIndex) Close() error { return sx.x.Close() }

@@ -226,6 +226,17 @@ type IndexOptions struct {
 	// index is built with NewSharded, which returns the engine type
 	// that can answer for it.
 	Shards int
+	// PrefetchWorkers controls the store's async prefetch pipeline,
+	// which overlaps page I/O with scoring by fetching the entry lists
+	// a search will visit next (the ranked entry queue names them)
+	// into the buffer pool ahead of the scan. It requires
+	// BufferPoolPages. 0 auto-attaches 2 workers when the store is
+	// file-backed and pooled; a positive count attaches that many
+	// workers on any pooled store; a negative value disables
+	// prefetching. Per-query readahead is tuned (or disabled) with
+	// SearchOptions.ReadaheadDepth. With the sharded engine the count
+	// applies per shard. Results are identical at every setting.
+	PrefetchWorkers int
 }
 
 func (o IndexOptions) withDefaults(n int) IndexOptions {
@@ -327,6 +338,7 @@ func BuildIndex(d *Dataset, opt IndexOptions) (*Index, error) {
 		DecodeCacheBytes:    opt.DecodeCacheBytes,
 		PageFormat:          format,
 		Parallelism:         opt.BuildParallelism,
+		PrefetchWorkers:     opt.PrefetchWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -478,4 +490,14 @@ func (ix *Index) Table() *core.Table {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	return ix.table
+}
+
+// Close releases the index's disk resources: prefetch workers stop
+// (and are waited for) and the page file, if any, is closed. Queries
+// must have drained; an in-memory index without a store is a no-op.
+// Close is idempotent.
+func (ix *Index) Close() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.table.Close()
 }
