@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-core race-prefetch check bench bench-build bench-all docs-check staticcheck
+.PHONY: build test vet race race-core race-prefetch race-directory check bench bench-build bench-all docs-check staticcheck
 
 build:
 	$(GO) build ./...
@@ -32,7 +32,14 @@ race-core:
 race-prefetch:
 	$(GO) test -race -run 'Prefetch' ./internal/pager ./internal/core .
 
-check: vet staticcheck docs-check race-core race-prefetch race
+# The entry directory's dedicated hammer: concurrent queries against
+# Insert/InsertBatch/Delete/Compact on both engines, plus the
+# incremental-vs-rebuild property tests, under the race detector —
+# the focused signal for the signature-major bitmap update path.
+race-directory:
+	$(GO) test -race -run 'Directory' ./internal/core ./internal/shard .
+
+check: vet staticcheck docs-check race-core race-prefetch race-directory race
 
 # staticcheck runs when the binary is on PATH (CI installs it); locally
 # it degrades to a skip notice rather than demanding an install.
@@ -51,10 +58,10 @@ staticcheck:
 # the buffer-pool hammer. delta_vs ratios compare each shared benchmark
 # against the newest previous BENCH_PR*.json baseline; with no baseline
 # on disk the flag is omitted and the report carries absolute numbers.
-BENCH_OUT  := BENCH_PR8.json
+BENCH_OUT  := BENCH_PR9.json
 BENCH_BASE := $(shell ls BENCH_PR*.json 2>/dev/null | grep -v '^$(BENCH_OUT)$$' | sort -V | tail -1)
 bench:
-	$(GO) test -run - -bench 'BenchmarkQuery|BenchmarkShardedQuery|BenchmarkBatchQuery|BenchmarkScanList|BenchmarkFusedScore|BenchmarkBuildIndex|BenchmarkSupportCount|BenchmarkPoolHammer' -benchmem . | $(GO) run ./cmd/benchjson $(if $(BENCH_BASE),-delta-vs $(BENCH_BASE)) > $(BENCH_OUT)
+	$(GO) test -run - -bench 'BenchmarkQuery|BenchmarkShardedQuery|BenchmarkBatchQuery|BenchmarkScanList|BenchmarkFusedScore|BenchmarkBuildIndex|BenchmarkSupportCount|BenchmarkPoolHammer|BenchmarkEntryRanking' -benchmem . ./internal/core | $(GO) run ./cmd/benchjson $(if $(BENCH_BASE),-delta-vs $(BENCH_BASE)) > $(BENCH_OUT)
 	@cat $(BENCH_OUT)
 
 # Every exported *Options / *Config struct in the public package must

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"sigtable/internal/core"
 	"sigtable/internal/experiments"
 	"sigtable/internal/gen"
 	"sigtable/internal/mining"
@@ -247,6 +248,28 @@ func BenchmarkQuerySignatureTableNN(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkQueryMem A/B-tests the entry-ranking engines on the
+// memory-path NN query: heap is the legacy per-entry bound loop
+// feeding a binary heap, bucketed is the bit-sliced directory kernel
+// feeding the counting-sort ladder. Answers are byte-identical (the
+// property tests prove it); only the wall clock moves.
+func BenchmarkQueryMem(b *testing.B) {
+	m := microSetup(b)
+	run := func(b *testing.B, legacy bool) {
+		defer func(old bool) { core.LegacyRanker = old }(core.LegacyRanker)
+		core.LegacyRanker = legacy
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.idx.Query(context.Background(), m.queries[i%len(m.queries)], Cosine{}, QueryOptions{K: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("heap", func(b *testing.B) { run(b, true) })
+	b.Run("bucketed", func(b *testing.B) { run(b, false) })
 }
 
 func BenchmarkQuerySignatureTableNNEarly2pct(b *testing.B) {

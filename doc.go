@@ -127,6 +127,22 @@
 // and neighbors, costs and certificates are byte-identical with the
 // pipeline on or off — the test suite asserts it by property testing.
 //
+// # Entry ranking: the directory
+//
+// The branch-and-bound visit order is computed by a columnar entry
+// directory: per signature, a packed bitmap over the occupied entries,
+// maintained incrementally by Insert/InsertBatch/Delete and rebuilt by
+// Compact. Queries rank every entry with a bit-sliced kernel over the
+// overlapped signatures' bitmaps and consume the order lazily
+// best-first from a counting-sort ladder — byte-identical, position by
+// position, to the per-entry bound loop and binary heap it replaced
+// (the legacy path survives behind the core package's LegacyRanker
+// flag for A/B benchmarks). Engine.DirectoryStats reports the
+// directory's size and ranking counters; the same numbers surface as
+// sigtable_directory_* metrics and the /v1/stats directory section,
+// and Explanation carries the kernel's bound decomposition
+// (BaseMatch/BaseDist plus per-entry ActiveBits/DeltaMatch/DeltaDist).
+//
 // # Sharding
 //
 // NewSharded (or IndexOptions.Shards via the sigserver -shards flag)

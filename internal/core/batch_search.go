@@ -64,8 +64,8 @@ type batchTarget struct {
 	m  matcher
 	sc *queryScratch
 
-	q       entryQueue
-	opts    []float64 // optimistic bound by entry position (memo interest checks)
+	src     entrySource
+	opts    []float64 // optimistic bound by entry slot (memo interest checks)
 	visited []bool    // entries this target has popped
 
 	best       *topk.Heap
@@ -130,23 +130,22 @@ func (t *Table) QueryBatch(ctx context.Context, targets []txn.Transaction, f sim
 		sc := t.getScratch()
 		overlaps := t.part.Overlaps(target, sc.overlaps)
 		targetCoord := signature.CoordOfOverlaps(overlaps, t.r)
-		q := t.rankEntries(sc.queue, fj, overlaps, targetCoord, opt.SortBy)
-		sc.queue = q[:0]
+		src := t.rankSource(sc, fj, overlaps, targetCoord, opt.SortBy)
 
 		bt := &batchTarget{
 			f:          fj,
 			m:          t.newMatcher(target),
 			sc:         sc,
-			q:          q,
+			src:        src,
 			opts:       make([]float64, len(t.entries)),
 			visited:    make([]bool, len(t.entries)),
 			best:       topk.New(opt.K),
 			budget:     budget,
 			partialOpt: math.Inf(-1),
 		}
-		for _, re := range q {
+		src.All(func(re rankedEntry) {
 			bt.opts[re.idx] = re.opt
-		}
+		})
 		bt.res.Workers = fan
 		bt.interrupted = ctx.Err() != nil
 		bts[j] = bt
@@ -166,8 +165,8 @@ func (t *Table) QueryBatch(ctx context.Context, targets []txn.Transaction, f sim
 	for live > 0 {
 		j := pickTarget(bts)
 		bt := bts[j]
-		if bt.interrupted || bt.q.Len() == 0 {
-			t.finishTarget(bts, j, memos, opt.SortBy)
+		if bt.interrupted || bt.src.Len() == 0 {
+			t.finishTarget(bts, j, memos)
 			live--
 			continue
 		}
@@ -192,7 +191,7 @@ func resolveScoreFan(workers int) int {
 	return workers
 }
 
-// pickTarget selects the live target whose queue root ranks highest
+// pickTarget selects the live target whose next entry ranks highest
 // under the shared visiting order; an interrupted or drained target is
 // picked first so it retires immediately. Ties fall to the lower index.
 func pickTarget(bts []*batchTarget) int {
@@ -201,10 +200,10 @@ func pickTarget(bts []*batchTarget) int {
 		if bt.finished {
 			continue
 		}
-		if bt.interrupted || bt.q.Len() == 0 {
+		if bt.interrupted || bt.src.Len() == 0 {
 			return j
 		}
-		if pick == -1 || rankedBefore(bt.q[0], bts[pick].q[0]) {
+		if pick == -1 || rankedBefore(bt.src.Peek(), bts[pick].src.Peek()) {
 			pick = j
 		}
 	}
@@ -215,25 +214,24 @@ func pickTarget(bts []*batchTarget) int {
 // most promising entry, prune or scan it, then re-check the context —
 // bit for bit the body of searchSerial, with the entry's records coming
 // from the shared memo (or producing one) instead of a private scan.
-func (t *Table) stepTarget(ctx context.Context, bts []*batchTarget, j int, memos []*batchMemo, opt QueryOptions, fan int, prefetch func(q entryQueue)) {
+func (t *Table) stepTarget(ctx context.Context, bts []*batchTarget, j int, memos []*batchMemo, opt QueryOptions, fan int, prefetch func(src entrySource)) {
 	bt := bts[j]
-	re := bt.q.popMax()
+	re := bt.src.Pop()
 	bt.visited[re.idx] = true
 
 	if threshold, full := bt.best.Threshold(); full && re.opt <= threshold {
 		releaseMemoClaim(memos, re.idx, j)
 		if opt.SortBy == ByOptimisticBound {
 			// Ordered by bound: everything still queued is prunable too.
-			bt.res.EntriesPruned += 1 + bt.q.Len()
-			bt.q = bt.q[:0]
-			t.finishTarget(bts, j, memos, opt.SortBy)
+			bt.res.EntriesPruned += 1 + bt.src.Drop()
+			t.finishTarget(bts, j, memos)
 			return
 		}
 		bt.res.EntriesPruned++
 		return
 	}
 	if prefetch != nil {
-		prefetch(bt.q)
+		prefetch(bt.src)
 	}
 	bt.res.EntriesScanned++
 
@@ -316,12 +314,12 @@ func (t *Table) stepTarget(ctx context.Context, bts []*batchTarget, j int, memos
 		if inEntry < re.e.Count {
 			bt.partialOpt = re.opt
 		}
-		t.finishTarget(bts, j, memos, opt.SortBy)
+		t.finishTarget(bts, j, memos)
 		return
 	}
 	bt.interrupted = ctx.Err() != nil
-	if bt.interrupted || bt.q.Len() == 0 {
-		t.finishTarget(bts, j, memos, opt.SortBy)
+	if bt.interrupted || bt.src.Len() == 0 {
+		t.finishTarget(bts, j, memos)
 	}
 }
 
@@ -393,22 +391,11 @@ func releaseMemoClaim(memos []*batchMemo, idx, j int) {
 // replay left unresolved — the exact epilogue of searchSerial — and
 // releases its outstanding memo claims so parked decodes don't outlive
 // their audience.
-func (t *Table) finishTarget(bts []*batchTarget, j int, memos []*batchMemo, sortBy SortCriterion) {
+func (t *Table) finishTarget(bts []*batchTarget, j int, memos []*batchMemo) {
 	bt := bts[j]
 	maxRemaining := bt.partialOpt
-	if bt.q.Len() > 0 {
-		if sortBy == ByOptimisticBound {
-			// Heap order is by bound: the root dominates the rest.
-			if bt.q[0].opt > maxRemaining {
-				maxRemaining = bt.q[0].opt
-			}
-		} else {
-			for _, re := range bt.q {
-				if re.opt > maxRemaining {
-					maxRemaining = re.opt
-				}
-			}
-		}
+	if v := bt.src.MaxRemainingOpt(); v > maxRemaining {
+		maxRemaining = v
 	}
 	bt.res.Neighbors = bt.best.Results()
 	bt.res.Interrupted = bt.interrupted

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 
@@ -12,21 +13,56 @@ import (
 
 // EntryBound is one row of an Explain: how a signature table entry
 // bounds a particular target under a particular similarity function.
+// Alongside the raw M_opt/D_opt statistics it carries the directory
+// decomposition (directory.go): the coordinate's activation popcount
+// and its per-coordinate corrections over the all-inactive baseline,
+// so MatchOpt = BaseMatch + DeltaMatch and
+// DistOpt = BaseDist + r·ActiveBits + DeltaDist.
 type EntryBound struct {
 	Coord    signature.Coord
 	Count    int
 	MatchOpt int
 	DistOpt  int
 	Bound    float64
+	// ActiveBits is the number of signatures the coordinate activates.
+	ActiveBits int
+	// DeltaMatch is the coordinate's M_opt correction over the
+	// explanation's BaseMatch (Σ over activated overlapped signatures of
+	// max(0, r_j-r+1); never negative).
+	DeltaMatch int
+	// DeltaDist is the coordinate's D_opt correction over
+	// BaseDist + r·ActiveBits (Σ of the per-signature wD_j terms;
+	// never positive).
+	DeltaDist int
 }
 
 // Explanation describes how a query would unfold: the target's
 // activation profile and the per-entry optimistic bounds in visiting
-// order.
+// order. BaseMatch/BaseDist are the bound decomposition's baseline —
+// the M_opt/D_opt of a hypothetical all-bits-inactive coordinate —
+// shared by every entry row.
 type Explanation struct {
 	TargetCoord signature.Coord
 	Overlaps    []int // r_j per signature
+	BaseMatch   int
+	BaseDist    int
 	Entries     []EntryBound
+}
+
+// BoundBase computes the bound decomposition's baseline terms from the
+// target's per-signature overlap counts: baseM = Σ_j min(r_j, r-1),
+// baseD = Σ_j max(0, r_j-r+1). Exported so the sharded Explain fills
+// the same decomposition fields a single table's does.
+func BoundBase(overlaps []int, r int) (baseM, baseD int) {
+	for _, rj := range overlaps {
+		if rj < r {
+			baseM += rj
+		} else {
+			baseM += r - 1
+			baseD += rj - r + 1
+		}
+	}
+	return baseM, baseD
 }
 
 // Explain computes the bound landscape for a target under f without
@@ -41,19 +77,26 @@ func (t *Table) Explain(target txn.Transaction, f simfun.Func) Explanation {
 	overlaps := t.part.Overlaps(target, nil)
 	b := t.newBounder(overlaps)
 
+	baseM, baseD := BoundBase(overlaps, t.r)
 	ex := Explanation{
 		TargetCoord: signature.CoordOfOverlaps(overlaps, t.r),
 		Overlaps:    overlaps,
+		BaseMatch:   baseM,
+		BaseDist:    baseD,
 		Entries:     make([]EntryBound, len(t.entries)),
 	}
 	for i, e := range t.entries {
 		bd := b.bounds(e.Coord)
+		pop := bits.OnesCount64(uint64(e.Coord))
 		ex.Entries[i] = EntryBound{
-			Coord:    e.Coord,
-			Count:    e.Count,
-			MatchOpt: bd.MatchOpt,
-			DistOpt:  bd.DistOpt,
-			Bound:    f.Score(bd.MatchOpt, bd.DistOpt),
+			Coord:      e.Coord,
+			Count:      e.Count,
+			MatchOpt:   bd.MatchOpt,
+			DistOpt:    bd.DistOpt,
+			Bound:      f.Score(bd.MatchOpt, bd.DistOpt),
+			ActiveBits: pop,
+			DeltaMatch: bd.MatchOpt - baseM,
+			DeltaDist:  bd.DistOpt - baseD - t.r*pop,
 		}
 	}
 	sort.Slice(ex.Entries, func(i, j int) bool {
@@ -69,14 +112,15 @@ func (t *Table) Explain(target txn.Transaction, f simfun.Func) Explanation {
 // consumption.
 func (ex Explanation) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "target coord %#x, overlaps %v\n", ex.TargetCoord, ex.Overlaps)
-	fmt.Fprintf(&b, "%18s %8s %6s %6s %10s\n", "coord", "txns", "M_opt", "D_opt", "bound")
+	fmt.Fprintf(&b, "target coord %#x, overlaps %v, base M=%d D=%d\n", ex.TargetCoord, ex.Overlaps, ex.BaseMatch, ex.BaseDist)
+	fmt.Fprintf(&b, "%18s %8s %6s %6s %10s %4s %4s %5s\n", "coord", "txns", "M_opt", "D_opt", "bound", "act", "dM", "dD")
 	for i, e := range ex.Entries {
 		if i == 10 {
 			fmt.Fprintf(&b, "... and %d more entries\n", len(ex.Entries)-10)
 			break
 		}
-		fmt.Fprintf(&b, "%#18x %8d %6d %6d %10.4f\n", e.Coord, e.Count, e.MatchOpt, e.DistOpt, e.Bound)
+		fmt.Fprintf(&b, "%#18x %8d %6d %6d %10.4f %4d %4d %5d\n",
+			e.Coord, e.Count, e.MatchOpt, e.DistOpt, e.Bound, e.ActiveBits, e.DeltaMatch, e.DeltaDist)
 	}
 	return b.String()
 }

@@ -308,5 +308,6 @@ func ReadTable(r io.Reader, data *txn.Dataset) (*Table, error) {
 		}
 		return rebuilt, nil
 	}
+	t.dir = newDirectory(int(k), t.entries)
 	return t, nil
 }

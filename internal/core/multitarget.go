@@ -58,12 +58,7 @@ func (t *Table) MultiQuery(ctx context.Context, targets []txn.Transaction, f sim
 
 	sc := t.getScratch()
 	defer t.putScratch(sc)
-	q := sc.queue
-	if cap(q) < len(t.entries) {
-		q = make(entryQueue, len(t.entries))
-	} else {
-		q = q[:len(t.entries)]
-	}
+	items := resizeItems(&sc.items, len(t.entries))
 	for i, e := range t.entries {
 		optSum, simSum := 0.0, 0.0
 		for j := range targets {
@@ -76,12 +71,11 @@ func (t *Table) MultiQuery(ctx context.Context, targets []txn.Transaction, f sim
 		if opt.SortBy == ByCoordSimilarity {
 			key = avgSim
 		}
-		q[i] = rankedEntry{e: e, idx: i, opt: avgOpt, sort: key, tie: avgSim}
+		items[i] = rankedEntry{e: e, idx: i, opt: avgOpt, sort: key, tie: avgSim}
 	}
-	q.heapify()
-	sc.queue = q[:0]
+	src := t.wrapRanked(sc, items, opt.SortBy)
 
-	res := t.runSearch(ctx, q, opt.Parallelism, searchSpec{
+	res := t.runSearch(ctx, src, opt.Parallelism, searchSpec{
 		k:        opt.K,
 		budget:   budget,
 		sortBy:   opt.SortBy,

@@ -117,10 +117,10 @@ type parallelSearch struct {
 	reads atomic.Int64
 
 	mu         sync.Mutex
-	cond       *sync.Cond // claim throttling; predicate state below
-	q          entryQueue // unclaimed entries (heap), popped under mu
-	claims     int        // entries claimed so far == next sequence number
-	commitNext int        // next sequence number to commit
+	cond       *sync.Cond  // claim throttling; predicate state below
+	src        entrySource // unclaimed entries, popped under mu
+	claims     int         // entries claimed so far == next sequence number
+	commitNext int         // next sequence number to commit
 	ready      map[int]*entryBuf
 	stopped    bool // search resolved; no further claims or commits
 	claimStop  bool // ByOptimisticBound: a claim-time prune makes later claims pointless
@@ -136,14 +136,14 @@ type parallelSearch struct {
 // searchParallel runs the branch-and-bound search with the given
 // number of scan workers, returning a Result identical to
 // searchSerial's for every deterministic field (see Parallelism).
-func (t *Table) searchParallel(ctx context.Context, q entryQueue, workers int, sp searchSpec) Result {
+func (t *Table) searchParallel(ctx context.Context, src entrySource, workers int, sp searchSpec) Result {
 	ps := &parallelSearch{
 		t:          t,
 		ctx:        ctx,
 		sp:         sp,
 		workers:    workers,
 		maxLead:    4 * workers,
-		q:          q,
+		src:        src,
 		ready:      make(map[int]*entryBuf, 5*workers),
 		best:       topk.New(sp.k),
 		partialOpt: math.Inf(-1),
@@ -170,11 +170,11 @@ func (ps *parallelSearch) worker() {
 		for !ps.stopped && !ps.claimStop && ps.claims-ps.commitNext >= ps.maxLead {
 			ps.cond.Wait()
 		}
-		if ps.stopped || ps.claimStop || ps.q.Len() == 0 {
+		if ps.stopped || ps.claimStop || ps.src.Len() == 0 {
 			ps.mu.Unlock()
 			return
 		}
-		re := ps.q.popMax()
+		re := ps.src.Pop()
 		seq := ps.claims
 		ps.claims++
 		thEnc := ps.threshold.Load()
@@ -188,8 +188,8 @@ func (ps *parallelSearch) worker() {
 		}
 		if !pruned && ps.sp.prefetch != nil {
 			// Under the claim mutex: the hook mutates per-query state,
-			// and the queue prefix it peeks is only coherent here.
-			ps.sp.prefetch(ps.q)
+			// and the source prefix it peeks is only coherent here.
+			ps.sp.prefetch(ps.src)
 		}
 		ps.mu.Unlock()
 
@@ -269,10 +269,10 @@ func (ps *parallelSearch) commitOne(b *entryBuf) {
 		}
 		if ps.sp.sortBy == ByOptimisticBound {
 			// Prune-break. Everything the serial loop would still have
-			// queued here is the unclaimed heap plus the claimed-but-
+			// queued here is the unclaimed source plus the claimed-but-
 			// uncommitted entries (all claimed later than b, hence
 			// bounded no higher).
-			ps.res.EntriesPruned += 1 + (ps.claims - ps.commitNext) + ps.q.Len()
+			ps.res.EntriesPruned += 1 + (ps.claims - ps.commitNext) + ps.src.Len()
 			ps.pruneBreak = true
 			ps.setStopped()
 			return
@@ -316,7 +316,7 @@ func (ps *parallelSearch) finalize() Result {
 	res := ps.res
 	maxRemaining := ps.partialOpt
 	if !ps.pruneBreak {
-		// Unresolved entries are the unclaimed heap plus any claimed
+		// Unresolved entries are the unclaimed source plus any claimed
 		// buffers the stop left uncommitted — together exactly the
 		// queue the serial loop would have broken out with.
 		for _, b := range ps.ready {
@@ -324,10 +324,8 @@ func (ps *parallelSearch) finalize() Result {
 				maxRemaining = b.re.opt
 			}
 		}
-		for _, re := range ps.q {
-			if re.opt > maxRemaining {
-				maxRemaining = re.opt
-			}
+		if v := ps.src.MaxRemainingOpt(); v > maxRemaining {
+			maxRemaining = v
 		}
 	}
 	for _, b := range ps.ready {

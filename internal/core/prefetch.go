@@ -7,17 +7,18 @@ import (
 )
 
 // prefetchHook builds the per-query callback that feeds the store's
-// prefetch pipeline from a ranked entry queue, or nil when prefetch is
+// prefetch pipeline from a ranked entry source, or nil when prefetch is
 // off for this query (no store, no prefetcher, or a negative depth
-// request). The callback peeks the first depth slots of the heap — the
-// heap-array prefix is the best approximation of the upcoming pop
-// order that costs nothing to read — and offers each entry's page list
-// once per query. requested follows QueryOptions.ReadaheadDepth.
+// request). The callback peeks the source's first depth slots — an
+// approximation of the upcoming pop order that costs nothing to read
+// (the heap-array prefix for the legacy heap, the current ladder rung
+// for the bucketed source) — and offers each entry's page list once per
+// query. requested follows QueryOptions.ReadaheadDepth.
 //
 // The returned closure is not safe for concurrent use; engines call it
 // from one goroutine (serial, batch) or under their claim mutex
 // (parallel).
-func (t *Table) prefetchHook(ctx context.Context, requested int) func(q entryQueue) {
+func (t *Table) prefetchHook(ctx context.Context, requested int) func(src entrySource) {
 	pf := t.prefetcher()
 	if pf == nil {
 		return nil
@@ -27,20 +28,15 @@ func (t *Table) prefetchHook(ctx context.Context, requested int) func(q entryQue
 		return nil
 	}
 	issued := make([]bool, len(t.entries))
-	return func(q entryQueue) {
-		n := depth
-		if n > q.Len() {
-			n = q.Len()
-		}
+	return func(src entrySource) {
 		var pages []pager.PageID
-		for i := 0; i < n; i++ {
-			re := q[i]
+		src.Prefix(depth, func(re rankedEntry) {
 			if issued[re.idx] || len(re.e.list.Pages) == 0 {
-				continue
+				return
 			}
 			issued[re.idx] = true
 			pages = append(pages, re.e.list.Pages...)
-		}
+		})
 		if len(pages) > 0 {
 			pf.Request(ctx, pages)
 		}

@@ -15,10 +15,29 @@ import (
 // nothing else.
 
 // queryScratch bundles the per-query slices that are reused across
-// queries of one table.
+// queries of one table: the legacy heap storage, the overlap slice,
+// and the bit-sliced ranker's accumulators and ladder storage
+// (directory.go). One scratch serves one query (or one batch target)
+// at a time; the entrySource built from it stays valid until the
+// scratch is returned.
 type queryScratch struct {
 	queue    entryQueue
 	overlaps []int
+
+	// Bit-sliced ranking state: per-slot bound accumulators, ranked
+	// items and their quantized sort keys, the counting-sort bucket
+	// bounds/cursors, and the ladder itself.
+	items    []rankedEntry
+	swap     []rankedEntry
+	enc      []uint64
+	keys     []uint64
+	accM     []int32
+	accD     []int32
+	starts   []int32
+	cursors  []int32
+	sortedBk []bool
+	ladder   entryLadder
+	heap     heapSource
 }
 
 func (t *Table) getScratch() *queryScratch {

@@ -216,7 +216,10 @@ func (q *entryQueue) popMax() rankedEntry {
 // rankEntries computes bounds for all entries and heapifies them in
 // visiting order, reusing buf's storage when it is large enough (the
 // queue is one slot per occupied entry — the dominant per-query
-// allocation at scale, hence pooled via queryScratch).
+// allocation at scale, hence pooled via queryScratch). This is the
+// legacy ranking path — the naive O(entries×K) sweep the directory's
+// bit-sliced kernel replaces (directory.go) — kept as the A/B
+// reference the byte-identity property tests compare against.
 func (t *Table) rankEntries(buf entryQueue, f simfun.Func, overlaps []int, targetCoord signature.Coord, by SortCriterion) entryQueue {
 	b := t.newBounder(overlaps)
 	q := buf
@@ -250,12 +253,12 @@ type searchSpec struct {
 	budget int
 	sortBy SortCriterion
 	scan   func(e *Entry, reads *atomic.Int64, fn func(id txn.TID, value float64) bool)
-	// prefetch, when non-nil, is called with the remaining ranked queue
-	// right before an entry is scanned; it offers the pages of the next
-	// few queued entries to the store's prefetch pipeline. The serial
-	// and batch engines call it from their single scan goroutine; the
-	// parallel engine calls it under its claim mutex.
-	prefetch func(q entryQueue)
+	// prefetch, when non-nil, is called with the remaining ranked
+	// source right before an entry is scanned; it offers the pages of
+	// the next few upcoming entries to the store's prefetch pipeline.
+	// The serial and batch engines call it from their single scan
+	// goroutine; the parallel engine calls it under its claim mutex.
+	prefetch func(src entrySource)
 }
 
 // minParallelLive gates the parallel engine: below this many live
@@ -266,25 +269,25 @@ type searchSpec struct {
 var minParallelLive = 4096
 
 // runSearch drives the branch-and-bound search of Figure 3 over a
-// heapified entry order, dispatching between the serial loop and the
+// ranked entry source, dispatching between the serial loop and the
 // parallel engine (parallel_search.go). Both produce identical
 // results — the parallel engine commits entries in the exact serial
 // pop order and replays the serial prune/offer/budget decisions at
 // the commit frontier — so the choice is purely a latency matter.
-func (t *Table) runSearch(ctx context.Context, q entryQueue, parallelism int, sp searchSpec) Result {
+func (t *Table) runSearch(ctx context.Context, src entrySource, parallelism int, sp searchSpec) Result {
 	workers := parallelism
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > q.Len() {
-		workers = q.Len()
+	if workers > src.Len() {
+		workers = src.Len()
 	}
 	// A context that is already dead does zero work either way; the
 	// serial path handles it without spawning anything.
 	if workers > 1 && t.live >= minParallelLive && ctx.Err() == nil {
-		return t.searchParallel(ctx, q, workers, sp)
+		return t.searchParallel(ctx, src, workers, sp)
 	}
-	return t.searchSerial(ctx, q, sp)
+	return t.searchSerial(ctx, src, sp)
 }
 
 // searchSerial is the single-goroutine branch-and-bound loop: pop the
@@ -293,7 +296,7 @@ func (t *Table) runSearch(ctx context.Context, q entryQueue, parallelism int, sp
 // Cancellation is checked between entry visits and every
 // cancelCheckInterval transactions within one, so a deadline aborts
 // mid-scan with whatever was found so far.
-func (t *Table) searchSerial(ctx context.Context, q entryQueue, sp searchSpec) Result {
+func (t *Table) searchSerial(ctx context.Context, src entrySource, sp searchSpec) Result {
 	res := Result{Workers: 1}
 	var reads atomic.Int64
 
@@ -301,21 +304,20 @@ func (t *Table) searchSerial(ctx context.Context, q entryQueue, sp searchSpec) R
 	partialOpt := math.Inf(-1) // bound of an entry cut short by termination
 	interrupted := ctx.Err() != nil
 
-	for !interrupted && q.Len() > 0 {
-		re := q.popMax()
+	for !interrupted && src.Len() > 0 {
+		re := src.Pop()
 		if threshold, full := best.Threshold(); full && re.opt <= threshold {
 			if sp.sortBy == ByOptimisticBound {
 				// Ordered by bound: everything still queued is
 				// prunable too.
-				res.EntriesPruned += 1 + q.Len()
-				q = q[:0]
+				res.EntriesPruned += 1 + src.Drop()
 				break
 			}
 			res.EntriesPruned++
 			continue
 		}
 		if sp.prefetch != nil {
-			sp.prefetch(q)
+			sp.prefetch(src)
 		}
 		res.EntriesScanned++
 		stop := false
@@ -348,19 +350,8 @@ func (t *Table) searchSerial(ctx context.Context, q entryQueue, sp searchSpec) R
 
 	// Optimality certificate over whatever was not resolved.
 	maxRemaining := partialOpt
-	if q.Len() > 0 {
-		if sp.sortBy == ByOptimisticBound {
-			// Heap order is by bound: the root dominates the rest.
-			if q[0].opt > maxRemaining {
-				maxRemaining = q[0].opt
-			}
-		} else {
-			for _, re := range q {
-				if re.opt > maxRemaining {
-					maxRemaining = re.opt
-				}
-			}
-		}
+	if v := src.MaxRemainingOpt(); v > maxRemaining {
+		maxRemaining = v
 	}
 
 	res.Neighbors = best.Results()
@@ -399,12 +390,11 @@ func (t *Table) Query(ctx context.Context, target txn.Transaction, f simfun.Func
 	defer t.putScratch(sc)
 	overlaps := t.part.Overlaps(target, sc.overlaps)
 	targetCoord := signature.CoordOfOverlaps(overlaps, t.r)
-	q := t.rankEntries(sc.queue, f, overlaps, targetCoord, opt.SortBy)
-	sc.queue = q[:0]
+	src := t.rankSource(sc, f, overlaps, targetCoord, opt.SortBy)
 
 	m := t.newMatcher(target)
 	defer t.releaseMatcher(m)
-	res := t.runSearch(ctx, q, opt.Parallelism, searchSpec{
+	res := t.runSearch(ctx, src, opt.Parallelism, searchSpec{
 		k:        opt.K,
 		budget:   budget,
 		sortBy:   opt.SortBy,

@@ -129,6 +129,77 @@ func (p *TargetPlan) Rank(c signature.Coord, by SortCriterion) (opt, sortKey, ti
 // target for single-target plans).
 func (p *TargetPlan) TargetCoord() signature.Coord { return p.coords[0] }
 
+// RankedStream walks one table's occupied entries in the global
+// visiting order for a plan — the shard worker's replacement for
+// ranking its snapshot with per-coordinate Rank calls and a full sort.
+// Single-target plans route through the table's directory kernel and
+// counting-sort ladder (directory.go), so a worker pays the bit-sliced
+// cost and sorts only the order prefix it actually streams; multi-
+// target plans rank eagerly (the keys need the averaging loop) but
+// still consume through the ladder. The stream borrows query scratch
+// from the table's pool: Close it, and do not use it after the
+// table's lock is released.
+type RankedStream struct {
+	t      *Table
+	sc     *queryScratch
+	src    entrySource
+	issued []bool
+}
+
+// NewRankedStream ranks the table's entries under the plan and
+// criterion. The order is bit-identical to the single-table visiting
+// order restricted to this table's coordinates.
+func (t *Table) NewRankedStream(p *TargetPlan, by SortCriterion) *RankedStream {
+	sc := t.getScratch()
+	var src entrySource
+	if len(p.fs) == 1 {
+		src = t.rankSource(sc, p.fs[0], p.bounders[0].overlaps, p.coords[0], by)
+	} else {
+		items := resizeItems(&sc.items, len(t.entries))
+		for i, e := range t.entries {
+			opt, sortKey, tie := p.Rank(e.Coord, by)
+			items[i] = rankedEntry{e: e, idx: i, opt: opt, sort: sortKey, tie: tie}
+		}
+		src = t.wrapRanked(sc, items, by)
+	}
+	return &RankedStream{t: t, sc: sc, src: src, issued: make([]bool, len(t.entries))}
+}
+
+// Len reports how many coordinates remain.
+func (rs *RankedStream) Len() int { return rs.src.Len() }
+
+// Next returns the next coordinate in visiting order; ok is false when
+// the stream is exhausted.
+func (rs *RankedStream) Next() (c signature.Coord, ok bool) {
+	if rs.src.Len() == 0 {
+		return 0, false
+	}
+	re := rs.src.Pop()
+	rs.issued[re.idx] = true
+	return re.e.Coord, true
+}
+
+// Upcoming appends up to depth not-yet-reported upcoming coordinates
+// (in approximate visiting order, without consuming them) to dst — the
+// prefetch lookahead. Each coordinate is reported at most once per
+// stream, so repeated calls cost nothing once the window is covered.
+func (rs *RankedStream) Upcoming(depth int, dst []signature.Coord) []signature.Coord {
+	rs.src.Prefix(depth, func(re rankedEntry) {
+		if rs.issued[re.idx] {
+			return
+		}
+		rs.issued[re.idx] = true
+		dst = append(dst, re.e.Coord)
+	})
+	return dst
+}
+
+// Close returns the stream's scratch to the table's pool.
+func (rs *RankedStream) Close() {
+	rs.t.putScratch(rs.sc)
+	rs.src = nil
+}
+
 // Overlaps returns the first target's per-signature overlap counts r_j.
 func (p *TargetPlan) Overlaps() []int { return p.bounders[0].overlaps }
 

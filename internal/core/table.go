@@ -126,6 +126,7 @@ type Table struct {
 	entries []*Entry // occupied supercoordinates only
 	byCoord map[signature.Coord]*Entry
 	store   *pager.Store // nil in memory mode
+	dir     *directory   // columnar activation index over the entries
 	live    int          // non-deleted transactions
 	deleted []bool       // tombstones by TID; nil until the first Delete
 
@@ -180,6 +181,7 @@ func Build(data *txn.Dataset, part *signature.Partition, opt BuildOptions) (*Tab
 	t.entries, t.byCoord = groupCoords(coords, workers)
 	// Deterministic entry order independent of insertion.
 	sort.Slice(t.entries, func(i, j int) bool { return t.entries[i].Coord < t.entries[j].Coord })
+	t.dir = newDirectory(part.K(), t.entries)
 	t.buildStats.Group = time.Since(start)
 
 	if opt.PageSize > 0 {

@@ -36,6 +36,11 @@ func (t *Table) Insert(tr txn.Transaction) txn.TID {
 		t.entries = append(t.entries, nil)
 		copy(t.entries[i+1:], t.entries[i:])
 		t.entries[i] = e
+		// The directory appends: slots are stable, so the sorted
+		// position here and the slot number there never need to agree.
+		if t.dir != nil {
+			t.dir.addSlot(e)
+		}
 	}
 	e.tids = append(e.tids, id) // overflow list in disk mode
 	e.Count++

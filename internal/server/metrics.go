@@ -139,6 +139,25 @@ func newOpMetrics(reg *metrics.Registry, s *Server) *opMetrics {
 		return s.idx.BuildStats().Write.Seconds()
 	})
 
+	// Entry-directory telemetry: size gauges resolved through the
+	// index's locked accessor at scrape time (rebuilds swap the table
+	// and its directory), ranking counters process-wide and monotone.
+	reg.GaugeFunc("sigtable_directory_entries", "entry directory slots (occupied supercoordinates indexed)", func() float64 {
+		return float64(s.idx.DirectoryStats().Slots)
+	})
+	reg.GaugeFunc("sigtable_directory_bytes", "entry directory memory footprint", func() float64 {
+		return float64(s.idx.DirectoryStats().Bytes)
+	})
+	reg.CounterFunc("sigtable_directory_rebuilds_total", "from-scratch entry directory constructions", func() float64 {
+		return float64(s.idx.DirectoryStats().Rebuilds)
+	})
+	reg.CounterFunc("sigtable_directory_ranks_total", "bit-sliced entry ranking passes", func() float64 {
+		return float64(s.idx.DirectoryStats().Ranks)
+	})
+	reg.CounterFunc("sigtable_directory_rank_seconds", "cumulative wall time of bit-sliced ranking passes", func() float64 {
+		return s.idx.DirectoryStats().RankSeconds
+	})
+
 	// Per-shard telemetry for the sharded engine: sizes, query
 	// fan-out, accumulated lock wait and page reads, one series per
 	// shard under a "shard" label.

@@ -363,20 +363,29 @@ type ExplainRequest struct {
 }
 
 // ExplainEntry is one row of an explanation: how an occupied entry
-// bounds the target.
+// bounds the target, with the directory decomposition of its M_opt and
+// D_opt components: matchOpt = baseMatch + deltaMatch and
+// distOpt = baseDist + r·activeBits + deltaDist (base terms on the
+// response envelope).
 type ExplainEntry struct {
-	Coord    uint64  `json:"coord"`
-	Count    int     `json:"count"`
-	MatchOpt int     `json:"matchOpt"`
-	DistOpt  int     `json:"distOpt"`
-	Bound    float64 `json:"bound"`
+	Coord      uint64  `json:"coord"`
+	Count      int     `json:"count"`
+	MatchOpt   int     `json:"matchOpt"`
+	DistOpt    int     `json:"distOpt"`
+	Bound      float64 `json:"bound"`
+	ActiveBits int     `json:"activeBits"`
+	DeltaMatch int     `json:"deltaMatch"`
+	DeltaDist  int     `json:"deltaDist"`
 }
 
 // ExplainResponse is the /v1/explain reply (entries truncated to the
-// visiting-order head).
+// visiting-order head). BaseMatch/BaseDist are the bound
+// decomposition's all-inactive baseline, shared by every entry row.
 type ExplainResponse struct {
 	TargetCoord  uint64         `json:"targetCoord"`
 	Overlaps     []int          `json:"overlaps"`
+	BaseMatch    int            `json:"baseMatch"`
+	BaseDist     int            `json:"baseDist"`
 	Entries      []ExplainEntry `json:"entries"`
 	TotalEntries int            `json:"totalEntries"`
 }
@@ -467,6 +476,18 @@ type ShardInfo struct {
 	PagesRead    int64   `json:"pagesRead"`
 }
 
+// DirectoryInfo is the /v1/stats entry-directory section: the columnar
+// signature-major activation index that ranks entries bit-sliced
+// (DESIGN.md §4h). Slots and Bytes are summed across shards for a
+// sharded engine; the ranking counters are process-wide.
+type DirectoryInfo struct {
+	Slots       int     `json:"slots"`
+	Bytes       int64   `json:"bytes"`
+	Rebuilds    uint64  `json:"rebuilds"`
+	Ranks       uint64  `json:"ranks"`
+	RankSeconds float64 `json:"rankSeconds"`
+}
+
 // StatsResponse is the /v1/stats reply. Pool and DecodeCache appear
 // for a disk-backed single-table index; Shards appears for a sharded
 // engine.
@@ -477,6 +498,7 @@ type StatsResponse struct {
 	Entries      int              `json:"entries"`
 	Universe     int              `json:"universe"`
 	Build        BuildInfo        `json:"build"`
+	Directory    *DirectoryInfo   `json:"directory,omitempty"`
 	Storage      *StorageInfo     `json:"storage,omitempty"`
 	Pool         *PoolInfo        `json:"pool,omitempty"`
 	DecodeCache  *DecodeCacheInfo `json:"decodeCache,omitempty"`
@@ -606,6 +628,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			WriteMS:     ms(bs.Write),
 			TotalMS:     ms(bs.Total()),
 		},
+	}
+	ds := s.idx.DirectoryStats()
+	resp.Directory = &DirectoryInfo{
+		Slots:       ds.Slots,
+		Bytes:       ds.Bytes,
+		Rebuilds:    ds.Rebuilds,
+		Ranks:       ds.Ranks,
+		RankSeconds: ds.RankSeconds,
 	}
 	if sx, ok := s.idx.(*sigtable.ShardedIndex); ok {
 		for _, st := range sx.ShardStats() {
@@ -1016,16 +1046,21 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	rows := make([]ExplainEntry, len(entries))
 	for i, e := range entries {
 		rows[i] = ExplainEntry{
-			Coord:    uint64(e.Coord),
-			Count:    e.Count,
-			MatchOpt: e.MatchOpt,
-			DistOpt:  e.DistOpt,
-			Bound:    e.Bound,
+			Coord:      uint64(e.Coord),
+			Count:      e.Count,
+			MatchOpt:   e.MatchOpt,
+			DistOpt:    e.DistOpt,
+			Bound:      e.Bound,
+			ActiveBits: e.ActiveBits,
+			DeltaMatch: e.DeltaMatch,
+			DeltaDist:  e.DeltaDist,
 		}
 	}
 	writeJSON(w, http.StatusOK, ExplainResponse{
 		TargetCoord:  uint64(ex.TargetCoord),
 		Overlaps:     ex.Overlaps,
+		BaseMatch:    ex.BaseMatch,
+		BaseDist:     ex.BaseDist,
 		Entries:      rows,
 		TotalEntries: len(ex.Entries),
 	})

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -148,61 +149,44 @@ func (x *Index) scatterTopK(ctx context.Context, s *shard, targets []txn.Transac
 		return
 	}
 
-	// Rank own coordinates with the shared plan: bit-identical keys +
-	// the shared comparator ⇒ this order is the global visiting order
-	// restricted to this shard's coordinates.
+	// Rank own coordinates with the shared plan through the table's
+	// ranked stream: bit-identical keys + the shared comparator ⇒ the
+	// stream order is the global visiting order restricted to this
+	// shard's coordinates. Single-target queries go through the
+	// directory's bit-sliced kernel and sort lazily — a worker stopped
+	// early never pays for ordering its tail.
 	plan := core.NewTargetPlan(x.part, x.r, targets, f)
-	type rankedCoord struct {
-		coord     signature.Coord
-		sort, tie float64
-	}
-	order := make([]rankedCoord, len(ents))
-	for i, e := range ents {
-		_, sortKey, tie := plan.Rank(e.Coord, by)
-		order[i] = rankedCoord{coord: e.Coord, sort: sortKey, tie: tie}
-	}
-	sort.Slice(order, func(i, j int) bool {
-		return core.CompareRanked(order[i].sort, order[i].tie, order[i].coord,
-			order[j].sort, order[j].tie, order[j].coord)
-	})
+	stream := t.NewRankedStream(plan, by)
+	defer stream.Close()
 
 	scorer := core.NewShardScorer(t, targets, f)
 	defer scorer.Release()
 	globals := s.globals
 
-	// Sliding-window readahead over this worker's restriction of the
-	// visiting order: before scanning a coordinate, offer the next
-	// depth coordinates' pages to the table's prefetch pipeline, each
-	// exactly once. The order slice is walked front to back, so a
-	// cursor suffices for the each-once guarantee.
+	// Readahead over this worker's restriction of the visiting order:
+	// before scanning a coordinate, offer the next depth upcoming
+	// coordinates' pages to the table's prefetch pipeline. The stream
+	// reports each coordinate at most once.
 	depth := scorer.Readahead(readahead)
-	nextPrefetch := 0
 	var prefetchBuf []signature.Coord
 
-	for oi, rc := range order {
+	for {
 		if stopped.Load() {
 			return
 		}
+		coord, ok := stream.Next()
+		if !ok {
+			return
+		}
 		if depth > 0 {
-			hi := oi + 1 + depth
-			if hi > len(order) {
-				hi = len(order)
-			}
-			if nextPrefetch < oi+1 {
-				nextPrefetch = oi + 1
-			}
-			if nextPrefetch < hi {
-				prefetchBuf = prefetchBuf[:0]
-				for _, nc := range order[nextPrefetch:hi] {
-					prefetchBuf = append(prefetchBuf, nc.coord)
-				}
+			prefetchBuf = stream.Upcoming(depth, prefetchBuf[:0])
+			if len(prefetchBuf) > 0 {
 				scorer.PrefetchCoords(ctx, prefetchBuf)
-				nextPrefetch = hi
 			}
 		}
 		var cands []scoredTID
 		aborted := false
-		scorer.ScanCoord(rc.coord, reads, func(id txn.TID, val float64) bool {
+		scorer.ScanCoord(coord, reads, func(id txn.TID, val float64) bool {
 			cands = append(cands, scoredTID{gid: globals[id], val: val})
 			if len(cands)%core.CancelCheckEvery == 0 && stopped.Load() {
 				aborted = true
@@ -215,7 +199,7 @@ func (x *Index) scatterTopK(ctx context.Context, s *shard, targets []txn.Transac
 		}
 		produced.Add(1)
 		select {
-		case out <- entryBuffer{coord: rc.coord, cands: cands}:
+		case out <- entryBuffer{coord: coord, cands: cands}:
 		case <-stop:
 			return
 		}
@@ -458,20 +442,27 @@ func (x *Index) Explain(target txn.Transaction, f simfun.Func) core.Explanation 
 		s.mu.RUnlock()
 	}
 	plan := core.NewTargetPlan(x.part, x.r, []txn.Transaction{target}, f)
+	baseM, baseD := core.BoundBase(plan.Overlaps(), x.r)
 	ex := core.Explanation{
 		TargetCoord: plan.TargetCoord(),
 		Overlaps:    plan.Overlaps(),
+		BaseMatch:   baseM,
+		BaseDist:    baseD,
 		Entries:     make([]core.EntryBound, 0, len(counts)),
 	}
 	for c, n := range counts {
 		bd := plan.Bounds(c)
 		opt, _, _ := plan.Rank(c, core.ByOptimisticBound)
+		pop := bits.OnesCount64(uint64(c))
 		ex.Entries = append(ex.Entries, core.EntryBound{
-			Coord:    c,
-			Count:    n,
-			MatchOpt: bd.MatchOpt,
-			DistOpt:  bd.DistOpt,
-			Bound:    opt,
+			Coord:      c,
+			Count:      n,
+			MatchOpt:   bd.MatchOpt,
+			DistOpt:    bd.DistOpt,
+			Bound:      opt,
+			ActiveBits: pop,
+			DeltaMatch: bd.MatchOpt - baseM,
+			DeltaDist:  bd.DistOpt - baseD - x.r*pop,
 		})
 	}
 	sort.Slice(ex.Entries, func(i, j int) bool {

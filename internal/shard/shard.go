@@ -542,6 +542,22 @@ func (x *Index) Stats() []Stats {
 	return out
 }
 
+// DirectoryStats aggregates the per-shard entry directories: slot and
+// byte totals summed across shards, the process-wide ranking counters
+// reported once (they are package-level in core, not per table).
+func (x *Index) DirectoryStats() core.DirectoryStats {
+	var agg core.DirectoryStats
+	for _, s := range x.shards {
+		s.mu.RLock()
+		st := s.table.DirectoryStats()
+		s.mu.RUnlock()
+		agg.Slots += st.Slots
+		agg.Bytes += st.Bytes
+		agg.Rebuilds, agg.Ranks, agg.RankSeconds = st.Rebuilds, st.Ranks, st.RankSeconds
+	}
+	return agg
+}
+
 // Validate runs each shard's consistency sweep plus the cross-shard
 // routing invariants (monotone local→global mappings, round-trip
 // agreement between the routing table and the shards), returning the

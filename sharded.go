@@ -3,6 +3,7 @@ package sigtable
 import (
 	"context"
 	"io"
+	"sync"
 
 	"sigtable/internal/shard"
 )
@@ -37,6 +38,7 @@ type Engine interface {
 	Signatures() [][]Item
 	Items(id TID) Transaction
 	BuildStats() BuildStats
+	DirectoryStats() DirectoryStats
 	Validate() error
 	WriteTo(w io.Writer) (int64, error)
 
@@ -63,7 +65,9 @@ var (
 // shard engine (per-shard read-write locks plus a routing lock that
 // queries never touch).
 type ShardedIndex struct {
-	x          *shard.Index
+	x *shard.Index
+
+	statsMu    sync.Mutex // guards buildStats (refreshed by Compact/Rebalance)
 	buildStats BuildStats
 }
 
@@ -137,10 +141,19 @@ func (sx *ShardedIndex) Items(id TID) Transaction { return sx.x.Items(id) }
 
 // BuildStats reports the construction wall times: mining and
 // partitioning once, the core phases summed across shard builds.
-func (sx *ShardedIndex) BuildStats() BuildStats { return sx.buildStats }
+func (sx *ShardedIndex) BuildStats() BuildStats {
+	sx.statsMu.Lock()
+	defer sx.statsMu.Unlock()
+	return sx.buildStats
+}
 
 // ShardStats snapshots every shard's counters in shard order.
 func (sx *ShardedIndex) ShardStats() []ShardStats { return sx.x.Stats() }
+
+// DirectoryStats aggregates the per-shard entry directories (slots and
+// bytes summed; the ranking counters are process-wide and reported
+// once).
+func (sx *ShardedIndex) DirectoryStats() DirectoryStats { return sx.x.DirectoryStats() }
 
 // Query runs the k-NN search scattered across all shards; semantics
 // (contexts, certificates, errors) match Index.Query exactly, and the
@@ -214,7 +227,7 @@ func (sx *ShardedIndex) Compact(parallelism int) error {
 			return err
 		}
 	}
-	sx.buildStats.coreStats(sx.x.CoreBuildStats())
+	sx.refreshCoreStats()
 	return nil
 }
 
@@ -226,8 +239,17 @@ func (sx *ShardedIndex) Rebalance(parallelism int) error {
 	if err := sx.x.Rebalance(parallelism); err != nil {
 		return err
 	}
-	sx.buildStats.coreStats(sx.x.CoreBuildStats())
+	sx.refreshCoreStats()
 	return nil
+}
+
+// refreshCoreStats folds the rebuilt shard tables' phase times into
+// buildStats; Compact and Rebalance may run concurrently with each
+// other and with BuildStats readers.
+func (sx *ShardedIndex) refreshCoreStats() {
+	sx.statsMu.Lock()
+	defer sx.statsMu.Unlock()
+	sx.buildStats.coreStats(sx.x.CoreBuildStats())
 }
 
 // Validate runs each shard's consistency sweep plus the cross-shard

@@ -481,6 +481,17 @@ func (ix *Index) Explain(target Transaction, f SimilarityFunc) Explanation {
 // visiting order.
 type Explanation = core.Explanation
 
+// DirectoryStats reports the entry directory's size and the
+// process-wide bit-sliced ranking counters (see DESIGN.md §4h).
+type DirectoryStats = core.DirectoryStats
+
+// DirectoryStats snapshots the index's entry directory.
+func (ix *Index) DirectoryStats() DirectoryStats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.table.DirectoryStats()
+}
+
 // Table exposes the underlying core table for advanced use (occupancy
 // statistics, entry inspection). The pointer read itself is locked —
 // Compact swaps the table in place — but operations on the returned
