@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-core race-prefetch race-directory check bench bench-build bench-all docs-check staticcheck
+.PHONY: build test vet race race-core race-prefetch race-directory race-snapshot check bench bench-build bench-all docs-check staticcheck
 
 build:
 	$(GO) build ./...
@@ -39,7 +39,15 @@ race-prefetch:
 race-directory:
 	$(GO) test -race -run 'Directory' ./internal/core ./internal/shard .
 
-check: vet staticcheck docs-check race-core race-prefetch race-directory race
+# The snapshot engine's dedicated hammer: lock-free queries pinning
+# published snapshots race Insert/Delete (with threshold-triggered
+# overflow flushes), Compact and Close on both engines, plus the
+# capture-and-replay byte-identity property tests, under the race
+# detector — the focused signal for the snapshot publication protocol.
+race-snapshot:
+	$(GO) test -race -run 'Snapshot|MutationDoesNotBlock' ./internal/core ./internal/shard .
+
+check: vet staticcheck docs-check race-core race-prefetch race-directory race-snapshot race
 
 # staticcheck runs when the binary is on PATH (CI installs it); locally
 # it degrades to a skip notice rather than demanding an install.
@@ -54,14 +62,17 @@ staticcheck:
 # archives): per-query latency/allocations, the sharded engine's
 # scatter-gather at 1/4/8 shards (memory and disk), independent vs
 # shared-scan batches, the page-codec scan and fused-score kernels (v1
-# vs v2), the build pipeline serial vs parallel, support counting, and
-# the buffer-pool hammer. delta_vs ratios compare each shared benchmark
+# vs v2), the build pipeline serial vs parallel, support counting, the
+# buffer-pool hammer, and the mixed read/write workload comparing the
+# retired RWMutex discipline against snapshot publication (query-ns/op
+# and decode-cache hit rate under 1% writes). delta_vs ratios compare
+# each shared benchmark
 # against the newest previous BENCH_PR*.json baseline; with no baseline
 # on disk the flag is omitted and the report carries absolute numbers.
-BENCH_OUT  := BENCH_PR9.json
+BENCH_OUT  := BENCH_PR10.json
 BENCH_BASE := $(shell ls BENCH_PR*.json 2>/dev/null | grep -v '^$(BENCH_OUT)$$' | sort -V | tail -1)
 bench:
-	$(GO) test -run - -bench 'BenchmarkQuery|BenchmarkShardedQuery|BenchmarkBatchQuery|BenchmarkScanList|BenchmarkFusedScore|BenchmarkBuildIndex|BenchmarkSupportCount|BenchmarkPoolHammer|BenchmarkEntryRanking' -benchmem . ./internal/core | $(GO) run ./cmd/benchjson $(if $(BENCH_BASE),-delta-vs $(BENCH_BASE)) > $(BENCH_OUT)
+	$(GO) test -run - -bench 'BenchmarkQuery|BenchmarkShardedQuery|BenchmarkBatchQuery|BenchmarkScanList|BenchmarkFusedScore|BenchmarkBuildIndex|BenchmarkSupportCount|BenchmarkPoolHammer|BenchmarkEntryRanking|BenchmarkMixedWorkload' -benchmem . ./internal/core | $(GO) run ./cmd/benchjson $(if $(BENCH_BASE),-delta-vs $(BENCH_BASE)) > $(BENCH_OUT)
 	@cat $(BENCH_OUT)
 
 # Every exported *Options / *Config struct in the public package must

@@ -29,10 +29,10 @@ import (
 // target that needs them, and targets retire individually as their
 // optimality certificates close. Results are byte-identical either
 // way; only the I/O differs — a hot entry's pages are read once per
-// batch instead of once per target (see DESIGN.md §4d). The shared
-// scan holds the index's shared lock for its whole duration, so unlike
-// independent mode it does not interleave with Insert/Delete from
-// other goroutines.
+// batch instead of once per target (see DESIGN.md §4d). Either mode
+// runs against the snapshot current when the batch starts:
+// Insert/Delete from other goroutines proceed concurrently and are
+// observed by queries started after they return, never mid-batch.
 //
 // The trailing argument keeps pre-SearchOptions call sites compiling:
 // BatchQuery(ctx, targets, f, queryOpts, batchOpts) splits the knobs
@@ -47,9 +47,7 @@ func (ix *Index) BatchQuery(ctx context.Context, targets []Transaction, f Simila
 		return nil, nil
 	}
 	if shared {
-		ix.mu.RLock()
-		defer ix.mu.RUnlock()
-		return ix.table.QueryBatch(ctx, targets, f, qopt.query(), pool)
+		return ix.load().QueryBatch(ctx, targets, f, qopt.query(), pool)
 	}
 
 	parallelism := pool

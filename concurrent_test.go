@@ -11,7 +11,9 @@ import (
 // once — parallel k-NN queries, range queries, multi-target queries,
 // batches, inserts, deletes and stat reads — and then validates the
 // index. Run under -race (make check does) this is the proof that the
-// Index's read-write locking actually covers every public entry point.
+// Index's snapshot publication — lock-free reads off the atomic table
+// pointer, mutations serialized on the writer mutex — actually covers
+// every public entry point.
 func TestConcurrentQueryMutate(t *testing.T) {
 	data := testDataset(t, 400, 31)
 	idx, err := BuildIndex(data, IndexOptions{SignatureCardinality: 8})
@@ -125,7 +127,8 @@ func TestConcurrentQueryMutate(t *testing.T) {
 // Compact in the mix: queries (including shared-scan batches, which
 // read cached decodes) race inserts, deletes and full compactions.
 // Under -race (make check) this covers the cache's sharded locking,
-// the generation-bump invalidation path and the Compact table swap.
+// both invalidation paths (per-list eviction from snapshot mutations,
+// generation bump from Compact) and the Compact snapshot swap.
 func TestConcurrentQueryMutateDiskCache(t *testing.T) {
 	data := testDataset(t, 400, 31)
 	idx, err := BuildIndex(data, IndexOptions{

@@ -52,9 +52,18 @@
 //
 // # Concurrency and parallelism
 //
-// An Index is safe for concurrent use. Queries take a shared lock and
-// run in parallel with each other; Insert, Delete and Compact take an
-// exclusive lock and wait for in-flight queries to drain.
+// An Index is safe for concurrent use, and queries never block:
+// every query runs lock-free against an immutable snapshot of the
+// table, published by an atomic pointer. Insert, InsertBatch, Delete
+// and Compact serialize against each other on a small writer mutex,
+// derive a new snapshot by copying only what they touch, and publish
+// it with one pointer store — they neither wait for in-flight queries
+// nor delay new ones. A query observes exactly the mutations whose
+// calls returned before it started, never a partial mutation;
+// Index.Table pins the current snapshot explicitly for callers that
+// want repeatable reads across several queries, and
+// Engine.SnapshotVersion reports the publication counter (also
+// exported as the sigtable_snapshot_version metric).
 //
 // Independently of inter-query concurrency, a single search can spread
 // its entry scans over several goroutines: SearchOptions.Parallelism
@@ -79,17 +88,34 @@
 // with real file backing (IndexOptions.PageFile) that is wall-clock
 // time, not just a counter. IndexOptions.DecodeCacheBytes adds the
 // orthogonal optimization across batches: a bounded cache of decoded
-// hot-entry lists, invalidated wholesale by generation bump on every
-// mutation so a stale decode is unreachable.
+// hot-entry lists. Pages are write-once, so an Insert or Delete
+// evicts only the mutated entry's cached decode and leaves the rest
+// of the cache warm; Compact swaps in a rebuilt table with a fresh
+// cache, discarding every cached decode at once. Either way a stale
+// decode is unreachable, and the
+// sigtable_decode_cache_invalidations_total{scope="list|global"}
+// metric splits per-list evictions from wholesale generation bumps.
 //
 // Construction parallelizes the same way: IndexOptions.BuildParallelism
 // (0 = GOMAXPROCS, 1 = serial) fans every build phase — support
 // counting, supercoordinate computation, TID grouping, page writing —
 // across workers, and the built index (entries, TID order, page
 // layout) is identical for every worker count. Index.BuildStats
-// reports the per-phase wall times; Index.Compact rebuilds in place
-// with an explicit worker count, and Index.InsertBatch amortizes the
-// exclusive lock over many inserts.
+// reports the per-phase wall times; Index.Compact rebuilds off to
+// the side with an explicit worker count and publishes the result as
+// a new snapshot (queries keep running throughout), and
+// Index.InsertBatch amortizes the writer mutex and snapshot
+// publication over many inserts.
+//
+// On a disk-mode index, inserted transactions accumulate in the
+// mutated entry's in-memory overflow until IndexOptions.FlushThreshold
+// of them pile up on one entry (default 128; negative disables), at
+// which point the overflow is encoded into fresh pages and appended
+// to the entry's on-disk list as part of the same snapshot
+// publication — long-running ingest keeps the paged scan path instead
+// of degrading to linear in-memory scans. Engine.OverflowStats
+// reports the accounting (also the sigtable_overflow_* metrics and
+// the /v1/stats overflow section).
 //
 // # Storage formats (migration note)
 //
@@ -152,8 +178,9 @@
 // merged result is byte-identical to the single table's — neighbors,
 // cost counters and certificate, which the test suite asserts by
 // property testing — while Insert, Delete and per-shard compaction
-// lock only the owning shard, so a mutation on one shard no longer
-// blocks queries on the others. Both engines implement the Engine
+// take only the owning shard's writer mutex and publish a per-shard
+// snapshot, so mutations never block queries on any shard. Both
+// engines implement the Engine
 // interface; ReadEngine loads either kind from its persisted form,
 // which carries a versioned header (headerless seed-era files still
 // load as single indexes).

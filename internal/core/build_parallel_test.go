@@ -41,14 +41,21 @@ func sameTable(t *testing.T, serial, parallel *Table) bool {
 				return false
 			}
 		}
-		if len(se.list.Pages) != len(pe.list.Pages) || se.list.Count != pe.list.Count {
-			t.Logf("entry %#x list shapes differ: %+v vs %+v", se.Coord, se.list, pe.list)
+		if len(se.lists) != len(pe.lists) {
+			t.Logf("entry %#x segment counts differ: %d vs %d", se.Coord, len(se.lists), len(pe.lists))
 			return false
 		}
-		for j := range se.list.Pages {
-			if se.list.Pages[j] != pe.list.Pages[j] {
-				t.Logf("entry %#x page %d differs: %d vs %d", se.Coord, j, se.list.Pages[j], pe.list.Pages[j])
+		for s := range se.lists {
+			sl, pl := se.lists[s], pe.lists[s]
+			if len(sl.Pages) != len(pl.Pages) || sl.Count != pl.Count {
+				t.Logf("entry %#x segment %d shapes differ: %+v vs %+v", se.Coord, s, sl, pl)
 				return false
+			}
+			for j := range sl.Pages {
+				if sl.Pages[j] != pl.Pages[j] {
+					t.Logf("entry %#x segment %d page %d differs: %d vs %d", se.Coord, s, j, sl.Pages[j], pl.Pages[j])
+					return false
+				}
 			}
 		}
 	}

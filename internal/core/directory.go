@@ -78,16 +78,18 @@ var (
 // slots. Slots are assigned in append order and never reused: Build
 // numbers the coordinate-sorted entries 0..n-1, Insert of a brand-new
 // coordinate appends the next slot, and Delete leaves the slot in
-// place (the entry itself survives tombstoning). Readers treat it as
-// immutable; mutation is serialized by the same external lock that
-// serializes Insert/Delete against queries.
+// place (the entry itself survives tombstoning). The table keeps its
+// entries slice in the same slot order, so t.entries[s] is the entry at
+// slot s and the directory itself stores only coordinate-derived bits.
+// Readers treat a directory as immutable; in-place mutation (addSlot)
+// belongs to the legacy single-writer protocol, while the snapshot
+// protocol derives a new directory with withSlot.
 type directory struct {
-	k       int
-	slots   int
-	stride  int      // words per signature row (row capacity = stride*64 slots)
-	bits    []uint64 // k rows × stride words, row-major
-	pop     []uint8  // per-slot activation popcount (K <= 63 fits a byte)
-	entries []*Entry // slot -> entry, append order
+	k      int
+	slots  int
+	stride int      // words per signature row (row capacity = stride*64 slots)
+	bits   []uint64 // k rows × stride words, row-major
+	pop    []uint8  // per-slot activation popcount (K <= 63 fits a byte)
 }
 
 // newDirectory builds the directory from scratch over the given
@@ -97,7 +99,7 @@ func newDirectory(k int, entries []*Entry) *directory {
 	d := &directory{k: k}
 	d.ensure(len(entries))
 	for _, e := range entries {
-		d.addSlot(e)
+		d.addSlot(e.Coord)
 	}
 	dirRebuilds.Add(1)
 	return d
@@ -123,15 +125,15 @@ func (d *directory) ensure(n int) {
 	d.bits, d.stride = nb, stride
 }
 
-// addSlot appends one entry, setting its bit in every signature row
-// its coordinate activates.
-func (d *directory) addSlot(e *Entry) {
+// addSlot appends one slot for a coordinate, setting its bit in every
+// signature row the coordinate activates. In-place: legacy protocol
+// only.
+func (d *directory) addSlot(coord signature.Coord) {
 	d.ensure(d.slots + 1)
 	s := d.slots
 	d.slots++
-	c := uint64(e.Coord)
+	c := uint64(coord)
 	d.pop = append(d.pop, uint8(bits.OnesCount64(c)))
-	d.entries = append(d.entries, e)
 	w, bit := s>>6, uint(s&63)
 	for c != 0 {
 		j := bits.TrailingZeros64(c)
@@ -140,9 +142,33 @@ func (d *directory) addSlot(e *Entry) {
 	}
 }
 
+// withSlot returns a derived directory with one slot appended for the
+// coordinate, leaving the receiver untouched for concurrent readers.
+// The bit rows are copied before the new slot's bits are set — the
+// word holding slot s is shared with up to 63 earlier slots that live
+// readers are ranking over, so an in-place |= would race them. The pop
+// append extends (possibly shared) backing at the monotone index
+// d.slots, which no reader of an older directory addresses; callers
+// must serialize withSlot chains, always deriving from the newest
+// directory, the same discipline the snapshot writer protocol imposes
+// everywhere.
+func (d *directory) withSlot(coord signature.Coord) *directory {
+	nd := &directory{k: d.k, slots: d.slots, stride: d.stride, pop: d.pop}
+	if d.slots+1 > d.stride*64 {
+		// ensure reallocates the rows into fresh backing: the copy is
+		// the growth it would do anyway.
+		nd.bits = d.bits
+		nd.ensure(d.slots + 1)
+	} else {
+		nd.bits = append([]uint64(nil), d.bits...)
+	}
+	nd.addSlot(coord)
+	return nd
+}
+
 // bytes reports the directory's memory footprint.
 func (d *directory) bytes() int64 {
-	return int64(len(d.bits)*8 + len(d.pop) + len(d.entries)*8)
+	return int64(len(d.bits)*8 + len(d.pop))
 }
 
 // DirectoryStats reports the entry directory's size and the
@@ -606,7 +632,7 @@ func (t *Table) rankBitsliced(sc *queryScratch, f simfun.Func, overlaps []int, t
 	lazyTie := by == ByOptimisticBound
 	encMin, encMax := ^uint64(0), uint64(0)
 	for s := 0; s < n; s++ {
-		e := d.entries[s]
+		e := t.entries[s]
 		m := baseM + int(accM[s])
 		dd := baseD + r*int(d.pop[s]) + int(accD[s])
 		opt := f.Score(m, dd)

@@ -31,19 +31,19 @@ func checkDirectory(t *testing.T, tab *Table) {
 	if d.slots != len(tab.entries) {
 		t.Fatalf("directory has %d slots for %d entries", d.slots, len(tab.entries))
 	}
-	seen := make(map[*Entry]bool, d.slots)
+	seen := make(map[signature.Coord]bool, d.slots)
 	for s := 0; s < d.slots; s++ {
-		e := d.entries[s]
-		if seen[e] {
+		e := tab.entries[s]
+		if seen[e.Coord] {
 			t.Fatalf("entry %#x occupies two slots", e.Coord)
 		}
-		seen[e] = true
+		seen[e.Coord] = true
 		if want := uint8(bits.OnesCount64(uint64(e.Coord))); d.pop[s] != want {
 			t.Fatalf("slot %d pop = %d, want %d", s, d.pop[s], want)
 		}
 	}
 	for _, e := range tab.entries {
-		if !seen[e] {
+		if !seen[e.Coord] {
 			t.Fatalf("entry %#x has no slot", e.Coord)
 		}
 	}
@@ -51,9 +51,9 @@ func checkDirectory(t *testing.T, tab *Table) {
 		row := d.bits[j*d.stride : (j+1)*d.stride]
 		for s := 0; s < d.slots; s++ {
 			got := row[s>>6]>>(uint(s)&63)&1 == 1
-			want := uint64(d.entries[s].Coord)>>uint(j)&1 == 1
+			want := uint64(tab.entries[s].Coord)>>uint(j)&1 == 1
 			if got != want {
-				t.Fatalf("signature %d slot %d: bit %v, coord %#x wants %v", j, s, got, d.entries[s].Coord, want)
+				t.Fatalf("signature %d slot %d: bit %v, coord %#x wants %v", j, s, got, tab.entries[s].Coord, want)
 			}
 		}
 		// No stray bits beyond the slot count: the kernel trusts every
@@ -69,8 +69,9 @@ func checkDirectory(t *testing.T, tab *Table) {
 			}
 		}
 	}
-	// The from-scratch recomputation must agree column for column:
-	// index both directories by coordinate and compare activation sets.
+	// The from-scratch recomputation must agree column for column. Both
+	// directories encode tab.entries in slot order, so the comparison is
+	// index-wise.
 	fresh := newDirectory(d.k, tab.entries)
 	if fresh.slots != d.slots {
 		t.Fatalf("fresh directory has %d slots, incremental has %d", fresh.slots, d.slots)
@@ -84,14 +85,10 @@ func checkDirectory(t *testing.T, tab *Table) {
 		}
 		return c
 	}
-	bySlotCoord := make(map[uint64]uint64, d.slots)
 	for s := 0; s < d.slots; s++ {
-		bySlotCoord[uint64(d.entries[s].Coord)] = column(d, s)
-	}
-	for s := 0; s < fresh.slots; s++ {
-		coord := uint64(fresh.entries[s].Coord)
-		if got, want := bySlotCoord[coord], column(fresh, s); got != want {
-			t.Fatalf("coordinate %#x: incremental column %#x, fresh column %#x", coord, got, want)
+		if got, want := column(d, s), column(fresh, s); got != want {
+			t.Fatalf("slot %d (coord %#x): incremental column %#x, fresh column %#x",
+				s, tab.entries[s].Coord, got, want)
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sort"
 
 	"sigtable/internal/pager"
 	"sigtable/internal/signature"
@@ -96,7 +97,13 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) {
 	if err := writeU32(uint32(len(t.entries))); err != nil {
 		return n, err
 	}
-	for _, e := range t.entries {
+	// Entries live in slot order (append order for post-build inserts);
+	// serialize a coordinate-sorted copy so the bytes are deterministic
+	// regardless of insertion history.
+	entries := make([]*Entry, len(t.entries))
+	copy(entries, t.entries)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Coord < entries[j].Coord })
+	for _, e := range entries {
 		if err := writeUvarint(e.Coord); err != nil {
 			return n, err
 		}
@@ -224,11 +231,13 @@ func ReadTable(r io.Reader, data *txn.Dataset) (*Table, error) {
 		return nil, fmt.Errorf("core: %d entries for %d transactions", entryCount, txnCount)
 	}
 	t := &Table{
-		part:    part,
-		r:       int(rThresh),
-		data:    data,
-		byCoord: make(map[signature.Coord]*Entry, entryCount),
-		live:    data.Len(),
+		part:           part,
+		r:              int(rThresh),
+		data:           data,
+		byCoord:        make(map[signature.Coord]int32, entryCount),
+		live:           data.Len(),
+		flushThreshold: DefaultFlushThreshold,
+		shared:         &tableShared{},
 	}
 	if t.r < 1 {
 		return nil, fmt.Errorf("core: invalid activation threshold %d", t.r)
@@ -266,11 +275,17 @@ func ReadTable(r io.Reader, data *txn.Dataset) (*Table, error) {
 		if _, dup := t.byCoord[coord]; dup {
 			return nil, fmt.Errorf("core: duplicate entry for coordinate %#x", coord)
 		}
-		t.byCoord[coord] = e
+		t.byCoord[coord] = int32(len(t.entries))
 		t.entries = append(t.entries, e)
 	}
 	if totalTIDs != data.Len() {
 		return nil, fmt.Errorf("core: entries index %d transactions, dataset has %d", totalTIDs, data.Len())
+	}
+	t.slotOf = make([]int32, data.Len())
+	for i, e := range t.entries {
+		for _, id := range e.tids {
+			t.slotOf[id] = int32(i)
+		}
 	}
 	// Spot-check coordinate consistency with the dataset (first
 	// transaction of each entry), catching a dataset/index mismatch.

@@ -70,7 +70,7 @@ func computeCoords(data *txn.Dataset, part *signature.Partition, r, workers int)
 // private map, and the buckets are merged in range order — worker
 // ranges are ascending and each worker appends in ascending TID order,
 // so every entry's TID list comes out identical to the serial pass.
-func groupCoords(coords []signature.Coord, workers int) ([]*Entry, map[signature.Coord]*Entry) {
+func groupCoords(coords []signature.Coord, workers int) []*Entry {
 	byCoord := make(map[signature.Coord]*Entry)
 	var entries []*Entry
 	entryFor := func(c signature.Coord) *Entry {
@@ -89,7 +89,7 @@ func groupCoords(coords []signature.Coord, workers int) ([]*Entry, map[signature
 			e.tids = append(e.tids, txn.TID(i))
 			e.Count++
 		}
-		return entries, byCoord
+		return entries
 	}
 
 	n := len(coords)
@@ -125,7 +125,7 @@ func groupCoords(coords []signature.Coord, workers int) ([]*Entry, map[signature
 			e.Count += len(ids)
 		}
 	}
-	return entries, byCoord
+	return entries
 }
 
 // writeEntryLists moves every entry's transactions onto store pages.
@@ -151,7 +151,7 @@ func writeEntryLists(store *pager.Store, data *txn.Dataset, entries []*Entry, wo
 			if err != nil {
 				return fmt.Errorf("core: writing entry %#x: %w", e.Coord, err)
 			}
-			e.list = list
+			e.lists = []pager.List{list}
 			e.tids = nil // transactions now live on "disk"
 		}
 		return nil
@@ -200,7 +200,7 @@ func writeEntryLists(store *pager.Store, data *txn.Dataset, entries []*Entry, wo
 		// Place: single goroutine, entry order — frames pack onto
 		// shared pages exactly as a serial WriteList sequence would.
 		for i, st := range staged {
-			entries[i].list = store.AppendStaged(st)
+			entries[i].lists = []pager.List{store.AppendStaged(st)}
 			entries[i].tids = nil
 		}
 		return nil
@@ -215,7 +215,7 @@ func writeEntryLists(store *pager.Store, data *txn.Dataset, entries []*Entry, wo
 
 	// Install: disjoint ranges, full concurrency.
 	run(func(i int) {
-		entries[i].list = store.InstallList(bases[i], staged[i])
+		entries[i].lists = []pager.List{store.InstallList(bases[i], staged[i])}
 		entries[i].tids = nil
 	})
 	return nil

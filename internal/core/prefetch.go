@@ -31,11 +31,13 @@ func (t *Table) prefetchHook(ctx context.Context, requested int) func(src entryS
 	return func(src entrySource) {
 		var pages []pager.PageID
 		src.Prefix(depth, func(re rankedEntry) {
-			if issued[re.idx] || len(re.e.list.Pages) == 0 {
+			if issued[re.idx] || len(re.e.lists) == 0 {
 				return
 			}
 			issued[re.idx] = true
-			pages = append(pages, re.e.list.Pages...)
+			for _, l := range re.e.lists {
+				pages = append(pages, l.Pages...)
+			}
 		})
 		if len(pages) > 0 {
 			pf.Request(ctx, pages)

@@ -41,14 +41,14 @@ type queryScratch struct {
 }
 
 func (t *Table) getScratch() *queryScratch {
-	if sc, _ := t.scratch.Get().(*queryScratch); sc != nil {
+	if sc, _ := t.shared.scratch.Get().(*queryScratch); sc != nil {
 		return sc
 	}
 	return &queryScratch{overlaps: make([]int, t.part.K())}
 }
 
 func (t *Table) putScratch(sc *queryScratch) {
-	t.scratch.Put(sc)
+	t.shared.scratch.Put(sc)
 }
 
 // maxMaskBits caps the universe size for which the bitmap scoring
@@ -75,7 +75,7 @@ type matcher struct {
 func (t *Table) newMatcher(target txn.Transaction) matcher {
 	m := matcher{target: target}
 	if t.data.UniverseSize() <= maxMaskBits {
-		m.mask, _ = t.masks.Get().(*bitset.Set)
+		m.mask, _ = t.shared.masks.Get().(*bitset.Set)
 		if m.mask == nil {
 			m.mask = bitset.New(t.data.UniverseSize())
 		}
@@ -90,7 +90,7 @@ func (t *Table) newMatcher(target txn.Transaction) matcher {
 func (t *Table) releaseMatcher(m matcher) {
 	if m.mask != nil {
 		m.target.ClearBits(m.mask)
-		t.masks.Put(m.mask)
+		t.shared.masks.Put(m.mask)
 	}
 }
 
@@ -106,7 +106,7 @@ func (m *matcher) matchHamming(tr txn.Transaction) (match, hamming int) {
 // getEntryBuf and putEntryBuf pool the scored-candidate buffers the
 // parallel search workers fill (see parallel_search.go).
 func (t *Table) getEntryBuf() *entryBuf {
-	if b, _ := t.bufs.Get().(*entryBuf); b != nil {
+	if b, _ := t.shared.bufs.Get().(*entryBuf); b != nil {
 		return b
 	}
 	return &entryBuf{}
@@ -114,5 +114,5 @@ func (t *Table) getEntryBuf() *entryBuf {
 
 func (t *Table) putEntryBuf(b *entryBuf) {
 	*b = entryBuf{cands: b.cands[:0]}
-	t.bufs.Put(b)
+	t.shared.bufs.Put(b)
 }

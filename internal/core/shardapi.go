@@ -288,10 +288,11 @@ func NewShardScorer(t *Table, targets []txn.Transaction, f simfun.Func) *ShardSc
 // scan. A coordinate with no entry is a no-op. Page fetches accumulate
 // into reads when non-nil.
 func (s *ShardScorer) ScanCoord(c signature.Coord, reads *atomic.Int64, fn func(id txn.TID, value float64) bool) {
-	e := s.t.byCoord[c]
-	if e == nil {
+	slot, ok := s.t.byCoord[c]
+	if !ok {
 		return
 	}
+	e := s.t.entries[slot]
 	if len(s.fs) == 1 {
 		// Single target: fuse decode and scoring, like Query's serial
 		// and parallel engines.
@@ -327,8 +328,10 @@ func (s *ShardScorer) PrefetchCoords(ctx context.Context, coords []signature.Coo
 	}
 	var pages []pager.PageID
 	for _, c := range coords {
-		if e := s.t.byCoord[c]; e != nil && len(e.list.Pages) > 0 {
-			pages = append(pages, e.list.Pages...)
+		if slot, ok := s.t.byCoord[c]; ok {
+			for _, l := range s.t.entries[slot].lists {
+				pages = append(pages, l.Pages...)
+			}
 		}
 	}
 	if len(pages) > 0 {

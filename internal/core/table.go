@@ -26,14 +26,18 @@ import (
 
 // Entry is one occupied supercoordinate: the set of transactions whose
 // activation pattern equals Coord. Transactions live either in memory
-// (TIDs) or on simulated disk pages (List), mirroring the paper's
-// memory-resident table with disk-resident transaction lists.
+// (TIDs) or on simulated disk pages, mirroring the paper's
+// memory-resident table with disk-resident transaction lists. A
+// disk-mode entry may hold several page-list segments: the build writes
+// one, and each overflow flush appends another holding the inserts
+// accumulated since the last flush; tids is the not-yet-flushed
+// overflow that scans after the segments.
 type Entry struct {
 	Coord signature.Coord
 	Count int
 
-	tids []txn.TID  // memory mode
-	list pager.List // disk mode
+	tids  []txn.TID    // memory mode, or disk-mode overflow
+	lists []pager.List // disk mode: page segments in append order
 }
 
 // TIDs returns the entry's live transaction ids. In disk mode this
@@ -78,7 +82,8 @@ type BuildOptions struct {
 	// DecodeCacheBytes, when positive with PageSize, attaches a
 	// decoded-entry cache of that many bytes to the store: repeat scans
 	// of a hot entry skip page fetches and varint decoding entirely.
-	// Mutations invalidate the cache by generation bump (see
+	// Snapshot mutations evict only the mutated entry's cached decode;
+	// rebuilds invalidate globally by generation bump (see
 	// pager.DecodeCache).
 	DecodeCacheBytes int64
 	// Parallelism bounds the goroutines used by every build phase —
@@ -95,7 +100,19 @@ type BuildOptions struct {
 	// (in-memory page stores included — useful for tests); a negative
 	// value disables prefetch. Queries opt in via ReadaheadDepth.
 	PrefetchWorkers int
+	// FlushThreshold bounds the in-memory overflow of a disk-mode
+	// entry: when a snapshot insert grows an entry's overflow to this
+	// many transactions, the overflow is encoded onto fresh pages
+	// appended to the entry's list. 0 selects the default
+	// (DefaultFlushThreshold); negative disables flushing (overflow
+	// grows until Rebuild). Ignored in memory mode.
+	FlushThreshold int
 }
+
+// DefaultFlushThreshold is the overflow size at which a snapshot insert
+// flushes an entry's in-memory overflow to pages when
+// BuildOptions.FlushThreshold is zero.
+const DefaultFlushThreshold = 128
 
 // BuildStats reports how long each build phase took and how many
 // workers ran it — the wall-time breakdown /v1/stats and the
@@ -117,18 +134,55 @@ type BuildStats struct {
 // Total is the summed wall time of the core build phases.
 func (s BuildStats) Total() time.Duration { return s.Coords + s.Group + s.Write }
 
-// Table is the signature table index over one dataset. A Table must
-// not be copied after first use (it embeds pools).
+// tableShared is the state every snapshot of one table lineage shares:
+// the per-query buffer pools and the overflow counters. It lives behind
+// a pointer so the copy-on-write snapshot machinery can copy the Table
+// struct itself (sync.Pool must not be copied after first use).
+type tableShared struct {
+	// Per-query buffer pools (see scratch.go). Zero values are valid,
+	// so every Table construction path (Build, ReadTable, Rebuild)
+	// gets them for free.
+	scratch sync.Pool // *queryScratch: entry queue + overlap slice
+	masks   sync.Pool // *bitset.Set: all-zero target membership bitmaps
+	bufs    sync.Pool // *entryBuf: parallel workers' scored-candidate buffers
+
+	// Overflow accounting across the lineage (monotone, so metric
+	// scrapes survive snapshot swaps).
+	overflowTxns atomic.Uint64 // transactions appended to disk-mode overflow
+	flushes      atomic.Uint64 // overflow flushes performed
+	flushNanos   atomic.Int64  // cumulative wall time spent flushing
+}
+
+// Table is the signature table index over one dataset.
+//
+// Entries are kept in slot order: Build numbers the coordinate-sorted
+// entries 0..n-1, and every later insert of a novel coordinate appends
+// the next slot — entries[s] is always the entry at directory slot s.
+// (The seed kept the slice coordinate-sorted and paid an O(n) shift per
+// novel insert; nothing in the query path depends on that order — entry
+// visiting order is decided by the ranked comparator, which breaks
+// every tie by the unique coordinate.)
+//
+// A Table mutated through the snapshot API (InsertSnapshot,
+// DeleteSnapshot) is immutable: those methods return a derived copy
+// sharing all untouched structure, and the original remains exactly as
+// it was, so readers holding it need no lock. The legacy in-place
+// mutators (Insert, Delete) still exist for single-writer use; the two
+// protocols must not be mixed on one lineage.
 type Table struct {
 	part    *signature.Partition
 	r       int
 	data    *txn.Dataset
-	entries []*Entry // occupied supercoordinates only
-	byCoord map[signature.Coord]*Entry
-	store   *pager.Store // nil in memory mode
-	dir     *directory   // columnar activation index over the entries
-	live    int          // non-deleted transactions
-	deleted []bool       // tombstones by TID; nil until the first Delete
+	entries []*Entry                   // occupied supercoordinates, slot order
+	byCoord map[signature.Coord]int32  // coordinate -> slot
+	slotOf  []int32                    // TID -> slot, memoized at build/insert
+	store   *pager.Store               // nil in memory mode
+	dir     *directory                 // columnar activation index over the entries
+	live    int                        // non-deleted transactions
+	deleted []bool                     // tombstones by TID; nil until the first Delete
+	version uint64                     // snapshot version, bumped per mutation
+
+	flushThreshold int // resolved BuildOptions.FlushThreshold (<0 disables)
 
 	pageFile string // base path of a file-backed store ("" = in-memory pages)
 	pageGen  int    // rebuild generation, distinguishes derived file names
@@ -137,13 +191,13 @@ type Table struct {
 	prefetchWorkers int        // requested PrefetchWorkers, reused by Rebuild
 	buildStats      BuildStats // phase wall times of the constructing Build
 
-	// Per-query buffer pools (see scratch.go). Zero values are valid,
-	// so every Table construction path (Build, ReadTable, Rebuild)
-	// gets them for free.
-	scratch sync.Pool // *queryScratch: entry queue + overlap slice
-	masks   sync.Pool // *bitset.Set: all-zero target membership bitmaps
-	bufs    sync.Pool // *entryBuf: parallel workers' scored-candidate buffers
+	shared *tableShared // pools + overflow counters, shared by all snapshots
 }
+
+// Version reports the table's snapshot version: 0 at build, +1 per
+// mutation. Snapshots derived by InsertSnapshot/DeleteSnapshot carry
+// the version of the mutation that produced them.
+func (t *Table) Version() uint64 { return t.version }
 
 // Build constructs the signature table for a dataset over a given
 // signature partition. The partition's universe must match the
@@ -168,6 +222,11 @@ func Build(data *txn.Dataset, part *signature.Partition, opt BuildOptions) (*Tab
 		live:            data.Len(),
 		buildPar:        opt.Parallelism,
 		prefetchWorkers: opt.PrefetchWorkers,
+		flushThreshold:  opt.FlushThreshold,
+		shared:          &tableShared{},
+	}
+	if t.flushThreshold == 0 {
+		t.flushThreshold = DefaultFlushThreshold
 	}
 
 	workers := buildWorkers(data.Len(), opt.Parallelism)
@@ -178,9 +237,18 @@ func Build(data *txn.Dataset, part *signature.Partition, opt BuildOptions) (*Tab
 	t.buildStats.Coords = time.Since(start)
 
 	start = time.Now()
-	t.entries, t.byCoord = groupCoords(coords, workers)
-	// Deterministic entry order independent of insertion.
+	t.entries = groupCoords(coords, workers)
+	// Deterministic entry order independent of insertion: slot order
+	// equals coordinate order at build time.
 	sort.Slice(t.entries, func(i, j int) bool { return t.entries[i].Coord < t.entries[j].Coord })
+	t.byCoord = make(map[signature.Coord]int32, len(t.entries))
+	t.slotOf = make([]int32, data.Len())
+	for i, e := range t.entries {
+		t.byCoord[e.Coord] = int32(i)
+		for _, id := range e.tids {
+			t.slotOf[id] = int32(i)
+		}
+	}
 	t.dir = newDirectory(part.K(), t.entries)
 	t.buildStats.Group = time.Since(start)
 
@@ -271,7 +339,9 @@ func (t *Table) Len() int { return t.data.Len() }
 // the conceptual 2^K table cells).
 func (t *Table) NumEntries() int { return len(t.entries) }
 
-// Entries returns the occupied entries in coordinate order (read-only).
+// Entries returns the occupied entries in slot order — coordinate
+// order as of the last Build/Rebuild, with post-build novel
+// coordinates appended (read-only).
 func (t *Table) Entries() []*Entry { return t.entries }
 
 // Store exposes the simulated disk store, or nil in memory mode.
@@ -296,13 +366,15 @@ func (t *Table) scanEntry(e *Entry, reads *atomic.Int64, fn func(id txn.TID, tr 
 		return true
 	}
 	if t.store != nil {
-		if err := t.store.ScanList(e.list, reads, visit); err != nil {
-			// Lists are written by Build from validated data; a decode
-			// failure means internal corruption.
-			panic(fmt.Sprintf("core: corrupt entry %#x: %v", e.Coord, err))
-		}
-		if stopped {
-			return
+		for _, l := range e.lists {
+			if err := t.store.ScanList(l, reads, visit); err != nil {
+				// Lists are written by Build from validated data; a decode
+				// failure means internal corruption.
+				panic(fmt.Sprintf("core: corrupt entry %#x: %v", e.Coord, err))
+			}
+			if stopped {
+				return
+			}
 		}
 	}
 	for _, id := range e.tids {
@@ -325,7 +397,7 @@ func (t *Table) scanEntry(e *Entry, reads *atomic.Int64, fn func(id txn.TID, tr 
 func (t *Table) scanEntryStats(e *Entry, m *matcher, reads *atomic.Int64, fn func(id txn.TID, match, hamming int) bool) {
 	if t.store != nil && m.mask != nil {
 		stopped := false
-		err := t.store.ScanListStats(e.list, reads, m.mask, len(m.target), func(id txn.TID, x, y int) bool {
+		visit := func(id txn.TID, x, y int) bool {
 			if t.deleted != nil && t.deleted[id] {
 				return true
 			}
@@ -334,12 +406,14 @@ func (t *Table) scanEntryStats(e *Entry, m *matcher, reads *atomic.Int64, fn fun
 				return false
 			}
 			return true
-		})
-		if err != nil {
-			panic(fmt.Sprintf("core: corrupt entry %#x: %v", e.Coord, err))
 		}
-		if stopped {
-			return
+		for _, l := range e.lists {
+			if err := t.store.ScanListStats(l, reads, m.mask, len(m.target), visit); err != nil {
+				panic(fmt.Sprintf("core: corrupt entry %#x: %v", e.Coord, err))
+			}
+			if stopped {
+				return
+			}
 		}
 		for _, id := range e.tids {
 			if t.deleted != nil && t.deleted[id] {

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"sigtable/internal/txn"
 )
@@ -12,12 +11,16 @@ import (
 // transaction to the dataset and to its supercoordinate's entry; a
 // delete tombstones the TID. In disk mode inserted transactions live in
 // a per-entry in-memory overflow that scans after the entry's pages
-// (a real system would flush overflows to fresh pages periodically;
-// Rebuild does the equivalent here).
+// (snapshot inserts flush overflows to fresh pages at the flush
+// threshold; Rebuild compacts everything).
 //
-// At this layer mutations are not safe to run concurrently with
-// queries or each other; the public Index wraps the table in a
-// read-write lock that serializes them.
+// Two mutation protocols exist. The legacy in-place mutators below are
+// not safe to run concurrently with queries or each other — callers
+// serialize them behind a read-write lock, the seed Index's discipline.
+// The snapshot mutators (snapshot.go) instead derive a new immutable
+// table per mutation, which the public Index publishes atomically so
+// queries never take a lock at all. One lineage must stick to one
+// protocol.
 
 // Insert adds a transaction to the index (and its dataset), returning
 // the assigned TID.
@@ -27,30 +30,32 @@ func (t *Table) Insert(tr txn.Transaction) txn.TID {
 		t.deleted = append(t.deleted, false)
 	}
 	coord := t.part.Coord(tr, t.r)
-	e := t.byCoord[coord]
-	if e == nil {
-		e = &Entry{Coord: coord}
-		t.byCoord[coord] = e
-		// Keep the entries slice sorted by coordinate.
-		i := sort.Search(len(t.entries), func(i int) bool { return t.entries[i].Coord >= coord })
-		t.entries = append(t.entries, nil)
-		copy(t.entries[i+1:], t.entries[i:])
-		t.entries[i] = e
-		// The directory appends: slots are stable, so the sorted
-		// position here and the slot number there never need to agree.
+	slot, ok := t.byCoord[coord]
+	if !ok {
+		// Novel coordinate: append the next slot. Entries are kept in
+		// slot order (not coordinate order), so this is O(1) where the
+		// seed shifted the whole sorted slice.
+		slot = int32(len(t.entries))
+		t.entries = append(t.entries, &Entry{Coord: coord})
+		t.byCoord[coord] = slot
 		if t.dir != nil {
-			t.dir.addSlot(e)
+			t.dir.addSlot(coord)
 		}
 	}
+	e := t.entries[slot]
 	e.tids = append(e.tids, id) // overflow list in disk mode
 	e.Count++
+	t.slotOf = append(t.slotOf, slot)
 	t.live++
+	t.version++
 	if t.store != nil {
+		t.shared.overflowTxns.Add(1)
 		// Overflow inserts scan after an entry's pages, so a cached page
 		// decode cannot serve the new transaction by itself — but the
 		// invalidation protocol is by construction, not by that layering
 		// argument: any logical change to a list's contents bumps the
-		// generation.
+		// generation. (The snapshot protocol narrows this to the one
+		// mutated list; the legacy path keeps the global bump.)
 		t.store.InvalidateDecodes()
 	}
 	return id
@@ -71,11 +76,12 @@ func (t *Table) Delete(id txn.TID) bool {
 		return false
 	}
 	t.deleted[id] = true
-	coord := t.part.Coord(t.data.Get(id), t.r)
-	if e := t.byCoord[coord]; e != nil {
-		e.Count--
-	}
+	// The TID→slot memo replaces the seed's full coordinate
+	// recomputation (hashing every item of the transaction) with one
+	// slice index.
+	t.entries[t.slotOf[id]].Count--
 	t.live--
+	t.version++
 	if t.store != nil {
 		// Tombstones are filtered above the pager, so cached raw decodes
 		// never surface a deleted transaction — the bump keeps the
@@ -113,7 +119,7 @@ func (t *Table) RebuildParallel(parallelism int) (*Table, error) {
 		}
 		compact.Append(tr)
 	}
-	opt := BuildOptions{ActivationThreshold: t.r, Parallelism: parallelism, PrefetchWorkers: t.prefetchWorkers}
+	opt := BuildOptions{ActivationThreshold: t.r, Parallelism: parallelism, PrefetchWorkers: t.prefetchWorkers, FlushThreshold: t.flushThreshold}
 	gen := 0
 	if t.store != nil {
 		opt.PageSize = t.store.PageSize()
@@ -140,5 +146,10 @@ func (t *Table) RebuildParallel(parallelism int) (*Table, error) {
 	if t.pageFile != "" {
 		nt.pageFile, nt.pageGen = t.pageFile, gen
 	}
+	// Adopt the lineage's shared state so the overflow counters stay
+	// monotone across the swap (pools are safe to share; the stale
+	// table remains queryable).
+	nt.shared = t.shared
+	nt.version = t.version + 1
 	return nt, nil
 }

@@ -12,7 +12,8 @@ import (
 // invariant sweep a storage engine exposes for post-crash or
 // post-migration verification:
 //
-//  1. entries are sorted by coordinate and unique,
+//  1. entries are unique by coordinate and the coordinate map and
+//     TID→slot memo agree with the slot order,
 //  2. every live transaction is indexed exactly once, under the
 //     coordinate its items recompute to,
 //  3. per-entry live counts match,
@@ -23,14 +24,16 @@ func (t *Table) Validate() error {
 	seen := make([]bool, t.data.Len())
 	liveTotal := 0
 
-	var prev *Entry
-	for _, e := range t.entries {
-		if prev != nil && prev.Coord >= e.Coord {
-			return fmt.Errorf("core: entries out of order: %#x then %#x", prev.Coord, e.Coord)
-		}
-		prev = e
-		if t.byCoord[e.Coord] != e {
-			return fmt.Errorf("core: entry %#x missing from coordinate map", e.Coord)
+	if len(t.byCoord) != len(t.entries) {
+		return fmt.Errorf("core: coordinate map has %d entries for %d slots", len(t.byCoord), len(t.entries))
+	}
+	if t.slotOf != nil && len(t.slotOf) != t.data.Len() {
+		return fmt.Errorf("core: TID→slot memo covers %d of %d transactions", len(t.slotOf), t.data.Len())
+	}
+	for i, e := range t.entries {
+		slot := int32(i)
+		if got, ok := t.byCoord[e.Coord]; !ok || got != slot {
+			return fmt.Errorf("core: entry %#x at slot %d maps to slot %d in the coordinate map", e.Coord, slot, got)
 		}
 
 		liveInEntry := 0
@@ -53,6 +56,10 @@ func (t *Table) Validate() error {
 			}
 			if !tr.Equal(t.data.Get(id)) {
 				scanErr = fmt.Errorf("core: TID %d stored transaction differs from dataset", id)
+				return false
+			}
+			if t.slotOf != nil && t.slotOf[id] != slot {
+				scanErr = fmt.Errorf("core: TID %d memoized to slot %d but lives in slot %d", id, t.slotOf[id], slot)
 				return false
 			}
 			return true

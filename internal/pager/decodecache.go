@@ -47,6 +47,9 @@ type DecodeCache struct {
 	hits   atomic.Int64
 	misses atomic.Int64
 	bytes  atomic.Int64 // decoded payload bytes currently resident
+
+	listInvs   atomic.Uint64 // InvalidateList calls (per-list scope)
+	globalInvs atomic.Uint64 // Invalidate calls (global scope)
 }
 
 // decodeShard is one independently locked LRU segment. Entries hang off
@@ -105,10 +108,35 @@ func (c *DecodeCache) shard(key uint64) *decodeShard {
 // Invalidate bumps the generation, atomically orphaning every cached
 // decode: subsequent lookups miss and the stale entries are dropped on
 // first touch or by eviction pressure.
-func (c *DecodeCache) Invalidate() { c.gen.Add(1) }
+func (c *DecodeCache) Invalidate() {
+	c.gen.Add(1)
+	c.globalInvs.Add(1)
+}
+
+// InvalidateList evicts the single cached decode identified by key (the
+// pager's listKey), leaving every other resident decode — and the
+// generation — untouched. It is the fine-grained alternative to
+// Invalidate for mutations whose blast radius is one entry's list: the
+// other entries stay warm. A key with no resident decode is a no-op but
+// still counts as a per-list invalidation.
+func (c *DecodeCache) InvalidateList(key uint64) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if d, ok := s.index[key]; ok {
+		s.remove(d, c)
+	}
+	s.mu.Unlock()
+	c.listInvs.Add(1)
+}
 
 // Generation reports the current generation (diagnostics).
 func (c *DecodeCache) Generation() uint64 { return c.gen.Load() }
+
+// Invalidations reports the cumulative invalidation counts by scope:
+// per-list (InvalidateList) and global (Invalidate generation bumps).
+func (c *DecodeCache) Invalidations() (list, global uint64) {
+	return c.listInvs.Load(), c.globalInvs.Load()
+}
 
 // Stats reports cumulative lookup hits and misses.
 func (c *DecodeCache) Stats() (hits, misses int64) {

@@ -326,6 +326,20 @@ func (s *Store) InvalidateDecodes() {
 	}
 }
 
+// InvalidateList evicts the cached decode of one list (no-op without a
+// cache or for a pageless list), leaving every other entry's decode
+// resident. This is the fine-grained counterpart of InvalidateDecodes
+// for mutations scoped to a single entry's list: pages are write-once,
+// so decodes of other lists cannot have gone stale, and the prefetch
+// generation is deliberately left alone — in-flight prefetches only
+// warm the buffer pool with immutable pages.
+func (s *Store) InvalidateList(l List) {
+	if s.decodes == nil || len(l.Pages) == 0 {
+		return
+	}
+	s.decodes.InvalidateList(listKey(l))
+}
+
 // appendPage allocates a new page containing data (len <= pageSize).
 func (s *Store) appendPage(data []byte) PageID {
 	if len(data) > s.pageSize {

@@ -118,6 +118,26 @@ func newOpMetrics(reg *metrics.Registry, s *Server) *opMetrics {
 		return float64(s.data.UniverseSize())
 	})
 
+	// Snapshot and overflow telemetry: the published-snapshot version
+	// advances with every Insert/Delete (summed across shards on a
+	// sharded engine), and the overflow family tracks the disk-mode
+	// batched flush pipeline (DESIGN.md §4i).
+	reg.GaugeFunc("sigtable_snapshot_version", "published table snapshot version (monotone per mutation; summed across shards)", func() float64 {
+		return float64(s.idx.SnapshotVersion())
+	})
+	reg.CounterFunc("sigtable_overflow_transactions", "inserts absorbed by in-memory overflow buffers since build", func() float64 {
+		return float64(s.idx.OverflowStats().Transactions)
+	})
+	reg.GaugeFunc("sigtable_overflow_pending", "overflow transactions buffered in memory, not yet flushed to pages", func() float64 {
+		return float64(s.idx.OverflowStats().Pending)
+	})
+	reg.CounterFunc("sigtable_overflow_flushes_total", "batched overflow flushes that encoded buffered inserts into fresh page segments", func() float64 {
+		return float64(s.idx.OverflowStats().Flushes)
+	})
+	reg.CounterFunc("sigtable_overflow_flush_seconds", "cumulative wall time spent encoding overflow flush segments", func() float64 {
+		return s.idx.OverflowStats().FlushSeconds
+	})
+
 	// Build-phase wall times of the most recent build (initial
 	// BuildIndex, refreshed by /v1/rebuild).
 	reg.GaugeFunc("sigtable_build_workers", "resolved worker count of the last index build", func() float64 {
@@ -328,8 +348,21 @@ func newOpMetrics(reg *metrics.Registry, s *Server) *opMetrics {
 			cacheStat(func(c *pager.DecodeCache) float64 { h, _ := c.Stats(); return float64(h) }))
 		reg.CounterFunc("sigtable_decode_cache_misses_total", "entry scans that decoded pages",
 			cacheStat(func(c *pager.DecodeCache) float64 { _, mi := c.Stats(); return float64(mi) }))
-		reg.CounterFunc("sigtable_decode_cache_invalidations_total", "generation bumps orphaning all cached decodes",
-			cacheStat(func(c *pager.DecodeCache) float64 { return float64(c.Generation()) }))
+		// Invalidations split by scope: "list" evictions drop one entry's
+		// cached decode (the fine-grained path mutations take), "global"
+		// generation bumps orphan every cached decode (rebuilds).
+		reg.CounterVecFunc("sigtable_decode_cache_invalidations_total", "cached-decode invalidations by scope (list = one entry evicted, global = generation bump orphaning all)", "scope",
+			func() []metrics.LabeledValue {
+				c := cache()
+				if c == nil {
+					return nil
+				}
+				list, global := c.Invalidations()
+				return []metrics.LabeledValue{
+					{Label: "list", Value: float64(list)},
+					{Label: "global", Value: float64(global)},
+				}
+			})
 		reg.GaugeFunc("sigtable_decode_cache_bytes", "decoded payload bytes resident in the cache",
 			cacheStat(func(c *pager.DecodeCache) float64 { return float64(c.Bytes()) }))
 		reg.GaugeFunc("sigtable_decode_cache_capacity_bytes", "configured decode-cache byte budget",

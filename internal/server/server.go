@@ -36,9 +36,10 @@
 // returns the partial result with "interrupted": true and
 // "certified": false.
 //
-// Concurrency control lives in the Index itself: queries take its
-// shared lock and run concurrently, inserts and deletes take the
-// exclusive lock. Query-path requests accept a "parallelism" field
+// Concurrency control lives in the engine itself: queries run
+// lock-free against an immutable published snapshot, while inserts and
+// deletes derive and publish a new snapshot without ever blocking
+// them. Query-path requests accept a "parallelism" field
 // selecting the number of scan goroutines inside one search (0 uses
 // Options.QueryParallelism). A semaphore bounds in-flight requests
 // (Options.MaxConcurrent); request-ID and access-log middleware wrap
@@ -311,8 +312,8 @@ type BatchResponse struct {
 }
 
 // InsertRequest is the /v1/insert body: either a single transaction
-// (items) or several (batch), not both. A batch is applied under one
-// exclusive-lock acquisition.
+// (items) or several (batch), not both. A batch is applied as one
+// snapshot publication.
 type InsertRequest struct {
 	Items []sigtable.Item   `json:"items,omitempty"`
 	Batch [][]sigtable.Item `json:"batch,omitempty"`
@@ -417,15 +418,19 @@ type PoolInfo struct {
 // DecodeCacheInfo is the /v1/stats decode-cache section (absent when no
 // cache is attached): the hot-entry cache that memoizes fully decoded
 // transaction lists so repeat scans skip both page fetches and varint
-// decoding.
+// decoding. ListInvalidations counts fine-grained single-entry
+// evictions (the path mutations take); GlobalInvalidations counts
+// generation bumps that orphan every cached decode (rebuilds).
 type DecodeCacheInfo struct {
-	Hits       int64   `json:"hits"`
-	Misses     int64   `json:"misses"`
-	HitRate    float64 `json:"hitRate"`
-	Bytes      int64   `json:"bytes"`
-	Capacity   int64   `json:"capacity"`
-	Lists      int     `json:"lists"`
-	Generation uint64  `json:"generation"`
+	Hits                int64   `json:"hits"`
+	Misses              int64   `json:"misses"`
+	HitRate             float64 `json:"hitRate"`
+	Bytes               int64   `json:"bytes"`
+	Capacity            int64   `json:"capacity"`
+	Lists               int     `json:"lists"`
+	Generation          uint64  `json:"generation"`
+	ListInvalidations   uint64  `json:"listInvalidations"`
+	GlobalInvalidations uint64  `json:"globalInvalidations"`
 }
 
 // StorageInfo is the /v1/stats storage section (absent in memory
@@ -464,6 +469,24 @@ type PrefetchInfo struct {
 	Dropped int64 `json:"dropped"`
 }
 
+// SnapshotInfo is the /v1/stats snapshot section: the engine's
+// published-snapshot version, a monotone counter advancing with every
+// Insert/Delete (summed across shards on a sharded engine).
+type SnapshotInfo struct {
+	Version uint64 `json:"version"`
+}
+
+// OverflowInfo is the /v1/stats overflow section: the batched
+// overflow-flush pipeline that buffers disk-mode inserts in memory and
+// periodically encodes them into fresh page segments (DESIGN.md §4i).
+// All-zero in memory mode or with flushing disabled.
+type OverflowInfo struct {
+	Transactions uint64  `json:"transactions"`
+	Pending      int     `json:"pending"`
+	Flushes      uint64  `json:"flushes"`
+	FlushSeconds float64 `json:"flushSeconds"`
+}
+
 // ShardInfo is one row of the /v1/stats shards section: the shard's
 // sizes and its query fan-out, lock-wait and page-read counters.
 type ShardInfo struct {
@@ -498,6 +521,8 @@ type StatsResponse struct {
 	Entries      int              `json:"entries"`
 	Universe     int              `json:"universe"`
 	Build        BuildInfo        `json:"build"`
+	Snapshot     SnapshotInfo     `json:"snapshot"`
+	Overflow     OverflowInfo     `json:"overflow"`
 	Directory    *DirectoryInfo   `json:"directory,omitempty"`
 	Storage      *StorageInfo     `json:"storage,omitempty"`
 	Pool         *PoolInfo        `json:"pool,omitempty"`
@@ -628,6 +653,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			WriteMS:     ms(bs.Write),
 			TotalMS:     ms(bs.Total()),
 		},
+		Snapshot: SnapshotInfo{Version: s.idx.SnapshotVersion()},
+	}
+	ov := s.idx.OverflowStats()
+	resp.Overflow = OverflowInfo{
+		Transactions: ov.Transactions,
+		Pending:      ov.Pending,
+		Flushes:      ov.Flushes,
+		FlushSeconds: ov.FlushSeconds,
 	}
 	ds := s.idx.DirectoryStats()
 	resp.Directory = &DirectoryInfo{
@@ -684,14 +717,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		if dc := store.DecodeCache(); dc != nil {
 			hits, misses := dc.Stats()
+			listInvs, globalInvs := dc.Invalidations()
 			resp.DecodeCache = &DecodeCacheInfo{
-				Hits:       hits,
-				Misses:     misses,
-				HitRate:    dc.HitRate(),
-				Bytes:      dc.Bytes(),
-				Capacity:   dc.Capacity(),
-				Lists:      dc.Len(),
-				Generation: dc.Generation(),
+				Hits:                hits,
+				Misses:              misses,
+				HitRate:             dc.HitRate(),
+				Bytes:               dc.Bytes(),
+				Capacity:            dc.Capacity(),
+				Lists:               dc.Len(),
+				Generation:          dc.Generation(),
+				ListInvalidations:   listInvs,
+				GlobalInvalidations: globalInvs,
 			}
 		}
 		if pf := store.Prefetcher(); pf != nil {
@@ -962,10 +998,10 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, InsertResponse{TID: id})
 }
 
-// handleRebuild compacts the index in place. The exclusive lock is
-// held for the whole rebuild, so this endpoint's latency is the
-// "queries queue behind a compaction" number an operator watches; the
-// sigtable_rebuild_duration_seconds histogram records it.
+// handleRebuild compacts the index in place. Queries keep running
+// against the old snapshot for the whole rebuild; only concurrent
+// mutations queue behind the writer mutex, and that window is what the
+// sigtable_rebuild_duration_seconds histogram records.
 func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 	var req RebuildRequest
 	// An empty body is a rebuild with defaults.

@@ -580,7 +580,8 @@ func TestBatchValidationEnvelope(t *testing.T) {
 // TestDecodeCacheStatsAndMetrics runs a disk-backed server with the
 // decode cache attached and checks the cache surfaces in /v1/stats and
 // /v1/metrics, that hits accumulate across repeat queries, and that an
-// insert bumps the invalidation generation.
+// insert records a fine-grained per-list invalidation WITHOUT bumping
+// the global generation (only rebuilds orphan the whole cache).
 func TestDecodeCacheStatsAndMetrics(t *testing.T) {
 	g, err := sigtable.NewGenerator(sigtable.GeneratorConfig{
 		UniverseSize: 200, NumItemsets: 300, Seed: 3,
@@ -636,11 +637,21 @@ func TestDecodeCacheStatsAndMetrics(t *testing.T) {
 	}
 
 	gen := st.DecodeCache.Generation
+	listInvs := st.DecodeCache.ListInvalidations
 	if code := post(t, ts.URL+"/v1/insert", InsertRequest{Items: data.Get(3)}, nil); code != http.StatusOK {
 		t.Fatalf("insert: status %d", code)
 	}
-	if st = stats(); st.DecodeCache.Generation <= gen {
-		t.Fatalf("insert did not bump generation: %d -> %d", gen, st.DecodeCache.Generation)
+	if st = stats(); st.DecodeCache.Generation != gen {
+		t.Fatalf("insert bumped the global generation: %d -> %d (wanted a per-list invalidation)", gen, st.DecodeCache.Generation)
+	}
+	if st.DecodeCache.ListInvalidations <= listInvs {
+		t.Fatalf("insert did not record a per-list invalidation: %d -> %d", listInvs, st.DecodeCache.ListInvalidations)
+	}
+	if st.Snapshot.Version == 0 {
+		t.Fatalf("snapshot version still zero after insert: %+v", st.Snapshot)
+	}
+	if st.Overflow.Transactions == 0 || st.Overflow.Pending == 0 {
+		t.Fatalf("insert not accounted by the overflow section: %+v", st.Overflow)
 	}
 
 	resp, err := http.Get(ts.URL + "/v1/metrics")
@@ -652,7 +663,8 @@ func TestDecodeCacheStatsAndMetrics(t *testing.T) {
 	for _, want := range []string{
 		"sigtable_decode_cache_hits_total",
 		"sigtable_decode_cache_misses_total",
-		"sigtable_decode_cache_invalidations_total",
+		`sigtable_decode_cache_invalidations_total{scope="list"}`,
+		`sigtable_decode_cache_invalidations_total{scope="global"}`,
 		"sigtable_decode_cache_bytes",
 		"sigtable_decode_cache_capacity_bytes 4.194304e+06",
 		"sigtable_decode_cache_lists",

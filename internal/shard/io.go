@@ -30,21 +30,19 @@ import (
 // which case the index must be rebuilt from its dataset before it can
 // be persisted.
 func (x *Index) WriteTo(w io.Writer) (int64, error) {
+	// The routing lock excludes mutations, so the loaded snapshots are
+	// the current ones and stay consistent with route.loc throughout.
 	x.route.mu.RLock()
 	defer x.route.mu.RUnlock()
-	for _, s := range x.shards {
-		s.mu.RLock()
-	}
-	defer func() {
-		for i := len(x.shards) - 1; i >= 0; i-- {
-			x.shards[i].mu.RUnlock()
-		}
-	}()
-
+	states := make([]*shardState, len(x.shards))
 	for i, s := range x.shards {
-		if s.table.Live() != s.table.Len() {
+		states[i] = s.load()
+	}
+
+	for i, st := range states {
+		if st.table.Live() != st.table.Len() {
 			return 0, fmt.Errorf("shard: shard %d has %d tombstoned transactions; CompactShard before persisting",
-				i, s.table.Len()-s.table.Live())
+				i, st.table.Len()-st.table.Live())
 		}
 	}
 	for g, l := range x.route.loc {
@@ -67,20 +65,20 @@ func (x *Index) WriteTo(w io.Writer) (int64, error) {
 	if err := writeU32(uint32(len(x.route.loc))); err != nil {
 		return n, err
 	}
-	for _, s := range x.shards {
-		if err := writeU32(uint32(len(s.globals))); err != nil {
+	for _, st := range states {
+		if err := writeU32(uint32(len(st.globals))); err != nil {
 			return n, err
 		}
-		for _, g := range s.globals {
+		for _, g := range st.globals {
 			if err := writeU32(uint32(g)); err != nil {
 				return n, err
 			}
 		}
 	}
 	var b8 [8]byte
-	for i, s := range x.shards {
+	for i, st := range states {
 		var buf bytes.Buffer
-		if _, err := s.table.WriteTo(&buf); err != nil {
+		if _, err := st.table.WriteTo(&buf); err != nil {
 			return n, fmt.Errorf("shard: serializing shard %d: %w", i, err)
 		}
 		binary.LittleEndian.PutUint64(b8[:], uint64(buf.Len()))
@@ -182,7 +180,7 @@ func Read(r io.Reader, data *txn.Dataset) (*Index, error) {
 		if err != nil {
 			return nil, fmt.Errorf("shard: loading shard %d: %w", i, err)
 		}
-		x.shards[i] = &shard{table: table, globals: globals}
+		x.shards[i] = newShard(table, globals)
 		for localID, g := range globals {
 			x.route.loc[g] = location{shard: int32(i), local: txn.TID(localID)}
 		}
@@ -191,10 +189,12 @@ func Read(r io.Reader, data *txn.Dataset) (*Index, error) {
 	// Every shard must share one partition and threshold (invariant 1);
 	// the serialized copies are equal by construction, so adopt shard
 	// 0's and verify the cheap fingerprints of the rest.
-	x.part = x.shards[0].table.Partition()
-	x.r = x.shards[0].table.ActivationThreshold()
+	t0 := x.shards[0].load().table
+	x.part = t0.Partition()
+	x.r = t0.ActivationThreshold()
 	for i, s := range x.shards[1:] {
-		if s.table.K() != x.part.K() || s.table.ActivationThreshold() != x.r {
+		t := s.load().table
+		if t.K() != x.part.K() || t.ActivationThreshold() != x.r {
 			return nil, fmt.Errorf("shard: shard %d partition disagrees with shard 0", i+1)
 		}
 	}

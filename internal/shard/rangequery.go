@@ -6,7 +6,6 @@ import (
 	"runtime"
 	"sort"
 	"sync"
-	"time"
 
 	"sigtable/internal/core"
 	"sigtable/internal/signature"
@@ -42,20 +41,17 @@ func (x *Index) RangeQuery(ctx context.Context, target txn.Transaction, constrai
 		wg.Add(1)
 		go func(i int, s *shard) {
 			defer wg.Done()
-			t0 := time.Now()
-			s.mu.RLock()
-			s.lockWait.Add(time.Since(t0).Nanoseconds())
-			defer s.mu.RUnlock()
+			st := s.load() // lock-free snapshot, exactly as scatterTopK
 			s.scans.Add(1)
 
-			outs[i].entries = s.table.EntrySummaries(nil)
-			r, err := s.table.RangeQuery(ctx, target, constraints, core.RangeOptions{Parallelism: 1})
+			outs[i].entries = st.table.EntrySummaries(nil)
+			r, err := st.table.RangeQuery(ctx, target, constraints, core.RangeOptions{Parallelism: 1})
 			if err != nil {
 				outs[i].err = err
 				return
 			}
 			for j, local := range r.TIDs {
-				r.TIDs[j] = s.globals[local]
+				r.TIDs[j] = st.globals[local]
 			}
 			outs[i].res = r
 		}(i, s)

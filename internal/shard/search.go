@@ -8,7 +8,6 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"sigtable/internal/core"
 	"sigtable/internal/signature"
@@ -19,28 +18,29 @@ import (
 
 // Scatter-gather top-k search.
 //
-// Each shard worker takes its own read lock, snapshots its entries,
-// then speculatively scores its entries in the global visiting order
-// restricted to its own coordinates (the same comparator over the same
-// bit-identical keys — so the restriction of the global order), and
-// streams one scored buffer per entry to the coordinator over a
-// bounded channel. The coordinator replays the serial branch-and-bound
-// loop over the merged coordinate set: it pops coordinates from a heap
-// in the exact single-table visiting order, applies the exact prune
-// predicate, and commits a scanned entry by K-way-merging the owning
-// shards' buffers in ascending global TID order — reproducing the
-// single table's within-entry scan order, so the top-k heap sees the
-// same (TID, value) sequence and breaks ties identically. Budget and
-// cancellation checks run at the serial cadence against the committed
-// Scanned count only, so early termination cuts at the same
-// transaction. Speculation past the commit frontier is discarded and
-// counted in EntriesSpeculated.
+// Each shard worker loads its shard's published snapshot, snapshots
+// its entries, then speculatively scores its entries in the global
+// visiting order restricted to its own coordinates (the same
+// comparator over the same bit-identical keys — so the restriction of
+// the global order), and streams one scored buffer per entry to the
+// coordinator over a bounded channel. The coordinator replays the
+// serial branch-and-bound loop over the merged coordinate set: it pops
+// coordinates from a heap in the exact single-table visiting order,
+// applies the exact prune predicate, and commits a scanned entry by
+// K-way-merging the owning shards' buffers in ascending global TID
+// order — reproducing the single table's within-entry scan order, so
+// the top-k heap sees the same (TID, value) sequence and breaks ties
+// identically. Budget and cancellation checks run at the serial
+// cadence against the committed Scanned count only, so early
+// termination cuts at the same transaction. Speculation past the
+// commit frontier is discarded and counted in EntriesSpeculated.
 //
-// Because every worker holds only ITS shard's read lock, a write lock
-// on one shard stalls only that shard's worker; the coordinator keeps
-// committing other shards' coordinates until it actually needs the
-// locked shard's stream — mutations on one shard do not drain queries
-// on the others.
+// Workers take NO lock at all: each runs against the immutable
+// snapshot it loaded, so a concurrent mutation — on its own shard or
+// any other — never stalls a scatter. The merged result is consistent
+// because each worker's (table, globals) pair is internally
+// consistent, and the coordinator's replay only requires per-shard
+// consistency plus the shared partition (invariant 1).
 
 // scatterWindow is each worker's channel depth: how many entries a
 // shard may score ahead of the commit frontier. Deeper windows hide
@@ -123,26 +123,24 @@ func (q *mergedQueue) popMax() *mergedEntry {
 	return top
 }
 
-// scatterTopK is the per-shard worker. It holds the shard's read lock
-// for its whole run (exactly as a single-index query holds the index
-// lock), publishes its snapshot, then streams scored entry buffers in
-// its restriction of the global visiting order until done or stopped.
+// scatterTopK is the per-shard worker. It loads the shard's current
+// snapshot once — its whole run is isolated against that version, the
+// way a single-index query runs against the table it loaded — then
+// streams scored entry buffers in its restriction of the global
+// visiting order until done or stopped.
 func (x *Index) scatterTopK(ctx context.Context, s *shard, targets []txn.Transaction, f simfun.Func, by core.SortCriterion,
 	readahead int, snap chan<- shardSnapshot, out chan<- entryBuffer, stop <-chan struct{}, stopped *atomic.Bool,
 	reads, produced *atomic.Int64, wg *sync.WaitGroup) {
 	defer wg.Done()
 	defer close(out)
 
-	t0 := time.Now()
-	s.mu.RLock()
-	s.lockWait.Add(time.Since(t0).Nanoseconds())
-	defer s.mu.RUnlock()
+	st := s.load()
 	s.scans.Add(1)
 	if h := scanStartHook.Load(); h != nil && *h != nil {
 		(*h)(s)
 	}
 
-	t := s.table
+	t := st.table
 	ents := t.EntrySummaries(nil)
 	snap <- shardSnapshot{entries: ents, live: t.Live()}
 	if len(ents) == 0 {
@@ -161,7 +159,7 @@ func (x *Index) scatterTopK(ctx context.Context, s *shard, targets []txn.Transac
 
 	scorer := core.NewShardScorer(t, targets, f)
 	defer scorer.Release()
-	globals := s.globals
+	globals := st.globals
 
 	// Readahead over this worker's restriction of the visiting order:
 	// before scanning a coordinate, offer the next depth upcoming
@@ -435,11 +433,9 @@ func (x *Index) Nearest(ctx context.Context, target txn.Transaction, f simfun.Fu
 func (x *Index) Explain(target txn.Transaction, f simfun.Func) core.Explanation {
 	counts := make(map[signature.Coord]int)
 	for _, s := range x.shards {
-		s.mu.RLock()
-		for _, e := range s.table.EntrySummaries(nil) {
+		for _, e := range s.load().table.EntrySummaries(nil) {
 			counts[e.Coord] += e.Count
 		}
-		s.mu.RUnlock()
 	}
 	plan := core.NewTargetPlan(x.part, x.r, []txn.Transaction{target}, f)
 	baseM, baseD := core.BoundBase(plan.Overlaps(), x.r)

@@ -3,8 +3,9 @@
 // store and decode cache) behind a single query surface. Queries
 // scatter across shards concurrently and gather into results that are
 // byte-identical to a single-table index over the same data; mutations
-// lock only the owning shard, so an insert on shard 3 never drains
-// queries running on shards 0–2.
+// publish a new per-shard snapshot under that shard's writer mutex, so
+// an insert on shard 3 never delays queries on any shard — not even
+// shard 3, whose in-flight readers keep their loaded snapshot.
 //
 // The identity guarantee rests on three invariants:
 //
@@ -68,27 +69,53 @@ type Options struct {
 	// negative disables. Workers are per shard — they serve only that
 	// shard's page file — so the count is passed through undivided.
 	PrefetchWorkers int
+	// FlushThreshold mirrors core.BuildOptions.FlushThreshold for every
+	// shard: the per-entry overflow size at which a snapshot insert
+	// flushes the entry's disk-mode overflow to fresh pages (0 = the
+	// core default, negative disables).
+	FlushThreshold int
 }
 
 // scanStartHook, when set, is called by each scatter worker right
-// after it registers its scan (under the shard's read lock). Tests use
+// after it registers its scan (its snapshot already loaded). Tests use
 // it as a deterministic "this shard's scan has started" signal instead
 // of polling counters; production never sets it. Atomic so installing
 // a hook cannot race in-flight queries under -race.
 var scanStartHook atomic.Pointer[func(*shard)]
 
-// shard is one sub-index: a core table over a shard-local dataset plus
-// the monotone local→global TID mapping.
-type shard struct {
-	mu      sync.RWMutex
+// shardState is one shard's atomically published snapshot: an
+// immutable core table plus the matching local→global TID mapping.
+// Readers load the pair once and run against it lock-free; writers
+// derive the next state under the shard's writer mutex (the snapshot
+// mutation protocol of core/snapshot.go, with the globals slice
+// extended by the same monotone shared-backing append as the table's
+// own spines).
+type shardState struct {
 	table   *core.Table
 	globals []txn.TID // local TID -> global TID, strictly increasing
-	gen     int       // rebalance generation, names fresh page files
+}
+
+// shard is one sub-index: the published snapshot behind a writer
+// mutex. Queries never touch wmu — they load state and go.
+type shard struct {
+	wmu   sync.Mutex                 // serializes mutations, compactions, close
+	state atomic.Pointer[shardState] // current published snapshot
+
+	gen     int           // rebalance generation, names fresh page files (under wmu)
+	retired []*core.Table // swapped-out tables, kept open for in-flight readers (under wmu)
 
 	// Telemetry, written lock-free by query workers.
 	scans    atomic.Int64 // queries that fanned out to this shard
-	lockWait atomic.Int64 // nanoseconds spent acquiring this shard's lock
+	lockWait atomic.Int64 // nanoseconds writers spent acquiring wmu
 }
+
+func newShard(t *core.Table, globals []txn.TID) *shard {
+	s := &shard{}
+	s.state.Store(&shardState{table: t, globals: globals})
+	return s
+}
+
+func (s *shard) load() *shardState { return s.state.Load() }
 
 // location routes a global TID to its shard-local slot. A negative
 // shard marks a TID whose transaction was compacted away.
@@ -97,9 +124,10 @@ type location struct {
 	local txn.TID
 }
 
-// Index is the sharded engine. Safe for concurrent use: queries take
-// per-shard read locks, mutations take the routing lock plus the
-// owning shard's write lock.
+// Index is the sharded engine. Safe for concurrent use: queries load
+// each shard's published snapshot without locking; mutations take the
+// routing lock plus the owning shard's writer mutex and publish a
+// derived snapshot.
 type Index struct {
 	part     *signature.Partition
 	r        int
@@ -167,7 +195,7 @@ func New(data *txn.Dataset, part *signature.Partition, opt Options) (*Index, err
 		if err != nil {
 			return nil, fmt.Errorf("shard: building shard %d: %w", i, err)
 		}
-		x.shards[i] = &shard{table: table, globals: globals}
+		x.shards[i] = newShard(table, globals)
 	}
 	return x, nil
 }
@@ -197,6 +225,7 @@ func (x *Index) buildOptions(i, gen int) core.BuildOptions {
 		DecodeCacheBytes:    x.decodeBytes,
 		Parallelism:         x.opt.BuildParallelism,
 		PrefetchWorkers:     x.opt.PrefetchWorkers,
+		FlushThreshold:      x.opt.FlushThreshold,
 	}
 	if x.opt.PageFile != "" {
 		o.PageFile = fmt.Sprintf("%s.s%d", x.opt.PageFile, i)
@@ -231,9 +260,7 @@ func (x *Index) Len() int {
 func (x *Index) Live() int {
 	total := 0
 	for _, s := range x.shards {
-		s.mu.RLock()
-		total += s.table.Live()
-		s.mu.RUnlock()
+		total += s.load().table.Live()
 	}
 	return total
 }
@@ -244,17 +271,41 @@ func (x *Index) Live() int {
 func (x *Index) NumEntries() int {
 	seen := make(map[signature.Coord]struct{})
 	for _, s := range x.shards {
-		s.mu.RLock()
-		for _, e := range s.table.EntrySummaries(nil) {
+		for _, e := range s.load().table.EntrySummaries(nil) {
 			seen[e.Coord] = struct{}{}
 		}
-		s.mu.RUnlock()
 	}
 	return len(seen)
 }
 
+// SnapshotVersion sums the per-shard snapshot versions — a counter
+// that advances on every published mutation or compaction anywhere in
+// the index, the sharded analogue of a single table's Version.
+func (x *Index) SnapshotVersion() uint64 {
+	var v uint64
+	for _, s := range x.shards {
+		v += s.load().table.Version()
+	}
+	return v
+}
+
+// OverflowStats aggregates the per-shard overflow-flush accounting.
+func (x *Index) OverflowStats() core.OverflowStats {
+	var agg core.OverflowStats
+	for _, s := range x.shards {
+		st := s.load().table.OverflowStats()
+		agg.Transactions += st.Transactions
+		agg.Pending += st.Pending
+		agg.Flushes += st.Flushes
+		agg.FlushSeconds += st.FlushSeconds
+	}
+	return agg
+}
+
 // Items returns the transaction stored under the global TID, or nil if
-// the TID is out of range or was compacted away.
+// the TID is out of range or was compacted away. The routing lock
+// keeps the location and the shard snapshot mutually consistent
+// (CompactShard remaps both under the exclusive routing lock).
 func (x *Index) Items(g txn.TID) txn.Transaction {
 	x.route.mu.RLock()
 	defer x.route.mu.RUnlock()
@@ -265,17 +316,16 @@ func (x *Index) Items(g txn.TID) txn.Transaction {
 	if l.shard < 0 {
 		return nil
 	}
-	s := x.shards[l.shard]
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.table.Dataset().Get(l.local)
+	return x.shards[l.shard].load().table.Dataset().Get(l.local)
 }
 
 // Insert adds a transaction, returning its global TID. The new TID is
 // the highest ever assigned, and it routes to shard TID mod S, so each
 // shard's local→global mapping stays strictly increasing (invariant 2).
-// Only the routing lock and the owning shard's lock are held: queries
-// on other shards proceed undisturbed.
+// Only the routing lock and the owning shard's writer mutex are held,
+// and queries never take either: the insert derives a snapshot from
+// the shard's current one and publishes it, disturbing no reader
+// anywhere.
 func (x *Index) Insert(tr txn.Transaction) txn.TID {
 	x.route.mu.Lock()
 	defer x.route.mu.Unlock()
@@ -284,19 +334,23 @@ func (x *Index) Insert(tr txn.Transaction) txn.TID {
 	s := x.shards[i]
 
 	t0 := time.Now()
-	s.mu.Lock()
+	s.wmu.Lock()
 	s.lockWait.Add(time.Since(t0).Nanoseconds())
-	local := s.table.Insert(tr)
-	s.globals = append(s.globals, g)
-	s.mu.Unlock()
+	st := s.load()
+	nt, local := st.table.InsertSnapshot(tr)
+	// Like the table's own spines, globals grows only at an index no
+	// reader of an older snapshot addresses, so the backing array may
+	// be shared.
+	s.state.Store(&shardState{table: nt, globals: append(st.globals, g)})
+	s.wmu.Unlock()
 
 	x.route.loc = append(x.route.loc, location{shard: int32(i), local: local})
 	return g
 }
 
 // InsertBatch adds several transactions under one routing-lock
-// acquisition, locking each owning shard once. TIDs are returned in
-// argument order.
+// acquisition, publishing one snapshot per owning shard. TIDs are
+// returned in argument order.
 func (x *Index) InsertBatch(trs []txn.Transaction) []txn.TID {
 	x.route.mu.Lock()
 	defer x.route.mu.Unlock()
@@ -315,21 +369,26 @@ func (x *Index) InsertBatch(trs []txn.Transaction) []txn.TID {
 			continue
 		}
 		t0 := time.Now()
-		s.mu.Lock()
+		s.wmu.Lock()
 		s.lockWait.Add(time.Since(t0).Nanoseconds())
+		st := s.load()
+		table, globals := st.table, st.globals
 		for _, j := range perShard[i] { // ascending j ⇒ ascending global TID
-			local := s.table.Insert(trs[j])
-			s.globals = append(s.globals, ids[j])
+			var local txn.TID
+			table, local = table.InsertSnapshot(trs[j])
+			globals = append(globals, ids[j])
 			locs[j] = location{shard: int32(i), local: local}
 		}
-		s.mu.Unlock()
+		s.state.Store(&shardState{table: table, globals: globals})
+		s.wmu.Unlock()
 	}
 	x.route.loc = append(x.route.loc, locs...)
 	return ids
 }
 
 // Delete tombstones the transaction at the global TID, reporting
-// whether it was present and live. Only the owning shard is locked.
+// whether it was present and live. Only the owning shard's writer
+// mutex is taken.
 func (x *Index) Delete(g txn.TID) bool {
 	x.route.mu.Lock()
 	defer x.route.mu.Unlock()
@@ -342,10 +401,15 @@ func (x *Index) Delete(g txn.TID) bool {
 	}
 	s := x.shards[l.shard]
 	t0 := time.Now()
-	s.mu.Lock()
+	s.wmu.Lock()
 	s.lockWait.Add(time.Since(t0).Nanoseconds())
-	defer s.mu.Unlock()
-	return s.table.Delete(l.local)
+	defer s.wmu.Unlock()
+	st := s.load()
+	nt, ok := st.table.DeleteSnapshot(l.local)
+	if ok {
+		s.state.Store(&shardState{table: nt, globals: st.globals})
+	}
+	return ok
 }
 
 // CompactShard rebuilds one shard in place over its live transactions,
@@ -353,8 +417,10 @@ func (x *Index) Delete(g txn.TID) bool {
 // an explicit build parallelism (0 = GOMAXPROCS). Unlike a single
 // index's Compact, global TIDs are PRESERVED: the shard layer remaps
 // its local TIDs and the rest of the index — and every query result —
-// is unaffected. Only the routing lock and this shard's lock are held;
-// queries on other shards keep running.
+// is unaffected. Only the routing lock and this shard's writer mutex
+// are held; queries everywhere keep running, including readers mid-
+// scan on the old snapshot, which is retired (kept open) rather than
+// closed until Close.
 func (x *Index) CompactShard(i, parallelism int) error {
 	if i < 0 || i >= len(x.shards) {
 		return fmt.Errorf("shard: shard %d out of range [0, %d)", i, len(x.shards))
@@ -363,18 +429,19 @@ func (x *Index) CompactShard(i, parallelism int) error {
 	defer x.route.mu.Unlock()
 	s := x.shards[i]
 	t0 := time.Now()
-	s.mu.Lock()
+	s.wmu.Lock()
 	s.lockWait.Add(time.Since(t0).Nanoseconds())
-	defer s.mu.Unlock()
+	defer s.wmu.Unlock()
 
-	old := s.table
+	st := s.load()
+	old := st.table
 	nt, err := old.RebuildParallel(parallelism)
 	if err != nil {
 		return fmt.Errorf("shard: compacting shard %d: %w", i, err)
 	}
 	newGlobals := make([]txn.TID, 0, nt.Len())
 	for local := 0; local < old.Len(); local++ {
-		g := s.globals[local]
+		g := st.globals[local]
 		if old.IsDeleted(txn.TID(local)) {
 			x.route.loc[g] = location{shard: -1}
 			continue
@@ -382,37 +449,39 @@ func (x *Index) CompactShard(i, parallelism int) error {
 		x.route.loc[g] = location{shard: int32(i), local: txn.TID(len(newGlobals))}
 		newGlobals = append(newGlobals, g)
 	}
-	if store := old.Store(); store != nil {
-		// Stop the old store's prefetch workers unconditionally — a
-		// memory-backed store has no file to close, but an explicit
-		// PrefetchWorkers setting gave it workers that would otherwise
-		// outlive the table swap.
-		store.StopPrefetcher()
-		if x.opt.PageFile != "" {
-			store.Close()
-		}
-	}
-	s.table = nt
-	s.globals = newGlobals
+	x.retire(s, old)
+	s.state.Store(&shardState{table: nt, globals: newGlobals})
 	return nil
+}
+
+// retire takes a replaced table out of service without closing it:
+// prefetch workers stop (racing queries simply issue their own reads)
+// but the page file stays open for readers still scanning the old
+// snapshot. Close releases the retired tables. Caller holds s.wmu.
+func (x *Index) retire(s *shard, old *core.Table) {
+	if store := old.Store(); store != nil {
+		store.StopPrefetcher()
+	}
+	s.retired = append(s.retired, old)
 }
 
 // Rebalance redistributes all live transactions into S contiguous
 // equal-size runs (in global TID order) and rebuilds every shard —
 // the heavyweight fix for shards drifting apart after skewed inserts
-// and deletes. Global TIDs are preserved. It locks the whole index
-// (routing lock plus every shard) for the duration; all new tables are
-// built before any state is swapped, so a build error leaves the index
-// untouched.
+// and deletes. Global TIDs are preserved. It holds the routing lock
+// plus every shard's writer mutex for the duration — other writers
+// queue, but queries keep running on the old snapshots throughout; all
+// new tables are built before any state is swapped, so a build error
+// leaves the index untouched.
 func (x *Index) Rebalance(parallelism int) error {
 	x.route.mu.Lock()
 	defer x.route.mu.Unlock()
 	for _, s := range x.shards {
-		s.mu.Lock()
+		s.wmu.Lock()
 	}
 	defer func() {
 		for i := len(x.shards) - 1; i >= 0; i-- {
-			x.shards[i].mu.Unlock()
+			x.shards[i].wmu.Unlock()
 		}
 	}()
 
@@ -421,13 +490,15 @@ func (x *Index) Rebalance(parallelism int) error {
 		tr txn.Transaction
 	}
 	var all []liveTxn
-	for _, s := range x.shards {
-		t := s.table
+	states := make([]*shardState, len(x.shards))
+	for i, s := range x.shards {
+		states[i] = s.load()
+		t := states[i].table
 		for local := 0; local < t.Len(); local++ {
 			if t.IsDeleted(txn.TID(local)) {
 				continue
 			}
-			all = append(all, liveTxn{g: s.globals[local], tr: t.Dataset().Get(txn.TID(local))})
+			all = append(all, liveTxn{g: states[i].globals[local], tr: t.Dataset().Get(txn.TID(local))})
 		}
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].g < all[j].g })
@@ -461,7 +532,8 @@ func (x *Index) Rebalance(parallelism int) error {
 		newGlobals[i] = globals
 	}
 
-	// Commit: every build succeeded, swap atomically under the locks.
+	// Commit: every build succeeded, publish the new snapshots under
+	// the writer mutexes.
 	for g := range x.route.loc {
 		x.route.loc[g] = location{shard: -1}
 	}
@@ -469,32 +541,33 @@ func (x *Index) Rebalance(parallelism int) error {
 		for local, g := range newGlobals[i] {
 			x.route.loc[g] = location{shard: int32(i), local: txn.TID(local)}
 		}
-		if store := s.table.Store(); store != nil {
-			store.StopPrefetcher() // workers must not outlive the swap
-			if x.opt.PageFile != "" {
-				store.Close()
-			}
-		}
-		s.table = newTables[i]
-		s.globals = newGlobals[i]
+		x.retire(s, states[i].table)
+		s.state.Store(&shardState{table: newTables[i], globals: newGlobals[i]})
 		s.gen++
 	}
 	return nil
 }
 
 // Close stops every shard store's prefetch workers and releases the
-// backing page files, if any. The index must not be queried after
+// backing page files, if any — current snapshots and tables retired by
+// CompactShard/Rebalance alike. The index must not be queried after
 // Close; the first error is returned but every shard is closed.
 func (x *Index) Close() error {
 	x.route.mu.Lock()
 	defer x.route.mu.Unlock()
 	var first error
 	for i, s := range x.shards {
-		s.mu.Lock()
-		if err := s.table.Close(); err != nil && first == nil {
+		s.wmu.Lock()
+		if err := s.load().table.Close(); err != nil && first == nil {
 			first = fmt.Errorf("shard: closing shard %d: %w", i, err)
 		}
-		s.mu.Unlock()
+		for _, t := range s.retired {
+			if err := t.Close(); err != nil && first == nil {
+				first = fmt.Errorf("shard: closing shard %d retired table: %w", i, err)
+			}
+		}
+		s.retired = nil
+		s.wmu.Unlock()
 	}
 	return first
 }
@@ -512,8 +585,9 @@ type Stats struct {
 	Entries int
 	// Scans counts queries that fanned out to this shard.
 	Scans int64
-	// LockWaitNanos accumulates time spent acquiring this shard's lock
-	// (reads and writes), the contention signal.
+	// LockWaitNanos accumulates time writers spent acquiring this
+	// shard's writer mutex, the write-contention signal (queries take
+	// no lock and contribute nothing here).
 	LockWaitNanos int64
 	// PagesRead is the shard store's cumulative page fetch count (disk
 	// mode only).
@@ -524,19 +598,18 @@ type Stats struct {
 func (x *Index) Stats() []Stats {
 	out := make([]Stats, len(x.shards))
 	for i, s := range x.shards {
-		s.mu.RLock()
+		t := s.load().table
 		st := Stats{
 			Shard:         i,
-			Live:          s.table.Live(),
-			Len:           s.table.Len(),
-			Entries:       s.table.NumEntries(),
+			Live:          t.Live(),
+			Len:           t.Len(),
+			Entries:       t.NumEntries(),
 			Scans:         s.scans.Load(),
 			LockWaitNanos: s.lockWait.Load(),
 		}
-		if store := s.table.Store(); store != nil {
+		if store := t.Store(); store != nil {
 			st.PagesRead = store.Stats().Reads
 		}
-		s.mu.RUnlock()
 		out[i] = st
 	}
 	return out
@@ -548,9 +621,7 @@ func (x *Index) Stats() []Stats {
 func (x *Index) DirectoryStats() core.DirectoryStats {
 	var agg core.DirectoryStats
 	for _, s := range x.shards {
-		s.mu.RLock()
-		st := s.table.DirectoryStats()
-		s.mu.RUnlock()
+		st := s.load().table.DirectoryStats()
 		agg.Slots += st.Slots
 		agg.Bytes += st.Bytes
 		agg.Rebuilds, agg.Ranks, agg.RankSeconds = st.Rebuilds, st.Ranks, st.RankSeconds
@@ -563,27 +634,23 @@ func (x *Index) DirectoryStats() core.DirectoryStats {
 // agreement between the routing table and the shards), returning the
 // first violation.
 func (x *Index) Validate() error {
+	// The routing lock excludes mutations, so each shard's loaded
+	// snapshot is THE current one and stays consistent with route.loc
+	// for the whole sweep.
 	x.route.mu.RLock()
 	defer x.route.mu.RUnlock()
-	for _, s := range x.shards {
-		s.mu.RLock()
-	}
-	defer func() {
-		for i := len(x.shards) - 1; i >= 0; i-- {
-			x.shards[i].mu.RUnlock()
-		}
-	}()
 
 	routed := 0
 	for i, s := range x.shards {
-		if err := s.table.Validate(); err != nil {
+		st := s.load()
+		if err := st.table.Validate(); err != nil {
 			return fmt.Errorf("shard: shard %d: %w", i, err)
 		}
-		if len(s.globals) != s.table.Len() {
-			return fmt.Errorf("shard: shard %d maps %d globals for %d transactions", i, len(s.globals), s.table.Len())
+		if len(st.globals) != st.table.Len() {
+			return fmt.Errorf("shard: shard %d maps %d globals for %d transactions", i, len(st.globals), st.table.Len())
 		}
-		for local, g := range s.globals {
-			if local > 0 && s.globals[local-1] >= g {
+		for local, g := range st.globals {
+			if local > 0 && st.globals[local-1] >= g {
 				return fmt.Errorf("shard: shard %d global mapping not increasing at local %d", i, local)
 			}
 			if int(g) >= len(x.route.loc) {
@@ -594,7 +661,7 @@ func (x *Index) Validate() error {
 					g, i, local, l.shard, l.local)
 			}
 		}
-		routed += len(s.globals)
+		routed += len(st.globals)
 	}
 	present := 0
 	for _, l := range x.route.loc {
@@ -613,9 +680,7 @@ func (x *Index) Validate() error {
 func (x *Index) CoreBuildStats() core.BuildStats {
 	var agg core.BuildStats
 	for _, s := range x.shards {
-		s.mu.RLock()
-		bs := s.table.BuildStats()
-		s.mu.RUnlock()
+		bs := s.load().table.BuildStats()
 		agg.Coords += bs.Coords
 		agg.Group += bs.Group
 		agg.Write += bs.Write

@@ -278,12 +278,14 @@ func buildFixture(t *testing.T, n, S int, opt Options) (*Index, *core.Table, *ra
 	return x, single, rng
 }
 
-// TestMutationDoesNotBlockOtherShards is the isolation proof: with one
-// shard write-locked (as a mutation would), a query's workers on every
-// OTHER shard still acquire their read locks and start scanning — the
-// scatter provably overlaps the mutation — while the query as a whole
-// correctly waits for the locked shard before finishing.
-func TestMutationDoesNotBlockOtherShards(t *testing.T) {
+// TestMutationDoesNotBlockAnyShard is the isolation proof for the
+// snapshot engine: with one shard's writer mutex held (as a mutation
+// holds it), a query fans out to EVERY shard — including the one being
+// written — and completes against the published snapshots without ever
+// blocking. The seed-era RWMutex engine could only promise the weaker
+// property that the other shards kept scanning; snapshot isolation
+// removes the reader-side lock entirely.
+func TestMutationDoesNotBlockAnyShard(t *testing.T) {
 	x, single, rng := buildFixture(t, 400, 4, Options{})
 	target := randomTarget(rng, 40)
 	f := simfun.Jaccard{}
@@ -295,13 +297,15 @@ func TestMutationDoesNotBlockOtherShards(t *testing.T) {
 	}
 
 	locked := x.shards[3]
-	locked.mu.Lock() // what Insert/Delete on shard 3 holds
+	locked.wmu.Lock() // what Insert/Delete on shard 3 holds
+	defer locked.wmu.Unlock()
 
 	// Each shard worker announces itself through the scan-start hook
-	// the moment it holds its read lock — a deterministic signal, where
-	// polling scan counters would race the workers' progress. One query
-	// is in flight, so at most Shards sends; the buffer absorbs them
-	// all and the non-blocking send in the hook never stalls a worker.
+	// the moment it has loaded its snapshot — a deterministic signal,
+	// where polling scan counters would race the workers' progress. One
+	// query is in flight, so at most Shards sends; the buffer absorbs
+	// them all and the non-blocking send in the hook never stalls a
+	// worker.
 	started := make(chan *shard, 4)
 	hook := func(s *shard) {
 		select {
@@ -321,35 +325,28 @@ func TestMutationDoesNotBlockOtherShards(t *testing.T) {
 		done <- res
 	}()
 
-	// Shards 0-2 must fan out and start scanning while shard 3 is
-	// still exclusively locked; its own worker is parked on the read
-	// lock and cannot signal.
+	// ALL four shards must fan out and start scanning while shard 3's
+	// writer mutex is held, and the whole query must finish.
 	seen := make(map[*shard]bool)
 	timeout := time.After(5 * time.Second)
-	for len(seen) < 3 {
+	for len(seen) < 4 {
 		select {
 		case s := <-started:
-			if s != locked {
-				seen[s] = true
-			}
+			seen[s] = true
 		case <-timeout:
-			locked.mu.Unlock()
-			t.Fatal("workers on unlocked shards made no progress while shard 3 was locked")
+			t.Fatal("workers made no progress while shard 3's writer mutex was held")
 		}
 	}
 	select {
-	case <-done:
-		t.Fatal("query completed while shard 3 was still write-locked")
-	default:
+	case got := <-done:
+		if !sameResult(t, want, got) {
+			t.Fatal("overlapped query diverged from the single-table result")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("query did not complete while shard 3's writer mutex was held")
 	}
-	if locked.scans.Load() != 0 {
-		t.Fatal("locked shard was scanned through an exclusive lock")
-	}
-
-	locked.mu.Unlock()
-	got := <-done
-	if !sameResult(t, want, got) {
-		t.Fatal("overlapped query diverged from the single-table result")
+	if locked.scans.Load() == 0 {
+		t.Fatal("write-locked shard was never scanned — readers appear to take the writer mutex")
 	}
 }
 

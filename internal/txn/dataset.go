@@ -49,6 +49,28 @@ func (d *Dataset) Append(t Transaction) TID {
 	return TID(len(d.txns) - 1)
 }
 
+// AppendShared adds a transaction to a copy-on-write derivative of the
+// dataset and returns (derivative, TID). The two datasets share the
+// transaction storage for TIDs [0, d.Len()): the receiver keeps its
+// length, so readers holding it never observe the new transaction, while
+// the derivative sees it at the returned TID. Callers must serialize
+// AppendShared chains (always deriving from the newest dataset) — the
+// snapshot writer protocol in internal/core does — so the shared backing
+// array is only ever extended at monotonically increasing indexes that
+// no older reader addresses. It panics if the transaction references an
+// item outside the universe.
+func (d *Dataset) AppendShared(t Transaction) (*Dataset, TID) {
+	if n := len(t); n > 0 && int(t[n-1]) >= d.universe {
+		panic(fmt.Sprintf("txn.Dataset.AppendShared: item %d outside universe of size %d", t[n-1], d.universe))
+	}
+	nd := &Dataset{
+		universe: d.universe,
+		txns:     append(d.txns, t),
+		items:    d.items + len(t),
+	}
+	return nd, TID(len(nd.txns) - 1)
+}
+
 // Get returns the transaction with the given TID. The returned slice is
 // shared with the dataset and must not be modified.
 func (d *Dataset) Get(id TID) Transaction { return d.txns[id] }

@@ -86,13 +86,11 @@ func readEnvelope(r io.Reader) (uint32, io.Reader, error) {
 // envelope. The dataset is not included. An index with pending deletes
 // must be Rebuilt first.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
 	n, err := writeEnvelope(w, kindSingle)
 	if err != nil {
 		return n, err
 	}
-	m, err := ix.table.WriteTo(w)
+	m, err := ix.load().WriteTo(w)
 	return n + m, err
 }
 
@@ -126,7 +124,7 @@ func ReadIndex(r io.Reader, data *Dataset) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{table: table}, nil
+	return newIndex(table, BuildStats{}), nil
 }
 
 // ReadSharded loads a sharded index previously written with
@@ -169,49 +167,58 @@ func ReadEngine(r io.Reader, data *Dataset) (Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{table: table}, nil
+	return newIndex(table, BuildStats{}), nil
 }
 
-// Dynamic maintenance. Mutations take the index's exclusive lock, so
-// they are safe to run concurrently with queries: a mutation waits for
-// in-flight queries to drain, and queries started after it observe the
-// updated index.
+// Dynamic maintenance. Mutations never block queries: each one derives
+// a fresh immutable table from the current snapshot (copying only the
+// mutated entry's spine) and publishes it with one atomic pointer
+// store. Writers serialize among themselves on a small writer mutex;
+// queries in flight keep reading the snapshot they started on.
 
 // Insert adds a transaction to the index and its dataset, returning
-// the assigned TID.
+// the assigned TID. The new snapshot is visible to queries started
+// after Insert returns; concurrent queries are never blocked.
 func (ix *Index) Insert(t Transaction) TID {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	return ix.table.Insert(t)
+	ix.wmu.Lock()
+	defer ix.wmu.Unlock()
+	nt, id := ix.load().InsertSnapshot(t)
+	ix.table.Store(nt)
+	return id
 }
 
-// InsertBatch adds several transactions under one exclusive-lock
-// acquisition — much cheaper than per-transaction Inserts when queries
-// are in flight, since each exclusive acquisition drains them. TIDs
+// InsertBatch adds several transactions under one writer-mutex
+// acquisition and one snapshot publication — cheaper than
+// per-transaction Inserts, which publish (and fence) once each. TIDs
 // are returned in argument order.
 func (ix *Index) InsertBatch(ts []Transaction) []TID {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	ix.wmu.Lock()
+	defer ix.wmu.Unlock()
 	ids := make([]TID, len(ts))
+	table := ix.load()
 	for i, t := range ts {
-		ids[i] = ix.table.Insert(t)
+		table, ids[i] = table.InsertSnapshot(t)
 	}
+	ix.table.Store(table)
 	return ids
 }
 
-// Delete tombstones a transaction; it stops appearing in results. It
-// reports whether the TID was present and live.
+// Delete tombstones a transaction; it stops appearing in results of
+// queries started after Delete returns. It reports whether the TID was
+// present and live.
 func (ix *Index) Delete(id TID) bool {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	return ix.table.Delete(id)
+	ix.wmu.Lock()
+	defer ix.wmu.Unlock()
+	nt, ok := ix.load().DeleteSnapshot(id)
+	if ok {
+		ix.table.Store(nt)
+	}
+	return ok
 }
 
 // Live reports the number of non-deleted indexed transactions.
 func (ix *Index) Live() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.table.Live()
+	return ix.load().Live()
 }
 
 // Rebuild compacts tombstones and insert overflows into a fresh index
@@ -220,41 +227,44 @@ func (ix *Index) Live() int {
 // the table was constructed with; see Compact for the in-place
 // variant with an explicit worker count.
 func (ix *Index) Rebuild() (*Index, error) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	table, err := ix.table.Rebuild()
+	table, err := ix.load().Rebuild()
 	if err != nil {
 		return nil, err
 	}
+	ix.statsMu.Lock()
 	stats := ix.buildStats
+	ix.statsMu.Unlock()
 	stats.coreStats(table.BuildStats())
-	return &Index{table: table, buildStats: stats}, nil
+	return newIndex(table, stats), nil
 }
 
 // Compact rebuilds the index in place over its live transactions,
 // compacting tombstones and flushing insert overflows to pages, with
-// an explicit build parallelism (0 = GOMAXPROCS, 1 = serial). It holds
-// the exclusive lock for the whole rebuild — queries queue behind it —
-// the simple trade-off documented in DESIGN.md §4c; a copy-then-swap
-// scheme could shrink the exclusive window to the pointer swap at the
-// cost of doubling peak memory. TIDs are renumbered densely, exactly
-// as by Rebuild.
+// an explicit build parallelism (0 = GOMAXPROCS, 1 = serial). The
+// rebuild runs under the writer mutex — concurrent mutations queue
+// behind it — but queries never notice: they keep scanning the old
+// snapshot until the rebuilt table is published with one atomic store.
+// TIDs are renumbered densely, exactly as by Rebuild.
 func (ix *Index) Compact(parallelism int) error {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	table, err := ix.table.RebuildParallel(parallelism)
+	ix.wmu.Lock()
+	defer ix.wmu.Unlock()
+	old := ix.load()
+	table, err := old.RebuildParallel(parallelism)
 	if err != nil {
 		return err
 	}
-	if old := ix.table.Store(); old != nil {
-		// The swapped-out table is dropped on the floor; its prefetch
-		// workers must not linger. The old page file itself stays open
-		// (callers holding a Table() reference may still scan it) —
-		// only the goroutines are reclaimed.
-		old.StopPrefetcher()
+	if store := old.Store(); store != nil {
+		// The swapped-out table's prefetch workers must not linger;
+		// the page file itself stays open (queries racing the swap, and
+		// callers holding a Table() reference, may still scan it) until
+		// Close releases the retired tables.
+		store.StopPrefetcher()
 	}
-	ix.table = table
+	ix.retired = append(ix.retired, old)
+	ix.table.Store(table)
+	ix.statsMu.Lock()
 	ix.buildStats.coreStats(table.BuildStats())
+	ix.statsMu.Unlock()
 	return nil
 }
 
@@ -262,7 +272,5 @@ func (ix *Index) Compact(parallelism int) error {
 // coordinate agreement, counts, tombstones) and returns the first
 // violated invariant, or nil.
 func (ix *Index) Validate() error {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.table.Validate()
+	return ix.load().Validate()
 }

@@ -39,6 +39,8 @@ type Engine interface {
 	Items(id TID) Transaction
 	BuildStats() BuildStats
 	DirectoryStats() DirectoryStats
+	SnapshotVersion() uint64
+	OverflowStats() OverflowStats
 	Validate() error
 	WriteTo(w io.Writer) (int64, error)
 
@@ -56,13 +58,14 @@ var (
 // a full signature table with its own pager store and decode cache,
 // behind the same query surface as Index. Queries scatter across the
 // shards concurrently and gather into results byte-identical to a
-// single index over the same data; mutations lock only the owning
-// shard, so an insert on one shard never drains queries running on the
-// others. See DESIGN.md §4e for the architecture and the merge
-// argument.
+// single index over the same data; mutations publish a new per-shard
+// snapshot under the owning shard's writer mutex, so an insert never
+// blocks queries — on its own shard or any other. See DESIGN.md §4e
+// for the architecture and the merge argument, §4i for the snapshot
+// protocol.
 //
-// A ShardedIndex is safe for concurrent use; all locking lives in the
-// shard engine (per-shard read-write locks plus a routing lock that
+// A ShardedIndex is safe for concurrent use; all coordination lives in
+// the shard engine (per-shard writer mutexes plus a routing lock that
 // queries never touch).
 type ShardedIndex struct {
 	x *shard.Index
@@ -107,6 +110,7 @@ func NewSharded(d *Dataset, opt IndexOptions) (*ShardedIndex, error) {
 		PageFormat:          format,
 		BuildParallelism:    opt.BuildParallelism,
 		PrefetchWorkers:     opt.PrefetchWorkers,
+		FlushThreshold:      opt.FlushThreshold,
 	})
 	if err != nil {
 		return nil, err
@@ -197,18 +201,27 @@ func (sx *ShardedIndex) Explain(target Transaction, f SimilarityFunc) Explanatio
 	return sx.x.Explain(target, f)
 }
 
+// SnapshotVersion sums the per-shard snapshot versions — a monotone
+// counter that advances with every published mutation across the
+// engine.
+func (sx *ShardedIndex) SnapshotVersion() uint64 { return sx.x.SnapshotVersion() }
+
+// OverflowStats aggregates the shards' overflow-flush accounting.
+func (sx *ShardedIndex) OverflowStats() OverflowStats { return sx.x.OverflowStats() }
+
 // Insert adds a transaction, returning its global TID. Only the
-// routing table and the owning shard are locked: queries on other
-// shards proceed undisturbed.
+// routing table and the owning shard's writer mutex are taken: queries
+// — on any shard — are never blocked.
 func (sx *ShardedIndex) Insert(t Transaction) TID { return sx.x.Insert(t) }
 
 // InsertBatch adds several transactions under one routing-lock
-// acquisition, locking each owning shard once. TIDs are returned in
-// argument order.
+// acquisition, publishing one new snapshot per touched shard. TIDs are
+// returned in argument order.
 func (sx *ShardedIndex) InsertBatch(ts []Transaction) []TID { return sx.x.InsertBatch(ts) }
 
 // Delete tombstones the transaction at the global TID, reporting
-// whether it was present and live. Only the owning shard is locked.
+// whether it was present and live. Only the owning shard's writer
+// mutex is taken; queries are never blocked.
 func (sx *ShardedIndex) Delete(id TID) bool { return sx.x.Delete(id) }
 
 // CompactShard rebuilds one shard over its live transactions,

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sigtable/internal/cluster"
@@ -237,6 +238,15 @@ type IndexOptions struct {
 	// SearchOptions.ReadaheadDepth. With the sharded engine the count
 	// applies per shard. Results are identical at every setting.
 	PrefetchWorkers int
+	// FlushThreshold sets the per-entry overflow size at which a
+	// disk-mode Insert flushes the entry's in-memory overflow to fresh
+	// pages appended to its list (amortizing insert cost and keeping
+	// memory bounded without a full Compact). 0 selects the core
+	// default (128); a negative value disables flushing, restoring the
+	// grow-until-Compact behavior. Ignored in memory mode. With the
+	// sharded engine the threshold applies per shard. Results are
+	// identical at every setting.
+	FlushThreshold int
 }
 
 func (o IndexOptions) withDefaults(n int) IndexOptions {
@@ -260,16 +270,37 @@ func (o IndexOptions) withDefaults(n int) IndexOptions {
 
 // Index is the signature table with its construction metadata.
 //
-// An Index is safe for concurrent use: queries take a shared lock and
-// run concurrently with each other (each additionally parallelizable
-// via QueryOptions.Parallelism), while mutations (Insert, Delete,
-// Compact) take an exclusive lock and wait for in-flight queries to
-// drain.
+// An Index is safe for concurrent use, and queries never take a lock:
+// each search loads the atomically published table snapshot and runs
+// against that immutable version for its whole duration (additionally
+// parallelizable via SearchOptions.Parallelism). Mutations (Insert,
+// Delete, Compact) serialize behind a small writer mutex, derive the
+// next snapshot by copy-on-write — sharing all untouched structure —
+// and publish it with one atomic store; they never wait for queries,
+// and queries never wait for them. A query that overlaps a mutation
+// sees either entirely the old version or entirely the new one, never
+// a mix (snapshot isolation).
 type Index struct {
-	mu         sync.RWMutex
-	table      *core.Table
+	wmu     sync.Mutex                 // serializes mutations, Compact and Close
+	table   atomic.Pointer[core.Table] // current published snapshot
+	retired []*core.Table              // tables swapped out by Compact, kept open for in-flight readers (under wmu)
+
+	statsMu    sync.Mutex // guards buildStats (refreshed by Compact)
 	buildStats BuildStats
 }
+
+// newIndex wraps a built or loaded core table in the public Index.
+func newIndex(t *core.Table, stats BuildStats) *Index {
+	ix := &Index{buildStats: stats}
+	ix.table.Store(t)
+	return ix
+}
+
+// load returns the current published table snapshot. Callers run
+// against the returned table without further synchronization — it is
+// immutable (the snapshot mutation protocol never modifies a published
+// version).
+func (ix *Index) load() *core.Table { return ix.table.Load() }
 
 // BuildStats is the wall-time breakdown of index construction, phase
 // by phase. Mining and Partition run once per BuildIndex; the core
@@ -304,8 +335,8 @@ func (s *BuildStats) coreStats(cs core.BuildStats) {
 // BuildStats reports the construction wall times of the most recent
 // build (initial BuildIndex, refreshed by Compact).
 func (ix *Index) BuildStats() BuildStats {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+	ix.statsMu.Lock()
+	defer ix.statsMu.Unlock()
 	return ix.buildStats
 }
 
@@ -339,12 +370,13 @@ func BuildIndex(d *Dataset, opt IndexOptions) (*Index, error) {
 		PageFormat:          format,
 		Parallelism:         opt.BuildParallelism,
 		PrefetchWorkers:     opt.PrefetchWorkers,
+		FlushThreshold:      opt.FlushThreshold,
 	})
 	if err != nil {
 		return nil, err
 	}
 	stats.coreStats(table.BuildStats())
-	return &Index{table: table, buildStats: stats}, nil
+	return newIndex(table, stats), nil
 }
 
 // minePartition runs the data-dependent half of a build — support
@@ -394,41 +426,49 @@ func minePartition(d *Dataset, opt *IndexOptions) (*signature.Partition, int, Bu
 
 // K reports the signature cardinality.
 func (ix *Index) K() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.table.K()
+	return ix.load().K()
 }
 
 // Len reports the number of indexed transactions.
 func (ix *Index) Len() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.table.Len()
+	return ix.load().Len()
 }
 
 // NumEntries reports the occupied supercoordinates.
 func (ix *Index) NumEntries() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.table.NumEntries()
+	return ix.load().NumEntries()
+}
+
+// SnapshotVersion reports the version of the currently published table
+// snapshot: 0 as built, advancing by one on every published mutation
+// or compaction. Two calls returning the same version bracket a span
+// in which readers saw one identical index.
+func (ix *Index) SnapshotVersion() uint64 {
+	return ix.load().Version()
+}
+
+// OverflowStats reports the disk-mode overflow-flush accounting: how
+// many inserted transactions entered per-entry overflows, how many are
+// currently pending a flush, and how many flushes ran for how long.
+// All zero in memory mode.
+func (ix *Index) OverflowStats() OverflowStats {
+	return ix.load().OverflowStats()
 }
 
 // Signatures returns the item sets of the K signatures (read-only).
 func (ix *Index) Signatures() [][]Item {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.table.Partition().Sets()
+	return ix.load().Partition().Sets()
 }
 
 // Items returns the transaction stored under id. The returned slice is
 // never mutated by the index, so it stays valid after later mutations.
 func (ix *Index) Items(id TID) Transaction {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.table.Dataset().Get(id)
+	return ix.load().Dataset().Get(id)
 }
 
 // Query runs a branch-and-bound k-NN search for the target under f.
+// It takes no lock: the search runs against the table snapshot current
+// when it started, unaffected by concurrent mutations.
 //
 // The context bounds the search: cancellation or a deadline aborts the
 // branch-and-bound scan between entry visits and returns the partial
@@ -436,45 +476,36 @@ func (ix *Index) Items(id TID) Transaction {
 // (unless the optimality certificate already held). A cancelled search
 // is not an error; errors are reserved for invalid options.
 func (ix *Index) Query(ctx context.Context, target Transaction, f SimilarityFunc, opt SearchOptions) (Result, error) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.table.Query(ctx, target, f, opt.query())
+	return ix.load().Query(ctx, target, f, opt.query())
 }
 
 // Nearest returns the single most similar transaction and its value.
 // A search interrupted by context cancellation before finding any
 // candidate returns the context's error.
 func (ix *Index) Nearest(ctx context.Context, target Transaction, f SimilarityFunc) (TID, float64, error) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.table.Nearest(ctx, target, f)
+	return ix.load().Nearest(ctx, target, f)
 }
 
 // RangeQuery returns all transactions meeting every (function,
-// threshold) conjunct. Cancelling the context returns the matches
-// found so far with RangeResult.Interrupted set.
+// threshold) conjunct, lock-free against the current snapshot.
+// Cancelling the context returns the matches found so far with
+// RangeResult.Interrupted set.
 func (ix *Index) RangeQuery(ctx context.Context, target Transaction, constraints []RangeConstraint, opt SearchOptions) (RangeResult, error) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.table.RangeQuery(ctx, target, constraints, opt.ranged())
+	return ix.load().RangeQuery(ctx, target, constraints, opt.ranged())
 }
 
 // MultiQuery finds the k transactions maximizing the average similarity
 // to several targets. The context bounds the search exactly as in
 // Query.
 func (ix *Index) MultiQuery(ctx context.Context, targets []Transaction, f SimilarityFunc, opt SearchOptions) (Result, error) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.table.MultiQuery(ctx, targets, f, opt.query())
+	return ix.load().MultiQuery(ctx, targets, f, opt.query())
 }
 
 // Explain returns the bound landscape a query for this target would
 // see, without scanning any transactions — the tuning companion to
 // Query.
 func (ix *Index) Explain(target Transaction, f SimilarityFunc) Explanation {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.table.Explain(target, f)
+	return ix.load().Explain(target, f)
 }
 
 // Explanation describes a query's per-entry optimistic bounds in
@@ -487,28 +518,38 @@ type DirectoryStats = core.DirectoryStats
 
 // DirectoryStats snapshots the index's entry directory.
 func (ix *Index) DirectoryStats() DirectoryStats {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.table.DirectoryStats()
+	return ix.load().DirectoryStats()
 }
 
+// OverflowStats is the disk-mode overflow-flush accounting reported by
+// (*Index).OverflowStats and (*ShardedIndex).OverflowStats; see
+// IndexOptions.FlushThreshold.
+type OverflowStats = core.OverflowStats
+
 // Table exposes the underlying core table for advanced use (occupancy
-// statistics, entry inspection). The pointer read itself is locked —
-// Compact swaps the table in place — but operations on the returned
-// table bypass the index's lock: do not use them concurrently with
-// Insert, Delete or Compact.
+// statistics, entry inspection). The returned table is the current
+// published snapshot: it is immutable and stays fully readable forever
+// (a later Insert/Delete/Compact publishes a NEW table rather than
+// modifying this one), but it also stops reflecting the index from the
+// next mutation on. Do not mutate it through the core API — the index
+// owns the snapshot lineage.
 func (ix *Index) Table() *core.Table {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.table
+	return ix.load()
 }
 
 // Close releases the index's disk resources: prefetch workers stop
-// (and are waited for) and the page file, if any, is closed. Queries
-// must have drained; an in-memory index without a store is a no-op.
-// Close is idempotent.
+// (and are waited for) and the page file, if any, is closed — for the
+// current snapshot and any tables retired by Compact. Queries must
+// have drained; an in-memory index without a store is a no-op.
 func (ix *Index) Close() error {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	return ix.table.Close()
+	ix.wmu.Lock()
+	defer ix.wmu.Unlock()
+	err := ix.load().Close()
+	for _, t := range ix.retired {
+		if cerr := t.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	ix.retired = nil
+	return err
 }
